@@ -1,0 +1,58 @@
+//! Analysis-layer errors.
+
+use clarify_netconfig::ConfigError;
+
+/// Everything that can go wrong during symbolic analysis.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum AnalysisError {
+    /// The underlying configuration was malformed or had dangling refs.
+    Config(ConfigError),
+    /// A numeric field exceeded the 16-bit symbolic encoding.
+    ValueTooLarge {
+        /// Field name (`"local-preference"` etc.).
+        field: &'static str,
+        /// The offending value.
+        value: u32,
+    },
+    /// A regex pattern was not part of the analyzer's atom universe —
+    /// the config changed after the analyzer was built.
+    UnknownPattern(String),
+    /// A concrete value (community / AS path) cannot be expressed in the
+    /// atom universe (e.g. an AS number with more than five digits).
+    OutsideUniverse {
+        /// What kind of value.
+        kind: &'static str,
+        /// Its rendering.
+        value: String,
+    },
+    /// The regex set produced too many atomic predicates.
+    AtomLimitExceeded,
+}
+
+impl From<ConfigError> for AnalysisError {
+    fn from(e: ConfigError) -> Self {
+        AnalysisError::Config(e)
+    }
+}
+
+impl std::fmt::Display for AnalysisError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            AnalysisError::Config(e) => write!(f, "configuration error: {e}"),
+            AnalysisError::ValueTooLarge { field, value } => {
+                write!(f, "{field} value {value} exceeds the 16-bit symbolic range")
+            }
+            AnalysisError::UnknownPattern(p) => {
+                write!(f, "regex '{p}' is not part of this analyzer's universe")
+            }
+            AnalysisError::OutsideUniverse { kind, value } => {
+                write!(f, "{kind} '{value}' lies outside the modelled universe")
+            }
+            AnalysisError::AtomLimitExceeded => {
+                write!(f, "too many atomic predicates; split the analysis")
+            }
+        }
+    }
+}
+
+impl std::error::Error for AnalysisError {}

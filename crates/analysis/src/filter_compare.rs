@@ -1,0 +1,245 @@
+//! Differential comparison of ACLs (the packet-filter counterpart of
+//! [`crate::compare_route_policies`]) and of prefix lists.
+
+use clarify_bdd::{Manager, Ref};
+use clarify_netconfig::{Acl, AclVerdict, Action, PrefixList};
+use clarify_nettypes::{Packet, Prefix, PrefixRange};
+
+use crate::error::AnalysisError;
+use crate::packet_space::PacketSpace;
+
+/// One concrete packet on which two ACLs disagree.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct FilterDiff {
+    /// The differential packet.
+    pub packet: Packet,
+    /// Verdict under the first ACL.
+    pub a: AclVerdict,
+    /// Verdict under the second ACL.
+    pub b: AclVerdict,
+}
+
+/// Finds up to `limit` packets on which the two ACLs differ. ACL outcomes
+/// are pure permit/deny, so the difference region is exactly the symmetric
+/// difference of the permit sets; each witness is re-validated concretely.
+pub fn compare_filters(space: &mut PacketSpace, a: &Acl, b: &Acl, limit: usize) -> Vec<FilterDiff> {
+    let pa = space.permit_set(a);
+    let pb = space.permit_set(b);
+    let valid = space.valid();
+    let mut region = {
+        let x = space.manager().xor(pa, pb);
+        space.manager().and(x, valid)
+    };
+    let mut diffs = Vec::new();
+    while diffs.len() < limit {
+        let Some(packet) = space.witness(region) else {
+            break;
+        };
+        let va = eval_acl(a, &packet);
+        let vb = eval_acl(b, &packet);
+        debug_assert_ne!(va.action, vb.action, "witness must differ");
+        diffs.push(FilterDiff {
+            packet,
+            a: va,
+            b: vb,
+        });
+        // Exclude this exact packet and search for another.
+        let point = space.encode_packet(&packet);
+        let np = space.manager().not(point);
+        region = space.manager().and(region, np);
+    }
+    diffs
+}
+
+/// Whether two ACLs permit exactly the same packets.
+pub fn filters_equivalent(space: &mut PacketSpace, a: &Acl, b: &Acl) -> bool {
+    compare_filters(space, a, b, 1).is_empty()
+}
+
+fn eval_acl(acl: &Acl, pkt: &Packet) -> AclVerdict {
+    for (i, e) in acl.entries.iter().enumerate() {
+        if e.matches(pkt) {
+            return AclVerdict {
+                action: e.action,
+                index: Some(i),
+            };
+        }
+    }
+    AclVerdict {
+        action: Action::Deny,
+        index: None,
+    }
+}
+
+// ---------------------------------------------------------------------
+// Prefix lists (the paper's §7 future work: disambiguating insertions
+// into ancillary structures that can themselves conflict).
+// ---------------------------------------------------------------------
+
+/// The symbolic space of route prefixes: 32 address bits plus 6 length
+/// bits, with `len <= 32` as the validity constraint. This is the input
+/// space of a prefix list viewed as a standalone filter.
+pub struct PrefixSpace {
+    mgr: Manager,
+    addr_vars: Vec<u32>,
+    len_vars: Vec<u32>,
+    valid: Ref,
+}
+
+impl Default for PrefixSpace {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl PrefixSpace {
+    /// Builds the space.
+    pub fn new() -> PrefixSpace {
+        let addr_vars: Vec<u32> = (0..32).collect();
+        let len_vars: Vec<u32> = (32..38).collect();
+        let mut mgr = Manager::new(38);
+        let valid = mgr.le_const(&len_vars, 32);
+        PrefixSpace {
+            mgr,
+            addr_vars,
+            len_vars,
+            valid,
+        }
+    }
+
+    /// The manager, for custom constraints.
+    pub fn manager(&mut self) -> &mut Manager {
+        &mut self.mgr
+    }
+
+    /// The well-formedness constraint (`len <= 32`).
+    pub fn valid(&self) -> Ref {
+        self.valid
+    }
+
+    /// Encodes the set of prefixes a range matches.
+    pub fn encode_range(&mut self, range: &PrefixRange) -> Ref {
+        let l = range.prefix.len() as usize;
+        let addr = range.prefix.addr_u32();
+        let mut covered = Ref::TRUE;
+        for (i, &v) in self.addr_vars.iter().enumerate().take(l) {
+            let bit = (addr >> (31 - i)) & 1 == 1;
+            let lit = self.mgr.literal(v, bit);
+            covered = self.mgr.and(covered, lit);
+        }
+        let len_ok = self.mgr.range_const(
+            &self.len_vars.clone(),
+            u64::from(range.min_len),
+            u64::from(range.max_len),
+        );
+        self.mgr.and(covered, len_ok)
+    }
+
+    /// Encodes a single concrete prefix as a point.
+    pub fn encode_prefix(&mut self, p: &Prefix) -> Ref {
+        let mut acc = Ref::TRUE;
+        let addr = p.addr_u32();
+        // Constrain only the first `len` address bits: decoding normalizes
+        // host bits away, so this encodes the full equivalence class of
+        // assignments for `p`, which makes witness point-exclusion sound.
+        for (i, &v) in self
+            .addr_vars
+            .clone()
+            .iter()
+            .enumerate()
+            .take(p.len() as usize)
+        {
+            let bit = (addr >> (31 - i)) & 1 == 1;
+            let lit = self.mgr.literal(v, bit);
+            acc = self.mgr.and(acc, lit);
+        }
+        let len = self
+            .mgr
+            .eq_const(&self.len_vars.clone(), u64::from(p.len()));
+        self.mgr.and(acc, len)
+    }
+
+    /// The set of prefixes a list *permits* (first match, default deny).
+    pub fn permit_set(&mut self, list: &PrefixList) -> Ref {
+        let mut permitted = Ref::FALSE;
+        let mut unmatched = self.valid;
+        for e in &list.entries {
+            let m = self.encode_range(&e.range);
+            let fires = self.mgr.and(unmatched, m);
+            if e.action == Action::Permit {
+                permitted = self.mgr.or(permitted, fires);
+            }
+            let nm = self.mgr.not(m);
+            unmatched = self.mgr.and(unmatched, nm);
+        }
+        permitted
+    }
+
+    /// Raw per-entry match sets.
+    pub fn match_sets(&mut self, list: &PrefixList) -> Vec<Ref> {
+        list.entries
+            .iter()
+            .map(|e| self.encode_range(&e.range))
+            .collect()
+    }
+
+    /// A concrete prefix from a region, or `None` when empty. The decoded
+    /// prefix is normalized to its length.
+    pub fn witness(&mut self, region: Ref) -> Option<Prefix> {
+        let r = self.mgr.and(region, self.valid);
+        let cube = self.mgr.any_sat(r)?;
+        let addr = cube.decode(&self.addr_vars) as u32;
+        let len = (cube.decode(&self.len_vars) as u8).min(32);
+        Some(Prefix::from_u32(addr, len))
+    }
+}
+
+/// One concrete prefix on which two prefix lists disagree.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct PrefixListDiff {
+    /// The differential prefix.
+    pub prefix: Prefix,
+    /// Whether the first list permits it.
+    pub a_permits: bool,
+    /// Whether the second list permits it.
+    pub b_permits: bool,
+}
+
+/// Finds up to `limit` prefixes on which the two lists disagree.
+pub fn compare_prefix_lists(
+    space: &mut PrefixSpace,
+    a: &PrefixList,
+    b: &PrefixList,
+    limit: usize,
+) -> Result<Vec<PrefixListDiff>, AnalysisError> {
+    let pa = space.permit_set(a);
+    let pb = space.permit_set(b);
+    let mut region = space.manager().xor(pa, pb);
+    let mut diffs = Vec::new();
+    while diffs.len() < limit {
+        let Some(prefix) = space.witness(region) else {
+            break;
+        };
+        let a_permits = a.permits(&prefix);
+        let b_permits = b.permits(&prefix);
+        debug_assert_ne!(a_permits, b_permits, "witness must differ");
+        diffs.push(PrefixListDiff {
+            prefix,
+            a_permits,
+            b_permits,
+        });
+        let point = space.encode_prefix(&prefix);
+        let np = space.manager().not(point);
+        region = space.manager().and(region, np);
+    }
+    Ok(diffs)
+}
+
+/// Whether two prefix lists permit exactly the same prefixes.
+pub fn prefix_lists_equivalent(
+    space: &mut PrefixSpace,
+    a: &PrefixList,
+    b: &PrefixList,
+) -> Result<bool, AnalysisError> {
+    Ok(compare_prefix_lists(space, a, b, 1)?.is_empty())
+}

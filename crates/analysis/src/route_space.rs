@@ -1,0 +1,659 @@
+//! The symbolic route space: BDD variables for every matchable field of a
+//! BGP route, plus encode/decode between [`BgpRoute`]s and BDD sets.
+
+use std::collections::HashMap;
+
+use clarify_automata::{AtomSpace, Regex};
+use clarify_bdd::{Cube, Manager, Ref};
+use clarify_netconfig::{
+    Action, AsPathList, CommunityList, Config, PrefixList, RouteMap, RouteMapMatch, RouteMapStanza,
+};
+use clarify_nettypes::{AsPath, BgpRoute, Community, Prefix, PrefixRange};
+
+use crate::error::AnalysisError;
+
+/// All syntactically valid community subject strings: `N:M` with one to
+/// five digits per half. Values above 65535 are rejected when a witness is
+/// decoded; shortest-witness extraction never produces them for the
+/// patterns real configurations use.
+const COMMUNITY_UNIVERSE: &str = "^[0-9][0-9]?[0-9]?[0-9]?[0-9]?:[0-9][0-9]?[0-9]?[0-9]?[0-9]?$";
+
+/// All syntactically valid AS-path subject strings: possibly empty,
+/// space-separated AS numbers of one to five digits.
+const AS_PATH_UNIVERSE: &str =
+    "^([0-9][0-9]?[0-9]?[0-9]?[0-9]?( [0-9][0-9]?[0-9]?[0-9]?[0-9]?)*)?$";
+
+/// Width of the numeric attribute fields (local-pref, metric, tag).
+const FIELD_BITS: u32 = 16;
+
+/// The symbolic input space of route-map analysis.
+///
+/// Built once per analysis session from every configuration that will be
+/// involved (base config plus snippet), so that all of them share one set
+/// of atomic predicates; encoding a config whose regexes were not part of
+/// the construction fails with [`AnalysisError::UnknownPattern`].
+pub struct RouteSpace {
+    mgr: Manager,
+    comm_atoms: AtomSpace,
+    path_atoms: AtomSpace,
+    comm_pattern_idx: HashMap<String, usize>,
+    path_pattern_idx: HashMap<String, usize>,
+    prefix_vars: Vec<u32>,
+    plen_vars: Vec<u32>,
+    lp_vars: Vec<u32>,
+    metric_vars: Vec<u32>,
+    tag_vars: Vec<u32>,
+    comm_vars: Vec<u32>,
+    path_vars: Vec<u32>,
+    valid: Ref,
+}
+
+impl RouteSpace {
+    /// Builds the space for analyses over the given configurations.
+    pub fn new(configs: &[&Config]) -> Result<RouteSpace, AnalysisError> {
+        // Collect regex patterns in deterministic first-seen order.
+        let mut comm_patterns: Vec<Regex> = Vec::new();
+        let mut comm_pattern_idx = HashMap::new();
+        let mut path_patterns: Vec<Regex> = Vec::new();
+        let mut path_pattern_idx = HashMap::new();
+        for cfg in configs {
+            for cl in cfg.community_lists.values() {
+                for e in &cl.entries {
+                    let key = e.regex.pattern().to_string();
+                    if let std::collections::hash_map::Entry::Vacant(v) =
+                        comm_pattern_idx.entry(key)
+                    {
+                        v.insert(comm_patterns.len());
+                        comm_patterns.push(e.regex.clone());
+                    }
+                }
+            }
+            for al in cfg.as_path_lists.values() {
+                for e in &al.entries {
+                    let key = e.regex.pattern().to_string();
+                    if let std::collections::hash_map::Entry::Vacant(v) =
+                        path_pattern_idx.entry(key)
+                    {
+                        v.insert(path_patterns.len());
+                        path_patterns.push(e.regex.clone());
+                    }
+                }
+            }
+        }
+
+        let comm_universe = Regex::parse(COMMUNITY_UNIVERSE)
+            .expect("community universe regex is valid")
+            .to_dfa();
+        let path_universe = Regex::parse(AS_PATH_UNIVERSE)
+            .expect("AS-path universe regex is valid")
+            .to_dfa();
+        let comm_atoms = AtomSpace::build(&comm_universe, &comm_patterns)
+            .ok_or(AnalysisError::AtomLimitExceeded)?;
+        let path_atoms = AtomSpace::build(&path_universe, &path_patterns)
+            .ok_or(AnalysisError::AtomLimitExceeded)?;
+
+        let path_bits = {
+            let n = path_atoms.len().max(1);
+            // Bits needed to index n atoms.
+            (usize::BITS - (n - 1).leading_zeros()) as usize
+        };
+
+        // Variable layout, in order.
+        let mut next = 0u32;
+        let mut take = |n: usize| -> Vec<u32> {
+            let vars: Vec<u32> = (next..next + n as u32).collect();
+            next += n as u32;
+            vars
+        };
+        let prefix_vars = take(32);
+        let plen_vars = take(6);
+        let lp_vars = take(FIELD_BITS as usize);
+        let metric_vars = take(FIELD_BITS as usize);
+        let tag_vars = take(FIELD_BITS as usize);
+        let comm_vars = take(comm_atoms.len());
+        let path_vars = take(path_bits);
+
+        let mut mgr = Manager::new(next);
+        let mut valid = mgr.le_const(&plen_vars, 32);
+        if !path_vars.is_empty() {
+            let in_range = mgr.le_const(&path_vars, (path_atoms.len().max(1) - 1) as u64);
+            valid = mgr.and(valid, in_range);
+        }
+
+        Ok(RouteSpace {
+            mgr,
+            comm_atoms,
+            path_atoms,
+            comm_pattern_idx,
+            path_pattern_idx,
+            prefix_vars,
+            plen_vars,
+            lp_vars,
+            metric_vars,
+            tag_vars,
+            comm_vars,
+            path_vars,
+            valid,
+        })
+    }
+
+    /// The BDD manager (exposed for composing custom constraints).
+    pub fn manager(&mut self) -> &mut Manager {
+        &mut self.mgr
+    }
+
+    /// The set of assignments that decode to well-formed routes.
+    pub fn valid(&self) -> Ref {
+        self.valid
+    }
+
+    /// Number of community atomic predicates.
+    pub fn num_community_atoms(&self) -> usize {
+        self.comm_atoms.len()
+    }
+
+    /// Number of AS-path atomic predicates.
+    pub fn num_path_atoms(&self) -> usize {
+        self.path_atoms.len()
+    }
+
+    fn field_value(&self, field: &'static str, value: u32) -> Result<u64, AnalysisError> {
+        if value >= 1 << FIELD_BITS {
+            Err(AnalysisError::ValueTooLarge { field, value })
+        } else {
+            Ok(u64::from(value))
+        }
+    }
+
+    /// Encodes "the route's prefix matches this prefix range".
+    pub fn encode_prefix_range(&mut self, range: &PrefixRange) -> Ref {
+        let l = range.prefix.len() as usize;
+        let addr = range.prefix.addr_u32();
+        let mut covered = Ref::TRUE;
+        for (i, &v) in self.prefix_vars.iter().enumerate().take(l) {
+            let bit = (addr >> (31 - i)) & 1 == 1;
+            let lit = self.mgr.literal(v, bit);
+            covered = self.mgr.and(covered, lit);
+        }
+        let len_ok = self.mgr.range_const(
+            &self.plen_vars,
+            u64::from(range.min_len),
+            u64::from(range.max_len),
+        );
+        self.mgr.and(covered, len_ok)
+    }
+
+    /// Encodes a prefix list's *permit* set (first match wins, default deny).
+    pub fn encode_prefix_list(&mut self, list: &PrefixList) -> Ref {
+        let mut permitted = Ref::FALSE;
+        let mut unmatched = Ref::TRUE;
+        for e in &list.entries {
+            let m = self.encode_prefix_range(&e.range);
+            let fires = self.mgr.and(unmatched, m);
+            if e.action == Action::Permit {
+                permitted = self.mgr.or(permitted, fires);
+            }
+            let nm = self.mgr.not(m);
+            unmatched = self.mgr.and(unmatched, nm);
+        }
+        permitted
+    }
+
+    fn pattern_set(&mut self, kind: &'static str, pattern: &str) -> Result<Ref, AnalysisError> {
+        match kind {
+            "community" => {
+                let &idx = self
+                    .comm_pattern_idx
+                    .get(pattern)
+                    .ok_or_else(|| AnalysisError::UnknownPattern(pattern.to_string()))?;
+                let members: Vec<usize> = self.comm_atoms.members_of(idx).to_vec();
+                let lits: Vec<Ref> = members
+                    .iter()
+                    .map(|&a| self.mgr.var(self.comm_vars[a]))
+                    .collect();
+                Ok(self.mgr.or_all(lits))
+            }
+            "as-path" => {
+                let &idx = self
+                    .path_pattern_idx
+                    .get(pattern)
+                    .ok_or_else(|| AnalysisError::UnknownPattern(pattern.to_string()))?;
+                let members: Vec<usize> = self.path_atoms.members_of(idx).to_vec();
+                let path_vars = self.path_vars.clone();
+                let terms: Vec<Ref> = members
+                    .iter()
+                    .map(|&a| self.mgr.eq_const(&path_vars, a as u64))
+                    .collect();
+                Ok(self.mgr.or_all(terms))
+            }
+            _ => unreachable!("pattern kind"),
+        }
+    }
+
+    /// Encodes a community list's permit set.
+    pub fn encode_community_list(&mut self, list: &CommunityList) -> Result<Ref, AnalysisError> {
+        let mut permitted = Ref::FALSE;
+        let mut unmatched = Ref::TRUE;
+        for e in &list.entries {
+            let m = self.pattern_set("community", e.regex.pattern())?;
+            let fires = self.mgr.and(unmatched, m);
+            if e.action == Action::Permit {
+                permitted = self.mgr.or(permitted, fires);
+            }
+            let nm = self.mgr.not(m);
+            unmatched = self.mgr.and(unmatched, nm);
+        }
+        Ok(permitted)
+    }
+
+    /// Encodes an AS-path list's permit set.
+    pub fn encode_as_path_list(&mut self, list: &AsPathList) -> Result<Ref, AnalysisError> {
+        let mut permitted = Ref::FALSE;
+        let mut unmatched = Ref::TRUE;
+        for e in &list.entries {
+            let m = self.pattern_set("as-path", e.regex.pattern())?;
+            let fires = self.mgr.and(unmatched, m);
+            if e.action == Action::Permit {
+                permitted = self.mgr.or(permitted, fires);
+            }
+            let nm = self.mgr.not(m);
+            unmatched = self.mgr.and(unmatched, nm);
+        }
+        Ok(permitted)
+    }
+
+    /// Encodes one match clause.
+    pub fn encode_match(&mut self, cfg: &Config, m: &RouteMapMatch) -> Result<Ref, AnalysisError> {
+        Ok(match m {
+            RouteMapMatch::PrefixList(names) => {
+                let mut acc = Ref::FALSE;
+                for n in names {
+                    let pl = cfg.prefix_list(n)?.clone();
+                    let enc = self.encode_prefix_list(&pl);
+                    acc = self.mgr.or(acc, enc);
+                }
+                acc
+            }
+            RouteMapMatch::Community(names) => {
+                let mut acc = Ref::FALSE;
+                for n in names {
+                    let cl = cfg.community_list(n)?.clone();
+                    let enc = self.encode_community_list(&cl)?;
+                    acc = self.mgr.or(acc, enc);
+                }
+                acc
+            }
+            RouteMapMatch::AsPath(names) => {
+                let mut acc = Ref::FALSE;
+                for n in names {
+                    let al = cfg.as_path_list(n)?.clone();
+                    let enc = self.encode_as_path_list(&al)?;
+                    acc = self.mgr.or(acc, enc);
+                }
+                acc
+            }
+            RouteMapMatch::LocalPref(v) => {
+                let v = self.field_value("local-preference", *v)?;
+                self.mgr.eq_const(&self.lp_vars.clone(), v)
+            }
+            RouteMapMatch::Metric(v) => {
+                let v = self.field_value("metric", *v)?;
+                self.mgr.eq_const(&self.metric_vars.clone(), v)
+            }
+            RouteMapMatch::Tag(v) => {
+                let v = self.field_value("tag", *v)?;
+                self.mgr.eq_const(&self.tag_vars.clone(), v)
+            }
+        })
+    }
+
+    /// Encodes a stanza's full match condition (conjunction of clauses).
+    pub fn encode_stanza_match(
+        &mut self,
+        cfg: &Config,
+        stanza: &RouteMapStanza,
+    ) -> Result<Ref, AnalysisError> {
+        let mut acc = Ref::TRUE;
+        for m in &stanza.matches {
+            let enc = self.encode_match(cfg, m)?;
+            acc = self.mgr.and(acc, enc);
+        }
+        Ok(acc)
+    }
+
+    /// Raw per-stanza match sets (ignoring earlier stanzas).
+    pub fn match_sets(&mut self, cfg: &Config, map: &RouteMap) -> Result<Vec<Ref>, AnalysisError> {
+        map.stanzas
+            .iter()
+            .map(|s| self.encode_stanza_match(cfg, s))
+            .collect()
+    }
+
+    /// First-match firing regions per stanza, plus the implicit-deny
+    /// remainder (routes reaching the end without matching).
+    pub fn fire_sets(
+        &mut self,
+        cfg: &Config,
+        map: &RouteMap,
+    ) -> Result<(Vec<Ref>, Ref), AnalysisError> {
+        let mut fires = Vec::with_capacity(map.stanzas.len());
+        let mut unmatched = self.valid;
+        for s in &map.stanzas {
+            let m = self.encode_stanza_match(cfg, s)?;
+            fires.push(self.mgr.and(unmatched, m));
+            let nm = self.mgr.not(m);
+            unmatched = self.mgr.and(unmatched, nm);
+        }
+        Ok((fires, unmatched))
+    }
+
+    /// The set of (valid) routes the named route-map permits.
+    pub fn permit_set(&mut self, cfg: &Config, name: &str) -> Result<Ref, AnalysisError> {
+        let map = cfg
+            .route_map(name)
+            .ok_or_else(|| {
+                AnalysisError::Config(clarify_netconfig::ConfigError::NotFound {
+                    kind: "route-map",
+                    name: name.to_string(),
+                })
+            })?
+            .clone();
+        let (fires, _) = self.fire_sets(cfg, &map)?;
+        let permits: Vec<Ref> = map
+            .stanzas
+            .iter()
+            .zip(&fires)
+            .filter(|(s, _)| s.action == Action::Permit)
+            .map(|(_, &f)| f)
+            .collect();
+        Ok(self.mgr.or_all(permits))
+    }
+
+    /// Batfish-style `searchRoutePolicies`: a concrete route the policy
+    /// handles with `action`, optionally further constrained.
+    pub fn search_route_policies(
+        &mut self,
+        cfg: &Config,
+        name: &str,
+        action: Action,
+        constraint: Option<Ref>,
+    ) -> Result<Option<BgpRoute>, AnalysisError> {
+        let permits = self.permit_set(cfg, name)?;
+        let mut region = match action {
+            Action::Permit => permits,
+            Action::Deny => {
+                let np = self.mgr.not(permits);
+                self.mgr.and(self.valid, np)
+            }
+        };
+        if let Some(c) = constraint {
+            region = self.mgr.and(region, c);
+        }
+        self.witness(region)
+    }
+
+    /// Encodes a single concrete route as a point in the space.
+    pub fn encode_route(&mut self, route: &BgpRoute) -> Result<Ref, AnalysisError> {
+        let mut acc = Ref::TRUE;
+        let addr = route.network.addr_u32();
+        // Only the first `len` address bits identify the route: decode
+        // normalizes host bits away, and no match clause ever constrains a
+        // bit at or beyond the route's own prefix length. Encoding the
+        // whole equivalence class keeps point membership faithful *and*
+        // makes point exclusion in [`RouteSpace::witnesses`] sound (a
+        // 32-bit point would leave same-route assignments behind,
+        // yielding duplicate witnesses).
+        for (i, &v) in self
+            .prefix_vars
+            .clone()
+            .iter()
+            .enumerate()
+            .take(route.network.len() as usize)
+        {
+            let bit = (addr >> (31 - i)) & 1 == 1;
+            let lit = self.mgr.literal(v, bit);
+            acc = self.mgr.and(acc, lit);
+        }
+        let plen = self
+            .mgr
+            .eq_const(&self.plen_vars.clone(), u64::from(route.network.len()));
+        acc = self.mgr.and(acc, plen);
+        let lp = self.field_value("local-preference", route.local_pref)?;
+        let lp = self.mgr.eq_const(&self.lp_vars.clone(), lp);
+        acc = self.mgr.and(acc, lp);
+        let med = self.field_value("metric", route.metric)?;
+        let med = self.mgr.eq_const(&self.metric_vars.clone(), med);
+        acc = self.mgr.and(acc, med);
+        let tag = self.field_value("tag", route.tag)?;
+        let tag = self.mgr.eq_const(&self.tag_vars.clone(), tag);
+        acc = self.mgr.and(acc, tag);
+
+        // Community atoms: variable i is true iff the route carries a
+        // community inside atom i.
+        for (i, &v) in self.comm_vars.clone().iter().enumerate() {
+            let has = route.communities.iter().any(|c| {
+                self.comm_atoms
+                    .classify(&c.subject())
+                    .map(|a| a == i)
+                    .unwrap_or(false)
+            });
+            let lit = self.mgr.literal(v, has);
+            acc = self.mgr.and(acc, lit);
+        }
+        // Every community must classify somewhere, or the encoding would
+        // silently under-represent the route.
+        for c in &route.communities {
+            if self.comm_atoms.classify(&c.subject()).is_none() {
+                return Err(AnalysisError::OutsideUniverse {
+                    kind: "community",
+                    value: c.subject(),
+                });
+            }
+        }
+
+        if !self.path_vars.is_empty() {
+            let idx = self
+                .path_atoms
+                .classify(&route.as_path.subject())
+                .ok_or_else(|| AnalysisError::OutsideUniverse {
+                    kind: "AS path",
+                    value: route.as_path.subject(),
+                })?;
+            let enc = self.mgr.eq_const(&self.path_vars.clone(), idx as u64);
+            acc = self.mgr.and(acc, enc);
+        } else if self.path_atoms.len() == 1
+            && self.path_atoms.classify(&route.as_path.subject()).is_none()
+        {
+            return Err(AnalysisError::OutsideUniverse {
+                kind: "AS path",
+                value: route.as_path.subject(),
+            });
+        }
+        Ok(acc)
+    }
+
+    /// Decodes a satisfying assignment into a concrete route.
+    ///
+    /// Unconstrained variables default to zero; the prefix is normalized to
+    /// its decoded length; unencoded fields (next hop, weight) get the
+    /// paper's default values.
+    pub fn decode_route(&self, cube: &Cube) -> Result<BgpRoute, AnalysisError> {
+        let addr = cube.decode(&self.prefix_vars) as u32;
+        let plen = (cube.decode(&self.plen_vars) as u8).min(32);
+        let network = Prefix::from_u32(addr, plen);
+        let mut route = BgpRoute::with_defaults(network);
+        route.local_pref = cube.decode(&self.lp_vars) as u32;
+        route.metric = cube.decode(&self.metric_vars) as u32;
+        route.tag = cube.decode(&self.tag_vars) as u32;
+
+        for (i, &v) in self.comm_vars.iter().enumerate() {
+            if cube.value_or_false(v) {
+                let w = self.comm_atoms.witness(i);
+                let c: Community = w.parse().map_err(|_| AnalysisError::OutsideUniverse {
+                    kind: "community witness",
+                    value: w.to_string(),
+                })?;
+                route.communities.insert(c);
+            }
+        }
+
+        if !self.path_atoms.is_empty() {
+            let idx = (cube.decode(&self.path_vars) as usize).min(self.path_atoms.len() - 1);
+            let w = self.path_atoms.witness(idx);
+            let path: AsPath = w.parse().map_err(|_| AnalysisError::OutsideUniverse {
+                kind: "AS-path witness",
+                value: w.to_string(),
+            })?;
+            route.as_path = path;
+        }
+        Ok(route)
+    }
+
+    /// A concrete route from a region, or `None` if it is empty (after
+    /// intersecting with the validity constraint).
+    pub fn witness(&mut self, region: Ref) -> Result<Option<BgpRoute>, AnalysisError> {
+        let r = self.mgr.and(region, self.valid);
+        match self.mgr.any_sat(r) {
+            None => Ok(None),
+            Some(cube) => Ok(Some(self.decode_route(&cube)?)),
+        }
+    }
+
+    /// Like [`RouteSpace::witness`] but walks high branches first, which
+    /// usually yields a different example.
+    pub fn witness_alt(&mut self, region: Ref) -> Result<Option<BgpRoute>, AnalysisError> {
+        let r = self.mgr.and(region, self.valid);
+        match self.mgr.any_sat_high(r) {
+            None => Ok(None),
+            Some(cube) => Ok(Some(self.decode_route(&cube)?)),
+        }
+    }
+}
+
+/// Constraints on the *output* route of a permitting policy, for
+/// [`RouteSpace::search_route_policies_out`] (Batfish's
+/// `searchRoutePolicies` supports the same via `outputConstraints`).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct OutputConstraints {
+    /// Required MED of the outgoing route.
+    pub metric: Option<u32>,
+    /// Required LOCAL_PREF of the outgoing route.
+    pub local_pref: Option<u32>,
+    /// Required tag of the outgoing route.
+    pub tag: Option<u32>,
+}
+
+impl RouteSpace {
+    /// Finds an input route the policy *permits* whose **output** satisfies
+    /// the given constraints, optionally restricted by an input-side
+    /// constraint. Returns `(input, output)` with the output computed by
+    /// the concrete evaluator.
+    ///
+    /// Exact for the constrained fields: a stanza that sets the field
+    /// contributes its whole firing region iff the set value matches; a
+    /// stanza that leaves it alone contributes the sub-region where the
+    /// *input* already carries the required value.
+    pub fn search_route_policies_out(
+        &mut self,
+        cfg: &Config,
+        name: &str,
+        input_constraint: Option<Ref>,
+        out: &OutputConstraints,
+    ) -> Result<Option<(BgpRoute, BgpRoute)>, AnalysisError> {
+        use clarify_netconfig::RouteMapSet;
+        let map = cfg
+            .route_map(name)
+            .ok_or_else(|| {
+                AnalysisError::Config(clarify_netconfig::ConfigError::NotFound {
+                    kind: "route-map",
+                    name: name.to_string(),
+                })
+            })?
+            .clone();
+        let (fires, _) = self.fire_sets(cfg, &map)?;
+        let mut region = Ref::FALSE;
+        for (stanza, &fire) in map.stanzas.iter().zip(&fires) {
+            if stanza.action != Action::Permit {
+                continue;
+            }
+            // Last assignment wins within a stanza.
+            let mut set_metric = None;
+            let mut set_lp = None;
+            let mut set_tag = None;
+            for s in &stanza.sets {
+                match s {
+                    RouteMapSet::Metric(v) => set_metric = Some(*v),
+                    RouteMapSet::LocalPref(v) => set_lp = Some(*v),
+                    RouteMapSet::Tag(v) => set_tag = Some(*v),
+                    _ => {}
+                }
+            }
+            let mut r = fire;
+            for (want, assigned, field) in [
+                (out.metric, set_metric, "metric"),
+                (out.local_pref, set_lp, "local-preference"),
+                (out.tag, set_tag, "tag"),
+            ] {
+                let Some(w) = want else { continue };
+                match assigned {
+                    Some(v) if v == w => {}
+                    Some(_) => {
+                        r = Ref::FALSE;
+                    }
+                    None => {
+                        // Output equals input: constrain the input field.
+                        let wv = self.field_value(field, w)?;
+                        let vars = match field {
+                            "metric" => self.metric_vars.clone(),
+                            "local-preference" => self.lp_vars.clone(),
+                            _ => self.tag_vars.clone(),
+                        };
+                        let eq = self.mgr.eq_const(&vars, wv);
+                        r = self.mgr.and(r, eq);
+                    }
+                }
+                if r == Ref::FALSE {
+                    break;
+                }
+            }
+            region = self.mgr.or(region, r);
+        }
+        if let Some(c) = input_constraint {
+            region = self.mgr.and(region, c);
+        }
+        let Some(input) = self.witness(region)? else {
+            return Ok(None);
+        };
+        let verdict = cfg.eval_route_map(name, &input)?;
+        let output = verdict
+            .route()
+            .expect("region only covers permit stanzas")
+            .clone();
+        debug_assert!(out.metric.is_none_or(|w| output.metric == w));
+        debug_assert!(out.local_pref.is_none_or(|w| output.local_pref == w));
+        debug_assert!(out.tag.is_none_or(|w| output.tag == w));
+        Ok(Some((input, output)))
+    }
+}
+
+impl RouteSpace {
+    /// Up to `limit` pairwise-distinct concrete routes drawn from a
+    /// region, by repeated witness extraction with point exclusion.
+    /// Useful to show a user several example routes from a contested
+    /// region rather than just one.
+    pub fn witnesses(&mut self, region: Ref, limit: usize) -> Result<Vec<BgpRoute>, AnalysisError> {
+        let mut region = self.mgr.and(region, self.valid);
+        let mut out = Vec::new();
+        while out.len() < limit {
+            let Some(cube) = self.mgr.any_sat(region) else {
+                break;
+            };
+            let route = self.decode_route(&cube)?;
+            let point = self.encode_route(&route)?;
+            let np = self.mgr.not(point);
+            region = self.mgr.and(region, np);
+            out.push(route);
+        }
+        Ok(out)
+    }
+}

@@ -1,0 +1,120 @@
+//! Atomic predicates over a set of regexes.
+//!
+//! Given the regexes `R1..Rn` appearing in a configuration and a *universe*
+//! `U` of well-formed subject strings (e.g. "all syntactically valid
+//! community strings"), the atoms are the non-empty intersections
+//! `U ∩ X1 ∩ … ∩ Xn` where each `Xi` is `Ri` or its complement. Atoms are
+//! pairwise disjoint, cover `U`, and every `Ri ∩ U` is a union of atoms —
+//! so one BDD variable per atom represents any Boolean combination of the
+//! regexes exactly. This mirrors Batfish's community/AS-path handling.
+
+use crate::{Dfa, Regex};
+
+/// Safety valve: refuse to build more atoms than this. With `n` regexes
+/// there can be up to `2^n` atoms; Clarify analyses scope the regex universe
+/// per policy, so real counts stay small.
+pub const ATOM_LIMIT: usize = 4096;
+
+/// The partition of a universe language induced by a set of regexes.
+#[derive(Clone, Debug)]
+pub struct AtomSpace {
+    atoms: Vec<Dfa>,
+    witnesses: Vec<String>,
+    /// `members[p]` lists the atom indices making up pattern `p`.
+    members: Vec<Vec<usize>>,
+    patterns: Vec<Regex>,
+}
+
+impl AtomSpace {
+    /// Partitions `universe` by the given patterns.
+    ///
+    /// Returns `None` if the atom count would exceed [`ATOM_LIMIT`].
+    /// An empty pattern list yields the single atom `universe` (when
+    /// non-empty).
+    pub fn build(universe: &Dfa, patterns: &[Regex]) -> Option<AtomSpace> {
+        // Each block carries (dfa, bitmask of patterns it is inside).
+        let mut blocks: Vec<(Dfa, Vec<bool>)> = Vec::new();
+        if !universe.is_empty() {
+            blocks.push((universe.clone(), Vec::new()));
+        }
+        for (pi, pat) in patterns.iter().enumerate() {
+            let pdfa = pat.to_dfa();
+            let ndfa = pdfa.complement();
+            let mut next = Vec::with_capacity(blocks.len() * 2);
+            for (block, mut inside) in blocks {
+                let with = block.intersect(&pdfa);
+                let without = block.intersect(&ndfa);
+                let mut inside_with = inside.clone();
+                inside_with.push(true);
+                inside.push(false);
+                if !with.is_empty() {
+                    next.push((with, inside_with));
+                }
+                if !without.is_empty() {
+                    next.push((without, inside));
+                }
+                if next.len() > ATOM_LIMIT {
+                    return None;
+                }
+            }
+            blocks = next;
+            let _ = pi;
+        }
+
+        let mut atoms = Vec::with_capacity(blocks.len());
+        let mut witnesses = Vec::with_capacity(blocks.len());
+        let mut members = vec![Vec::new(); patterns.len()];
+        for (ai, (dfa, inside)) in blocks.into_iter().enumerate() {
+            let w = dfa.witness().expect("non-empty atom must have a witness");
+            for (pi, &is_in) in inside.iter().enumerate() {
+                if is_in {
+                    members[pi].push(ai);
+                }
+            }
+            atoms.push(dfa);
+            witnesses.push(w);
+        }
+        Some(AtomSpace {
+            atoms,
+            witnesses,
+            members,
+            patterns: patterns.to_vec(),
+        })
+    }
+
+    /// Number of atoms (may be zero for an empty universe).
+    pub fn len(&self) -> usize {
+        self.atoms.len()
+    }
+
+    /// Whether the universe was empty.
+    pub fn is_empty(&self) -> bool {
+        self.atoms.is_empty()
+    }
+
+    /// The atom automaton at `idx`.
+    pub fn atom(&self, idx: usize) -> &Dfa {
+        &self.atoms[idx]
+    }
+
+    /// A concrete string drawn from atom `idx` (sentinels stripped).
+    pub fn witness(&self, idx: usize) -> &str {
+        &self.witnesses[idx]
+    }
+
+    /// The atoms whose union is pattern `p` (intersected with the universe).
+    pub fn members_of(&self, p: usize) -> &[usize] {
+        &self.members[p]
+    }
+
+    /// The patterns this space was built from.
+    pub fn patterns(&self) -> &[Regex] {
+        &self.patterns
+    }
+
+    /// Maps a concrete subject string to its atom, or `None` if the string
+    /// lies outside the universe.
+    pub fn classify(&self, text: &str) -> Option<usize> {
+        self.atoms.iter().position(|a| a.matches(text))
+    }
+}

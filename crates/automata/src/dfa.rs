@@ -1,0 +1,383 @@
+//! Deterministic finite automata over ASCII, with an alphabet compressed
+//! into byte-equivalence classes.
+
+use std::collections::{BTreeMap, VecDeque};
+
+use crate::ast::{Ast, ByteClass};
+use crate::nfa::Nfa;
+use crate::{ETX, STX};
+
+/// A complete, minimized DFA.
+///
+/// The 128-byte ASCII alphabet is compressed to equivalence classes: bytes
+/// that no pattern distinguishes share a class, which keeps transition
+/// tables small. Every DFA is *complete* (a dead state absorbs unmatched
+/// input), so complementation is a flip of the accept flags.
+#[derive(Clone, PartialEq, Eq)]
+pub struct Dfa {
+    /// Byte → symbol-class index.
+    class_of: [u8; 128],
+    num_classes: usize,
+    /// Smallest byte in each class, used to render witnesses.
+    reps: Vec<u8>,
+    /// Row-major transition table: `trans[state * num_classes + class]`.
+    trans: Vec<u32>,
+    accept: Vec<bool>,
+    start: u32,
+}
+
+impl std::fmt::Debug for Dfa {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Dfa")
+            .field("states", &self.accept.len())
+            .field("classes", &self.num_classes)
+            .field("start", &self.start)
+            .finish()
+    }
+}
+
+/// Builds the byte partition induced by a set of byte classes.
+fn partition_bytes(classes: &[ByteClass]) -> ([u8; 128], usize, Vec<u8>) {
+    // Signature of byte b = the subset of `classes` containing b.
+    let mut sig_to_class: BTreeMap<Vec<bool>, u8> = BTreeMap::new();
+    let mut class_of = [0u8; 128];
+    let mut reps: Vec<u8> = Vec::new();
+    for b in 0u8..128 {
+        let sig: Vec<bool> = classes.iter().map(|c| c.contains(b)).collect();
+        let next = sig_to_class.len() as u8;
+        let id = *sig_to_class.entry(sig).or_insert_with(|| {
+            reps.push(b);
+            next
+        });
+        class_of[b as usize] = id;
+    }
+    let n = sig_to_class.len();
+    (class_of, n, reps)
+}
+
+/// Compiles an AST to a complete minimized DFA.
+pub(crate) fn compile(ast: &Ast) -> Dfa {
+    let nfa = Nfa::compile(ast);
+    let (class_of, num_classes, reps) = partition_bytes(&nfa.classes());
+
+    // Subset construction over symbol classes.
+    let start_set = nfa.eps_closure(&[nfa.start]);
+    let mut state_ids: BTreeMap<Vec<usize>, u32> = BTreeMap::new();
+    state_ids.insert(start_set.clone(), 0);
+    let mut worklist = VecDeque::from([start_set]);
+    let mut trans: Vec<u32> = Vec::new();
+    let mut accept: Vec<bool> = Vec::new();
+    // Reserve row 0 lazily as we pop.
+    while let Some(set) = worklist.pop_front() {
+        let id = state_ids[&set] as usize;
+        if trans.len() < (id + 1) * num_classes {
+            trans.resize((id + 1) * num_classes, 0);
+            accept.resize(id + 1, false);
+        }
+        accept[id] = set.contains(&nfa.accept);
+        for class in 0..num_classes {
+            let rep = reps[class];
+            let mut next: Vec<usize> = Vec::new();
+            for &s in &set {
+                if let Some((c, t)) = nfa.states[s].byte_edge {
+                    if c.contains(rep) {
+                        next.push(t);
+                    }
+                }
+            }
+            next.sort_unstable();
+            next.dedup();
+            let closed = nfa.eps_closure(&next);
+            let next_id = match state_ids.get(&closed) {
+                Some(&i) => i,
+                None => {
+                    let i = state_ids.len() as u32;
+                    state_ids.insert(closed.clone(), i);
+                    worklist.push_back(closed);
+                    i
+                }
+            };
+            trans[id * num_classes + class] = next_id;
+        }
+    }
+    let dfa = Dfa {
+        class_of,
+        num_classes,
+        reps,
+        trans,
+        accept,
+        start: 0,
+    };
+    dfa.minimize()
+}
+
+impl Dfa {
+    /// A DFA accepting nothing, over the trivial one-class alphabet.
+    pub fn empty() -> Dfa {
+        Dfa {
+            class_of: [0; 128],
+            num_classes: 1,
+            reps: vec![0],
+            trans: vec![0],
+            accept: vec![false],
+            start: 0,
+        }
+    }
+
+    /// Number of states.
+    pub fn num_states(&self) -> usize {
+        self.accept.len()
+    }
+
+    /// Runs the DFA on raw bytes (no sentinel wrapping).
+    pub fn accepts_bytes(&self, bytes: &[u8]) -> bool {
+        let mut s = self.start;
+        for &b in bytes {
+            if b >= 128 {
+                return false;
+            }
+            let c = self.class_of[b as usize] as usize;
+            s = self.trans[s as usize * self.num_classes + c];
+        }
+        self.accept[s as usize]
+    }
+
+    /// Cisco-style match: wraps `text` in the `STX`/`ETX` sentinels and runs
+    /// the automaton. Use with DFAs produced by [`crate::Regex::to_dfa`].
+    pub fn matches(&self, text: &str) -> bool {
+        let mut bytes = Vec::with_capacity(text.len() + 2);
+        bytes.push(STX);
+        bytes.extend_from_slice(text.as_bytes());
+        bytes.push(ETX);
+        self.accepts_bytes(&bytes)
+    }
+
+    /// Language complement (flip accepting states; the DFA is complete).
+    pub fn complement(&self) -> Dfa {
+        let mut d = self.clone();
+        for a in &mut d.accept {
+            *a = !*a;
+        }
+        d.minimize()
+    }
+
+    /// Language intersection.
+    pub fn intersect(&self, other: &Dfa) -> Dfa {
+        self.product(other, |a, b| a && b)
+    }
+
+    /// Language union.
+    pub fn union(&self, other: &Dfa) -> Dfa {
+        self.product(other, |a, b| a || b)
+    }
+
+    /// Language difference `self \ other`.
+    pub fn minus(&self, other: &Dfa) -> Dfa {
+        self.product(other, |a, b| a && !b)
+    }
+
+    /// Whether the language is empty.
+    pub fn is_empty(&self) -> bool {
+        self.witness_bytes().is_none()
+    }
+
+    /// Whether both DFAs accept exactly the same language.
+    pub fn equivalent(&self, other: &Dfa) -> bool {
+        self.minus(other).is_empty() && other.minus(self).is_empty()
+    }
+
+    /// Shortest accepted byte string (ties broken towards the smallest
+    /// representative byte), or `None` for the empty language.
+    pub fn witness_bytes(&self) -> Option<Vec<u8>> {
+        // BFS over states; classes are explored in representative order,
+        // which is ascending by construction.
+        let n = self.num_states();
+        let mut prev: Vec<Option<(u32, u8)>> = vec![None; n];
+        let mut seen = vec![false; n];
+        let mut q = VecDeque::from([self.start]);
+        seen[self.start as usize] = true;
+        let mut hit: Option<u32> = if self.accept[self.start as usize] {
+            Some(self.start)
+        } else {
+            None
+        };
+        'bfs: while let Some(s) = q.pop_front() {
+            if hit.is_some() {
+                break;
+            }
+            for class in 0..self.num_classes {
+                let t = self.trans[s as usize * self.num_classes + class];
+                if !seen[t as usize] {
+                    seen[t as usize] = true;
+                    prev[t as usize] = Some((s, self.reps[class]));
+                    if self.accept[t as usize] {
+                        hit = Some(t);
+                        break 'bfs;
+                    }
+                    q.push_back(t);
+                }
+            }
+        }
+        let mut cur = hit?;
+        let mut out = Vec::new();
+        while let Some((p, b)) = prev[cur as usize] {
+            out.push(b);
+            cur = p;
+        }
+        out.reverse();
+        Some(out)
+    }
+
+    /// Shortest accepted string with the sentinels stripped, or `None`.
+    pub fn witness(&self) -> Option<String> {
+        let bytes = self.witness_bytes()?;
+        Some(
+            bytes
+                .into_iter()
+                .filter(|&b| b != STX && b != ETX)
+                .map(|b| b as char)
+                .collect(),
+        )
+    }
+
+    fn product(&self, other: &Dfa, combine: impl Fn(bool, bool) -> bool) -> Dfa {
+        // Common refinement of the two byte partitions.
+        let mut sig_to_class: BTreeMap<(u8, u8), u8> = BTreeMap::new();
+        let mut class_of = [0u8; 128];
+        let mut reps: Vec<u8> = Vec::new();
+        let mut pair_classes: Vec<(u8, u8)> = Vec::new();
+        for b in 0u8..128 {
+            let sig = (self.class_of[b as usize], other.class_of[b as usize]);
+            let next = sig_to_class.len() as u8;
+            let id = *sig_to_class.entry(sig).or_insert_with(|| {
+                reps.push(b);
+                pair_classes.push(sig);
+                next
+            });
+            class_of[b as usize] = id;
+        }
+        let num_classes = sig_to_class.len();
+
+        let mut ids: BTreeMap<(u32, u32), u32> = BTreeMap::new();
+        let start_pair = (self.start, other.start);
+        ids.insert(start_pair, 0);
+        let mut worklist = VecDeque::from([start_pair]);
+        let mut trans = Vec::new();
+        let mut accept = Vec::new();
+        while let Some((sa, sb)) = worklist.pop_front() {
+            let id = ids[&(sa, sb)] as usize;
+            if trans.len() < (id + 1) * num_classes {
+                trans.resize((id + 1) * num_classes, 0);
+                accept.resize(id + 1, false);
+            }
+            accept[id] = combine(self.accept[sa as usize], other.accept[sb as usize]);
+            for (class, &(ca, cb)) in pair_classes.iter().enumerate() {
+                let ta = self.trans[sa as usize * self.num_classes + ca as usize];
+                let tb = other.trans[sb as usize * other.num_classes + cb as usize];
+                let next_id = match ids.get(&(ta, tb)) {
+                    Some(&i) => i,
+                    None => {
+                        let i = ids.len() as u32;
+                        ids.insert((ta, tb), i);
+                        worklist.push_back((ta, tb));
+                        i
+                    }
+                };
+                trans[id * num_classes + class] = next_id;
+            }
+        }
+        Dfa {
+            class_of,
+            num_classes,
+            reps,
+            trans,
+            accept,
+            start: 0,
+        }
+        .minimize()
+    }
+
+    /// Moore partition-refinement minimization (also drops unreachable
+    /// states and merges alphabet classes the minimal automaton cannot
+    /// distinguish is left to future work — class count is already tiny).
+    fn minimize(&self) -> Dfa {
+        // 1. Restrict to reachable states.
+        let n = self.num_states();
+        let mut reach = vec![false; n];
+        let mut stack = vec![self.start];
+        reach[self.start as usize] = true;
+        while let Some(s) = stack.pop() {
+            for class in 0..self.num_classes {
+                let t = self.trans[s as usize * self.num_classes + class];
+                if !reach[t as usize] {
+                    reach[t as usize] = true;
+                    stack.push(t);
+                }
+            }
+        }
+
+        // 2. Initial partition: accepting vs non-accepting.
+        let mut block: Vec<u32> = (0..n).map(|s| u32::from(self.accept[s])).collect();
+        loop {
+            // Signature: (current block, blocks of successors).
+            let mut sig_ids: BTreeMap<Vec<u32>, u32> = BTreeMap::new();
+            let mut next: Vec<u32> = vec![0; n];
+            for s in 0..n {
+                if !reach[s] {
+                    continue;
+                }
+                let mut sig = Vec::with_capacity(self.num_classes + 1);
+                sig.push(block[s]);
+                for class in 0..self.num_classes {
+                    let t = self.trans[s * self.num_classes + class];
+                    sig.push(block[t as usize]);
+                }
+                let id = sig_ids.len() as u32;
+                next[s] = *sig_ids.entry(sig).or_insert(id);
+            }
+            let changed = (0..n).any(|s| reach[s] && next[s] != block[s]);
+            block = next;
+            if !changed {
+                break;
+            }
+        }
+
+        // 3. Rebuild with one state per block, numbered by first occurrence
+        //    in BFS order from the start block so output is deterministic.
+        let mut renum: BTreeMap<u32, u32> = BTreeMap::new();
+        let mut order: Vec<usize> = Vec::new(); // representative state per new id
+        let mut q = VecDeque::from([self.start as usize]);
+        renum.insert(block[self.start as usize], 0);
+        order.push(self.start as usize);
+        let mut seen_blocks = std::collections::HashSet::new();
+        seen_blocks.insert(block[self.start as usize]);
+        while let Some(s) = q.pop_front() {
+            for class in 0..self.num_classes {
+                let t = self.trans[s * self.num_classes + class] as usize;
+                if seen_blocks.insert(block[t]) {
+                    renum.insert(block[t], order.len() as u32);
+                    order.push(t);
+                    q.push_back(t);
+                }
+            }
+        }
+        let m = order.len();
+        let mut trans = vec![0u32; m * self.num_classes];
+        let mut accept = vec![false; m];
+        for (new_id, &rep) in order.iter().enumerate() {
+            accept[new_id] = self.accept[rep];
+            for class in 0..self.num_classes {
+                let t = self.trans[rep * self.num_classes + class] as usize;
+                trans[new_id * self.num_classes + class] = renum[&block[t]];
+            }
+        }
+        Dfa {
+            class_of: self.class_of,
+            num_classes: self.num_classes,
+            reps: self.reps.clone(),
+            trans,
+            accept,
+            start: 0,
+        }
+    }
+}

@@ -1,0 +1,143 @@
+//! Thompson construction: regex AST → nondeterministic finite automaton.
+
+use crate::ast::{Ast, ByteClass};
+
+/// One NFA state: at most one byte-class transition plus epsilon edges.
+#[derive(Clone, Debug, Default)]
+pub(crate) struct NfaState {
+    pub byte_edge: Option<(ByteClass, usize)>,
+    pub eps: Vec<usize>,
+}
+
+/// A Thompson NFA with a single start and single accept state.
+#[derive(Clone, Debug)]
+pub(crate) struct Nfa {
+    pub states: Vec<NfaState>,
+    pub start: usize,
+    pub accept: usize,
+}
+
+impl Nfa {
+    pub fn compile(ast: &Ast) -> Nfa {
+        let mut b = Builder { states: Vec::new() };
+        let (start, accept) = b.build(ast);
+        Nfa {
+            states: b.states,
+            start,
+            accept,
+        }
+    }
+
+    /// Epsilon closure of a set of states, returned sorted + deduped.
+    pub fn eps_closure(&self, set: &[usize]) -> Vec<usize> {
+        let mut seen = vec![false; self.states.len()];
+        let mut stack: Vec<usize> = set.to_vec();
+        for &s in set {
+            seen[s] = true;
+        }
+        while let Some(s) = stack.pop() {
+            for &t in &self.states[s].eps {
+                if !seen[t] {
+                    seen[t] = true;
+                    stack.push(t);
+                }
+            }
+        }
+        (0..self.states.len()).filter(|&s| seen[s]).collect()
+    }
+
+    /// All byte classes mentioned by the NFA (for alphabet partitioning).
+    pub fn classes(&self) -> Vec<ByteClass> {
+        self.states
+            .iter()
+            .filter_map(|s| s.byte_edge.map(|(c, _)| c))
+            .collect()
+    }
+}
+
+struct Builder {
+    states: Vec<NfaState>,
+}
+
+impl Builder {
+    fn new_state(&mut self) -> usize {
+        self.states.push(NfaState::default());
+        self.states.len() - 1
+    }
+
+    fn eps(&mut self, from: usize, to: usize) {
+        self.states[from].eps.push(to);
+    }
+
+    /// Returns (start, accept) of the fragment for `ast`.
+    fn build(&mut self, ast: &Ast) -> (usize, usize) {
+        match ast {
+            Ast::Empty => {
+                // Two states with no connecting edge: accepts nothing.
+                let s = self.new_state();
+                let a = self.new_state();
+                (s, a)
+            }
+            Ast::Epsilon => {
+                let s = self.new_state();
+                let a = self.new_state();
+                self.eps(s, a);
+                (s, a)
+            }
+            Ast::Class(c) => {
+                let s = self.new_state();
+                let a = self.new_state();
+                self.states[s].byte_edge = Some((*c, a));
+                (s, a)
+            }
+            Ast::Concat(parts) => {
+                let s = self.new_state();
+                let mut cur = s;
+                for p in parts {
+                    let (ps, pa) = self.build(p);
+                    self.eps(cur, ps);
+                    cur = pa;
+                }
+                let a = self.new_state();
+                self.eps(cur, a);
+                (s, a)
+            }
+            Ast::Alt(alts) => {
+                let s = self.new_state();
+                let a = self.new_state();
+                for alt in alts {
+                    let (ast_s, ast_a) = self.build(alt);
+                    self.eps(s, ast_s);
+                    self.eps(ast_a, a);
+                }
+                (s, a)
+            }
+            Ast::Star(inner) => {
+                let s = self.new_state();
+                let a = self.new_state();
+                let (is, ia) = self.build(inner);
+                self.eps(s, is);
+                self.eps(s, a);
+                self.eps(ia, is);
+                self.eps(ia, a);
+                (s, a)
+            }
+            Ast::Plus(inner) => {
+                let (is, ia) = self.build(inner);
+                let a = self.new_state();
+                self.eps(ia, is);
+                self.eps(ia, a);
+                (is, a)
+            }
+            Ast::Opt(inner) => {
+                let s = self.new_state();
+                let a = self.new_state();
+                let (is, ia) = self.build(inner);
+                self.eps(s, is);
+                self.eps(s, a);
+                self.eps(ia, a);
+                (s, a)
+            }
+        }
+    }
+}

@@ -1,0 +1,477 @@
+use crate::{AtomSpace, Dfa, Regex};
+
+fn dfa(pattern: &str) -> Dfa {
+    Regex::parse(pattern).expect("pattern parses").to_dfa()
+}
+
+#[test]
+fn literal_substring_semantics() {
+    let d = dfa("32");
+    assert!(d.matches("32"));
+    assert!(d.matches("132 4"));
+    assert!(d.matches("4 321"));
+    assert!(!d.matches("3 2"));
+    assert!(!d.matches(""));
+}
+
+#[test]
+fn anchored_start() {
+    let d = dfa("^32");
+    assert!(d.matches("32"));
+    assert!(d.matches("32 5"));
+    assert!(d.matches("321"));
+    assert!(!d.matches("5 32"));
+}
+
+#[test]
+fn anchored_end() {
+    let d = dfa("32$");
+    assert!(d.matches("32"));
+    assert!(d.matches("5 32"));
+    assert!(d.matches("532"));
+    assert!(!d.matches("32 5"));
+}
+
+#[test]
+fn fully_anchored_exact() {
+    let d = dfa("^32$");
+    assert!(d.matches("32"));
+    assert!(!d.matches("320"));
+    assert!(!d.matches("132"));
+    assert!(!d.matches("32 1"));
+}
+
+#[test]
+fn underscore_is_cisco_delimiter() {
+    // The paper's AS-path list D0: routes originating from AS 32.
+    let d = dfa("_32$");
+    assert!(d.matches("32"), "start-of-string counts as a delimiter");
+    assert!(d.matches("10 32"));
+    assert!(d.matches("10 20 32"));
+    assert!(!d.matches("132"), "digit before 32 is not a delimiter");
+    assert!(!d.matches("32 10"));
+}
+
+#[test]
+fn underscore_community() {
+    // The paper's community list: _300:3_
+    let d = dfa("_300:3_");
+    assert!(d.matches("300:3"));
+    assert!(!d.matches("1300:3"));
+    assert!(!d.matches("300:33"));
+    assert!(d.matches("300:3,500:1"), "comma is a delimiter");
+}
+
+#[test]
+fn dot_and_star() {
+    let d = dfa("^1.3$");
+    assert!(d.matches("123"));
+    assert!(d.matches("1x3"));
+    assert!(!d.matches("13"));
+    let d = dfa("^1.*3$");
+    assert!(d.matches("13"));
+    assert!(d.matches("1223"));
+}
+
+#[test]
+fn plus_and_opt() {
+    let d = dfa("^a+b?$");
+    assert!(d.matches("a"));
+    assert!(d.matches("aaab"));
+    assert!(!d.matches("b"));
+    assert!(!d.matches("abb"));
+}
+
+#[test]
+fn alternation_and_groups() {
+    let d = dfa("^(ab|cd)+$");
+    assert!(d.matches("ab"));
+    assert!(d.matches("abcdab"));
+    assert!(!d.matches("abc"));
+    assert!(!d.matches(""));
+}
+
+#[test]
+fn char_classes() {
+    let d = dfa("^[0-9]+$");
+    assert!(d.matches("0123456789"));
+    assert!(!d.matches(""));
+    assert!(!d.matches("12a"));
+    let d = dfa("^[^0-9]+$");
+    assert!(d.matches("abc"));
+    assert!(!d.matches("a1c"));
+}
+
+#[test]
+fn class_with_literal_dash_and_escape() {
+    let d = dfa("^[a\\-c]+$");
+    assert!(d.matches("a-c"));
+    assert!(!d.matches("b"));
+    let d = dfa("^a\\.b$");
+    assert!(d.matches("a.b"));
+    assert!(!d.matches("axb"));
+}
+
+#[test]
+fn parse_errors_have_positions() {
+    let e = Regex::parse("a(b").unwrap_err();
+    assert!(e.message.contains("unclosed group"), "{e}");
+    let e = Regex::parse("a[b").unwrap_err();
+    assert!(e.message.contains("unclosed character class"));
+    let e = Regex::parse("a)").unwrap_err();
+    assert_eq!(e.position, 1);
+    assert!(Regex::parse("a\\").is_err());
+    assert!(Regex::parse("[z-a]").is_err());
+}
+
+#[test]
+fn empty_pattern_matches_everything() {
+    // An empty regex matches the empty substring of any subject.
+    let d = dfa("");
+    assert!(d.matches(""));
+    assert!(d.matches("anything"));
+}
+
+#[test]
+fn complement_flips_language() {
+    let d = dfa("^ab$");
+    let c = d.complement();
+    assert!(!c.matches("ab"));
+    assert!(c.matches("ba"));
+    assert!(c.matches(""));
+    assert!(d.complement().equivalent(&d.complement()));
+    assert!(c.complement().equivalent(&d));
+}
+
+#[test]
+fn intersection_union_difference() {
+    let a = dfa("^a.*$"); // starts with a
+    let b = dfa("^.*b$"); // ends with b
+    let both = a.intersect(&b);
+    assert!(both.matches("ab"));
+    assert!(both.matches("axb"));
+    assert!(!both.matches("ax"));
+    assert!(!both.matches("xb"));
+    let either = a.union(&b);
+    assert!(either.matches("ax"));
+    assert!(either.matches("xb"));
+    assert!(!either.matches("x"));
+    let only_a = a.minus(&b);
+    assert!(only_a.matches("ax"));
+    assert!(!only_a.matches("ab"));
+}
+
+#[test]
+fn emptiness_and_equivalence() {
+    let a = dfa("^a$");
+    let impossible = a.intersect(&dfa("^b$"));
+    assert!(impossible.is_empty());
+    assert!(Dfa::empty().is_empty());
+    let a2 = dfa("^(a)$");
+    assert!(a.equivalent(&a2));
+    assert!(!a.equivalent(&dfa("^b$")));
+}
+
+#[test]
+fn witness_is_shortest() {
+    let d = dfa("^aa+$");
+    assert_eq!(d.witness().as_deref(), Some("aa"));
+    let d = dfa("^[0-9][0-9]$");
+    let w = d.witness().unwrap();
+    assert_eq!(w.len(), 2);
+    assert!(d.matches(&w));
+    assert!(Dfa::empty().witness().is_none());
+}
+
+#[test]
+fn witness_respects_intersection() {
+    let d = dfa("^[0-9]+:[0-9]+$").intersect(&dfa("_300:3_"));
+    let w = d.witness().unwrap();
+    assert_eq!(w, "300:3");
+}
+
+#[test]
+fn minimization_produces_small_automata() {
+    // (a|b)*abb — the classic example minimizes to 4 body states; sentinel
+    // handling adds a pre-STX state, a post-ETX accept, and a dead state.
+    let d = dfa("^(a|b)*abb$");
+    assert!(d.num_states() <= 8, "got {}", d.num_states());
+    assert!(d.matches("abb"));
+    assert!(d.matches("aabb"));
+    assert!(!d.matches("ab"));
+}
+
+#[test]
+fn atoms_partition_universe() {
+    let universe = dfa("^[0-9]+:[0-9]+$");
+    let pats = vec![
+        Regex::parse("_300:3_").unwrap(),
+        Regex::parse("^300:").unwrap(),
+    ];
+    let space = AtomSpace::build(&universe, &pats).unwrap();
+    // Atoms: {300:3}, {300:* minus 300:3}, {everything else} = 3.
+    assert_eq!(space.len(), 3);
+    // Disjointness.
+    for i in 0..space.len() {
+        for j in (i + 1)..space.len() {
+            assert!(space.atom(i).intersect(space.atom(j)).is_empty());
+        }
+    }
+    // Coverage.
+    let mut union = Dfa::empty();
+    for i in 0..space.len() {
+        union = union.union(space.atom(i));
+    }
+    assert!(union.equivalent(&universe));
+    // Membership: _300:3_ is exactly one atom; ^300: covers that atom too.
+    assert_eq!(space.members_of(0).len(), 1);
+    assert_eq!(space.members_of(1).len(), 2);
+    // Witnesses classify back to their own atom.
+    for i in 0..space.len() {
+        assert_eq!(space.classify(space.witness(i)), Some(i));
+    }
+}
+
+#[test]
+fn atoms_empty_pattern_list() {
+    let universe = dfa("^[0-9]+$");
+    let space = AtomSpace::build(&universe, &[]).unwrap();
+    assert_eq!(space.len(), 1);
+    assert_eq!(space.classify("17"), Some(0));
+    assert_eq!(space.classify("x"), None);
+}
+
+#[test]
+fn atoms_disjoint_pattern_outside_universe() {
+    let universe = dfa("^[0-9]+$");
+    let pats = vec![Regex::parse("^[a-z]+$").unwrap()];
+    let space = AtomSpace::build(&universe, &pats).unwrap();
+    // The pattern intersects the universe nowhere: single atom, no members.
+    assert_eq!(space.len(), 1);
+    assert!(space.members_of(0).is_empty());
+}
+
+#[test]
+fn classify_unmatched_string() {
+    let universe = dfa("^[0-9]+$");
+    let space = AtomSpace::build(&universe, &[]).unwrap();
+    assert_eq!(space.classify(""), None);
+}
+
+#[test]
+fn pattern_roundtrip_text() {
+    let r = Regex::parse("_65000:[0-9]+_").unwrap();
+    assert_eq!(r.pattern(), "_65000:[0-9]+_");
+}
+
+mod properties {
+    use super::*;
+    use proptest::prelude::*;
+
+    /// Random subjects over a small alphabet, checked against a tiny
+    /// reference matcher for concatenations of literals with `.`/`*`.
+    fn arb_subject() -> impl Strategy<Value = String> {
+        proptest::collection::vec(prop_oneof![Just('a'), Just('b'), Just('c')], 0..8)
+            .prop_map(|v| v.into_iter().collect())
+    }
+
+    proptest! {
+        /// De Morgan over languages: ¬(A ∪ B) = ¬A ∩ ¬B, checked pointwise.
+        #[test]
+        fn de_morgan_pointwise(s in arb_subject()) {
+            let a = dfa("^a.*$");
+            let b = dfa("^.*b$");
+            let lhs = a.union(&b).complement();
+            let rhs = a.complement().intersect(&b.complement());
+            prop_assert_eq!(lhs.matches(&s), rhs.matches(&s));
+        }
+
+        /// Complement truly flips membership for every subject.
+        #[test]
+        fn complement_pointwise(s in arb_subject()) {
+            let d = dfa("^(ab|c)+$");
+            prop_assert_eq!(d.matches(&s), !d.complement().matches(&s));
+        }
+
+        /// Minimized product DFAs agree with direct evaluation.
+        #[test]
+        fn intersect_pointwise(s in arb_subject()) {
+            let a = dfa("_b_");
+            let b = dfa("^a");
+            let i = a.intersect(&b);
+            prop_assert_eq!(i.matches(&s), a.matches(&s) && b.matches(&s));
+        }
+
+        /// A DFA's witness is always accepted by that DFA.
+        #[test]
+        fn witness_accepted(pat in prop_oneof![
+            Just("^a+b$"), Just("_32$"), Just("^(x|y)z*$"), Just("[0-9]:[0-9]")
+        ]) {
+            let d = dfa(pat);
+            let w = d.witness().expect("nonempty");
+            prop_assert!(d.matches(&w), "witness {:?} for {}", w, pat);
+        }
+    }
+}
+
+/// An independent reference implementation: naive backtracking evaluation
+/// of the regex AST, used to cross-validate the whole NFA→DFA pipeline on
+/// randomly generated patterns.
+mod reference {
+    use super::*;
+    use crate::ast::Ast;
+    use crate::{ETX, STX};
+    use proptest::prelude::*;
+    use std::collections::BTreeSet;
+
+    /// All positions where a match of `ast` starting at `start` can end.
+    fn ends(ast: &Ast, s: &[u8], start: usize) -> BTreeSet<usize> {
+        match ast {
+            Ast::Empty => BTreeSet::new(),
+            Ast::Epsilon => BTreeSet::from([start]),
+            Ast::Class(c) => {
+                if start < s.len() && c.contains(s[start]) {
+                    BTreeSet::from([start + 1])
+                } else {
+                    BTreeSet::new()
+                }
+            }
+            Ast::Concat(parts) => {
+                let mut cur = BTreeSet::from([start]);
+                for p in parts {
+                    let mut next = BTreeSet::new();
+                    for &e in &cur {
+                        next.extend(ends(p, s, e));
+                    }
+                    cur = next;
+                    if cur.is_empty() {
+                        break;
+                    }
+                }
+                cur
+            }
+            Ast::Alt(alts) => {
+                let mut out = BTreeSet::new();
+                for a in alts {
+                    out.extend(ends(a, s, start));
+                }
+                out
+            }
+            Ast::Star(inner) => {
+                let mut out = BTreeSet::from([start]);
+                loop {
+                    let mut grew = false;
+                    for e in out.clone() {
+                        for e2 in ends(inner, s, e) {
+                            grew |= out.insert(e2);
+                        }
+                    }
+                    if !grew {
+                        return out;
+                    }
+                }
+            }
+            Ast::Plus(inner) => {
+                // inner then inner*.
+                let once = ends(inner, s, start);
+                let star = Ast::Star(inner.clone());
+                let mut out = BTreeSet::new();
+                for e in once {
+                    out.extend(ends(&star, s, e));
+                }
+                out
+            }
+            Ast::Opt(inner) => {
+                let mut out = BTreeSet::from([start]);
+                out.extend(ends(inner, s, start));
+                out
+            }
+        }
+    }
+
+    /// Cisco substring semantics on the sentinel-wrapped subject.
+    fn naive_matches(re: &Regex, text: &str) -> bool {
+        let mut s = Vec::with_capacity(text.len() + 2);
+        s.push(STX);
+        s.extend_from_slice(text.as_bytes());
+        s.push(ETX);
+        (0..=s.len()).any(|i| !ends(&re.ast, &s, i).is_empty())
+    }
+
+    /// Random pattern strings over a small alphabet, rendered from a
+    /// recursive shape so they always parse.
+    fn arb_pattern() -> impl Strategy<Value = String> {
+        let leaf = prop_oneof![
+            Just("a".to_string()),
+            Just("b".to_string()),
+            Just("0".to_string()),
+            Just(".".to_string()),
+            Just("_".to_string()),
+            Just("^".to_string()),
+            Just("$".to_string()),
+            Just("[ab]".to_string()),
+            Just("[^a]".to_string()),
+            Just("[0-1]".to_string()),
+        ];
+        leaf.prop_recursive(3, 24, 3, |inner| {
+            prop_oneof![
+                (inner.clone(), inner.clone()).prop_map(|(a, b)| format!("{a}{b}")),
+                (inner.clone(), inner.clone()).prop_map(|(a, b)| format!("({a}|{b})")),
+                inner.clone().prop_map(|a| format!("({a})*")),
+                inner.clone().prop_map(|a| format!("({a})+")),
+                inner.prop_map(|a| format!("({a})?")),
+            ]
+        })
+    }
+
+    fn arb_subject() -> impl Strategy<Value = String> {
+        proptest::collection::vec(
+            prop_oneof![Just('a'), Just('b'), Just('0'), Just('1'), Just(' ')],
+            0..7,
+        )
+        .prop_map(|v| v.into_iter().collect())
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(512))]
+
+        /// The compiled DFA agrees with naive AST evaluation on every
+        /// random (pattern, subject) pair.
+        #[test]
+        fn dfa_matches_naive_reference(pat in arb_pattern(), text in arb_subject()) {
+            let re = Regex::parse(&pat).expect("generated patterns parse");
+            let dfa = re.to_dfa();
+            prop_assert_eq!(
+                dfa.matches(&text),
+                naive_matches(&re, &text),
+                "pattern {:?} subject {:?}", pat, text
+            );
+        }
+
+        /// Complementation agrees with the negated reference.
+        #[test]
+        fn complement_matches_negated_reference(pat in arb_pattern(), text in arb_subject()) {
+            let re = Regex::parse(&pat).expect("generated patterns parse");
+            let cdfa = re.to_dfa().complement();
+            prop_assert_eq!(cdfa.matches(&text), !naive_matches(&re, &text));
+        }
+    }
+}
+
+mod parser_robustness {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(512))]
+
+        /// The regex parser never panics; it parses or errors cleanly, and
+        /// whatever parses also compiles without panicking.
+        #[test]
+        fn regex_parser_never_panics(input in "[ -~]{0,40}") {
+            if let Ok(re) = Regex::parse(&input) {
+                let _ = re.to_dfa();
+            }
+        }
+    }
+}

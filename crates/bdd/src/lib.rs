@@ -1,0 +1,38 @@
+//! Reduced ordered binary decision diagrams (ROBDDs) with hash-consing.
+//!
+//! This crate is the symbolic-reasoning substrate for the Clarify analyses.
+//! It deliberately favours simplicity and robustness over micro-optimisation:
+//! nodes live in a flat arena, every node is unique (hash-consed), and all
+//! Boolean operations are implemented through a cached [`Manager::ite`]
+//! (if-then-else) kernel, the classic Brace–Rudell–Bryant construction.
+//!
+//! # Example
+//!
+//! ```
+//! use clarify_bdd::Manager;
+//!
+//! let mut m = Manager::new(4);
+//! let a = m.var(0);
+//! let b = m.var(1);
+//! let f = m.and(a, b);
+//! let g = m.or(a, b);
+//! assert!(m.implies_true(f, g));
+//! assert_eq!(m.sat_count(f), 4.0); // a & b over 4 variables: 2^2 models
+//! ```
+//!
+//! # Variable order
+//!
+//! Variables are identified by `u32` indices; the variable order is the
+//! numeric order. Choosing a good order is the caller's job (the analysis
+//! crate interleaves related fields).
+
+#![warn(missing_docs)]
+
+mod cube;
+mod manager;
+
+pub use cube::Cube;
+pub use manager::{Manager, Ref, Stats};
+
+#[cfg(test)]
+mod tests;

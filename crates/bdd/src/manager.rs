@@ -1,0 +1,592 @@
+//! The BDD node arena and the `ite`-based operation kernel.
+
+use std::collections::HashMap;
+
+use crate::cube::Cube;
+
+/// A handle to a BDD function owned by a [`Manager`].
+///
+/// `Ref`s are cheap to copy and compare; equal `Ref`s from the same manager
+/// denote semantically equal Boolean functions (canonicity of ROBDDs).
+/// A `Ref` must only be used with the manager that produced it.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Ref(u32);
+
+impl Ref {
+    /// The constant-false function.
+    pub const FALSE: Ref = Ref(0);
+    /// The constant-true function.
+    pub const TRUE: Ref = Ref(1);
+
+    /// Whether this handle is one of the two terminal nodes.
+    pub fn is_const(self) -> bool {
+        self.0 <= 1
+    }
+
+    fn idx(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl std::fmt::Debug for Ref {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match *self {
+            Ref::FALSE => write!(f, "Ref(F)"),
+            Ref::TRUE => write!(f, "Ref(T)"),
+            Ref(n) => write!(f, "Ref({n})"),
+        }
+    }
+}
+
+#[derive(Clone, Copy)]
+struct Node {
+    var: u32,
+    lo: Ref,
+    hi: Ref,
+}
+
+/// Usage counters for diagnostics and benchmarks.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct Stats {
+    /// Number of live (hash-consed) internal nodes, terminals excluded.
+    pub nodes: usize,
+    /// Hits in the `ite` memo cache since creation.
+    pub cache_hits: u64,
+    /// Misses in the `ite` memo cache since creation.
+    pub cache_misses: u64,
+}
+
+/// An arena of hash-consed BDD nodes plus the operation caches.
+///
+/// All functions created by one manager share structure. The manager never
+/// frees nodes (no garbage collection): Clarify analyses are short-lived and
+/// bounded, and a fresh manager per analysis keeps the design simple — the
+/// same trade-off smoltcp makes by preferring robustness over cleverness.
+pub struct Manager {
+    nodes: Vec<Node>,
+    unique: HashMap<(u32, Ref, Ref), Ref>,
+    ite_cache: HashMap<(Ref, Ref, Ref), Ref>,
+    num_vars: u32,
+    cache_hits: u64,
+    cache_misses: u64,
+}
+
+impl Manager {
+    /// Creates a manager for functions over `num_vars` Boolean variables
+    /// numbered `0..num_vars` (variable 0 is tested first).
+    pub fn new(num_vars: u32) -> Self {
+        // Slots 0 and 1 are the terminals; their contents are never read
+        // through `node()` because `is_const` handles take an early return,
+        // but give them sentinel values anyway.
+        let sentinel = Node {
+            var: u32::MAX,
+            lo: Ref::FALSE,
+            hi: Ref::TRUE,
+        };
+        Manager {
+            nodes: vec![sentinel, sentinel],
+            unique: HashMap::new(),
+            ite_cache: HashMap::new(),
+            num_vars,
+            cache_hits: 0,
+            cache_misses: 0,
+        }
+    }
+
+    /// Number of variables this manager was created with.
+    pub fn num_vars(&self) -> u32 {
+        self.num_vars
+    }
+
+    /// Current counters.
+    pub fn stats(&self) -> Stats {
+        Stats {
+            nodes: self.nodes.len() - 2,
+            cache_hits: self.cache_hits,
+            cache_misses: self.cache_misses,
+        }
+    }
+
+    fn node(&self, r: Ref) -> Node {
+        debug_assert!(!r.is_const());
+        self.nodes[r.idx()]
+    }
+
+    /// The level used for ordering comparisons; terminals sort last.
+    fn level(&self, r: Ref) -> u32 {
+        if r.is_const() {
+            u32::MAX
+        } else {
+            self.node(r).var
+        }
+    }
+
+    /// Finds or creates the node `(var, lo, hi)`, applying the reduction rule.
+    fn mk(&mut self, var: u32, lo: Ref, hi: Ref) -> Ref {
+        if lo == hi {
+            return lo;
+        }
+        debug_assert!(
+            var < self.level(lo) && var < self.level(hi),
+            "order violation"
+        );
+        if let Some(&r) = self.unique.get(&(var, lo, hi)) {
+            return r;
+        }
+        let r = Ref(u32::try_from(self.nodes.len()).expect("BDD arena exceeded u32 indices"));
+        self.nodes.push(Node { var, lo, hi });
+        self.unique.insert((var, lo, hi), r);
+        r
+    }
+
+    /// The function that is true iff variable `var` is true.
+    pub fn var(&mut self, var: u32) -> Ref {
+        assert!(var < self.num_vars, "variable {var} out of range");
+        self.mk(var, Ref::FALSE, Ref::TRUE)
+    }
+
+    /// The function that is true iff variable `var` is false.
+    pub fn nvar(&mut self, var: u32) -> Ref {
+        assert!(var < self.num_vars, "variable {var} out of range");
+        self.mk(var, Ref::TRUE, Ref::FALSE)
+    }
+
+    /// A literal: the variable if `positive`, its negation otherwise.
+    pub fn literal(&mut self, var: u32, positive: bool) -> Ref {
+        if positive {
+            self.var(var)
+        } else {
+            self.nvar(var)
+        }
+    }
+
+    /// Cofactors of `f` with respect to the top variable `var`.
+    fn cofactors(&self, f: Ref, var: u32) -> (Ref, Ref) {
+        if f.is_const() {
+            return (f, f);
+        }
+        let n = self.node(f);
+        if n.var == var {
+            (n.lo, n.hi)
+        } else {
+            (f, f)
+        }
+    }
+
+    /// If-then-else: the function `(f & g) | (!f & h)`.
+    ///
+    /// This is the single kernel every binary operation reduces to.
+    pub fn ite(&mut self, f: Ref, g: Ref, h: Ref) -> Ref {
+        // Terminal cases.
+        if f == Ref::TRUE {
+            return g;
+        }
+        if f == Ref::FALSE {
+            return h;
+        }
+        if g == h {
+            return g;
+        }
+        if g == Ref::TRUE && h == Ref::FALSE {
+            return f;
+        }
+
+        if let Some(&r) = self.ite_cache.get(&(f, g, h)) {
+            self.cache_hits += 1;
+            return r;
+        }
+        self.cache_misses += 1;
+
+        let top = self.level(f).min(self.level(g)).min(self.level(h));
+        let (f0, f1) = self.cofactors(f, top);
+        let (g0, g1) = self.cofactors(g, top);
+        let (h0, h1) = self.cofactors(h, top);
+        let lo = self.ite(f0, g0, h0);
+        let hi = self.ite(f1, g1, h1);
+        let r = self.mk(top, lo, hi);
+        self.ite_cache.insert((f, g, h), r);
+        r
+    }
+
+    /// Logical negation.
+    pub fn not(&mut self, f: Ref) -> Ref {
+        self.ite(f, Ref::FALSE, Ref::TRUE)
+    }
+
+    /// Logical conjunction.
+    pub fn and(&mut self, f: Ref, g: Ref) -> Ref {
+        self.ite(f, g, Ref::FALSE)
+    }
+
+    /// Logical disjunction.
+    pub fn or(&mut self, f: Ref, g: Ref) -> Ref {
+        self.ite(f, Ref::TRUE, g)
+    }
+
+    /// Exclusive or.
+    pub fn xor(&mut self, f: Ref, g: Ref) -> Ref {
+        let ng = self.not(g);
+        self.ite(f, ng, g)
+    }
+
+    /// Material implication `f -> g`.
+    pub fn implies(&mut self, f: Ref, g: Ref) -> Ref {
+        self.ite(f, g, Ref::TRUE)
+    }
+
+    /// Biconditional `f <-> g`.
+    pub fn iff(&mut self, f: Ref, g: Ref) -> Ref {
+        let ng = self.not(g);
+        self.ite(f, g, ng)
+    }
+
+    /// Difference `f & !g`.
+    pub fn diff(&mut self, f: Ref, g: Ref) -> Ref {
+        let ng = self.not(g);
+        self.and(f, ng)
+    }
+
+    /// Conjunction over an iterator (true for the empty sequence).
+    pub fn and_all<I: IntoIterator<Item = Ref>>(&mut self, items: I) -> Ref {
+        let mut acc = Ref::TRUE;
+        for r in items {
+            acc = self.and(acc, r);
+            if acc == Ref::FALSE {
+                break;
+            }
+        }
+        acc
+    }
+
+    /// Disjunction over an iterator (false for the empty sequence).
+    pub fn or_all<I: IntoIterator<Item = Ref>>(&mut self, items: I) -> Ref {
+        let mut acc = Ref::FALSE;
+        for r in items {
+            acc = self.or(acc, r);
+            if acc == Ref::TRUE {
+                break;
+            }
+        }
+        acc
+    }
+
+    /// Whether `f -> g` is a tautology, i.e. every model of `f` models `g`.
+    pub fn implies_true(&mut self, f: Ref, g: Ref) -> bool {
+        self.implies(f, g) == Ref::TRUE
+    }
+
+    /// Whether `f` and `g` share at least one model.
+    pub fn intersects(&mut self, f: Ref, g: Ref) -> bool {
+        self.and(f, g) != Ref::FALSE
+    }
+
+    /// Existential quantification of a set of variables (sorted or not).
+    pub fn exists(&mut self, f: Ref, vars: &[u32]) -> Ref {
+        let mut sorted: Vec<u32> = vars.to_vec();
+        sorted.sort_unstable();
+        sorted.dedup();
+        let mut memo = HashMap::new();
+        self.exists_rec(f, &sorted, &mut memo)
+    }
+
+    fn exists_rec(&mut self, f: Ref, vars: &[u32], memo: &mut HashMap<Ref, Ref>) -> Ref {
+        if f.is_const() || vars.is_empty() {
+            return f;
+        }
+        if let Some(&r) = memo.get(&f) {
+            return r;
+        }
+        let n = self.node(f);
+        // Drop quantified variables that are above the node's variable.
+        let rest = match vars.iter().position(|&v| v >= n.var) {
+            Some(i) => &vars[i..],
+            None => return f,
+        };
+        let r = if rest.first() == Some(&n.var) {
+            let lo = self.exists_rec(n.lo, &rest[1..], memo);
+            let hi = self.exists_rec(n.hi, &rest[1..], memo);
+            self.or(lo, hi)
+        } else {
+            let lo = self.exists_rec(n.lo, rest, memo);
+            let hi = self.exists_rec(n.hi, rest, memo);
+            self.mk(n.var, lo, hi)
+        };
+        memo.insert(f, r);
+        r
+    }
+
+    /// Universal quantification of a set of variables.
+    pub fn forall(&mut self, f: Ref, vars: &[u32]) -> Ref {
+        let nf = self.not(f);
+        let e = self.exists(nf, vars);
+        self.not(e)
+    }
+
+    /// Restricts `f` by fixing `var` to `value`.
+    pub fn restrict(&mut self, f: Ref, var: u32, value: bool) -> Ref {
+        let mut memo = HashMap::new();
+        self.restrict_rec(f, var, value, &mut memo)
+    }
+
+    fn restrict_rec(&mut self, f: Ref, var: u32, value: bool, memo: &mut HashMap<Ref, Ref>) -> Ref {
+        if f.is_const() {
+            return f;
+        }
+        let n = self.node(f);
+        if n.var > var {
+            return f;
+        }
+        if let Some(&r) = memo.get(&f) {
+            return r;
+        }
+        let r = if n.var == var {
+            if value {
+                n.hi
+            } else {
+                n.lo
+            }
+        } else {
+            let lo = self.restrict_rec(n.lo, var, value, memo);
+            let hi = self.restrict_rec(n.hi, var, value, memo);
+            self.mk(n.var, lo, hi)
+        };
+        memo.insert(f, r);
+        r
+    }
+
+    /// Number of satisfying assignments over all `num_vars` variables,
+    /// as an `f64` (exact for counts below 2^53; analyses here stay far
+    /// below that threshold per field).
+    pub fn sat_count(&self, f: Ref) -> f64 {
+        let mut memo: HashMap<Ref, f64> = HashMap::new();
+        let frac = self.sat_fraction(f, &mut memo);
+        frac * 2f64.powi(self.num_vars as i32)
+    }
+
+    /// Fraction of the full assignment space that satisfies `f` (in `[0,1]`).
+    fn sat_fraction(&self, f: Ref, memo: &mut HashMap<Ref, f64>) -> f64 {
+        match f {
+            Ref::FALSE => 0.0,
+            Ref::TRUE => 1.0,
+            _ => {
+                if let Some(&x) = memo.get(&f) {
+                    return x;
+                }
+                let n = self.node(f);
+                let x = 0.5 * self.sat_fraction(n.lo, memo) + 0.5 * self.sat_fraction(n.hi, memo);
+                memo.insert(f, x);
+                x
+            }
+        }
+    }
+
+    /// Returns one satisfying assignment as a [`Cube`], or `None` when `f`
+    /// is unsatisfiable. Variables not mentioned by any node along the found
+    /// path are left unconstrained in the cube.
+    pub fn any_sat(&self, f: Ref) -> Option<Cube> {
+        if f == Ref::FALSE {
+            return None;
+        }
+        let mut cube = Cube::unconstrained(self.num_vars);
+        let mut cur = f;
+        while !cur.is_const() {
+            let n = self.node(cur);
+            // Prefer the low branch deterministically, unless it is false.
+            if n.lo != Ref::FALSE {
+                cube.set(n.var, false);
+                cur = n.lo;
+            } else {
+                cube.set(n.var, true);
+                cur = n.hi;
+            }
+        }
+        debug_assert_eq!(cur, Ref::TRUE);
+        Some(cube)
+    }
+
+    /// Like [`Manager::any_sat`], but prefers the **high** branch, yielding a
+    /// different witness when one exists. Useful to diversify examples.
+    pub fn any_sat_high(&self, f: Ref) -> Option<Cube> {
+        if f == Ref::FALSE {
+            return None;
+        }
+        let mut cube = Cube::unconstrained(self.num_vars);
+        let mut cur = f;
+        while !cur.is_const() {
+            let n = self.node(cur);
+            if n.hi != Ref::FALSE {
+                cube.set(n.var, true);
+                cur = n.hi;
+            } else {
+                // ROBDD reduction guarantees lo != hi, so lo cannot also
+                // be FALSE here.
+                cube.set(n.var, false);
+                cur = n.lo;
+            }
+        }
+        debug_assert_eq!(cur, Ref::TRUE);
+        Some(cube)
+    }
+
+    /// Evaluates `f` under a total assignment.
+    pub fn eval(&self, f: Ref, assignment: &dyn Fn(u32) -> bool) -> bool {
+        let mut cur = f;
+        while !cur.is_const() {
+            let n = self.node(cur);
+            cur = if assignment(n.var) { n.hi } else { n.lo };
+        }
+        cur == Ref::TRUE
+    }
+
+    /// The set of variables `f` actually depends on, ascending.
+    pub fn support(&self, f: Ref) -> Vec<u32> {
+        let mut seen = std::collections::HashSet::new();
+        let mut vars = std::collections::BTreeSet::new();
+        let mut stack = vec![f];
+        while let Some(r) = stack.pop() {
+            if r.is_const() || !seen.insert(r) {
+                continue;
+            }
+            let n = self.node(r);
+            vars.insert(n.var);
+            stack.push(n.lo);
+            stack.push(n.hi);
+        }
+        vars.into_iter().collect()
+    }
+
+    /// Number of internal nodes reachable from `f` (a size measure).
+    pub fn size(&self, f: Ref) -> usize {
+        let mut seen = std::collections::HashSet::new();
+        let mut stack = vec![f];
+        let mut count = 0;
+        while let Some(r) = stack.pop() {
+            if r.is_const() || !seen.insert(r) {
+                continue;
+            }
+            count += 1;
+            let n = self.node(r);
+            stack.push(n.lo);
+            stack.push(n.hi);
+        }
+        count
+    }
+
+    /// Builds the function "the variables `vars` (MSB first) encode exactly
+    /// the value `value`". Panics if `value` does not fit in `vars.len()` bits.
+    pub fn eq_const(&mut self, vars: &[u32], value: u64) -> Ref {
+        assert!(
+            vars.len() >= 64 - value.leading_zeros() as usize,
+            "value {value} does not fit in {} bits",
+            vars.len()
+        );
+        let mut acc = Ref::TRUE;
+        for (i, &v) in vars.iter().enumerate() {
+            // Positions beyond the u64 width hold leading zero bits.
+            let shift = vars.len() - 1 - i;
+            let bit = shift < 64 && (value >> shift) & 1 == 1;
+            let lit = self.literal(v, bit);
+            acc = self.and(acc, lit);
+        }
+        acc
+    }
+
+    /// Builds "the unsigned value of `vars` (MSB first) is <= `bound`".
+    pub fn le_const(&mut self, vars: &[u32], bound: u64) -> Ref {
+        // A bound that does not fit would silently truncate into a
+        // different constraint.
+        assert!(
+            vars.len() >= 64 - bound.leading_zeros() as usize,
+            "bound {bound} does not fit in {} bits",
+            vars.len()
+        );
+        // Walk from MSB: at each position we can either match the bound bit
+        // exactly and continue, or go strictly below it and accept.
+        let mut acc = Ref::TRUE; // all remaining bits equal the bound so far
+                                 // Build from LSB side backwards for a linear-size result.
+        for (i, &v) in vars.iter().enumerate().rev() {
+            let shift = vars.len() - 1 - i;
+            let bit = shift < 64 && (bound >> shift) & 1 == 1;
+            let lit = self.var(v);
+            acc = if bit {
+                // var may be 0 (strictly less, rest free) or 1 (must stay <=).
+                let nlit = self.not(lit);
+                let stay = self.and(lit, acc);
+                self.or(nlit, stay)
+            } else {
+                // var must be 0 and the rest must stay <=.
+                let nlit = self.not(lit);
+                self.and(nlit, acc)
+            };
+        }
+        acc
+    }
+
+    /// Builds "the unsigned value of `vars` (MSB first) is >= `bound`".
+    pub fn ge_const(&mut self, vars: &[u32], bound: u64) -> Ref {
+        if bound == 0 {
+            return Ref::TRUE;
+        }
+        let le = self.le_const(vars, bound - 1);
+        self.not(le)
+    }
+
+    /// Builds "the unsigned value of `vars` lies in `[lo, hi]`" (inclusive).
+    pub fn range_const(&mut self, vars: &[u32], lo: u64, hi: u64) -> Ref {
+        if lo > hi {
+            return Ref::FALSE;
+        }
+        let ge = self.ge_const(vars, lo);
+        let le = self.le_const(vars, hi);
+        self.and(ge, le)
+    }
+}
+
+impl std::fmt::Debug for Manager {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Manager")
+            .field("num_vars", &self.num_vars)
+            .field("nodes", &(self.nodes.len() - 2))
+            .finish()
+    }
+}
+
+impl Manager {
+    /// Exact number of satisfying assignments as a `u128`. Panics if the
+    /// manager has more than 127 variables (use [`Manager::sat_count`]
+    /// there); all Clarify spaces stay below that bound.
+    pub fn sat_count_exact(&self, f: Ref) -> u128 {
+        assert!(
+            self.num_vars <= 127,
+            "sat_count_exact supports at most 127 variables"
+        );
+        let mut memo: HashMap<Ref, u128> = HashMap::new();
+        // Count over the variables below each node, then scale.
+        self.count_from(f, 0, &mut memo)
+    }
+
+    /// Models of `f` assuming variables `level..num_vars` are still free,
+    /// memoized per node (each node's count is normalized to its own
+    /// variable level before scaling to the query level).
+    fn count_from(&self, f: Ref, level: u32, memo: &mut HashMap<Ref, u128>) -> u128 {
+        match f {
+            Ref::FALSE => 0,
+            Ref::TRUE => 1u128 << (self.num_vars - level),
+            _ => {
+                let n = self.node(f);
+                let at_node = if let Some(&c) = memo.get(&f) {
+                    c
+                } else {
+                    let lo = self.count_from(n.lo, n.var + 1, memo);
+                    let hi = self.count_from(n.hi, n.var + 1, memo);
+                    let c = lo + hi;
+                    memo.insert(f, c);
+                    c
+                };
+                // Scale by the variables skipped between `level` and the
+                // node's variable.
+                at_node << (n.var - level)
+            }
+        }
+    }
+}

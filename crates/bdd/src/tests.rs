@@ -1,0 +1,487 @@
+use crate::{Manager, Ref};
+
+fn three() -> (Manager, Ref, Ref, Ref) {
+    let mut m = Manager::new(3);
+    let a = m.var(0);
+    let b = m.var(1);
+    let c = m.var(2);
+    (m, a, b, c)
+}
+
+#[test]
+fn constants_are_distinct_terminals() {
+    assert_ne!(Ref::TRUE, Ref::FALSE);
+    assert!(Ref::TRUE.is_const());
+    assert!(Ref::FALSE.is_const());
+}
+
+#[test]
+fn var_is_not_const() {
+    let mut m = Manager::new(1);
+    let a = m.var(0);
+    assert!(!a.is_const());
+}
+
+#[test]
+fn hash_consing_makes_equal_structures_identical() {
+    let (mut m, a, b, _) = three();
+    let f1 = m.and(a, b);
+    let f2 = m.and(b, a);
+    assert_eq!(f1, f2, "AND is commutative and BDDs are canonical");
+}
+
+#[test]
+fn not_not_is_identity() {
+    let (mut m, a, b, _) = three();
+    let f = m.xor(a, b);
+    let nf = m.not(f);
+    let nnf = m.not(nf);
+    assert_eq!(f, nnf);
+}
+
+#[test]
+fn de_morgan() {
+    let (mut m, a, b, _) = three();
+    let and = m.and(a, b);
+    let lhs = m.not(and);
+    let na = m.not(a);
+    let nb = m.not(b);
+    let rhs = m.or(na, nb);
+    assert_eq!(lhs, rhs);
+}
+
+#[test]
+fn and_identities() {
+    let (mut m, a, _, _) = three();
+    assert_eq!(m.and(a, Ref::TRUE), a);
+    assert_eq!(m.and(a, Ref::FALSE), Ref::FALSE);
+    assert_eq!(m.and(a, a), a);
+    let na = m.not(a);
+    assert_eq!(m.and(a, na), Ref::FALSE);
+}
+
+#[test]
+fn or_identities() {
+    let (mut m, a, _, _) = three();
+    assert_eq!(m.or(a, Ref::FALSE), a);
+    assert_eq!(m.or(a, Ref::TRUE), Ref::TRUE);
+    assert_eq!(m.or(a, a), a);
+    let na = m.not(a);
+    assert_eq!(m.or(a, na), Ref::TRUE);
+}
+
+#[test]
+fn xor_truth_table() {
+    let (mut m, a, b, _) = three();
+    let f = m.xor(a, b);
+    for (av, bv, want) in [
+        (false, false, false),
+        (false, true, true),
+        (true, false, true),
+        (true, true, false),
+    ] {
+        let got = m.eval(f, &|v| match v {
+            0 => av,
+            1 => bv,
+            _ => false,
+        });
+        assert_eq!(got, want, "xor({av},{bv})");
+    }
+}
+
+#[test]
+fn iff_is_negated_xor() {
+    let (mut m, a, b, _) = three();
+    let x = m.xor(a, b);
+    let lhs = m.not(x);
+    let rhs = m.iff(a, b);
+    assert_eq!(lhs, rhs);
+}
+
+#[test]
+fn implies_truth() {
+    let (mut m, a, b, _) = three();
+    let f = m.and(a, b);
+    assert!(m.implies_true(f, a));
+    assert!(m.implies_true(f, b));
+    assert!(!m.implies_true(a, f));
+    assert!(m.implies_true(Ref::FALSE, a));
+    assert!(m.implies_true(a, Ref::TRUE));
+}
+
+#[test]
+fn diff_removes_models() {
+    let (mut m, a, b, _) = three();
+    let d = m.diff(a, b);
+    // d = a & !b: one assignment of (a,b) out of four, times 2 for c.
+    assert_eq!(m.sat_count(d), 2.0);
+    assert!(!m.intersects(d, b));
+}
+
+#[test]
+fn ite_agrees_with_definition() {
+    let (mut m, a, b, c) = three();
+    let lhs = m.ite(a, b, c);
+    let ab = m.and(a, b);
+    let na = m.not(a);
+    let nac = m.and(na, c);
+    let rhs = m.or(ab, nac);
+    assert_eq!(lhs, rhs);
+}
+
+#[test]
+fn sat_count_small_functions() {
+    let (mut m, a, b, c) = three();
+    assert_eq!(m.sat_count(Ref::TRUE), 8.0);
+    assert_eq!(m.sat_count(Ref::FALSE), 0.0);
+    assert_eq!(m.sat_count(a), 4.0);
+    let ab = m.and(a, b);
+    assert_eq!(m.sat_count(ab), 2.0);
+    let abc = m.and(ab, c);
+    assert_eq!(m.sat_count(abc), 1.0);
+    let aob = m.or(a, b);
+    assert_eq!(m.sat_count(aob), 6.0);
+}
+
+#[test]
+fn any_sat_on_false_is_none() {
+    let m = Manager::new(2);
+    assert!(m.any_sat(Ref::FALSE).is_none());
+}
+
+#[test]
+fn any_sat_produces_model() {
+    let (mut m, a, b, c) = three();
+    let na = m.not(a);
+    let f1 = m.and(na, b);
+    let f = m.and(f1, c);
+    let cube = m.any_sat(f).expect("satisfiable");
+    assert_eq!(cube.get(0), Some(false));
+    assert_eq!(cube.get(1), Some(true));
+    assert_eq!(cube.get(2), Some(true));
+    assert!(m.eval(f, &|v| cube.value_or_false(v)));
+}
+
+#[test]
+fn any_sat_high_prefers_high_branch() {
+    let (mut m, a, b, _) = three();
+    let f = m.or(a, b);
+    let lo = m.any_sat(f).unwrap();
+    let hi = m.any_sat_high(f).unwrap();
+    // Low-preferring walk picks a=0,b=1; high-preferring picks a=1.
+    assert_eq!(lo.get(0), Some(false));
+    assert_eq!(hi.get(0), Some(true));
+    assert!(m.eval(f, &|v| lo.value_or_false(v)));
+    assert!(m.eval(f, &|v| hi.value_or_false(v)));
+}
+
+#[test]
+fn exists_removes_variable_from_support() {
+    let (mut m, a, b, c) = three();
+    let ab = m.and(a, b);
+    let f = m.or(ab, c);
+    let e = m.exists(f, &[1]);
+    assert_eq!(m.support(e), vec![0, 2]);
+    // exists b. (a&b | c) == a | c
+    let aoc = m.or(a, c);
+    assert_eq!(e, aoc);
+}
+
+#[test]
+fn forall_dual_of_exists() {
+    let (mut m, a, b, _) = three();
+    let f = m.or(a, b);
+    // forall b. (a|b) == a
+    let g = m.forall(f, &[1]);
+    assert_eq!(g, a);
+    // exists b. (a&b) == a
+    let h0 = m.and(a, b);
+    let h = m.exists(h0, &[1]);
+    assert_eq!(h, a);
+}
+
+#[test]
+fn exists_multiple_vars() {
+    let (mut m, a, b, c) = three();
+    let f0 = m.and(a, b);
+    let f = m.and(f0, c);
+    let e = m.exists(f, &[0, 2]);
+    assert_eq!(e, b);
+    let all = m.exists(f, &[0, 1, 2]);
+    assert_eq!(all, Ref::TRUE);
+}
+
+#[test]
+fn restrict_fixes_variable() {
+    let (mut m, a, b, _) = three();
+    let f = m.xor(a, b);
+    let nb = m.not(b);
+    assert_eq!(m.restrict(f, 0, true), nb);
+    assert_eq!(m.restrict(f, 0, false), b);
+}
+
+#[test]
+fn support_and_size() {
+    let (mut m, a, _, c) = three();
+    let f = m.and(a, c);
+    assert_eq!(m.support(f), vec![0, 2]);
+    assert_eq!(m.size(f), 2);
+    assert_eq!(m.size(Ref::TRUE), 0);
+}
+
+#[test]
+fn eq_const_encodes_exact_value() {
+    let mut m = Manager::new(4);
+    let vars = [0, 1, 2, 3];
+    let f = m.eq_const(&vars, 0b1010);
+    assert_eq!(m.sat_count(f), 1.0);
+    let cube = m.any_sat(f).unwrap();
+    assert_eq!(cube.decode(&vars), 0b1010);
+}
+
+#[test]
+fn le_const_counts() {
+    let mut m = Manager::new(4);
+    let vars = [0, 1, 2, 3];
+    for bound in 0..16u64 {
+        let f = m.le_const(&vars, bound);
+        assert_eq!(m.sat_count(f), (bound + 1) as f64, "<= {bound}");
+    }
+}
+
+#[test]
+fn ge_const_counts() {
+    let mut m = Manager::new(4);
+    let vars = [0, 1, 2, 3];
+    for bound in 0..16u64 {
+        let f = m.ge_const(&vars, bound);
+        assert_eq!(m.sat_count(f), (16 - bound) as f64, ">= {bound}");
+    }
+}
+
+#[test]
+fn range_const_counts_and_empty() {
+    let mut m = Manager::new(4);
+    let vars = [0, 1, 2, 3];
+    let f = m.range_const(&vars, 3, 9);
+    assert_eq!(m.sat_count(f), 7.0);
+    assert_eq!(m.range_const(&vars, 9, 3), Ref::FALSE);
+    let one = m.range_const(&vars, 5, 5);
+    let five = m.eq_const(&vars, 5);
+    assert_eq!(one, five);
+}
+
+#[test]
+fn eval_walks_correct_branch() {
+    let mut m = Manager::new(8);
+    let vars: Vec<u32> = (0..8).collect();
+    let f = m.eq_const(&vars, 0xA5);
+    assert!(m.eval(f, &|v| (0xA5u64 >> (7 - v)) & 1 == 1));
+    assert!(!m.eval(f, &|_| true));
+}
+
+#[test]
+fn stats_track_nodes() {
+    let mut m = Manager::new(3);
+    assert_eq!(m.stats().nodes, 0);
+    let a = m.var(0);
+    let b = m.var(1);
+    m.and(a, b);
+    assert!(m.stats().nodes >= 3);
+    assert!(m.stats().cache_misses > 0);
+}
+
+#[test]
+fn and_all_or_all() {
+    let mut m = Manager::new(4);
+    let lits: Vec<_> = (0..4).map(|v| m.var(v)).collect();
+    let all = m.and_all(lits.iter().copied());
+    assert_eq!(m.sat_count(all), 1.0);
+    let any = m.or_all(lits.iter().copied());
+    assert_eq!(m.sat_count(any), 15.0);
+    assert_eq!(m.and_all(std::iter::empty()), Ref::TRUE);
+    assert_eq!(m.or_all(std::iter::empty()), Ref::FALSE);
+}
+
+#[test]
+#[should_panic(expected = "out of range")]
+fn var_out_of_range_panics() {
+    let mut m = Manager::new(2);
+    m.var(2);
+}
+
+mod properties {
+    use super::*;
+    use proptest::prelude::*;
+
+    /// A tiny expression language for generating random Boolean functions.
+    #[derive(Clone, Debug)]
+    enum Expr {
+        Var(u32),
+        Not(Box<Expr>),
+        And(Box<Expr>, Box<Expr>),
+        Or(Box<Expr>, Box<Expr>),
+        Xor(Box<Expr>, Box<Expr>),
+    }
+
+    const NVARS: u32 = 6;
+
+    fn arb_expr() -> impl Strategy<Value = Expr> {
+        let leaf = (0..NVARS).prop_map(Expr::Var);
+        leaf.prop_recursive(5, 64, 2, |inner| {
+            prop_oneof![
+                inner.clone().prop_map(|e| Expr::Not(Box::new(e))),
+                (inner.clone(), inner.clone())
+                    .prop_map(|(a, b)| Expr::And(Box::new(a), Box::new(b))),
+                (inner.clone(), inner.clone())
+                    .prop_map(|(a, b)| Expr::Or(Box::new(a), Box::new(b))),
+                (inner.clone(), inner).prop_map(|(a, b)| Expr::Xor(Box::new(a), Box::new(b))),
+            ]
+        })
+    }
+
+    fn build(m: &mut Manager, e: &Expr) -> Ref {
+        match e {
+            Expr::Var(v) => m.var(*v),
+            Expr::Not(a) => {
+                let a = build(m, a);
+                m.not(a)
+            }
+            Expr::And(a, b) => {
+                let (a, b) = (build(m, a), build(m, b));
+                m.and(a, b)
+            }
+            Expr::Or(a, b) => {
+                let (a, b) = (build(m, a), build(m, b));
+                m.or(a, b)
+            }
+            Expr::Xor(a, b) => {
+                let (a, b) = (build(m, a), build(m, b));
+                m.xor(a, b)
+            }
+        }
+    }
+
+    fn eval_expr(e: &Expr, bits: u32) -> bool {
+        match e {
+            Expr::Var(v) => (bits >> v) & 1 == 1,
+            Expr::Not(a) => !eval_expr(a, bits),
+            Expr::And(a, b) => eval_expr(a, bits) && eval_expr(b, bits),
+            Expr::Or(a, b) => eval_expr(a, bits) || eval_expr(b, bits),
+            Expr::Xor(a, b) => eval_expr(a, bits) ^ eval_expr(b, bits),
+        }
+    }
+
+    proptest! {
+        /// The BDD agrees with direct expression evaluation on every input.
+        #[test]
+        fn bdd_matches_truth_table(e in arb_expr()) {
+            let mut m = Manager::new(NVARS);
+            let f = build(&mut m, &e);
+            for bits in 0..(1u32 << NVARS) {
+                let want = eval_expr(&e, bits);
+                let got = m.eval(f, &|v| (bits >> v) & 1 == 1);
+                prop_assert_eq!(got, want, "input {:06b}", bits);
+            }
+        }
+
+        /// sat_count equals the brute-force model count.
+        #[test]
+        fn sat_count_matches_brute_force(e in arb_expr()) {
+            let mut m = Manager::new(NVARS);
+            let f = build(&mut m, &e);
+            let brute = (0..(1u32 << NVARS)).filter(|&bits| eval_expr(&e, bits)).count();
+            prop_assert_eq!(m.sat_count(f), brute as f64);
+        }
+
+        /// Canonicity: two syntactically different but equivalent builds
+        /// produce the same Ref.
+        #[test]
+        fn double_negation_canonical(e in arb_expr()) {
+            let mut m = Manager::new(NVARS);
+            let f = build(&mut m, &e);
+            let nf = m.not(f);
+            let nnf = m.not(nf);
+            prop_assert_eq!(f, nnf);
+        }
+
+        /// any_sat always returns a genuine model.
+        #[test]
+        fn any_sat_is_model(e in arb_expr()) {
+            let mut m = Manager::new(NVARS);
+            let f = build(&mut m, &e);
+            match m.any_sat(f) {
+                None => prop_assert_eq!(f, Ref::FALSE),
+                Some(cube) => {
+                    prop_assert!(m.eval(f, &|v| cube.value_or_false(v)));
+                }
+            }
+        }
+
+        /// exists is monotone: f implies exists v. f
+        #[test]
+        fn exists_weakens(e in arb_expr(), v in 0..NVARS) {
+            let mut m = Manager::new(NVARS);
+            let f = build(&mut m, &e);
+            let ex = m.exists(f, &[v]);
+            prop_assert!(m.implies_true(f, ex));
+            // and the quantified variable leaves the support
+            prop_assert!(!m.support(ex).contains(&v));
+        }
+
+        /// Shannon expansion: f == ite(v, f|v=1, f|v=0).
+        #[test]
+        fn shannon_expansion(e in arb_expr(), v in 0..NVARS) {
+            let mut m = Manager::new(NVARS);
+            let f = build(&mut m, &e);
+            let hi = m.restrict(f, v, true);
+            let lo = m.restrict(f, v, false);
+            let vv = m.var(v);
+            let rebuilt = m.ite(vv, hi, lo);
+            prop_assert_eq!(f, rebuilt);
+        }
+    }
+}
+
+#[test]
+fn exact_sat_count_matches_float() {
+    let mut m = Manager::new(20);
+    let vars: Vec<u32> = (0..20).collect();
+    for (lo, hi) in [(0u64, 100), (12345, 678910), (0, (1 << 20) - 1)] {
+        let f = m.range_const(&vars, lo, hi);
+        assert_eq!(m.sat_count_exact(f) as f64, m.sat_count(f), "[{lo},{hi}]");
+        assert_eq!(m.sat_count_exact(f), u128::from(hi - lo + 1));
+    }
+    assert_eq!(m.sat_count_exact(Ref::TRUE), 1 << 20);
+    assert_eq!(m.sat_count_exact(Ref::FALSE), 0);
+}
+
+#[test]
+fn exact_sat_count_with_gaps_in_support() {
+    let mut m = Manager::new(8);
+    // Depends only on variables 2 and 5: each model leaves 6 vars free.
+    let a = m.var(2);
+    let b = m.var(5);
+    let f = m.and(a, b);
+    assert_eq!(m.sat_count_exact(f), 1 << 6);
+    let g = m.xor(a, b);
+    assert_eq!(m.sat_count_exact(g), 2 << 6);
+}
+#[test]
+#[should_panic(expected = "does not fit")]
+fn le_const_rejects_oversized_bound() {
+    let mut m = Manager::new(4);
+    m.le_const(&[0, 1, 2, 3], 16);
+}
+
+#[test]
+fn wide_var_slices_work() {
+    // More than 64 variables in one field: high positions are leading
+    // zeros, not shift overflow.
+    let mut m = Manager::new(70);
+    let vars: Vec<u32> = (0..70).collect();
+    let f = m.eq_const(&vars, 5);
+    assert_eq!(m.sat_count_exact(f), 1);
+    let g = m.le_const(&vars, 5);
+    assert_eq!(m.sat_count_exact(g), 6);
+}

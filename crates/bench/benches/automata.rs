@@ -1,0 +1,58 @@
+//! Regex / automata benchmarks: compilation, matching, set operations,
+//! and atomic-predicate construction (A1 ablation support).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use clarify_automata::{AtomSpace, Regex};
+
+fn bench_compile(c: &mut Criterion) {
+    let mut g = c.benchmark_group("automata/compile");
+    for pattern in ["_32$", "_300:3_", "^(65[0-9][0-9][0-9])(_[0-9]+)*$"] {
+        g.bench_with_input(BenchmarkId::from_parameter(pattern), &pattern, |b, p| {
+            b.iter(|| black_box(Regex::parse(p).expect("valid").to_dfa()));
+        });
+    }
+    g.finish();
+}
+
+fn bench_match(c: &mut Criterion) {
+    let dfa = Regex::parse("_32$").expect("valid").to_dfa();
+    let subject = "65000 64999 7018 174 32";
+    c.bench_function("automata/match_as_path", |b| {
+        b.iter(|| black_box(dfa.matches(subject)));
+    });
+}
+
+fn bench_intersection(c: &mut Criterion) {
+    let a = Regex::parse("_65000:[0-9]+_").expect("valid").to_dfa();
+    let b2 = Regex::parse("_[0-9]+:1_").expect("valid").to_dfa();
+    c.bench_function("automata/intersect", |b| {
+        b.iter(|| black_box(a.intersect(&b2)));
+    });
+}
+
+fn bench_atom_space(c: &mut Criterion) {
+    let universe = Regex::parse("^[0-9][0-9]?[0-9]?[0-9]?[0-9]?:[0-9][0-9]?[0-9]?[0-9]?[0-9]?$")
+        .expect("valid")
+        .to_dfa();
+    let mut g = c.benchmark_group("automata/atom_space");
+    for n in [2usize, 4, 8] {
+        let patterns: Vec<Regex> = (0..n)
+            .map(|i| Regex::parse(&format!("_650{i:02}:[0-9]+_")).expect("valid"))
+            .collect();
+        g.bench_with_input(BenchmarkId::from_parameter(n), &patterns, |b, pats| {
+            b.iter(|| black_box(AtomSpace::build(&universe, pats).expect("atoms")));
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_compile,
+    bench_match,
+    bench_intersection,
+    bench_atom_space
+);
+criterion_main!(benches);

@@ -1,0 +1,63 @@
+//! BGP simulator convergence cost on line and ring topologies with
+//! per-neighbor policies.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use clarify_netconfig::Config;
+use clarify_netsim::{Network, NetworkBuilder};
+use clarify_nettypes::Prefix;
+
+fn line(n: usize) -> Network {
+    let cfg = Config::parse("route-map PASS permit 10\n").expect("parses");
+    let mut b = NetworkBuilder::new();
+    for i in 0..n {
+        let p: Prefix = format!("10.{i}.0.0/16").parse().expect("prefix");
+        b.router(&format!("R{i}"), 65000 + i as u32)
+            .config(cfg.clone())
+            .originate(p);
+    }
+    for i in 1..n {
+        let a = format!("R{}", i - 1);
+        let bn = format!("R{i}");
+        b.session_pair(&a, &bn, Some("PASS"), None, Some("PASS"), None);
+    }
+    b.build().expect("builds")
+}
+
+fn ring(n: usize) -> Network {
+    let mut b = NetworkBuilder::new();
+    for i in 0..n {
+        let p: Prefix = format!("10.{i}.0.0/16").parse().expect("prefix");
+        b.router(&format!("R{i}"), 65000 + i as u32).originate(p);
+    }
+    for i in 0..n {
+        b.link(&format!("R{i}"), &format!("R{}", (i + 1) % n));
+    }
+    b.build().expect("builds")
+}
+
+fn bench_line(c: &mut Criterion) {
+    let mut g = c.benchmark_group("netsim/line");
+    g.sample_size(10);
+    for n in [4usize, 8, 16] {
+        g.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            b.iter(|| black_box(line(n).converge().expect("converges")));
+        });
+    }
+    g.finish();
+}
+
+fn bench_ring(c: &mut Criterion) {
+    let mut g = c.benchmark_group("netsim/ring");
+    g.sample_size(10);
+    for n in [4usize, 8, 16] {
+        g.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            b.iter(|| black_box(ring(n).converge().expect("converges")));
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_line, bench_ring);
+criterion_main!(benches);

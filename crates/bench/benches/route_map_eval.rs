@@ -1,0 +1,83 @@
+//! Concrete route-map evaluation throughput (the reference semantics the
+//! symbolic layer is checked against).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use clarify_netconfig::Config;
+use clarify_nettypes::BgpRoute;
+
+const ISP_OUT: &str = "\
+ip as-path access-list D0 permit _32$
+ip prefix-list D1 seq 10 permit 10.0.0.0/8 le 24
+ip prefix-list D1 seq 20 permit 20.0.0.0/16 le 32
+ip prefix-list D1 seq 30 permit 1.0.0.0/20 ge 24
+route-map ISP_OUT deny 10
+ match as-path D0
+route-map ISP_OUT deny 20
+ match ip address prefix-list D1
+route-map ISP_OUT permit 30
+ match local-preference 300
+";
+
+fn routes() -> Vec<BgpRoute> {
+    (0u32..64)
+        .map(|i| {
+            BgpRoute::with_defaults(clarify_nettypes::Prefix::from_u32(
+                i << 24 | 0x0001_0000,
+                16,
+            ))
+            .path(&[i % 7, 32 + (i % 2)])
+            .lp(if i % 3 == 0 { 300 } else { 100 })
+        })
+        .collect()
+}
+
+fn bench_eval(c: &mut Criterion) {
+    let cfg = Config::parse(ISP_OUT).expect("parses");
+    let rs = routes();
+    c.bench_function("netconfig/eval_route_map_64_routes", |b| {
+        b.iter(|| {
+            for r in &rs {
+                black_box(cfg.eval_route_map("ISP_OUT", r).expect("eval"));
+            }
+        });
+    });
+}
+
+fn bench_parse_print(c: &mut Criterion) {
+    c.bench_function("netconfig/parse", |b| {
+        b.iter(|| black_box(Config::parse(ISP_OUT).expect("parses")));
+    });
+    let cfg = Config::parse(ISP_OUT).expect("parses");
+    c.bench_function("netconfig/print", |b| {
+        b.iter(|| black_box(cfg.to_string()));
+    });
+}
+
+fn bench_acl_eval(c: &mut Criterion) {
+    let mut text = String::from("ip access-list extended BIG\n");
+    for i in 0..64 {
+        text.push_str(&format!(
+            " {} tcp 10.{}.0.0/16 any eq {}\n",
+            if i % 2 == 0 { "permit" } else { "deny" },
+            i,
+            1000 + i
+        ));
+    }
+    let cfg = Config::parse(&text).expect("parses");
+    let pkt = clarify_nettypes::Packet::tcp(
+        std::net::Ipv4Addr::new(10, 63, 1, 1),
+        5,
+        std::net::Ipv4Addr::new(1, 1, 1, 1),
+        1063,
+    );
+    let mut g = c.benchmark_group("netconfig/eval_acl");
+    g.bench_with_input(BenchmarkId::from_parameter(64), &cfg, |b, cfg| {
+        b.iter(|| black_box(cfg.eval_acl("BIG", &pkt).expect("eval")));
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_eval, bench_parse_print, bench_acl_eval);
+criterion_main!(benches);

@@ -1,0 +1,53 @@
+//! E5 — the §5 evaluation: incremental synthesis of every route-map on
+//! the Figure 3 topology, the Figure 4 statistics table, and the five
+//! global policy checks on the converged network.
+
+use clarify_bench::figure3;
+
+fn main() {
+    println!("=== E5: incremental synthesis on the Figure 3 topology ===\n");
+    let run = figure3::run().unwrap_or_else(|e| panic!("evaluation failed: {e}"));
+
+    println!("--- Figure 4: per-router statistics ---");
+    println!("Router  #Route-maps  #LLM calls  #Disambiguation   (total pipeline calls)");
+    let paper = [("M", 4, 9, 5), ("R1", 5, 12, 6), ("R2", 5, 12, 6)];
+    for ((name, s), (pname, pm, pc, pd)) in run.stats.iter().zip(paper) {
+        assert_eq!(*name, pname);
+        println!(
+            "{name:<7} {:>11}  {:>10}  {:>15}   ({})",
+            s.route_maps, s.synthesis_calls, s.disambiguations, s.total_llm_calls
+        );
+        println!("  paper {:>11}  {:>10}  {:>15}", pm, pc, pd);
+    }
+
+    println!("\n--- global policies on the converged network ---");
+    let mut all = true;
+    for (desc, ok) in &run.policies {
+        println!("[{}] {desc}", if *ok { "PASS" } else { "FAIL" });
+        all &= ok;
+    }
+    println!(
+        "\nresult: {}",
+        if all {
+            "all five global policies hold"
+        } else {
+            "POLICY VIOLATION — see above"
+        }
+    );
+
+    // A peek at one RIB for the curious.
+    println!("\n--- M's RIB ---");
+    if let Some(rib) = run.network.rib("M") {
+        for (p, e) in rib {
+            println!(
+                "{p:<18} via {:<5} lp {:<4} path {}",
+                e.learned_from.as_deref().unwrap_or("local"),
+                e.route.local_pref,
+                e.route.as_path
+            );
+        }
+    }
+    if !all {
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,68 @@
+//! E7 — the Figure 1 verification loop under an erring LLM: synthesis
+//! retries and punt rates as a function of the backend error rate.
+
+use clarify_llm::{FaultyBackend, Pipeline, PipelineOutcome, SemanticBackend};
+
+const PROMPT: &str = "Write a route-map stanza that permits routes containing the prefix \
+100.0.0.0/16 with mask length less than or equal to 23 and tagged with the community 300:3. \
+Their MED value should be set to 55.";
+
+fn main() {
+    let trials = 200u64;
+    let max_attempts = 3;
+    println!("=== E7: the verify-retry-punt loop under fault injection ===\n");
+    println!("{trials} trials per error rate, retry threshold {max_attempts}\n");
+    println!(
+        "{:>6}  {:>9}  {:>12}  {:>9}  {:>15}  {:>18}",
+        "rate", "successes", "avg attempts", "punts", "faults injected", "punts w/ feedback"
+    );
+    for rate10 in 0..=10u32 {
+        let rate = f64::from(rate10) / 10.0;
+        let mut successes = 0u32;
+        let mut punts = 0u32;
+        let mut attempts_total = 0usize;
+        let mut injected = 0usize;
+        for seed in 0..trials {
+            let backend = FaultyBackend::new(SemanticBackend::new(), rate, seed);
+            let mut pipeline = Pipeline::new(backend, max_attempts);
+            match pipeline.synthesize(PROMPT).expect("pipeline runs") {
+                PipelineOutcome::RouteMap { attempts, .. } => {
+                    successes += 1;
+                    attempts_total += attempts;
+                }
+                PipelineOutcome::Punt { .. } => punts += 1,
+                PipelineOutcome::Acl { .. } => unreachable!("route-map prompt"),
+            }
+            injected += pipeline.backend().injected();
+        }
+        // Feedback ablation: the same trials with a backend that repairs
+        // its output once the verifier's feedback arrives.
+        let mut heeding_punts = 0u32;
+        for seed in 0..trials {
+            let backend = FaultyBackend::new(SemanticBackend::new(), rate, seed).heeding_feedback();
+            let mut pipeline = Pipeline::new(backend, max_attempts);
+            if !pipeline
+                .synthesize(PROMPT)
+                .expect("pipeline runs")
+                .is_success()
+            {
+                heeding_punts += 1;
+            }
+        }
+        let avg = if successes > 0 {
+            attempts_total as f64 / f64::from(successes)
+        } else {
+            f64::NAN
+        };
+        println!(
+            "{rate:>6.1}  {successes:>9}  {avg:>12.2}  {punts:>9}  {injected:>15}  {heeding_punts:>18}"
+        );
+    }
+    println!(
+        "\nAt rate 0.0 the simulated LLM behaves like the paper's GPT-4 on its workload: every \
+         stanza verifies on the first pass. Higher rates exercise the feedback/retry loop and \
+         the punt-to-user edge (step 5 of Figure 1). The last column is the feedback ablation: \
+         an LLM that repairs its output once the verifier's feedback arrives never punts \
+         (below rate 1.0 it may not even need the feedback)."
+    );
+}

@@ -1,0 +1,89 @@
+//! E8 — ablation for the paper's §7 question: could the LLM itself play
+//! the disambiguator? A disambiguator that *guesses* instead of asking
+//! (always-top, always-bottom, or a seeded coin flip — stand-ins for a
+//! model answering behavioural questions without ground truth) is measured
+//! against the interactive symbolic disambiguator on the slot-accuracy
+//! metric: for a new stanza overlapping n existing stanzas, each of the
+//! n+1 insertion slots is a distinct possible intent; a correct
+//! disambiguator must realize all of them.
+
+use clarify_core::{
+    verify_against_intent, Choice, Disambiguator, FnOracle, IntentOracle, PlacementStrategy,
+};
+use clarify_netconfig::insert_route_map_stanza;
+use clarify_workload::disambiguation_family;
+
+fn accuracy(n: usize, mut answer: impl FnMut() -> Choice) -> (usize, usize) {
+    let (base, snip) = disambiguation_family(n);
+    let mut correct = 0;
+    for slot in 0..=n {
+        let intended = insert_route_map_stanza(&base, "RM", &snip, "NEW", slot)
+            .expect("insert")
+            .0;
+        let mut oracle = FnOracle(|_: &clarify_core::DisambiguationQuestion| answer());
+        let result = Disambiguator::new(PlacementStrategy::BinarySearch)
+            .insert(&base, "RM", &snip, "NEW", &mut oracle)
+            .expect("insert runs");
+        if verify_against_intent(&result.config, "RM", &intended, "RM").is_ok() {
+            correct += 1;
+        }
+    }
+    (correct, n + 1)
+}
+
+fn interactive_accuracy(n: usize) -> (usize, usize) {
+    let (base, snip) = disambiguation_family(n);
+    let mut correct = 0;
+    for slot in 0..=n {
+        let intended = insert_route_map_stanza(&base, "RM", &snip, "NEW", slot)
+            .expect("insert")
+            .0;
+        let mut oracle = IntentOracle::new(&intended, "RM");
+        let result = Disambiguator::new(PlacementStrategy::BinarySearch)
+            .insert(&base, "RM", &snip, "NEW", &mut oracle)
+            .expect("insert runs");
+        if verify_against_intent(&result.config, "RM", &intended, "RM").is_ok() {
+            correct += 1;
+        }
+    }
+    (correct, n + 1)
+}
+
+fn main() {
+    println!("=== E8: guessing vs asking (the §7 'LLM as disambiguator' question) ===\n");
+    println!("slot accuracy = intents (out of n+1 insertion slots) realized correctly\n");
+    println!(
+        "{:>4}  {:>12}  {:>14}  {:>14}  {:>12}",
+        "n", "interactive", "always-top", "always-bottom", "coin flip"
+    );
+    for n in [2usize, 4, 8, 16] {
+        let (ic, total) = interactive_accuracy(n);
+        let (tc, _) = accuracy(n, || Choice::First);
+        let (bc, _) = accuracy(n, || Choice::Second);
+        // Deterministic xorshift coin.
+        let mut state = 0x9E3779B97F4A7C15u64 ^ (n as u64);
+        let (rc, _) = accuracy(n, move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            if state & 1 == 0 {
+                Choice::First
+            } else {
+                Choice::Second
+            }
+        });
+        println!(
+            "{n:>4}  {:>7}/{total:<4}  {:>9}/{total:<4}  {:>9}/{total:<4}  {:>7}/{total:<4}",
+            ic, tc, bc, rc
+        );
+        assert_eq!(ic, total, "the interactive disambiguator is always right");
+        assert_eq!(tc, 1, "always-top realizes only the top slot");
+        assert_eq!(bc, 1, "always-bottom realizes only the bottom slot");
+    }
+    println!(
+        "\nWithout asking, any fixed or random answering policy realizes exactly one slot's \
+         intent; user interaction (or ground truth) is information-theoretically required — \
+         the paper's motivation for a symbolic disambiguator in the loop rather than letting \
+         the LLM guess."
+    );
+}

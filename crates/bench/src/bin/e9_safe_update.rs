@@ -1,0 +1,151 @@
+//! E9 — network-level safe updates on the Figure 3 topology: every
+//! Clarify update is simulated against the five §5 global policies
+//! (expressed as declarative invariants) before being committed; an
+//! update that would leak routes is rolled back with the violated
+//! policies named. This is the §3 motivation ("a small error in intent
+//! can ... cause major network downtime") closed end to end.
+
+use clarify_bench::figure3;
+use clarify_core::{
+    Disambiguator, IntentOracle, Invariant, NetworkSession, NetworkUpdateOutcome, PlacementStrategy,
+};
+use clarify_llm::{RouteMapIntent, SemanticBackend};
+use clarify_netconfig::insert_route_map_stanza;
+use clarify_nettypes::Prefix;
+
+fn pfx(s: &str) -> Prefix {
+    s.parse().expect("static prefix")
+}
+
+fn invariants() -> Vec<Invariant> {
+    let mut inv = vec![
+        // P1: reused prefixes mutually invisible.
+        Invariant::LocallyOriginated {
+            router: "MGMT".into(),
+            prefix: pfx("192.168.0.0/16"),
+        },
+        Invariant::LocallyOriginated {
+            router: "DC1".into(),
+            prefix: pfx("192.168.0.0/16"),
+        },
+        Invariant::Unreachable {
+            router: "DC2".into(),
+            prefix: pfx("192.168.0.0/16"),
+        },
+        // P2 + P3: the service prefix is visible at M, via R1.
+        Invariant::Reachable {
+            router: "M".into(),
+            prefix: pfx("10.1.0.0/16"),
+        },
+        Invariant::PrefersVia {
+            router: "M".into(),
+            prefix: pfx("10.1.0.0/16"),
+            neighbor: "R1".into(),
+        },
+        // P5: no transit between the ISPs; our public block stays visible.
+        Invariant::Unreachable {
+            router: "ISP2".into(),
+            prefix: pfx("8.8.0.0/16"),
+        },
+        Invariant::Unreachable {
+            router: "ISP1".into(),
+            prefix: pfx("9.9.0.0/16"),
+        },
+        Invariant::Reachable {
+            router: "ISP1".into(),
+            prefix: pfx("203.0.113.0/24"),
+        },
+        // Private space never reaches the ISPs.
+        Invariant::Unreachable {
+            router: "ISP1".into(),
+            prefix: pfx("10.1.0.0/16"),
+        },
+        Invariant::Unreachable {
+            router: "ISP1".into(),
+            prefix: pfx("10.200.0.0/16"),
+        },
+    ];
+    // P4: the injected bogon stops at the borders.
+    for r in ["R1", "R2", "M", "DC1", "DC2", "MGMT"] {
+        inv.push(Invariant::Unreachable {
+            router: r.into(),
+            prefix: pfx("192.168.99.0/24"),
+        });
+    }
+    inv
+}
+
+fn main() {
+    println!("=== E9: what-if simulation + invariant-gated commits ===\n");
+    println!("building the Figure 3 network (synthesizing all route-maps)...");
+    let run = figure3::run().expect("evaluation runs");
+    let invs = invariants();
+    println!(
+        "installing {} invariants (the five global policies)\n",
+        invs.len()
+    );
+    let mut ns = NetworkSession::new(
+        run.network,
+        SemanticBackend::new(),
+        3,
+        Disambiguator::new(PlacementStrategy::BinarySearch),
+        invs,
+    )
+    .expect("initial network satisfies all invariants");
+
+    // Update 1: block a hijacking AS on R1's import — safe, commits.
+    let prompt1 = "Write a route-map stanza that denies routes originating from AS 666.";
+    println!("update 1 on R1/ISP_IN: {prompt1}");
+    let base = ns.network().router("R1").expect("router").config.clone();
+    let intent = RouteMapIntent::parse(prompt1).expect("intent parses");
+    let (snippet, name) = intent.to_snippet().expect("snippet");
+    let intended = insert_route_map_stanza(&base, "ISP_IN", &snippet, &name, 0)
+        .expect("insert")
+        .0;
+    let mut oracle = IntentOracle::new(&intended, "ISP_IN");
+    match ns
+        .add_stanza_on("R1", "ISP_IN", prompt1, &mut oracle)
+        .expect("update runs")
+    {
+        NetworkUpdateOutcome::Committed {
+            questions,
+            llm_calls,
+        } => println!(
+            "  COMMITTED ({questions} question(s), {llm_calls} LLM calls); all invariants hold\n"
+        ),
+        other => panic!("expected commit, got {other:?}"),
+    }
+
+    // Update 2: a well-meaning but leaky export change — "make our
+    // datacenter space reachable" — placed above the private-space deny.
+    let prompt2 = "Write a route-map stanza that permits routes containing the prefix \
+                   10.0.0.0/8 with mask length less than or equal to 24.";
+    println!("update 2 on R1/ISP_OUT: {prompt2}");
+    let base = ns.network().router("R1").expect("router").config.clone();
+    let intent = RouteMapIntent::parse(prompt2).expect("intent parses");
+    let (snippet, name) = intent.to_snippet().expect("snippet");
+    let intended = insert_route_map_stanza(&base, "ISP_OUT", &snippet, &name, 0)
+        .expect("insert")
+        .0;
+    let mut oracle = IntentOracle::new(&intended, "ISP_OUT");
+    match ns
+        .add_stanza_on("R1", "ISP_OUT", prompt2, &mut oracle)
+        .expect("update runs")
+    {
+        NetworkUpdateOutcome::RolledBack { violated, .. } => {
+            println!("  ROLLED BACK — the update would have violated:");
+            for v in &violated {
+                println!("    - {v}");
+            }
+        }
+        other => panic!("expected rollback, got {other:?}"),
+    }
+
+    // The network still satisfies everything.
+    println!(
+        "\nfinal check: ISP1 sees 10.1.0.0/16? {}",
+        ns.network().can_reach("ISP1", &pfx("10.1.0.0/16"))
+    );
+    assert!(!ns.network().can_reach("ISP1", &pfx("10.1.0.0/16")));
+    println!("the committed update survived; the leaky one never reached the network.");
+}

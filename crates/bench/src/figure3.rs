@@ -1,0 +1,424 @@
+//! The §5 evaluation scenario: the Figure 3 topology, the Lightyear-style
+//! decomposition of its five global policies into per-router local
+//! policies, the incremental synthesis of every route-map through the full
+//! Clarify loop, and the global policy checks on the converged network.
+//!
+//! Topology (Figure 3, reconstructed from the text):
+//!
+//! ```text
+//!   ISP1 ─ R1 ─┬─ DC1 (10.1.0.0/16 service, 10.3.0.0/16, reused 192.168.0.0/16)
+//!              ├─ DC2 (10.2.0.0/16)
+//!   ISP2 ─ R2 ─┘
+//!      R1 ─ M ─ R2
+//!          │
+//!        MGMT (10.200.0.0/16, reused 192.168.0.0/16)
+//! ```
+//!
+//! Global policies (§5):
+//! 1. the reused prefix `192.168.0.0/16` in the datacenter and in
+//!    management are mutually invisible;
+//! 2. the service prefix `10.1.0.0/16` is visible at M;
+//! 3. M prefers the path through R1 to reach `10.1.0.0/16`;
+//! 4. no bogon prefixes are advertised;
+//! 5. ISP1 and ISP2 are mutually unreachable through our network.
+
+use clarify_core::{
+    verify_against_intent, AddStanzaOutcome, ClarifyError, ClarifySession, Disambiguator,
+    IntentOracle, PlacementStrategy,
+};
+use clarify_llm::SemanticBackend;
+use clarify_netconfig::Config;
+use clarify_netsim::{Network, NetworkBuilder};
+use clarify_nettypes::Prefix;
+
+/// One route-map to synthesize: its name, the intent prompts in build
+/// order, and the intended final policy (what the simulated user wants).
+pub struct MapPlan {
+    /// Route-map name.
+    pub name: &'static str,
+    /// English intents, one per stanza, in the order the operator issues
+    /// them.
+    pub prompts: Vec<String>,
+    /// The intended final route-map, as IOS text (the intent oracle's
+    /// ground truth).
+    pub intended: Config,
+}
+
+/// The synthesis plan for one router.
+pub struct RouterPlan {
+    /// Router name.
+    pub name: &'static str,
+    /// Route-maps in build order.
+    pub maps: Vec<MapPlan>,
+}
+
+/// Per-router measurements, one Figure 4 row.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RouterStats {
+    /// Unique route-maps synthesized (the paper's `#Route-maps`).
+    pub route_maps: usize,
+    /// Synthesis (generation) calls — one per stanza, matching the
+    /// paper's `#LLM calls` accounting.
+    pub synthesis_calls: usize,
+    /// All LLM calls our pipeline makes (classify + spec extraction +
+    /// synthesis = 3 per stanza on a clean run).
+    pub total_llm_calls: usize,
+    /// Questions the user answered (the paper's `#Disambiguation`).
+    pub disambiguations: usize,
+}
+
+/// Result of running the full evaluation.
+pub struct Figure3Run {
+    /// `(router, stats)` rows in Figure 4 order.
+    pub stats: Vec<(&'static str, RouterStats)>,
+    /// `(policy description, holds?)` for the five global policies.
+    pub policies: Vec<(String, bool)>,
+    /// The converged network, for further inspection.
+    pub network: Network,
+}
+
+fn prompt_permit_prefix(prefix: &str, le: u8) -> String {
+    format!(
+        "Write a route-map stanza that permits routes containing the prefix {prefix} with mask \
+         length less than or equal to {le}."
+    )
+}
+
+fn prompt_deny_or_longer(prefix: &str) -> String {
+    format!("Write a route-map stanza that denies routes containing the prefix {prefix} or longer.")
+}
+
+/// The synthesis plan for router M (4 route-maps, 9 stanzas).
+pub fn plan_m() -> RouterPlan {
+    RouterPlan {
+        name: "M",
+        maps: vec![
+            MapPlan {
+                name: "FROM_R1",
+                prompts: vec![
+                    prompt_permit_prefix("10.0.0.0/8", 24),
+                    prompt_deny_or_longer("10.1.128.0/17"),
+                    format!(
+                        "Write a route-map stanza that permits routes containing the prefix \
+                         10.1.0.0/16 with mask length less than or equal to 24. Their local \
+                         preference should be set to 300."
+                    ),
+                ],
+                intended: Config::parse(
+                    "ip prefix-list HIDE seq 5 permit 10.1.128.0/17 le 32\n\
+                     ip prefix-list SVC seq 5 permit 10.1.0.0/16 le 24\n\
+                     ip prefix-list ALL seq 5 permit 10.0.0.0/8 le 24\n\
+                     route-map FROM_R1 deny 10\n match ip address prefix-list HIDE\n\
+                     route-map FROM_R1 permit 20\n match ip address prefix-list SVC\n set local-preference 300\n\
+                     route-map FROM_R1 permit 30\n match ip address prefix-list ALL\n",
+                )
+                .expect("intended FROM_R1 parses"),
+            },
+            MapPlan {
+                name: "FROM_R2",
+                prompts: vec![
+                    prompt_permit_prefix("10.0.0.0/8", 24),
+                    prompt_deny_or_longer("10.250.0.0/16"),
+                ],
+                intended: Config::parse(
+                    "ip prefix-list BLOCK seq 5 permit 10.250.0.0/16 le 32\n\
+                     ip prefix-list ALL seq 5 permit 10.0.0.0/8 le 24\n\
+                     route-map FROM_R2 deny 10\n match ip address prefix-list BLOCK\n\
+                     route-map FROM_R2 permit 20\n match ip address prefix-list ALL\n",
+                )
+                .expect("intended FROM_R2 parses"),
+            },
+            MapPlan {
+                name: "TO_DC",
+                prompts: vec![
+                    prompt_permit_prefix("10.0.0.0/8", 24),
+                    prompt_deny_or_longer("192.168.0.0/16"),
+                    prompt_deny_or_longer("10.200.128.0/17"),
+                ],
+                intended: Config::parse(
+                    "ip prefix-list MHIDE seq 5 permit 10.200.128.0/17 le 32\n\
+                     ip prefix-list REUSED seq 5 permit 192.168.0.0/16 le 32\n\
+                     ip prefix-list ALL seq 5 permit 10.0.0.0/8 le 24\n\
+                     route-map TO_DC deny 10\n match ip address prefix-list MHIDE\n\
+                     route-map TO_DC permit 20\n match ip address prefix-list ALL\n\
+                     route-map TO_DC deny 30\n match ip address prefix-list REUSED\n",
+                )
+                .expect("intended TO_DC parses"),
+            },
+            MapPlan {
+                name: "FROM_MGMT",
+                prompts: vec!["Write a route-map stanza that permits all routes.".to_string()],
+                intended: Config::parse("route-map FROM_MGMT permit 10\n")
+                    .expect("intended FROM_MGMT parses"),
+            },
+        ],
+    }
+}
+
+/// The synthesis plan for a border router (R1 or R2): 5 route-maps, 12
+/// stanzas. `hidden_block` and `tag_community` vary between the two.
+pub fn plan_border(
+    name: &'static str,
+    hidden_block: &str,
+    dc_community: &str,
+    mgmt_community: &str,
+) -> RouterPlan {
+    RouterPlan {
+        name,
+        maps: vec![
+            MapPlan {
+                name: "ISP_IN",
+                prompts: vec![
+                    "Write a route-map stanza that permits all routes.".to_string(),
+                    prompt_deny_or_longer("10.0.0.0/8"),
+                    prompt_deny_or_longer("192.168.0.0/16"),
+                    prompt_deny_or_longer("127.0.0.0/8"),
+                ],
+                intended: Config::parse(
+                    "ip prefix-list B1 seq 5 permit 10.0.0.0/8 le 32\n\
+                     ip prefix-list B2 seq 5 permit 192.168.0.0/16 le 32\n\
+                     ip prefix-list B3 seq 5 permit 127.0.0.0/8 le 32\n\
+                     route-map ISP_IN deny 10\n match ip address prefix-list B1\n\
+                     route-map ISP_IN deny 20\n match ip address prefix-list B2\n\
+                     route-map ISP_IN deny 30\n match ip address prefix-list B3\n\
+                     route-map ISP_IN permit 40\n",
+                )
+                .expect("intended ISP_IN parses"),
+            },
+            MapPlan {
+                name: "ISP_OUT",
+                prompts: vec![
+                    prompt_permit_prefix("203.0.0.0/8", 24),
+                    prompt_deny_or_longer("10.0.0.0/8"),
+                ],
+                intended: Config::parse(
+                    "ip prefix-list PUB seq 5 permit 203.0.0.0/8 le 24\n\
+                     ip prefix-list PRIV seq 5 permit 10.0.0.0/8 le 32\n\
+                     route-map ISP_OUT deny 10\n match ip address prefix-list PRIV\n\
+                     route-map ISP_OUT permit 20\n match ip address prefix-list PUB\n",
+                )
+                .expect("intended ISP_OUT parses"),
+            },
+            MapPlan {
+                name: "FROM_M",
+                prompts: vec![
+                    prompt_permit_prefix("10.0.0.0/8", 24),
+                    format!(
+                        "Write a route-map stanza that permits routes containing the prefix \
+                         10.200.0.0/16 with mask length less than or equal to 24. The community \
+                         {mgmt_community} should be added."
+                    ),
+                ],
+                intended: Config::parse(&format!(
+                    "ip prefix-list MGMT seq 5 permit 10.200.0.0/16 le 24\n\
+                     ip prefix-list ALL seq 5 permit 10.0.0.0/8 le 24\n\
+                     route-map FROM_M permit 10\n match ip address prefix-list MGMT\n set community {mgmt_community} additive\n\
+                     route-map FROM_M permit 20\n match ip address prefix-list ALL\n",
+                ))
+                .expect("intended FROM_M parses"),
+            },
+            MapPlan {
+                name: "FROM_DC",
+                prompts: vec![
+                    prompt_permit_prefix("10.0.0.0/8", 24),
+                    prompt_deny_or_longer(hidden_block),
+                    format!(
+                        "Write a route-map stanza that permits routes containing the prefix \
+                         10.1.0.0/16 with mask length less than or equal to 24. The community \
+                         {dc_community} should be added."
+                    ),
+                ],
+                intended: Config::parse(&format!(
+                    "ip prefix-list HIDE seq 5 permit {hidden_block} le 32\n\
+                     ip prefix-list SVC seq 5 permit 10.1.0.0/16 le 24\n\
+                     ip prefix-list ALL seq 5 permit 10.0.0.0/8 le 24\n\
+                     route-map FROM_DC deny 10\n match ip address prefix-list HIDE\n\
+                     route-map FROM_DC permit 20\n match ip address prefix-list SVC\n set community {dc_community} additive\n\
+                     route-map FROM_DC permit 30\n match ip address prefix-list ALL\n",
+                ))
+                .expect("intended FROM_DC parses"),
+            },
+            MapPlan {
+                name: "TO_M",
+                prompts: vec![prompt_permit_prefix("10.0.0.0/8", 24)],
+                intended: Config::parse(
+                    "ip prefix-list ALL seq 5 permit 10.0.0.0/8 le 24\n\
+                     route-map TO_M permit 10\n match ip address prefix-list ALL\n",
+                )
+                .expect("intended TO_M parses"),
+            },
+        ],
+    }
+}
+
+/// Synthesizes every route-map of one router through the Clarify loop and
+/// verifies each against its intended policy. Returns the final device
+/// configuration and the Figure 4 row.
+pub fn synthesize_router(plan: &RouterPlan) -> Result<(Config, RouterStats), ClarifyError> {
+    let mut session = ClarifySession::new(
+        SemanticBackend::new(),
+        3,
+        Disambiguator::new(PlacementStrategy::BinarySearch),
+    );
+    let mut config = Config::new();
+    let mut synthesis_calls = 0usize;
+    for map in &plan.maps {
+        for prompt in &map.prompts {
+            let mut oracle = IntentOracle::new(&map.intended, map.name);
+            match session.add_stanza(&config, map.name, prompt, &mut oracle)? {
+                AddStanzaOutcome::Inserted { config: next, .. } => {
+                    config = next;
+                    synthesis_calls += 1;
+                }
+                AddStanzaOutcome::Punted { reason, .. } => {
+                    return Err(ClarifyError::Llm(clarify_llm::LlmError::UnsupportedQuery(
+                        format!("unexpected punt: {reason}"),
+                    )));
+                }
+            }
+        }
+        // The incremental build must converge on exactly the intended map.
+        verify_against_intent(&config, map.name, &map.intended, map.name)?;
+    }
+    let stats = RouterStats {
+        route_maps: plan.maps.len(),
+        synthesis_calls,
+        total_llm_calls: session.stats().llm_calls,
+        disambiguations: session.stats().disambiguations,
+    };
+    Ok((config, stats))
+}
+
+fn pfx(s: &str) -> Prefix {
+    s.parse().expect("static prefix")
+}
+
+/// Builds the Figure 3 network with the given per-router configurations
+/// and converges it.
+pub fn build_network(
+    m: Config,
+    r1: Config,
+    r2: Config,
+) -> Result<Network, clarify_netsim::SimError> {
+    let mut b = NetworkBuilder::new();
+    b.router("ISP1", 100)
+        .originate(pfx("8.8.0.0/16"))
+        .originate(pfx("192.168.99.0/24")); // a bogon leak from outside
+    b.router("ISP2", 200).originate(pfx("9.9.0.0/16"));
+    b.router("R1", 65001)
+        .config(r1)
+        .originate(pfx("203.0.113.0/24"));
+    b.router("R2", 65002)
+        .config(r2)
+        .originate(pfx("203.0.114.0/24"));
+    b.router("M", 65000).config(m);
+    b.router("DC1", 65101)
+        .originate(pfx("10.1.0.0/16"))
+        .originate(pfx("10.3.0.0/16"))
+        .originate(pfx("192.168.0.0/16"));
+    b.router("DC2", 65102).originate(pfx("10.2.0.0/16"));
+    b.router("MGMT", 65200)
+        .originate(pfx("10.200.0.0/16"))
+        .originate(pfx("192.168.0.0/16"));
+
+    b.session_pair("R1", "ISP1", Some("ISP_IN"), Some("ISP_OUT"), None, None);
+    b.session_pair("R2", "ISP2", Some("ISP_IN"), Some("ISP_OUT"), None, None);
+    b.session_pair(
+        "M",
+        "R1",
+        Some("FROM_R1"),
+        Some("TO_DC"),
+        Some("FROM_M"),
+        Some("TO_M"),
+    );
+    b.session_pair(
+        "M",
+        "R2",
+        Some("FROM_R2"),
+        Some("TO_DC"),
+        Some("FROM_M"),
+        Some("TO_M"),
+    );
+    b.session_pair("M", "MGMT", Some("FROM_MGMT"), None, None, None);
+    b.session_pair("R1", "DC1", Some("FROM_DC"), None, None, None);
+    b.session_pair("R1", "DC2", Some("FROM_DC"), None, None, None);
+    b.session_pair("R2", "DC1", Some("FROM_DC"), None, None, None);
+    b.session_pair("R2", "DC2", Some("FROM_DC"), None, None, None);
+    b.build()?.converge()
+}
+
+/// Evaluates the five §5 global policies on a converged network.
+pub fn check_policies(net: &Network) -> Vec<(String, bool)> {
+    let reused = pfx("192.168.0.0/16");
+    let service = pfx("10.1.0.0/16");
+    let bogon = pfx("192.168.99.0/24");
+    let isp1_pfx = pfx("8.8.0.0/16");
+    let isp2_pfx = pfx("9.9.0.0/16");
+
+    let p1 = {
+        // DC's copy never reaches the management side and vice versa:
+        // MGMT and DC1 each only know their own origination; DC2 (which
+        // originates neither) hears no copy at all; M's copy comes from
+        // MGMT alone.
+        let mgmt_local = net
+            .best_route("MGMT", &reused)
+            .map(|e| e.learned_from.is_none());
+        let dc1_local = net
+            .best_route("DC1", &reused)
+            .map(|e| e.learned_from.is_none());
+        let m_from_mgmt = net.next_hop_router("M", &reused) == Some("MGMT");
+        mgmt_local == Some(true)
+            && dc1_local == Some(true)
+            && !net.can_reach("DC2", &reused)
+            && m_from_mgmt
+    };
+    let p2 = net.can_reach("M", &service);
+    let p3 = net.next_hop_router("M", &service) == Some("R1");
+    let p4 = {
+        // The outside bogon stops at the borders; nothing inside sees it.
+        ["R1", "R2", "M", "DC1", "DC2", "MGMT"]
+            .iter()
+            .all(|r| !net.can_reach(r, &bogon))
+    };
+    let p5 = {
+        !net.can_reach("ISP2", &isp1_pfx)
+            && !net.can_reach("ISP1", &isp2_pfx)
+            // ...while legitimate reachability still works:
+            && net.can_reach("ISP1", &pfx("203.0.113.0/24"))
+            && net.can_reach("ISP2", &pfx("203.0.114.0/24"))
+    };
+
+    vec![
+        (
+            "P1 reused prefixes mutually invisible (DC vs management)".to_string(),
+            p1,
+        ),
+        ("P2 service prefix 10.1.0.0/16 visible at M".to_string(), p2),
+        (
+            "P3 M prefers the path through R1 for 10.1.0.0/16".to_string(),
+            p3,
+        ),
+        ("P4 no bogon prefixes advertised".to_string(), p4),
+        (
+            "P5 ISP1 and ISP2 mutually unreachable via our network".to_string(),
+            p5,
+        ),
+    ]
+}
+
+/// Runs the whole §5 evaluation: synthesize all three routers'
+/// route-maps, build the network, converge, and check the policies.
+pub fn run() -> Result<Figure3Run, Box<dyn std::error::Error>> {
+    let (m_cfg, m_stats) = synthesize_router(&plan_m())?;
+    let (r1_cfg, r1_stats) =
+        synthesize_router(&plan_border("R1", "10.3.128.0/17", "65001:10", "65000:20"))?;
+    let (r2_cfg, r2_stats) =
+        synthesize_router(&plan_border("R2", "10.4.128.0/17", "65002:10", "65000:21"))?;
+    let network = build_network(m_cfg, r1_cfg, r2_cfg)?;
+    let policies = check_policies(&network);
+    Ok(Figure3Run {
+        stats: vec![("M", m_stats), ("R1", r1_stats), ("R2", r2_stats)],
+        policies,
+        network,
+    })
+}

@@ -1,0 +1,6 @@
+//! Experiment harnesses shared by the `e*` binaries, the Criterion
+//! benches, and the repository's integration tests.
+
+#![warn(missing_docs)]
+
+pub mod figure3;

@@ -1,0 +1,270 @@
+//! Disambiguation for ACL entry insertion — the packet-filter counterpart
+//! of the route-map [`crate::Disambiguator`]. ACLs are the paper's second
+//! first-class policy kind ("updates to routing policy (route-maps) and
+//! access control (ACLs)"); the algorithm is identical, over the packet
+//! space instead of the route space.
+
+use clarify_analysis::{compare_filters, PacketSpace};
+use clarify_bdd::Ref;
+use clarify_netconfig::{insert_acl_entry, Acl, AclEntry, AclVerdict, Config};
+use clarify_nettypes::Packet;
+
+use crate::error::ClarifyError;
+use crate::oracle::Choice;
+use crate::PlacementStrategy;
+
+/// One question to the user: a concrete packet and the action it would
+/// get under each placement.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct AclQuestion {
+    /// The differential packet.
+    pub packet: Packet,
+    /// Verdict if the new entry is placed *above* the pivot entry.
+    pub option_first: AclVerdict,
+    /// Verdict if the new entry is placed *below* the pivot entry.
+    pub option_second: AclVerdict,
+    /// Zero-based index of the pivot entry in the original ACL.
+    pub pivot_index: usize,
+}
+
+impl std::fmt::Display for AclQuestion {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(f, "Packet: {}", self.packet)?;
+        writeln!(f)?;
+        writeln!(f, "OPTION 1:")?;
+        writeln!(f, "ACTION: {}", self.option_first.action)?;
+        writeln!(f, "OPTION 2:")?;
+        write!(f, "ACTION: {}", self.option_second.action)
+    }
+}
+
+/// Anything that can answer ACL disambiguation questions.
+pub trait AclOracle {
+    /// Answers one differential question.
+    fn choose(&mut self, question: &AclQuestion) -> Result<Choice, ClarifyError>;
+}
+
+/// Answers from the intended final ACL.
+pub struct AclIntentOracle<'a> {
+    /// The intended final ACL.
+    pub intended: &'a Acl,
+}
+
+impl AclOracle for AclIntentOracle<'_> {
+    fn choose(&mut self, q: &AclQuestion) -> Result<Choice, ClarifyError> {
+        let want = eval(self.intended, &q.packet).action;
+        if want == q.option_first.action {
+            Ok(Choice::First)
+        } else {
+            // Binary actions: if it is not the first option it must be the
+            // second (the two options always differ).
+            debug_assert_eq!(want, q.option_second.action);
+            Ok(Choice::Second)
+        }
+    }
+}
+
+/// Adapts a closure into an ACL oracle.
+pub struct FnAclOracle<F>(pub F);
+
+impl<F> AclOracle for FnAclOracle<F>
+where
+    F: FnMut(&AclQuestion) -> Choice,
+{
+    fn choose(&mut self, q: &AclQuestion) -> Result<Choice, ClarifyError> {
+        Ok((self.0)(q))
+    }
+}
+
+fn eval(acl: &Acl, pkt: &Packet) -> AclVerdict {
+    for (i, e) in acl.entries.iter().enumerate() {
+        if e.matches(pkt) {
+            return AclVerdict {
+                action: e.action,
+                index: Some(i),
+            };
+        }
+    }
+    AclVerdict {
+        action: clarify_netconfig::Action::Deny,
+        index: None,
+    }
+}
+
+/// What the ACL disambiguator did.
+#[derive(Clone, Debug)]
+pub struct AclDisambiguationResult {
+    /// The final configuration with the entry inserted.
+    pub config: Config,
+    /// Zero-based position of the new entry.
+    pub position: usize,
+    /// Questions the user answered.
+    pub questions: usize,
+    /// Entries whose match set overlaps the new entry's.
+    pub overlap_candidates: usize,
+    /// The question/answer transcript.
+    pub transcript: Vec<(AclQuestion, Choice)>,
+}
+
+/// Inserts `entry` into `base`'s ACL `acl_name`, interacting with the
+/// oracle to pin down its position (same §4 binary search as route-maps).
+pub fn insert_acl_with_oracle(
+    base: &Config,
+    acl_name: &str,
+    entry: &AclEntry,
+    strategy: PlacementStrategy,
+    oracle: &mut dyn AclOracle,
+) -> Result<AclDisambiguationResult, ClarifyError> {
+    let acl = base
+        .acl(acl_name)
+        .ok_or(clarify_netconfig::ConfigError::NotFound {
+            kind: "access-list",
+            name: acl_name.to_string(),
+        })?
+        .clone();
+
+    let mut space = PacketSpace::new();
+    let valid = space.valid();
+    let new_set = {
+        let raw = space.encode_entry(entry);
+        space.manager().and(raw, valid)
+    };
+    let mut overlaps = Vec::new();
+    for (i, e) in acl.entries.iter().enumerate() {
+        let m = space.encode_entry(e);
+        if space.manager().and(m, new_set) != Ref::FALSE {
+            overlaps.push(i);
+        }
+    }
+    let n = overlaps.len();
+    let mut transcript: Vec<(AclQuestion, Choice)> = Vec::new();
+
+    // Keep only decisive pivots (above/below placements that actually
+    // differ), with their precomputed questions; an equivalence would
+    // otherwise be mistaken for an answer and truncate the search.
+    let mut pivots: Vec<(usize, AclQuestion)> = Vec::new();
+    for &pivot in &overlaps {
+        let above = insert_acl_entry(base, acl_name, entry.clone(), pivot)?;
+        let below = insert_acl_entry(base, acl_name, entry.clone(), pivot + 1)?;
+        let diffs = compare_filters(
+            &mut space,
+            above.acl(acl_name).expect("exists"),
+            below.acl(acl_name).expect("exists"),
+            1,
+        );
+        if let Some(d) = diffs.into_iter().next() {
+            pivots.push((
+                pivot,
+                AclQuestion {
+                    packet: d.packet,
+                    option_first: d.a,
+                    option_second: d.b,
+                    pivot_index: pivot,
+                },
+            ));
+        }
+    }
+    let m = pivots.len();
+
+    let slot_to_position = |slot: usize| -> usize {
+        if m == 0 {
+            acl.entries.len()
+        } else if slot < m {
+            pivots[slot].0
+        } else {
+            pivots[m - 1].0 + 1
+        }
+    };
+
+    let ask = |k: usize,
+               transcript: &mut Vec<(AclQuestion, Choice)>,
+               oracle: &mut dyn AclOracle|
+     -> Result<Choice, ClarifyError> {
+        let q = pivots[k].1.clone();
+        let c = oracle.choose(&q)?;
+        transcript.push((q, c));
+        Ok(c)
+    };
+
+    let position = match strategy {
+        _ if m == 0 => acl.entries.len(),
+        PlacementStrategy::BinarySearch => {
+            let mut lo = 0usize;
+            let mut hi = m;
+            while lo < hi {
+                let mid = (lo + hi) / 2;
+                match ask(mid, &mut transcript, oracle)? {
+                    Choice::First => hi = mid,
+                    Choice::Second => lo = mid + 1,
+                }
+            }
+            slot_to_position(lo)
+        }
+        PlacementStrategy::LinearScan => {
+            let mut slot = m;
+            for k in 0..m {
+                if ask(k, &mut transcript, oracle)? == Choice::First {
+                    slot = k;
+                    break;
+                }
+            }
+            slot_to_position(slot)
+        }
+        PlacementStrategy::TopBottomOnly => {
+            let above = insert_acl_entry(base, acl_name, entry.clone(), 0)?;
+            let below = insert_acl_entry(base, acl_name, entry.clone(), acl.entries.len())?;
+            let diffs = compare_filters(
+                &mut space,
+                above.acl(acl_name).expect("exists"),
+                below.acl(acl_name).expect("exists"),
+                1,
+            );
+            match diffs.into_iter().next() {
+                None => acl.entries.len(),
+                Some(d) => {
+                    let q = AclQuestion {
+                        packet: d.packet,
+                        option_first: d.a,
+                        option_second: d.b,
+                        pivot_index: 0,
+                    };
+                    let c = oracle.choose(&q)?;
+                    transcript.push((q, c));
+                    match c {
+                        Choice::First => 0,
+                        Choice::Second => acl.entries.len(),
+                    }
+                }
+            }
+        }
+    };
+
+    let config = insert_acl_entry(base, acl_name, entry.clone(), position)?;
+    Ok(AclDisambiguationResult {
+        config,
+        position,
+        questions: transcript.len(),
+        overlap_candidates: n,
+        transcript,
+    })
+}
+
+/// Checks the final ACL equals the intended one on every packet.
+pub fn verify_acl_against_intent(
+    final_cfg: &Config,
+    acl_name: &str,
+    intended: &Acl,
+) -> Result<(), ClarifyError> {
+    let acl = final_cfg
+        .acl(acl_name)
+        .ok_or(clarify_netconfig::ConfigError::NotFound {
+            kind: "access-list",
+            name: acl_name.to_string(),
+        })?;
+    let mut space = PacketSpace::new();
+    let diffs = compare_filters(&mut space, acl, intended, 1);
+    match diffs.into_iter().next() {
+        None => Ok(()),
+        Some(d) => Err(ClarifyError::NoValidAclInsertion { witness: d.packet }),
+    }
+}

@@ -1,0 +1,300 @@
+//! The disambiguator: find where a verified snippet belongs by asking the
+//! user behavioural questions backed by concrete differential examples.
+
+use clarify_analysis::{compare_route_policies, RouteSpace};
+use clarify_bdd::Ref;
+use clarify_netconfig::{insert_route_map_stanza, Config, InsertReport, RouteMapVerdict};
+use clarify_nettypes::BgpRoute;
+
+use crate::error::ClarifyError;
+use crate::oracle::{Choice, UserOracle};
+
+/// How insertion points are explored.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum PlacementStrategy {
+    /// The §4 algorithm: binary search over the overlapping stanzas,
+    /// asking `O(log n)` questions.
+    #[default]
+    BinarySearch,
+    /// The paper prototype's restriction: only the top and the bottom of
+    /// the policy are considered (Figure 2 (a) and (b)); at most one
+    /// question is asked.
+    TopBottomOnly,
+    /// Ablation baseline: walk the overlapping stanzas top-down, asking
+    /// one question per overlap (`O(n)` questions).
+    LinearScan,
+}
+
+/// One question to the user: a concrete route and the two behaviours it
+/// would get, exactly the paper's OPTION 1 / OPTION 2 exchange.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct DisambiguationQuestion {
+    /// The differential input route.
+    pub route: BgpRoute,
+    /// Behaviour if the new stanza is placed *above* the pivot stanza.
+    pub option_first: RouteMapVerdict,
+    /// Behaviour if the new stanza is placed *below* the pivot stanza.
+    pub option_second: RouteMapVerdict,
+    /// Sequence number of the pivot stanza in the original policy.
+    pub pivot_seq: u32,
+}
+
+impl std::fmt::Display for DisambiguationQuestion {
+    /// Renders in the paper's §2.2 format.
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(f, "{}", self.route)?;
+        writeln!(f)?;
+        writeln!(f, "OPTION 1:")?;
+        writeln!(f, "{}", render_verdict(&self.option_first))?;
+        writeln!(f, "OPTION 2:")?;
+        write!(f, "{}", render_verdict(&self.option_second))
+    }
+}
+
+fn render_verdict(v: &RouteMapVerdict) -> String {
+    match v {
+        RouteMapVerdict::Permit { route, .. } => format!("ACTION: permit\n{route}"),
+        RouteMapVerdict::DenyBy { .. } | RouteMapVerdict::ImplicitDeny => {
+            "ACTION: deny".to_string()
+        }
+    }
+}
+
+/// What the disambiguator did for one insertion.
+#[derive(Clone, Debug)]
+pub struct DisambiguationResult {
+    /// The final configuration with the snippet inserted.
+    pub config: Config,
+    /// Zero-based position of the new stanza.
+    pub position: usize,
+    /// The mechanical edit report (renames, renumbering).
+    pub report: InsertReport,
+    /// Number of questions the user answered.
+    pub questions: usize,
+    /// Number of existing stanzas whose match set overlaps the snippet's.
+    pub overlap_candidates: usize,
+    /// The full question/answer transcript.
+    pub transcript: Vec<(DisambiguationQuestion, Choice)>,
+}
+
+/// The disambiguator itself. Stateless apart from its strategy.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct Disambiguator {
+    /// Exploration strategy.
+    pub strategy: PlacementStrategy,
+}
+
+impl Disambiguator {
+    /// Creates a disambiguator with the given strategy.
+    pub fn new(strategy: PlacementStrategy) -> Disambiguator {
+        Disambiguator { strategy }
+    }
+
+    /// Inserts the single stanza of `snippet`'s `snippet_map` into `base`'s
+    /// route-map `map`, interacting with `oracle` to pin down the intent.
+    pub fn insert(
+        &self,
+        base: &Config,
+        map: &str,
+        snippet: &Config,
+        snippet_map: &str,
+        oracle: &mut dyn UserOracle,
+    ) -> Result<DisambiguationResult, ClarifyError> {
+        let base_map = base
+            .route_map(map)
+            .ok_or(clarify_netconfig::ConfigError::NotFound {
+                kind: "route-map",
+                name: map.to_string(),
+            })?
+            .clone();
+        let src_map = snippet
+            .route_map(snippet_map)
+            .ok_or(clarify_netconfig::ConfigError::NotFound {
+                kind: "route-map",
+                name: snippet_map.to_string(),
+            })?
+            .clone();
+        if src_map.stanzas.len() != 1 {
+            return Err(clarify_netconfig::ConfigError::InvalidEdit(format!(
+                "snippet route-map '{snippet_map}' must have exactly one stanza"
+            ))
+            .into());
+        }
+
+        let mut space = RouteSpace::new(&[base, snippet])?;
+        let valid = space.valid();
+        let s_star_raw = space.encode_stanza_match(snippet, &src_map.stanzas[0])?;
+        let s_star = space.manager().and(s_star_raw, valid);
+
+        // The §4 candidate set: existing stanzas whose match set intersects
+        // the new stanza's, in original order.
+        let match_sets = space.match_sets(base, &base_map)?;
+        let mut overlaps: Vec<usize> = Vec::new();
+        for (i, &m) in match_sets.iter().enumerate() {
+            if space.manager().and(m, s_star) != Ref::FALSE {
+                overlaps.push(i);
+            }
+        }
+
+        let n = overlaps.len();
+        let mut transcript: Vec<(DisambiguationQuestion, Choice)> = Vec::new();
+
+        // Keep only *decisive* pivots: candidates where inserting the new
+        // stanza immediately above vs immediately below actually changes
+        // behaviour. An equivalence at a pivot (e.g. a deny snippet
+        // crossing a deny stanza) means that boundary vanishes — the two
+        // adjacent slots merge — and treating it as an answer would
+        // discard half the search space that may hold the intent. Each
+        // decisive pivot carries its precomputed differential question.
+        let mut pivots: Vec<(usize, DisambiguationQuestion)> = Vec::new();
+        for &pivot in &overlaps {
+            if let Some(q) = self.question_at_pivot(
+                &mut space,
+                base,
+                map,
+                snippet,
+                snippet_map,
+                &base_map,
+                pivot,
+            )? {
+                pivots.push((pivot, q));
+            }
+        }
+        let m = pivots.len();
+
+        let slot_to_position = |slot: usize| -> usize {
+            if m == 0 {
+                base_map.stanzas.len()
+            } else if slot < m {
+                pivots[slot].0
+            } else {
+                pivots[m - 1].0 + 1
+            }
+        };
+
+        let ask = |k: usize,
+                   transcript: &mut Vec<(DisambiguationQuestion, Choice)>,
+                   oracle: &mut dyn UserOracle|
+         -> Result<Choice, ClarifyError> {
+            let q = pivots[k].1.clone();
+            let c = oracle.choose(&q)?;
+            transcript.push((q, c));
+            Ok(c)
+        };
+
+        let position = match self.strategy {
+            // No decisive boundary anywhere: all positions are equivalent
+            // (or there was no overlap at all); append.
+            _ if m == 0 => base_map.stanzas.len(),
+            PlacementStrategy::BinarySearch => {
+                let mut lo = 0usize;
+                let mut hi = m;
+                while lo < hi {
+                    let mid = (lo + hi) / 2;
+                    match ask(mid, &mut transcript, oracle)? {
+                        Choice::First => hi = mid,
+                        Choice::Second => lo = mid + 1,
+                    }
+                }
+                slot_to_position(lo)
+            }
+            PlacementStrategy::LinearScan => {
+                let mut slot = m;
+                for k in 0..m {
+                    if ask(k, &mut transcript, oracle)? == Choice::First {
+                        slot = k;
+                        break;
+                    }
+                }
+                slot_to_position(slot)
+            }
+            PlacementStrategy::TopBottomOnly => {
+                // Compare the two extreme placements directly.
+                let (top_cfg, _) = insert_route_map_stanza(base, map, snippet, snippet_map, 0)?;
+                let (bot_cfg, _) = insert_route_map_stanza(
+                    base,
+                    map,
+                    snippet,
+                    snippet_map,
+                    base_map.stanzas.len(),
+                )?;
+                let diffs = compare_route_policies(&mut space, &top_cfg, map, &bot_cfg, map, 1)?;
+                match diffs.into_iter().next() {
+                    None => base_map.stanzas.len(), // equivalent; bottom by convention
+                    Some(d) => {
+                        let q = DisambiguationQuestion {
+                            route: d.route,
+                            option_first: d.a,
+                            option_second: d.b,
+                            pivot_seq: base_map.stanzas.first().map(|s| s.seq).unwrap_or(0),
+                        };
+                        let c = oracle.choose(&q)?;
+                        transcript.push((q, c));
+                        match c {
+                            Choice::First => 0,
+                            Choice::Second => base_map.stanzas.len(),
+                        }
+                    }
+                }
+            }
+        };
+
+        let (config, report) = insert_route_map_stanza(base, map, snippet, snippet_map, position)?;
+        Ok(DisambiguationResult {
+            config,
+            position,
+            report,
+            questions: transcript.len(),
+            overlap_candidates: n,
+            transcript,
+        })
+    }
+
+    /// Builds the above/below comparison at one pivot stanza, returning
+    /// the differential question, or `None` when the two placements are
+    /// behaviourally equivalent (the pivot is not a decisive boundary).
+    #[allow(clippy::too_many_arguments)]
+    fn question_at_pivot(
+        &self,
+        space: &mut RouteSpace,
+        base: &Config,
+        map: &str,
+        snippet: &Config,
+        snippet_map: &str,
+        base_map: &clarify_netconfig::RouteMap,
+        pivot: usize,
+    ) -> Result<Option<DisambiguationQuestion>, ClarifyError> {
+        let (above, _) = insert_route_map_stanza(base, map, snippet, snippet_map, pivot)?;
+        let (below, _) = insert_route_map_stanza(base, map, snippet, snippet_map, pivot + 1)?;
+        let diffs = compare_route_policies(space, &above, map, &below, map, 1)?;
+        let Some(d) = diffs.into_iter().next() else {
+            return Ok(None);
+        };
+        Ok(Some(DisambiguationQuestion {
+            route: d.route,
+            option_first: d.a,
+            option_second: d.b,
+            pivot_seq: base_map.stanzas[pivot].seq,
+        }))
+    }
+}
+
+/// Checks that the final configuration implements the intended policy
+/// everywhere; returns [`ClarifyError::NoValidInsertion`] with a witness
+/// route otherwise. The evaluation harness runs this after every insertion
+/// to confirm the disambiguator converged on the user's intent.
+pub fn verify_against_intent(
+    final_cfg: &Config,
+    map: &str,
+    intended: &Config,
+    intended_map: &str,
+) -> Result<(), ClarifyError> {
+    let mut space = RouteSpace::new(&[final_cfg, intended])?;
+    let diffs = compare_route_policies(&mut space, final_cfg, map, intended, intended_map, 1)?;
+    match diffs.into_iter().next() {
+        None => Ok(()),
+        Some(d) => Err(ClarifyError::NoValidInsertion {
+            witness: Box::new(d.route),
+        }),
+    }
+}

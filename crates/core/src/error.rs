@@ -1,0 +1,82 @@
+//! Top-level Clarify errors.
+
+use clarify_analysis::AnalysisError;
+use clarify_llm::LlmError;
+use clarify_netconfig::ConfigError;
+use clarify_nettypes::BgpRoute;
+
+/// Everything that can go wrong in the Clarify workflow.
+#[derive(Clone, Debug)]
+pub enum ClarifyError {
+    /// Configuration parsing / editing failed.
+    Config(ConfigError),
+    /// Symbolic analysis failed.
+    Analysis(AnalysisError),
+    /// The LLM pipeline failed outright (not a punt — an error).
+    Llm(LlmError),
+    /// The user's answers are inconsistent with every insertion point: no
+    /// single position implements the intended behaviour (§4's third
+    /// condition is violated). Carries a route the final placement still
+    /// gets wrong.
+    NoValidInsertion {
+        /// A route whose behaviour differs from the intent under every
+        /// candidate placement.
+        witness: Box<BgpRoute>,
+    },
+    /// The ACL analogue of `NoValidInsertion`: no entry position
+    /// implements the intended filter; carries a packet still handled
+    /// differently.
+    NoValidAclInsertion {
+        /// A packet whose verdict differs from the intent.
+        witness: clarify_nettypes::Packet,
+    },
+    /// An oracle could not answer a question (e.g. a scripted oracle ran
+    /// out of answers).
+    OracleExhausted,
+    /// A network-level operation failed (missing router, non-convergent
+    /// simulation, or an invariant that never held).
+    Simulation(String),
+}
+
+impl From<ConfigError> for ClarifyError {
+    fn from(e: ConfigError) -> Self {
+        ClarifyError::Config(e)
+    }
+}
+
+impl From<AnalysisError> for ClarifyError {
+    fn from(e: AnalysisError) -> Self {
+        ClarifyError::Analysis(e)
+    }
+}
+
+impl From<LlmError> for ClarifyError {
+    fn from(e: LlmError) -> Self {
+        ClarifyError::Llm(e)
+    }
+}
+
+impl std::fmt::Display for ClarifyError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClarifyError::Config(e) => write!(f, "{e}"),
+            ClarifyError::Analysis(e) => write!(f, "{e}"),
+            ClarifyError::Llm(e) => write!(f, "{e}"),
+            ClarifyError::NoValidInsertion { witness } => write!(
+                f,
+                "no insertion point implements the intent; e.g. the route {} is still \
+                 handled differently",
+                witness.network
+            ),
+            ClarifyError::NoValidAclInsertion { witness } => write!(
+                f,
+                "no insertion point implements the intent; e.g. the packet {witness} is still \
+                 handled differently"
+            ),
+            ClarifyError::OracleExhausted => write!(f, "the user oracle ran out of answers"),
+            ClarifyError::Simulation(msg) => write!(f, "simulation error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for ClarifyError {}

@@ -1,0 +1,61 @@
+//! Clarify: interactive disambiguation for LLM-based incremental network
+//! configuration synthesis.
+//!
+//! This crate is the paper's primary contribution. Given an existing
+//! route-map (or ACL) and a freshly synthesized, *verified* snippet, the
+//! **disambiguator** determines where the snippet belongs by asking the
+//! user a logarithmic number of behavioural questions, each grounded in a
+//! concrete differential example computed by `clarify-analysis`:
+//!
+//! ```text
+//!            user intent (English)
+//!                  │
+//!        ┌─────────▼─────────┐    classify, retrieve, synthesize,
+//!        │  clarify-llm      │    extract spec, verify, retry, punt
+//!        └─────────┬─────────┘
+//!                  │ verified snippet (one stanza)
+//!        ┌─────────▼─────────┐    overlap set, binary search,
+//!        │  Disambiguator    │    differential examples, user choice
+//!        └─────────┬─────────┘
+//!                  │ insertion point
+//!        ┌─────────▼─────────┐    name freshening, renumbering
+//!        │  clarify-netconfig │
+//!        └───────────────────┘
+//! ```
+//!
+//! The [`model`] module contains the paper's §4 formalization (the three
+//! conditions on the intended semantics `M'`), checkable on finite input
+//! universes; the [`Disambiguator`] implements the binary-search algorithm
+//! over the symbolic route space, plus the paper prototype's
+//! top-or-bottom-only mode for fidelity.
+
+#![warn(missing_docs)]
+
+mod acl_disambiguator;
+mod disambiguator;
+mod error;
+pub mod model;
+mod network_session;
+mod oracle;
+mod prefix_disambiguator;
+mod session;
+
+pub use acl_disambiguator::{
+    insert_acl_with_oracle, verify_acl_against_intent, AclDisambiguationResult, AclIntentOracle,
+    AclOracle, AclQuestion, FnAclOracle,
+};
+pub use disambiguator::{
+    verify_against_intent, DisambiguationQuestion, DisambiguationResult, Disambiguator,
+    PlacementStrategy,
+};
+pub use error::ClarifyError;
+pub use network_session::{Invariant, NetworkSession, NetworkUpdateOutcome};
+pub use oracle::{Choice, FnOracle, IntentOracle, ScriptedOracle, UserOracle};
+pub use prefix_disambiguator::{
+    insert_prefix_entry_with_oracle, PrefixDisambiguationResult, PrefixIntentOracle, PrefixOracle,
+    PrefixQuestion,
+};
+pub use session::{AddAclOutcome, AddStanzaOutcome, ClarifySession, SessionStats};
+
+#[cfg(test)]
+mod tests;

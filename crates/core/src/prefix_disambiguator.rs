@@ -1,0 +1,230 @@
+//! Disambiguation for prefix-list entry insertion — the paper's §7 future
+//! work ("the tool needs support for inserting entries into other data
+//! structures that can have conflicts like prefix lists"), implemented
+//! with the same §4 algorithm over the prefix space.
+
+use clarify_analysis::{compare_prefix_lists, PrefixSpace};
+use clarify_bdd::Ref;
+use clarify_netconfig::{insert_prefix_list_entry, Config, PrefixList, PrefixListEntry};
+use clarify_nettypes::Prefix;
+
+use crate::error::ClarifyError;
+use crate::oracle::Choice;
+use crate::PlacementStrategy;
+
+/// One question: a concrete prefix and whether each placement permits it.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct PrefixQuestion {
+    /// The differential prefix.
+    pub prefix: Prefix,
+    /// Whether the list permits it with the new entry *above* the pivot.
+    pub first_permits: bool,
+    /// Whether the list permits it with the new entry *below* the pivot.
+    pub second_permits: bool,
+    /// Zero-based index of the pivot entry.
+    pub pivot_index: usize,
+}
+
+impl std::fmt::Display for PrefixQuestion {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(f, "Prefix: {}", self.prefix)?;
+        writeln!(f)?;
+        writeln!(
+            f,
+            "OPTION 1: {}",
+            if self.first_permits { "permit" } else { "deny" }
+        )?;
+        write!(
+            f,
+            "OPTION 2: {}",
+            if self.second_permits {
+                "permit"
+            } else {
+                "deny"
+            }
+        )
+    }
+}
+
+/// Anything that can answer prefix-list questions.
+pub trait PrefixOracle {
+    /// Answers one differential question.
+    fn choose(&mut self, question: &PrefixQuestion) -> Result<Choice, ClarifyError>;
+}
+
+/// Answers from the intended final list.
+pub struct PrefixIntentOracle<'a> {
+    /// The intended final prefix list.
+    pub intended: &'a PrefixList,
+}
+
+impl PrefixOracle for PrefixIntentOracle<'_> {
+    fn choose(&mut self, q: &PrefixQuestion) -> Result<Choice, ClarifyError> {
+        let want = self.intended.permits(&q.prefix);
+        if want == q.first_permits {
+            Ok(Choice::First)
+        } else {
+            debug_assert_eq!(want, q.second_permits);
+            Ok(Choice::Second)
+        }
+    }
+}
+
+/// What the prefix-list disambiguator did.
+#[derive(Clone, Debug)]
+pub struct PrefixDisambiguationResult {
+    /// The final configuration with the entry inserted.
+    pub config: Config,
+    /// Zero-based position of the new entry.
+    pub position: usize,
+    /// Questions the user answered.
+    pub questions: usize,
+    /// Entries whose match set overlaps the new entry's.
+    pub overlap_candidates: usize,
+    /// The question/answer transcript.
+    pub transcript: Vec<(PrefixQuestion, Choice)>,
+}
+
+/// Inserts `entry` into `base`'s prefix list `list_name`, asking the
+/// oracle where it belongs.
+pub fn insert_prefix_entry_with_oracle(
+    base: &Config,
+    list_name: &str,
+    entry: &PrefixListEntry,
+    strategy: PlacementStrategy,
+    oracle: &mut dyn PrefixOracle,
+) -> Result<PrefixDisambiguationResult, ClarifyError> {
+    let list = base
+        .prefix_lists
+        .get(list_name)
+        .ok_or(clarify_netconfig::ConfigError::NotFound {
+            kind: "prefix-list",
+            name: list_name.to_string(),
+        })?
+        .clone();
+
+    let mut space = PrefixSpace::new();
+    let valid = space.valid();
+    let new_set = {
+        let raw = space.encode_range(&entry.range);
+        space.manager().and(raw, valid)
+    };
+    let mut overlaps = Vec::new();
+    for (i, e) in list.entries.iter().enumerate() {
+        let m = space.encode_range(&e.range);
+        if space.manager().and(m, new_set) != Ref::FALSE {
+            overlaps.push(i);
+        }
+    }
+    let n = overlaps.len();
+    let mut transcript: Vec<(PrefixQuestion, Choice)> = Vec::new();
+
+    // Keep only decisive pivots, with precomputed questions (see the
+    // route-map disambiguator for the rationale).
+    let mut pivots: Vec<(usize, PrefixQuestion)> = Vec::new();
+    for &pivot in &overlaps {
+        let above = insert_prefix_list_entry(base, list_name, entry.clone(), pivot)?;
+        let below = insert_prefix_list_entry(base, list_name, entry.clone(), pivot + 1)?;
+        let diffs = compare_prefix_lists(
+            &mut space,
+            &above.prefix_lists[list_name],
+            &below.prefix_lists[list_name],
+            1,
+        )?;
+        if let Some(d) = diffs.into_iter().next() {
+            pivots.push((
+                pivot,
+                PrefixQuestion {
+                    prefix: d.prefix,
+                    first_permits: d.a_permits,
+                    second_permits: d.b_permits,
+                    pivot_index: pivot,
+                },
+            ));
+        }
+    }
+    let m = pivots.len();
+
+    let slot_to_position = |slot: usize| -> usize {
+        if m == 0 {
+            list.entries.len()
+        } else if slot < m {
+            pivots[slot].0
+        } else {
+            pivots[m - 1].0 + 1
+        }
+    };
+
+    let ask = |k: usize,
+               transcript: &mut Vec<(PrefixQuestion, Choice)>,
+               oracle: &mut dyn PrefixOracle|
+     -> Result<Choice, ClarifyError> {
+        let q = pivots[k].1;
+        let c = oracle.choose(&q)?;
+        transcript.push((q, c));
+        Ok(c)
+    };
+
+    let position = match strategy {
+        _ if m == 0 => list.entries.len(),
+        PlacementStrategy::BinarySearch => {
+            let mut lo = 0usize;
+            let mut hi = m;
+            while lo < hi {
+                let mid = (lo + hi) / 2;
+                match ask(mid, &mut transcript, oracle)? {
+                    Choice::First => hi = mid,
+                    Choice::Second => lo = mid + 1,
+                }
+            }
+            slot_to_position(lo)
+        }
+        PlacementStrategy::LinearScan => {
+            let mut slot = m;
+            for k in 0..m {
+                if ask(k, &mut transcript, oracle)? == Choice::First {
+                    slot = k;
+                    break;
+                }
+            }
+            slot_to_position(slot)
+        }
+        PlacementStrategy::TopBottomOnly => {
+            let above = insert_prefix_list_entry(base, list_name, entry.clone(), 0)?;
+            let below =
+                insert_prefix_list_entry(base, list_name, entry.clone(), list.entries.len())?;
+            let diffs = compare_prefix_lists(
+                &mut space,
+                &above.prefix_lists[list_name],
+                &below.prefix_lists[list_name],
+                1,
+            )?;
+            match diffs.into_iter().next() {
+                None => list.entries.len(),
+                Some(d) => {
+                    let q = PrefixQuestion {
+                        prefix: d.prefix,
+                        first_permits: d.a_permits,
+                        second_permits: d.b_permits,
+                        pivot_index: 0,
+                    };
+                    let c = oracle.choose(&q)?;
+                    transcript.push((q, c));
+                    match c {
+                        Choice::First => 0,
+                        Choice::Second => list.entries.len(),
+                    }
+                }
+            }
+        }
+    };
+
+    let config = insert_prefix_list_entry(base, list_name, entry.clone(), position)?;
+    Ok(PrefixDisambiguationResult {
+        config,
+        position,
+        questions: transcript.len(),
+        overlap_candidates: n,
+        transcript,
+    })
+}

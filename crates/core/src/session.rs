@@ -1,0 +1,207 @@
+//! The end-to-end Clarify session: English intents in, verified and
+//! correctly placed configuration out, with the paper's Figure 4 counters.
+
+use clarify_llm::{LlmBackend, Pipeline, PipelineOutcome};
+use clarify_netconfig::{Acl, Config, RouteMap};
+
+use crate::acl_disambiguator::{insert_acl_with_oracle, AclDisambiguationResult, AclOracle};
+use crate::disambiguator::{DisambiguationResult, Disambiguator};
+use crate::error::ClarifyError;
+use crate::oracle::UserOracle;
+
+/// Counters matching the paper's Figure 4 columns.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct SessionStats {
+    /// Network-level updates that were rolled back by an invariant check
+    /// (their stanzas are *not* counted in `stanzas_added`).
+    pub rollbacks: usize,
+    /// Total LLM calls across all intents.
+    pub llm_calls: usize,
+    /// Total disambiguation questions the user answered.
+    pub disambiguations: usize,
+    /// Stanzas successfully added.
+    pub stanzas_added: usize,
+    /// Intents that ended in a punt.
+    pub punts: usize,
+}
+
+/// Result of one `add_stanza` interaction.
+#[derive(Clone, Debug)]
+pub enum AddStanzaOutcome {
+    /// The stanza was synthesized, verified, and inserted.
+    Inserted {
+        /// The updated configuration.
+        config: Config,
+        /// Disambiguator details (position, questions, transcript).
+        result: Box<DisambiguationResult>,
+        /// LLM calls this intent consumed.
+        llm_calls: usize,
+    },
+    /// The synthesis loop exhausted its retries (step 5 of Figure 1).
+    Punted {
+        /// Why the last attempt failed verification.
+        reason: String,
+        /// LLM calls consumed before punting.
+        llm_calls: usize,
+    },
+}
+
+/// A long-lived interactive session: one pipeline, one disambiguator, and
+/// running statistics.
+pub struct ClarifySession<B> {
+    pipeline: Pipeline<B>,
+    disambiguator: Disambiguator,
+    stats: SessionStats,
+}
+
+impl<B: LlmBackend> ClarifySession<B> {
+    /// Creates a session over the given backend. `max_attempts` bounds the
+    /// synthesis retry loop.
+    pub fn new(backend: B, max_attempts: usize, disambiguator: Disambiguator) -> Self {
+        ClarifySession {
+            pipeline: Pipeline::new(backend, max_attempts),
+            disambiguator,
+            stats: SessionStats::default(),
+        }
+    }
+
+    /// The running counters.
+    pub fn stats(&self) -> SessionStats {
+        self.stats
+    }
+
+    /// Records a network-level rollback: the stanza counted by the inner
+    /// insertion never reached the network.
+    pub(crate) fn record_rollback(&mut self) {
+        self.stats.stanzas_added = self.stats.stanzas_added.saturating_sub(1);
+        self.stats.rollbacks += 1;
+    }
+
+    /// Adds one stanza described by `prompt` to `map` in `base`.
+    ///
+    /// If `map` does not exist yet it is created empty first (building a
+    /// policy from scratch, as the §5 evaluation does). The returned
+    /// configuration is a new value; `base` is untouched.
+    pub fn add_stanza(
+        &mut self,
+        base: &Config,
+        map: &str,
+        prompt: &str,
+        oracle: &mut dyn UserOracle,
+    ) -> Result<AddStanzaOutcome, ClarifyError> {
+        let outcome = self.pipeline.synthesize(prompt)?;
+        match outcome {
+            PipelineOutcome::RouteMap {
+                snippet,
+                map_name,
+                llm_calls,
+                ..
+            } => {
+                self.stats.llm_calls += llm_calls;
+                let mut working = base.clone();
+                if working.route_map(map).is_none() {
+                    working
+                        .route_maps
+                        .insert(map.to_string(), RouteMap::empty(map));
+                }
+                let result = self
+                    .disambiguator
+                    .insert(&working, map, &snippet, &map_name, oracle)?;
+                self.stats.disambiguations += result.questions;
+                self.stats.stanzas_added += 1;
+                Ok(AddStanzaOutcome::Inserted {
+                    config: result.config.clone(),
+                    result: Box::new(result),
+                    llm_calls,
+                })
+            }
+            PipelineOutcome::Acl { llm_calls, .. } => {
+                self.stats.llm_calls += llm_calls;
+                Err(ClarifyError::Llm(clarify_llm::LlmError::UnsupportedQuery(
+                    "expected a route-map intent, got an ACL intent".to_string(),
+                )))
+            }
+            PipelineOutcome::Punt { llm_calls, reason } => {
+                self.stats.llm_calls += llm_calls;
+                self.stats.punts += 1;
+                Ok(AddStanzaOutcome::Punted { reason, llm_calls })
+            }
+        }
+    }
+}
+
+/// Result of one `add_acl_entry` interaction.
+#[derive(Clone, Debug)]
+pub enum AddAclOutcome {
+    /// The entry was synthesized, verified, and inserted.
+    Inserted {
+        /// The updated configuration.
+        config: Config,
+        /// Disambiguator details.
+        result: Box<AclDisambiguationResult>,
+        /// LLM calls this intent consumed.
+        llm_calls: usize,
+    },
+    /// The synthesis loop exhausted its retries.
+    Punted {
+        /// Why the last attempt failed verification.
+        reason: String,
+        /// LLM calls consumed before punting.
+        llm_calls: usize,
+    },
+}
+
+impl<B: LlmBackend> ClarifySession<B> {
+    /// Adds one ACL entry described by `prompt` to `acl_name` in `base`,
+    /// creating the ACL when it does not exist yet.
+    pub fn add_acl_entry(
+        &mut self,
+        base: &Config,
+        acl_name: &str,
+        prompt: &str,
+        oracle: &mut dyn AclOracle,
+    ) -> Result<AddAclOutcome, ClarifyError> {
+        match self.pipeline.synthesize(prompt)? {
+            PipelineOutcome::Acl {
+                entry, llm_calls, ..
+            } => {
+                self.stats.llm_calls += llm_calls;
+                let mut working = base.clone();
+                if working.acl(acl_name).is_none() {
+                    working.acls.insert(
+                        acl_name.to_string(),
+                        Acl {
+                            name: acl_name.to_string(),
+                            entries: Vec::new(),
+                        },
+                    );
+                }
+                let result = insert_acl_with_oracle(
+                    &working,
+                    acl_name,
+                    &entry,
+                    self.disambiguator.strategy,
+                    oracle,
+                )?;
+                self.stats.disambiguations += result.questions;
+                self.stats.stanzas_added += 1;
+                Ok(AddAclOutcome::Inserted {
+                    config: result.config.clone(),
+                    result: Box::new(result),
+                    llm_calls,
+                })
+            }
+            PipelineOutcome::RouteMap { llm_calls, .. } => {
+                self.stats.llm_calls += llm_calls;
+                Err(ClarifyError::Llm(clarify_llm::LlmError::UnsupportedQuery(
+                    "expected an ACL intent, got a route-map intent".to_string(),
+                )))
+            }
+            PipelineOutcome::Punt { llm_calls, reason } => {
+                self.stats.llm_calls += llm_calls;
+                self.stats.punts += 1;
+                Ok(AddAclOutcome::Punted { reason, llm_calls })
+            }
+        }
+    }
+}

@@ -1,0 +1,38 @@
+//! LLM-pipeline errors.
+
+use crate::intent::IntentError;
+
+/// Errors surfaced by the synthesis pipeline.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum LlmError {
+    /// The user prompt could not be understood as a synthesis intent.
+    Intent(IntentError),
+    /// The backend classified the query as something the pipeline does not
+    /// support.
+    UnsupportedQuery(String),
+    /// The machine-readable spec emitted by the backend failed to parse —
+    /// a pipeline bug or a hostile backend, never retried.
+    MalformedSpec(String),
+    /// Symbolic verification failed internally (not a mismatch — a real
+    /// error such as an oversized field value).
+    Analysis(String),
+}
+
+impl From<IntentError> for LlmError {
+    fn from(e: IntentError) -> Self {
+        LlmError::Intent(e)
+    }
+}
+
+impl std::fmt::Display for LlmError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            LlmError::Intent(e) => write!(f, "could not understand the prompt: {e}"),
+            LlmError::UnsupportedQuery(k) => write!(f, "unsupported query kind '{k}'"),
+            LlmError::MalformedSpec(s) => write!(f, "malformed specification: {s}"),
+            LlmError::Analysis(s) => write!(f, "verification error: {s}"),
+        }
+    }
+}
+
+impl std::error::Error for LlmError {}

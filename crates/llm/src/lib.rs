@@ -1,0 +1,40 @@
+//! The simulated LLM pipeline of Clarify's Figure 1.
+//!
+//! The paper drives its prototype with GPT-4 behind three prompts: a query
+//! **classifier** (route-map vs ACL synthesis), a **synthesizer** that
+//! emits one configuration stanza in Cisco IOS syntax, and a **spec
+//! extractor** that turns the user prompt into a machine-readable JSON
+//! spec. This crate reproduces the pipeline with a pluggable
+//! [`LlmBackend`]:
+//!
+//! * [`SemanticBackend`] — a deterministic grammar-directed semantic parser
+//!   over the same constrained English the paper's few-shot examples pin
+//!   down. It plays the role of a *perfect* LLM (the paper reports GPT-4
+//!   synthesized every stanza correctly in one pass on its workload).
+//! * [`FaultyBackend`] — wraps any backend and corrupts synthesized
+//!   configurations with a seeded error model, exercising the
+//!   verify-retry-punt cycle of Figure 1 the way a misbehaving LLM would.
+//!
+//! The [`Pipeline`] wires classification, few-shot retrieval from the
+//! [`PromptDb`], synthesis, spec extraction, and symbolic verification
+//! (via `clarify-analysis`) into the paper's loop, counting LLM calls the
+//! way the paper's Figure 4 does.
+
+#![warn(missing_docs)]
+
+mod backend;
+mod error;
+mod intent;
+mod pipeline;
+mod promptdb;
+
+pub use backend::{
+    FaultKind, FaultyBackend, LlmBackend, LlmRequest, LlmResponse, SemanticBackend, TaskKind,
+};
+pub use error::LlmError;
+pub use intent::{AclIntent, AddrIntent, IntentError, PrefixConstraint, RouteMapIntent, SetIntent};
+pub use pipeline::{Pipeline, PipelineOutcome, QueryKind};
+pub use promptdb::{PromptDb, PromptEntry};
+
+#[cfg(test)]
+mod tests;

@@ -1,0 +1,322 @@
+//! The synthesis pipeline of Figure 1: classify → retrieve → synthesize →
+//! extract spec → verify, with retries and a punt threshold.
+
+use clarify_analysis::{verify_stanza_against_spec, PacketSpace, SpecVerdict, StanzaSpec};
+use clarify_netconfig::{AclEntry, Config, RouteMapSet};
+use clarify_nettypes::PrefixRange;
+
+use crate::backend::{LlmBackend, LlmRequest, TaskKind};
+use crate::error::LlmError;
+use crate::promptdb::PromptDb;
+
+/// The classifier's verdict on a user query.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum QueryKind {
+    /// Route-map stanza synthesis.
+    RouteMap,
+    /// ACL entry synthesis.
+    Acl,
+}
+
+/// What the pipeline produced for one user intent.
+#[derive(Clone, Debug)]
+#[allow(clippy::large_enum_variant)] // outcomes are created once per intent
+pub enum PipelineOutcome {
+    /// A verified route-map snippet.
+    RouteMap {
+        /// The snippet configuration (one route-map, one stanza, plus its
+        /// ancillary lists).
+        snippet: Config,
+        /// Name of the snippet's route-map.
+        map_name: String,
+        /// The machine-readable spec the stanza was verified against.
+        spec: StanzaSpec,
+        /// Total LLM calls made (classify + spec + each synthesis attempt).
+        llm_calls: usize,
+        /// Synthesis attempts (1 = first-pass success).
+        attempts: usize,
+    },
+    /// A verified ACL entry.
+    Acl {
+        /// The synthesized entry.
+        entry: AclEntry,
+        /// Total LLM calls made.
+        llm_calls: usize,
+        /// Synthesis attempts.
+        attempts: usize,
+    },
+    /// The retry threshold was exhausted; the user must start over (step 5
+    /// of Figure 1).
+    Punt {
+        /// Total LLM calls made before punting.
+        llm_calls: usize,
+        /// Why the last attempt failed.
+        reason: String,
+    },
+}
+
+impl PipelineOutcome {
+    /// LLM calls regardless of variant.
+    pub fn llm_calls(&self) -> usize {
+        match self {
+            PipelineOutcome::RouteMap { llm_calls, .. }
+            | PipelineOutcome::Acl { llm_calls, .. }
+            | PipelineOutcome::Punt { llm_calls, .. } => *llm_calls,
+        }
+    }
+
+    /// Whether synthesis succeeded.
+    pub fn is_success(&self) -> bool {
+        !matches!(self, PipelineOutcome::Punt { .. })
+    }
+}
+
+/// The verified synthesis pipeline.
+pub struct Pipeline<B> {
+    backend: B,
+    db: PromptDb,
+    max_attempts: usize,
+}
+
+impl<B: LlmBackend> Pipeline<B> {
+    /// Creates a pipeline with the default prompt database and a retry
+    /// threshold of `max_attempts` synthesis calls per intent.
+    pub fn new(backend: B, max_attempts: usize) -> Pipeline<B> {
+        assert!(max_attempts >= 1, "at least one attempt required");
+        Pipeline {
+            backend,
+            db: PromptDb::defaults(),
+            max_attempts,
+        }
+    }
+
+    /// Access to the backend (e.g. to read fault-injection counters).
+    pub fn backend(&self) -> &B {
+        &self.backend
+    }
+
+    fn call(&mut self, task: TaskKind, user: &str, feedback: Option<&str>) -> String {
+        let entry = self.db.retrieve(task);
+        let req = LlmRequest {
+            task,
+            system: entry.map(|e| e.system.clone()).unwrap_or_default(),
+            examples: entry.map(|e| e.examples.clone()).unwrap_or_default(),
+            user: user.to_string(),
+            feedback: feedback.map(str::to_string),
+        };
+        self.backend.complete(&req).text
+    }
+
+    /// Runs the full pipeline on one user prompt.
+    pub fn synthesize(&mut self, prompt: &str) -> Result<PipelineOutcome, LlmError> {
+        let mut llm_calls = 0usize;
+
+        // (1) classify, (2) retrieve happens inside call().
+        let class = self.call(TaskKind::Classify, prompt, None);
+        llm_calls += 1;
+        let kind = match class.trim() {
+            "route-map" => QueryKind::RouteMap,
+            "acl" => QueryKind::Acl,
+            other => return Err(LlmError::UnsupportedQuery(other.to_string())),
+        };
+
+        // (3) extract the machine-readable spec. The paper has the user
+        // eyeball this; it is stable across synthesis retries.
+        let spec_text = self.call(TaskKind::ExtractSpec, prompt, None);
+        llm_calls += 1;
+        if let Some(err) = spec_text.strip_prefix("ERROR:") {
+            return Err(LlmError::MalformedSpec(err.trim().to_string()));
+        }
+
+        match kind {
+            QueryKind::RouteMap => {
+                let spec = parse_route_spec(&spec_text)?;
+                let mut feedback = String::new();
+                for attempt in 1..=self.max_attempts {
+                    let fb = if feedback.is_empty() {
+                        None
+                    } else {
+                        Some(feedback.as_str())
+                    };
+                    let text = self.call(TaskKind::SynthesizeRouteMap, prompt, fb);
+                    llm_calls += 1;
+                    if let Some(err) = text.strip_prefix("ERROR:") {
+                        return Err(LlmError::Intent(crate::intent::IntentError {
+                            message: err.trim().to_string(),
+                        }));
+                    }
+                    let snippet = match Config::parse(&text) {
+                        Ok(c) => c,
+                        Err(e) => {
+                            feedback = format!("it did not parse: {e}");
+                            continue;
+                        }
+                    };
+                    let Some(map_name) = snippet.route_maps.keys().next().cloned() else {
+                        feedback = "it contained no route-map".to_string();
+                        continue;
+                    };
+                    match verify_stanza_against_spec(&snippet, &map_name, &spec) {
+                        Ok(SpecVerdict::Verified) => {
+                            return Ok(PipelineOutcome::RouteMap {
+                                snippet,
+                                map_name,
+                                spec,
+                                llm_calls,
+                                attempts: attempt,
+                            });
+                        }
+                        Ok(SpecVerdict::ActionMismatch) => {
+                            feedback = "the permit/deny action is wrong".to_string();
+                        }
+                        Ok(SpecVerdict::MatchMismatch {
+                            witness,
+                            stanza_matches,
+                        }) => {
+                            feedback = format!(
+                                "the stanza {} the route {:?} but the specification says it \
+                                 should {}",
+                                if stanza_matches {
+                                    "matches"
+                                } else {
+                                    "does not match"
+                                },
+                                witness.network,
+                                if stanza_matches { "not match" } else { "match" },
+                            );
+                        }
+                        Ok(SpecVerdict::SetMismatch) => {
+                            feedback = "the set clauses are wrong".to_string();
+                        }
+                        Err(e) => return Err(LlmError::Analysis(e.to_string())),
+                    }
+                }
+                Ok(PipelineOutcome::Punt {
+                    llm_calls,
+                    reason: feedback,
+                })
+            }
+            QueryKind::Acl => {
+                let spec_entry = parse_single_acl_entry(&spec_text)
+                    .ok_or_else(|| LlmError::MalformedSpec(spec_text.clone()))?;
+                let mut feedback = String::new();
+                for attempt in 1..=self.max_attempts {
+                    let fb = if feedback.is_empty() {
+                        None
+                    } else {
+                        Some(feedback.as_str())
+                    };
+                    let text = self.call(TaskKind::SynthesizeAcl, prompt, fb);
+                    llm_calls += 1;
+                    if let Some(err) = text.strip_prefix("ERROR:") {
+                        return Err(LlmError::Intent(crate::intent::IntentError {
+                            message: err.trim().to_string(),
+                        }));
+                    }
+                    let Some(entry) = parse_single_acl_entry(&text) else {
+                        feedback = "it was not a single valid ACL entry".to_string();
+                        continue;
+                    };
+                    if acl_entries_equivalent(&entry, &spec_entry) {
+                        return Ok(PipelineOutcome::Acl {
+                            entry,
+                            llm_calls,
+                            attempts: attempt,
+                        });
+                    }
+                    feedback = "the entry does not implement the specification".to_string();
+                }
+                Ok(PipelineOutcome::Punt {
+                    llm_calls,
+                    reason: feedback,
+                })
+            }
+        }
+    }
+}
+
+/// Parses the line-based route-map spec exchange format.
+fn parse_route_spec(text: &str) -> Result<StanzaSpec, LlmError> {
+    let mut spec = StanzaSpec::default();
+    let bad = |line: &str| LlmError::MalformedSpec(format!("bad spec line '{line}'"));
+    for line in text.lines() {
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        let words: Vec<&str> = line.split_whitespace().collect();
+        match words.as_slice() {
+            ["action", "permit"] => spec.permit = true,
+            ["action", "deny"] => spec.permit = false,
+            ["prefix", rest @ ..] => {
+                let r: PrefixRange = rest.join(" ").parse().map_err(|_| bad(line))?;
+                spec.prefixes.push(r);
+            }
+            ["community", pat] => spec.communities.push(pat.to_string()),
+            ["as-path", pat] => spec.as_paths.push(pat.to_string()),
+            ["match", "local-preference", v] => {
+                spec.local_pref = Some(v.parse().map_err(|_| bad(line))?)
+            }
+            ["match", "metric", v] => spec.metric = Some(v.parse().map_err(|_| bad(line))?),
+            ["match", "tag", v] => spec.tag = Some(v.parse().map_err(|_| bad(line))?),
+            ["set", "metric", v] => spec
+                .sets
+                .push(RouteMapSet::Metric(v.parse().map_err(|_| bad(line))?)),
+            ["set", "local-preference", v] => spec
+                .sets
+                .push(RouteMapSet::LocalPref(v.parse().map_err(|_| bad(line))?)),
+            ["set", "weight", v] => spec
+                .sets
+                .push(RouteMapSet::Weight(v.parse().map_err(|_| bad(line))?)),
+            ["set", "tag", v] => spec
+                .sets
+                .push(RouteMapSet::Tag(v.parse().map_err(|_| bad(line))?)),
+            ["set", "ip", "next-hop", ip] => spec
+                .sets
+                .push(RouteMapSet::NextHop(ip.parse().map_err(|_| bad(line))?)),
+            ["set", "community", rest @ ..] => {
+                let (comms, additive) = match rest.split_last() {
+                    Some((&"additive", init)) => (init, true),
+                    _ => (rest, false),
+                };
+                let parsed: Result<Vec<_>, _> = comms.iter().map(|c| c.parse()).collect();
+                let parsed = parsed.map_err(|_| bad(line))?;
+                spec.sets.push(if additive {
+                    RouteMapSet::CommunityAdd(parsed)
+                } else {
+                    RouteMapSet::CommunityReplace(parsed)
+                });
+            }
+            _ => return Err(bad(line)),
+        }
+    }
+    Ok(spec)
+}
+
+/// Parses IOS text containing exactly one ACL with exactly one entry.
+fn parse_single_acl_entry(text: &str) -> Option<AclEntry> {
+    let cfg = Config::parse(text).ok()?;
+    if cfg.acls.len() != 1 {
+        return None;
+    }
+    let acl = cfg.acls.values().next().expect("one ACL");
+    if acl.entries.len() != 1 {
+        return None;
+    }
+    Some(acl.entries[0].clone())
+}
+
+/// Whether two ACL entries are semantically identical (same action and
+/// same match set, checked symbolically).
+fn acl_entries_equivalent(a: &AclEntry, b: &AclEntry) -> bool {
+    if a.action != b.action {
+        return false;
+    }
+    let mut space = PacketSpace::new();
+    let ea = space.encode_entry(a);
+    let eb = space.encode_entry(b);
+    let valid = space.valid();
+    let va = space.manager().and(ea, valid);
+    let vb = space.manager().and(eb, valid);
+    space.manager().iff(va, vb) == clarify_bdd::Ref::TRUE
+}

@@ -1,0 +1,123 @@
+//! The system-prompt / few-shot example database (box 2 of Figure 1).
+//!
+//! The paper augments each LLM call with a task description and few-shot
+//! examples retrieved per query class. The defaults here carry the same
+//! §2.1 example the paper shows; they also double as documentation of the
+//! constrained prompt grammar the semantic backend understands.
+
+use std::collections::HashMap;
+
+use crate::backend::TaskKind;
+
+/// One retrievable prompt context.
+#[derive(Clone, Debug)]
+pub struct PromptEntry {
+    /// The system prompt.
+    pub system: String,
+    /// Few-shot `(user, assistant)` pairs.
+    pub examples: Vec<(String, String)>,
+}
+
+/// The database of system prompts and few-shot examples, keyed by task.
+#[derive(Clone, Debug, Default)]
+pub struct PromptDb {
+    entries: HashMap<TaskKind, PromptEntry>,
+}
+
+impl PromptDb {
+    /// An empty database.
+    pub fn new() -> PromptDb {
+        PromptDb::default()
+    }
+
+    /// The default database mirroring the paper's prompts.
+    pub fn defaults() -> PromptDb {
+        let mut db = PromptDb::new();
+        db.insert(
+            TaskKind::Classify,
+            PromptEntry {
+                system: "Classify the user's request as either 'route-map' or 'acl' synthesis. \
+                         Answer with exactly one of those two words."
+                    .to_string(),
+                examples: vec![
+                    (
+                        "Write a route-map stanza that permits routes containing the prefix \
+                         10.0.0.0/8."
+                            .to_string(),
+                        "route-map".to_string(),
+                    ),
+                    (
+                        "Write an access-list rule that denies tcp packets from any to host \
+                         10.0.0.1."
+                            .to_string(),
+                        "acl".to_string(),
+                    ),
+                ],
+            },
+        );
+        db.insert(
+            TaskKind::SynthesizeRouteMap,
+            PromptEntry {
+                system: "Generate exactly one route-map stanza in Cisco IOS syntax, together \
+                         with any prefix lists, community lists or as-path access-lists it \
+                         needs. Do not reference any existing configuration."
+                    .to_string(),
+                examples: vec![(
+                    "Write a route-map stanza that permits routes containing the prefix \
+                     100.0.0.0/16 with mask length less than or equal to 23 and tagged with \
+                     the community 300:3. Their MED value should be set to 55."
+                        .to_string(),
+                    "ip community-list expanded COM_LIST permit _300:3_\n\
+                     ip prefix-list PREFIX_100 permit 100.0.0.0/16 le 23\n\
+                     route-map SET_METRIC permit 10\n \
+                     match community COM_LIST\n \
+                     match ip address prefix-list PREFIX_100\n \
+                     set metric 55\n"
+                        .to_string(),
+                )],
+            },
+        );
+        db.insert(
+            TaskKind::SynthesizeAcl,
+            PromptEntry {
+                system: "Generate exactly one extended access-list entry in Cisco IOS syntax."
+                    .to_string(),
+                examples: vec![(
+                    "Write an access-list rule that permits tcp packets from host 1.1.1.1 to \
+                     host 2.2.2.2 with destination port 443."
+                        .to_string(),
+                    "ip access-list extended NEW_RULE\n permit tcp host 1.1.1.1 host 2.2.2.2 \
+                     eq 443\n"
+                        .to_string(),
+                )],
+            },
+        );
+        db.insert(
+            TaskKind::ExtractSpec,
+            PromptEntry {
+                system: "Extract a machine-readable specification from the user's request, one \
+                         constraint per line."
+                    .to_string(),
+                examples: vec![(
+                    "Write a route-map stanza that permits routes containing the prefix \
+                     100.0.0.0/16 with mask length less than or equal to 23 and tagged with \
+                     the community 300:3. Their MED value should be set to 55."
+                        .to_string(),
+                    "action permit\nprefix 100.0.0.0/16 le 23\ncommunity _300:3_\nset metric 55\n"
+                        .to_string(),
+                )],
+            },
+        );
+        db
+    }
+
+    /// Inserts or replaces the entry for a task.
+    pub fn insert(&mut self, task: TaskKind, entry: PromptEntry) {
+        self.entries.insert(task, entry);
+    }
+
+    /// Retrieves the entry for a task (step 2 of Figure 1).
+    pub fn retrieve(&self, task: TaskKind) -> Option<&PromptEntry> {
+        self.entries.get(&task)
+    }
+}

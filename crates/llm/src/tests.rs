@@ -1,0 +1,616 @@
+use clarify_netconfig::{Action, RouteMapSet};
+use clarify_nettypes::{PortRange, Protocol};
+
+use crate::{
+    AclIntent, AddrIntent, FaultyBackend, LlmBackend, LlmRequest, Pipeline, PipelineOutcome,
+    PrefixConstraint, PromptDb, RouteMapIntent, SemanticBackend, SetIntent, TaskKind,
+};
+
+/// The paper's §2.1 prompt, verbatim (modulo line wrapping).
+const PAPER_PROMPT: &str = "Write a route-map stanza that permits routes containing the prefix \
+100.0.0.0/16 with mask length less than or equal to 23 and tagged with the community 300:3. \
+Their MED value should be set to 55.";
+
+#[test]
+fn parse_paper_prompt() {
+    let intent = RouteMapIntent::parse(PAPER_PROMPT).unwrap();
+    assert!(intent.permit);
+    assert_eq!(intent.prefixes.len(), 1);
+    assert_eq!(intent.prefixes[0].0, "100.0.0.0/16".parse().unwrap());
+    assert_eq!(intent.prefixes[0].1, PrefixConstraint::Le(23));
+    assert_eq!(intent.communities, vec!["300:3".parse().unwrap()]);
+    assert_eq!(intent.sets, vec![SetIntent::Metric(55)]);
+}
+
+#[test]
+fn paper_prompt_synthesizes_paper_snippet() {
+    let intent = RouteMapIntent::parse(PAPER_PROMPT).unwrap();
+    let (cfg, map_name) = intent.to_snippet().unwrap();
+    assert_eq!(map_name, "SET_METRIC");
+    assert!(cfg.community_lists.contains_key("COM_LIST"));
+    assert!(cfg.prefix_lists.contains_key("PREFIX_100"));
+    let rm = cfg.route_map("SET_METRIC").unwrap();
+    assert_eq!(rm.stanzas.len(), 1);
+    assert_eq!(rm.stanzas[0].action, Action::Permit);
+    assert_eq!(rm.stanzas[0].sets, vec![RouteMapSet::Metric(55)]);
+    // The generated text matches the paper's output semantically.
+    let text = cfg.to_string();
+    assert!(
+        text.contains("ip community-list expanded COM_LIST permit _300:3_"),
+        "{text}"
+    );
+    assert!(
+        text.contains("ip prefix-list PREFIX_100 seq 10 permit 100.0.0.0/16 le 23"),
+        "{text}"
+    );
+    assert!(text.contains("set metric 55"), "{text}");
+}
+
+#[test]
+fn paper_prompt_spec_json_matches_paper() {
+    let intent = RouteMapIntent::parse(PAPER_PROMPT).unwrap();
+    let spec = intent.to_spec().unwrap();
+    let json = spec.to_json();
+    assert!(json.contains("\"permit\": true"), "{json}");
+    assert!(
+        json.contains("\"prefix\": [\"100.0.0.0/16:16-23\"]"),
+        "{json}"
+    );
+    assert!(json.contains("\"community\": \"/_300:3_/\""), "{json}");
+    assert!(json.contains("\"set\": {\"metric\": 55}"), "{json}");
+}
+
+#[test]
+fn parse_deny_origin_as() {
+    let p = "Write a route-map stanza that denies routes originating from AS 32.";
+    let intent = RouteMapIntent::parse(p).unwrap();
+    assert!(!intent.permit);
+    assert_eq!(intent.origin_as, Some(32));
+    let (cfg, name) = intent.to_snippet().unwrap();
+    let text = cfg.to_string();
+    assert!(
+        text.contains("ip as-path access-list AS_LIST permit _32$"),
+        "{text}"
+    );
+    assert_eq!(name, "DENY_ROUTES");
+}
+
+#[test]
+fn parse_transit_as_and_local_pref() {
+    let p = "Write a route-map stanza that permits routes passing through AS 174 and with \
+             local preference 300. Their local preference should be set to 200.";
+    let intent = RouteMapIntent::parse(p).unwrap();
+    assert_eq!(intent.transit_as, Some(174));
+    assert_eq!(intent.match_local_pref, Some(300));
+    assert_eq!(intent.sets, vec![SetIntent::LocalPref(200)]);
+}
+
+#[test]
+fn parse_match_all() {
+    let p = "Write a route-map stanza that denies all routes.";
+    let intent = RouteMapIntent::parse(p).unwrap();
+    assert!(intent.match_all);
+    assert!(!intent.permit);
+    let (cfg, name) = intent.to_snippet().unwrap();
+    assert!(cfg.route_map(&name).unwrap().stanzas[0].matches.is_empty());
+}
+
+#[test]
+fn parse_add_community() {
+    let p = "Write a route-map stanza that permits routes containing the prefix 10.1.0.0/16. \
+             The community 65000:7 should be added.";
+    let intent = RouteMapIntent::parse(p).unwrap();
+    assert_eq!(
+        intent.sets,
+        vec![SetIntent::AddCommunity("65000:7".parse().unwrap())]
+    );
+}
+
+#[test]
+fn parse_rejects_gibberish() {
+    assert!(RouteMapIntent::parse("please make the network behave").is_err());
+    assert!(RouteMapIntent::parse("").is_err());
+    // An action with no recognizable match condition.
+    assert!(RouteMapIntent::parse("Write a route-map stanza that permits things.").is_err());
+}
+
+#[test]
+fn prompt_roundtrip_paper_example() {
+    let intent = RouteMapIntent::parse(PAPER_PROMPT).unwrap();
+    let rendered = intent.render_prompt();
+    let reparsed = RouteMapIntent::parse(&rendered).unwrap();
+    assert_eq!(intent, reparsed);
+}
+
+#[test]
+fn acl_intent_parse_and_entry() {
+    let p = "Write an access-list rule that permits tcp packets from host 1.1.1.1 to host \
+             2.2.2.2 with destination port 443.";
+    let intent = AclIntent::parse(p).unwrap();
+    assert!(intent.permit);
+    assert_eq!(intent.protocol, Protocol::Tcp);
+    assert_eq!(intent.src, AddrIntent::Host("1.1.1.1".parse().unwrap()));
+    assert_eq!(intent.dst, AddrIntent::Host("2.2.2.2".parse().unwrap()));
+    assert_eq!(intent.dst_ports, PortRange::eq(443));
+    let entry = intent.to_entry();
+    assert_eq!(entry.action, Action::Permit);
+    assert_eq!(
+        entry.to_string().trim(),
+        "permit tcp host 1.1.1.1 host 2.2.2.2 eq 443"
+    );
+}
+
+#[test]
+fn acl_intent_subnet_and_range() {
+    let p = "Write an access-list rule that denies udp packets from the subnet 10.0.0.0/8 to \
+             any with destination ports 8000 to 8100.";
+    let intent = AclIntent::parse(p).unwrap();
+    assert!(!intent.permit);
+    assert_eq!(intent.protocol, Protocol::Udp);
+    assert_eq!(intent.src, AddrIntent::Net("10.0.0.0/8".parse().unwrap()));
+    assert_eq!(intent.dst, AddrIntent::Any);
+    assert_eq!(intent.dst_ports, PortRange::new(8000, 8100));
+}
+
+#[test]
+fn acl_icmp_with_ports_rejected() {
+    let p = "Write an access-list rule that denies icmp packets from any to any with \
+             destination port 1.";
+    assert!(AclIntent::parse(p).is_err());
+}
+
+#[test]
+fn acl_roundtrip() {
+    let p = "Write an access-list rule that denies udp packets from the subnet 10.0.0.0/8 to \
+             host 9.9.9.9 with source port 53 and destination ports 1000 to 2000.";
+    let intent = AclIntent::parse(p).unwrap();
+    let reparsed = AclIntent::parse(&intent.render_prompt()).unwrap();
+    assert_eq!(intent, reparsed);
+}
+
+#[test]
+fn classifier_distinguishes_queries() {
+    let mut b = SemanticBackend::new();
+    let mk = |user: &str| LlmRequest {
+        task: TaskKind::Classify,
+        system: String::new(),
+        examples: Vec::new(),
+        user: user.to_string(),
+        feedback: None,
+    };
+    assert_eq!(b.complete(&mk(PAPER_PROMPT)).text, "route-map");
+    assert_eq!(
+        b.complete(&mk(
+            "Write an access-list rule that denies tcp packets from any to any."
+        ))
+        .text,
+        "acl"
+    );
+}
+
+#[test]
+fn prompt_db_has_all_tasks() {
+    let db = PromptDb::defaults();
+    for task in [
+        TaskKind::Classify,
+        TaskKind::SynthesizeRouteMap,
+        TaskKind::SynthesizeAcl,
+        TaskKind::ExtractSpec,
+    ] {
+        let e = db.retrieve(task).unwrap();
+        assert!(!e.system.is_empty());
+        assert!(!e.examples.is_empty());
+    }
+}
+
+#[test]
+fn pipeline_first_pass_success_costs_three_calls() {
+    let mut p = Pipeline::new(SemanticBackend::new(), 3);
+    let out = p.synthesize(PAPER_PROMPT).unwrap();
+    match out {
+        PipelineOutcome::RouteMap {
+            snippet,
+            map_name,
+            spec,
+            llm_calls,
+            attempts,
+        } => {
+            assert_eq!(llm_calls, 3, "classify + spec + one synthesis");
+            assert_eq!(attempts, 1);
+            assert_eq!(map_name, "SET_METRIC");
+            assert!(snippet.route_map("SET_METRIC").is_some());
+            assert!(spec.permit);
+        }
+        other => panic!("expected RouteMap outcome, got {other:?}"),
+    }
+}
+
+#[test]
+fn pipeline_acl_path() {
+    let mut p = Pipeline::new(SemanticBackend::new(), 3);
+    let out = p
+        .synthesize(
+            "Write an access-list rule that permits tcp packets from host 1.1.1.1 to host \
+             2.2.2.2 with destination port 443.",
+        )
+        .unwrap();
+    match out {
+        PipelineOutcome::Acl {
+            entry,
+            llm_calls,
+            attempts,
+        } => {
+            assert_eq!(llm_calls, 3);
+            assert_eq!(attempts, 1);
+            assert_eq!(entry.dst_ports, PortRange::eq(443));
+        }
+        other => panic!("expected Acl outcome, got {other:?}"),
+    }
+}
+
+#[test]
+fn pipeline_retries_and_recovers_under_faults() {
+    // Error rate 1.0 on the first call only is hard to arrange; instead use
+    // a moderate rate and check global behaviour across many runs.
+    let mut successes = 0;
+    let mut punts = 0;
+    let mut total_attempts = 0;
+    for seed in 0..40 {
+        let backend = FaultyBackend::new(SemanticBackend::new(), 0.5, seed);
+        let mut p = Pipeline::new(backend, 4);
+        match p.synthesize(PAPER_PROMPT).unwrap() {
+            PipelineOutcome::RouteMap { attempts, .. } => {
+                successes += 1;
+                total_attempts += attempts;
+            }
+            PipelineOutcome::Punt { .. } => punts += 1,
+            other => panic!("unexpected outcome {other:?}"),
+        }
+    }
+    assert!(successes > 25, "most runs succeed: {successes}");
+    assert!(
+        total_attempts > successes,
+        "some runs needed retries: {total_attempts} attempts over {successes} successes"
+    );
+    // With rate 0.5 and 4 attempts, punts are possible but rare.
+    assert!(punts < 10, "punts should be rare: {punts}");
+}
+
+#[test]
+fn pipeline_always_punts_at_full_error_rate() {
+    let backend = FaultyBackend::new(SemanticBackend::new(), 1.0, 7);
+    let mut p = Pipeline::new(backend, 3);
+    match p.synthesize(PAPER_PROMPT).unwrap() {
+        PipelineOutcome::Punt { llm_calls, reason } => {
+            assert_eq!(llm_calls, 2 + 3, "classify + spec + 3 failed attempts");
+            assert!(!reason.is_empty());
+        }
+        other => panic!("expected punt, got {other:?}"),
+    }
+    assert_eq!(p.backend().injected(), 3);
+}
+
+#[test]
+fn faulty_backend_is_deterministic_per_seed() {
+    let run = |seed| {
+        let backend = FaultyBackend::new(SemanticBackend::new(), 0.7, seed);
+        let mut p = Pipeline::new(backend, 5);
+        match p.synthesize(PAPER_PROMPT).unwrap() {
+            PipelineOutcome::RouteMap { attempts, .. } => format!("ok@{attempts}"),
+            PipelineOutcome::Punt { .. } => "punt".to_string(),
+            _ => unreachable!(),
+        }
+    };
+    assert_eq!(run(42), run(42));
+}
+
+#[test]
+fn faulty_backend_passes_through_at_zero_rate() {
+    let backend = FaultyBackend::new(SemanticBackend::new(), 0.0, 1);
+    let mut p = Pipeline::new(backend, 1);
+    assert!(p.synthesize(PAPER_PROMPT).unwrap().is_success());
+    assert_eq!(p.backend().injected(), 0);
+}
+
+#[test]
+fn pipeline_rejects_gibberish_with_intent_error() {
+    let mut p = Pipeline::new(SemanticBackend::new(), 2);
+    let err = p.synthesize("make my routes nice").unwrap_err();
+    assert!(matches!(
+        err,
+        crate::LlmError::Intent(_) | crate::LlmError::MalformedSpec(_)
+    ));
+}
+
+mod properties {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn arb_route_intent() -> impl Strategy<Value = RouteMapIntent> {
+        (
+            any::<bool>(),
+            prop_oneof![
+                Just(vec![]),
+                Just(vec![(
+                    "10.0.0.0/8".parse().unwrap(),
+                    PrefixConstraint::Le(24)
+                )]),
+                Just(vec![(
+                    "100.0.0.0/16".parse().unwrap(),
+                    PrefixConstraint::Between(17, 23)
+                )]),
+                Just(vec![(
+                    "1.0.0.0/20".parse().unwrap(),
+                    PrefixConstraint::Ge(24)
+                )]),
+                Just(vec![(
+                    "192.168.0.0/16".parse().unwrap(),
+                    PrefixConstraint::Exact
+                )]),
+            ],
+            prop_oneof![Just(None), Just(Some(32u32)), Just(Some(65000u32))],
+            prop_oneof![
+                Just(vec![]),
+                Just(vec!["300:3"]),
+                Just(vec!["65000:1", "65000:2"])
+            ],
+            prop_oneof![Just(None), Just(Some(300u32))],
+            prop_oneof![
+                Just(vec![]),
+                Just(vec![SetIntent::Metric(55)]),
+                Just(vec![SetIntent::LocalPref(250)]),
+                Just(vec![SetIntent::Tag(9)]),
+            ],
+        )
+            .prop_map(|(permit, prefixes, origin, comms, lp, sets)| {
+                let mut i = RouteMapIntent {
+                    permit,
+                    prefixes,
+                    origin_as: origin,
+                    match_local_pref: lp,
+                    sets,
+                    ..Default::default()
+                };
+                for c in comms {
+                    i.communities.push(c.parse().unwrap());
+                }
+                if i.prefixes.is_empty()
+                    && i.communities.is_empty()
+                    && i.origin_as.is_none()
+                    && i.match_local_pref.is_none()
+                {
+                    i.match_all = true;
+                }
+                i
+            })
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        /// render -> parse is the identity on intents.
+        #[test]
+        fn intent_roundtrip(intent in arb_route_intent()) {
+            let rendered = intent.render_prompt();
+            let reparsed = RouteMapIntent::parse(&rendered)
+                .unwrap_or_else(|e| panic!("{e}: {rendered}"));
+            prop_assert_eq!(intent, reparsed);
+        }
+
+        /// The full pipeline verifies every rendered intent first-pass.
+        #[test]
+        fn pipeline_verifies_rendered_intents(intent in arb_route_intent()) {
+            let mut p = Pipeline::new(SemanticBackend::new(), 2);
+            let out = p.synthesize(&intent.render_prompt()).unwrap();
+            prop_assert!(out.is_success(), "intent {:?}", intent);
+            prop_assert_eq!(out.llm_calls(), 3);
+        }
+    }
+}
+
+#[test]
+fn feedback_heeding_backend_recovers_in_two_attempts() {
+    // Even at error rate 1.0, one round of verifier feedback fixes it.
+    for seed in 0..10 {
+        let backend = FaultyBackend::new(SemanticBackend::new(), 1.0, seed).heeding_feedback();
+        let mut p = Pipeline::new(backend, 3);
+        match p.synthesize(PAPER_PROMPT).unwrap() {
+            PipelineOutcome::RouteMap { attempts, .. } => {
+                assert_eq!(attempts, 2, "seed {seed}: corrupt once, repair once");
+            }
+            other => panic!("seed {seed}: expected success, got {other:?}"),
+        }
+    }
+}
+
+#[test]
+fn blind_backend_at_full_rate_never_recovers() {
+    let backend = FaultyBackend::new(SemanticBackend::new(), 1.0, 5);
+    let mut p = Pipeline::new(backend, 5);
+    assert!(!p.synthesize(PAPER_PROMPT).unwrap().is_success());
+}
+
+#[test]
+fn alternate_length_phrasings() {
+    // "at most" / "at least" are accepted alongside the canonical forms.
+    let p = "Write a route-map stanza that permits routes containing the prefix 10.0.0.0/8 \
+             with mask length at most 24.";
+    let i = RouteMapIntent::parse(p).unwrap();
+    assert_eq!(i.prefixes[0].1, PrefixConstraint::Le(24));
+
+    let p = "Write a route-map stanza that denies routes containing the prefix 1.0.0.0/20 \
+             with mask length at least 24.";
+    let i = RouteMapIntent::parse(p).unwrap();
+    assert_eq!(i.prefixes[0].1, PrefixConstraint::Ge(24));
+
+    let p = "Write a route-map stanza that permits routes containing the prefix 100.0.0.0/16 \
+             with mask length between 17 and 23.";
+    let i = RouteMapIntent::parse(p).unwrap();
+    assert_eq!(i.prefixes[0].1, PrefixConstraint::Between(17, 23));
+
+    let p = "Write a route-map stanza that permits routes containing the prefix 100.0.0.0/16 \
+             with mask length exactly 24.";
+    let i = RouteMapIntent::parse(p).unwrap();
+    assert_eq!(i.prefixes[0].1, PrefixConstraint::Between(24, 24));
+
+    let p = "Write a route-map stanza that denies routes containing the prefix \
+             192.168.0.0/16 or longer.";
+    let i = RouteMapIntent::parse(p).unwrap();
+    assert_eq!(i.prefixes[0].1, PrefixConstraint::Ge(16));
+}
+
+#[test]
+fn multiple_prefixes_in_one_intent() {
+    let p = "Write a route-map stanza that denies routes containing the prefix 10.0.0.0/8 \
+             with mask length less than or equal to 24 and containing the prefix \
+             20.0.0.0/16 or longer.";
+    let i = RouteMapIntent::parse(p).unwrap();
+    assert_eq!(i.prefixes.len(), 2);
+    assert_eq!(i.prefixes[0].1, PrefixConstraint::Le(24));
+    assert_eq!(i.prefixes[1].1, PrefixConstraint::Ge(16));
+    // Multiple prefixes land in ONE prefix list (disjunction).
+    let (cfg, name) = i.to_snippet().unwrap();
+    let stanza = &cfg.route_map(&name).unwrap().stanzas[0];
+    assert_eq!(stanza.matches.len(), 1);
+    assert_eq!(cfg.prefix_lists.values().next().unwrap().entries.len(), 2);
+}
+
+#[test]
+fn synonym_actions() {
+    for (verb, permit) in [
+        ("allows", true),
+        ("accepts", true),
+        ("blocks", false),
+        ("rejects", false),
+        ("drops", false),
+    ] {
+        let p = format!("Write a route-map stanza that {verb} all routes.");
+        let i = RouteMapIntent::parse(&p).unwrap();
+        assert_eq!(i.permit, permit, "{verb}");
+    }
+}
+
+mod robustness {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(256))]
+
+        /// The intent parser never panics on arbitrary printable prompts.
+        #[test]
+        fn intent_parser_never_panics(input in "[ -~]{0,200}") {
+            let _ = RouteMapIntent::parse(&input);
+            let _ = AclIntent::parse(&input);
+        }
+
+        /// English-word soup with embedded network tokens never panics.
+        #[test]
+        fn intent_parser_never_panics_on_word_soup(
+            words in proptest::collection::vec(
+                prop_oneof![
+                    Just("permits"), Just("denies"), Just("routes"), Just("containing"),
+                    Just("the"), Just("prefix"), Just("mask"), Just("length"), Just("less"),
+                    Just("than"), Just("or"), Just("equal"), Just("to"), Just("longer"),
+                    Just("between"), Just("and"), Just("set"), Just("metric"), Just("community"),
+                    Just("as"), Just("originating"), Just("from"), Just("packets"), Just("host"),
+                    Just("port"), Just("10.0.0.0/8"), Just("1.2.3.4"), Just("300:3"), Just("55"),
+                    Just("tagged"), Just("with"), Just("local"), Just("preference"),
+                ],
+                0..30,
+            )
+        ) {
+            let text = words.join(" ");
+            let _ = RouteMapIntent::parse(&text);
+            let _ = AclIntent::parse(&text);
+        }
+    }
+}
+
+mod fault_kinds {
+    use super::*;
+    use crate::backend::apply_fault;
+    use crate::FaultKind;
+
+    const SNIPPET: &str = "ip prefix-list P seq 10 permit 100.0.0.0/16 le 23\n\
+                           route-map SET_METRIC permit 10\n match ip address prefix-list P\n set metric 55\n";
+
+    #[test]
+    fn off_by_one_bound_shrinks_le() {
+        let out = apply_fault(FaultKind::OffByOneBound, SNIPPET).unwrap();
+        assert!(out.contains(" le 22"), "{out}");
+        assert!(!out.contains(" le 23"));
+        // Still parses — a *semantic* error the verifier must catch.
+        clarify_netconfig::Config::parse(&out).unwrap();
+    }
+
+    #[test]
+    fn wrong_set_value_bumps_metric() {
+        let out = apply_fault(FaultKind::WrongSetValue, SNIPPET).unwrap();
+        assert!(out.contains("set metric 56"), "{out}");
+        clarify_netconfig::Config::parse(&out).unwrap();
+    }
+
+    #[test]
+    fn wrong_action_flips_first_action() {
+        let out = apply_fault(FaultKind::WrongAction, SNIPPET).unwrap();
+        assert!(out.contains(" deny "), "{out}");
+    }
+
+    #[test]
+    fn syntax_error_breaks_parsing() {
+        let out = apply_fault(FaultKind::SyntaxError, SNIPPET).unwrap();
+        assert!(clarify_netconfig::Config::parse(&out).is_err());
+    }
+
+    #[test]
+    fn inapplicable_faults_return_none() {
+        assert!(apply_fault(FaultKind::OffByOneBound, "route-map RM permit 10\n").is_none());
+        assert!(apply_fault(FaultKind::WrongSetValue, "route-map RM permit 10\n").is_none());
+    }
+
+    #[test]
+    fn every_injected_fault_is_caught_by_the_verifier() {
+        // For each fault kind applied to a correct snippet, the verifier
+        // must reject the corrupted result against the correct spec.
+        use clarify_analysis::{verify_stanza_against_spec, SpecVerdict};
+        let intent = RouteMapIntent::parse(PAPER_PROMPT).unwrap();
+        let spec = intent.to_spec().unwrap();
+        let (good, map) = intent.to_snippet().unwrap();
+        let text = good.to_string();
+        for kind in [
+            FaultKind::OffByOneBound,
+            FaultKind::WrongSetValue,
+            FaultKind::WrongAction,
+            FaultKind::SyntaxError,
+        ] {
+            let Some(bad) = apply_fault(kind, &text) else {
+                panic!("{kind:?} inapplicable to the paper snippet");
+            };
+            match clarify_netconfig::Config::parse(&bad) {
+                Err(_) => {} // caught at the syntax stage
+                Ok(cfg) => {
+                    let verdict = verify_stanza_against_spec(&cfg, &map, &spec).unwrap();
+                    assert_ne!(verdict, SpecVerdict::Verified, "{kind:?} slipped through");
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn weight_overflow_is_an_error() {
+    let p = "Write a route-map stanza that permits all routes. Their weight should be set to \
+             70000.";
+    let e = RouteMapIntent::parse(p).unwrap_err();
+    assert!(e.message.contains("exceeds 65535"), "{e}");
+}
+
+#[test]
+fn acl_bad_destination_is_an_error() {
+    let p = "Write an access-list rule that permits tcp packets from any to hots 1.2.3.4.";
+    assert!(
+        AclIntent::parse(p).is_err(),
+        "typo'd destination must not become 'any'"
+    );
+}

@@ -1,0 +1,58 @@
+//! Configuration-layer errors.
+
+/// Everything that can go wrong parsing, validating, or editing a config.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ConfigError {
+    /// A syntax error, with the 1-based line it occurred on.
+    Syntax {
+        /// Line number in the parsed text.
+        line: usize,
+        /// Description of the problem.
+        message: String,
+    },
+    /// A route-map referenced a list that is not defined.
+    UnknownList {
+        /// The kind of list (`"prefix-list"` etc.).
+        kind: &'static str,
+        /// The dangling name.
+        name: String,
+    },
+    /// A named object was defined (or merged) twice.
+    DuplicateName {
+        /// The kind of object.
+        kind: &'static str,
+        /// The clashing name.
+        name: String,
+    },
+    /// An edit referenced an object that does not exist.
+    NotFound {
+        /// The kind of object.
+        kind: &'static str,
+        /// The missing name.
+        name: String,
+    },
+    /// An edit was structurally invalid (bad position, empty snippet, …).
+    InvalidEdit(String),
+}
+
+impl std::fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ConfigError::Syntax { line, message } => {
+                write!(f, "syntax error on line {line}: {message}")
+            }
+            ConfigError::UnknownList { kind, name } => {
+                write!(f, "reference to undefined {kind} '{name}'")
+            }
+            ConfigError::DuplicateName { kind, name } => {
+                write!(f, "duplicate {kind} '{name}'")
+            }
+            ConfigError::NotFound { kind, name } => {
+                write!(f, "no such {kind} '{name}'")
+            }
+            ConfigError::InvalidEdit(msg) => write!(f, "invalid edit: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for ConfigError {}

@@ -1,0 +1,245 @@
+//! Splicing an LLM-synthesized snippet into an existing configuration.
+//!
+//! The disambiguator decides *where* a new stanza goes; this module performs
+//! the mechanical edit: ancillary data-structure names from the snippet are
+//! renamed to fresh names in the target namespace (the paper's Figure 2
+//! shows `COM_LIST`/`PREFIX_100` becoming `D2`/`D3`), stanza sequence
+//! numbers are renumbered in steps of 10, and the result is validated.
+
+use std::collections::BTreeMap;
+
+use crate::ast::{AclEntry, Config, RouteMapMatch, RouteMapStanza};
+use crate::error::ConfigError;
+
+/// What an insertion did: useful for showing the user the final diff.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct InsertReport {
+    /// Ancillary list renames applied, `(snippet name, fresh name)`.
+    pub renames: Vec<(String, String)>,
+    /// Zero-based position of the new stanza within the final route-map.
+    pub position: usize,
+    /// The sequence number the new stanza received after renumbering.
+    pub new_seq: u32,
+}
+
+/// Generates fresh `D0`, `D1`, … names that collide with nothing in `used`.
+struct FreshNames<'a> {
+    used: Vec<&'a str>,
+    next: usize,
+}
+
+impl<'a> FreshNames<'a> {
+    fn new(used: Vec<&'a str>) -> Self {
+        FreshNames { used, next: 0 }
+    }
+
+    fn fresh(&mut self) -> String {
+        loop {
+            let candidate = format!("D{}", self.next);
+            self.next += 1;
+            if !self.used.iter().any(|&u| u == candidate) {
+                return candidate;
+            }
+        }
+    }
+}
+
+/// Inserts the single stanza of `snippet`'s route-map `snippet_map` into
+/// `base`'s route-map `map_name` at zero-based `position`.
+///
+/// The snippet must contain exactly one route-map with exactly one stanza;
+/// its ancillary lists are carried over under fresh names. Returns the new
+/// configuration (the input is untouched) plus a report of the edit.
+pub fn insert_route_map_stanza(
+    base: &Config,
+    map_name: &str,
+    snippet: &Config,
+    snippet_map: &str,
+    position: usize,
+) -> Result<(Config, InsertReport), ConfigError> {
+    let target = base.route_map(map_name).ok_or(ConfigError::NotFound {
+        kind: "route-map",
+        name: map_name.to_string(),
+    })?;
+    let source = snippet
+        .route_map(snippet_map)
+        .ok_or(ConfigError::NotFound {
+            kind: "route-map",
+            name: snippet_map.to_string(),
+        })?;
+    if source.stanzas.len() != 1 {
+        return Err(ConfigError::InvalidEdit(format!(
+            "snippet route-map '{snippet_map}' must contain exactly one stanza, found {}",
+            source.stanzas.len()
+        )));
+    }
+    if position > target.stanzas.len() {
+        return Err(ConfigError::InvalidEdit(format!(
+            "position {position} out of range for a route-map with {} stanzas",
+            target.stanzas.len()
+        )));
+    }
+    snippet.validate()?;
+
+    let mut stanza = source.stanzas[0].clone();
+
+    // Fresh names for every ancillary list the snippet defines.
+    let used: Vec<&str> = base
+        .prefix_lists
+        .keys()
+        .chain(base.as_path_lists.keys())
+        .chain(base.community_lists.keys())
+        .map(String::as_str)
+        .collect();
+    let mut fresh = FreshNames::new(used);
+    let mut out = base.clone();
+
+    // Assign fresh names in sorted order of the snippet's own names so the
+    // numbering is stable regardless of list kind (COM_LIST gets D2 before
+    // PREFIX_100 gets D3, as in the paper's Figure 2).
+    let mut snippet_names: Vec<&String> = snippet
+        .prefix_lists
+        .keys()
+        .chain(snippet.as_path_lists.keys())
+        .chain(snippet.community_lists.keys())
+        .collect();
+    snippet_names.sort();
+    let mut renames: BTreeMap<String, String> = BTreeMap::new();
+    for name in snippet_names {
+        renames.insert(name.clone(), fresh.fresh());
+    }
+
+    for (name, pl) in &snippet.prefix_lists {
+        let new = renames[name].clone();
+        let mut pl = pl.clone();
+        pl.name = new.clone();
+        out.prefix_lists.insert(new, pl);
+    }
+    for (name, al) in &snippet.as_path_lists {
+        let new = renames[name].clone();
+        let mut al = al.clone();
+        al.name = new.clone();
+        out.as_path_lists.insert(new, al);
+    }
+    for (name, cl) in &snippet.community_lists {
+        let new = renames[name].clone();
+        let mut cl = cl.clone();
+        cl.name = new.clone();
+        out.community_lists.insert(new, cl);
+    }
+
+    rename_stanza_refs(&mut stanza, &renames)?;
+
+    let rm = out
+        .route_maps
+        .get_mut(map_name)
+        .expect("target route-map exists in clone");
+    rm.stanzas.insert(position, stanza);
+    // Renumber 10, 20, 30, … like the paper's Figure 2.
+    for (i, s) in rm.stanzas.iter_mut().enumerate() {
+        s.seq = (i as u32 + 1) * 10;
+    }
+    let new_seq = rm.stanzas[position].seq;
+
+    out.validate()?;
+    Ok((
+        out,
+        InsertReport {
+            renames: renames.into_iter().collect(),
+            position,
+            new_seq,
+        },
+    ))
+}
+
+fn rename_stanza_refs(
+    stanza: &mut RouteMapStanza,
+    renames: &BTreeMap<String, String>,
+) -> Result<(), ConfigError> {
+    let rename = |names: &mut Vec<String>| -> Result<(), ConfigError> {
+        for n in names {
+            match renames.get(n) {
+                Some(new) => *n = new.clone(),
+                None => {
+                    // A reference the snippet does not define: the snippet
+                    // was supposed to be self-contained.
+                    return Err(ConfigError::UnknownList {
+                        kind: "snippet list",
+                        name: n.clone(),
+                    });
+                }
+            }
+        }
+        Ok(())
+    };
+    for m in &mut stanza.matches {
+        match m {
+            RouteMapMatch::AsPath(ns)
+            | RouteMapMatch::Community(ns)
+            | RouteMapMatch::PrefixList(ns) => rename(ns)?,
+            _ => {}
+        }
+    }
+    Ok(())
+}
+
+/// Inserts an ACL entry at zero-based `position` of the named ACL.
+///
+/// ACL entries reference no ancillary structures, so this is a plain splice.
+pub fn insert_acl_entry(
+    base: &Config,
+    acl_name: &str,
+    entry: AclEntry,
+    position: usize,
+) -> Result<Config, ConfigError> {
+    let acl = base.acl(acl_name).ok_or(ConfigError::NotFound {
+        kind: "access-list",
+        name: acl_name.to_string(),
+    })?;
+    if position > acl.entries.len() {
+        return Err(ConfigError::InvalidEdit(format!(
+            "position {position} out of range for an ACL with {} entries",
+            acl.entries.len()
+        )));
+    }
+    let mut out = base.clone();
+    out.acls
+        .get_mut(acl_name)
+        .expect("target ACL exists in clone")
+        .entries
+        .insert(position, entry);
+    Ok(out)
+}
+
+/// Inserts a prefix-list entry at zero-based `position` of the named list,
+/// renumbering sequence numbers in steps of 5 (the IOS default stride).
+pub fn insert_prefix_list_entry(
+    base: &Config,
+    list_name: &str,
+    entry: crate::ast::PrefixListEntry,
+    position: usize,
+) -> Result<Config, ConfigError> {
+    let list = base
+        .prefix_lists
+        .get(list_name)
+        .ok_or(ConfigError::NotFound {
+            kind: "prefix-list",
+            name: list_name.to_string(),
+        })?;
+    if position > list.entries.len() {
+        return Err(ConfigError::InvalidEdit(format!(
+            "position {position} out of range for a prefix-list with {} entries",
+            list.entries.len()
+        )));
+    }
+    let mut out = base.clone();
+    let list = out
+        .prefix_lists
+        .get_mut(list_name)
+        .expect("target list exists in clone");
+    list.entries.insert(position, entry);
+    for (i, e) in list.entries.iter_mut().enumerate() {
+        e.seq = (i as u32 + 1) * 5;
+    }
+    Ok(out)
+}

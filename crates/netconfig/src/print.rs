@@ -1,0 +1,177 @@
+//! Pretty-printing back to IOS syntax. Output round-trips through
+//! [`crate::Config::parse`]; tests enforce this.
+
+use std::fmt;
+
+use crate::ast::{
+    Acl, AclEntry, AddrMatch, AsPathList, CommunityList, Config, PrefixList, RouteMap,
+    RouteMapMatch, RouteMapSet, RouteMapStanza,
+};
+
+impl fmt::Display for PrefixList {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for e in &self.entries {
+            writeln!(
+                f,
+                "ip prefix-list {} seq {} {} {}",
+                self.name, e.seq, e.action, e.range
+            )?;
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Display for AsPathList {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for e in &self.entries {
+            writeln!(
+                f,
+                "ip as-path access-list {} {} {}",
+                self.name,
+                e.action,
+                e.regex.pattern()
+            )?;
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Display for CommunityList {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for e in &self.entries {
+            writeln!(
+                f,
+                "ip community-list expanded {} {} {}",
+                self.name,
+                e.action,
+                e.regex.pattern()
+            )?;
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Display for RouteMapMatch {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RouteMapMatch::AsPath(ns) => write!(f, "match as-path {}", ns.join(" ")),
+            RouteMapMatch::Community(ns) => write!(f, "match community {}", ns.join(" ")),
+            RouteMapMatch::PrefixList(ns) => {
+                write!(f, "match ip address prefix-list {}", ns.join(" "))
+            }
+            RouteMapMatch::LocalPref(v) => write!(f, "match local-preference {v}"),
+            RouteMapMatch::Metric(v) => write!(f, "match metric {v}"),
+            RouteMapMatch::Tag(v) => write!(f, "match tag {v}"),
+        }
+    }
+}
+
+impl fmt::Display for RouteMapSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RouteMapSet::Metric(v) => write!(f, "set metric {v}"),
+            RouteMapSet::LocalPref(v) => write!(f, "set local-preference {v}"),
+            RouteMapSet::Weight(v) => write!(f, "set weight {v}"),
+            RouteMapSet::Tag(v) => write!(f, "set tag {v}"),
+            RouteMapSet::NextHop(ip) => write!(f, "set ip next-hop {ip}"),
+            RouteMapSet::CommunityAdd(cs) => {
+                write!(
+                    f,
+                    "set community {} additive",
+                    cs.iter()
+                        .map(|c| c.to_string())
+                        .collect::<Vec<_>>()
+                        .join(" ")
+                )
+            }
+            RouteMapSet::CommunityReplace(cs) => {
+                write!(
+                    f,
+                    "set community {}",
+                    cs.iter()
+                        .map(|c| c.to_string())
+                        .collect::<Vec<_>>()
+                        .join(" ")
+                )
+            }
+        }
+    }
+}
+
+impl RouteMapStanza {
+    fn fmt_with_name(&self, name: &str, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "route-map {} {} {}", name, self.action, self.seq)?;
+        for m in &self.matches {
+            writeln!(f, " {m}")?;
+        }
+        for s in &self.sets {
+            writeln!(f, " {s}")?;
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Display for RouteMap {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for s in &self.stanzas {
+            s.fmt_with_name(&self.name, f)?;
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Display for AclEntry {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, " {} {}", self.action, self.protocol)?;
+        write_addr(f, &self.src)?;
+        if !self.src_ports.is_any() {
+            write!(f, " {}", self.src_ports)?;
+        }
+        write_addr(f, &self.dst)?;
+        if !self.dst_ports.is_any() {
+            write!(f, " {}", self.dst_ports)?;
+        }
+        Ok(())
+    }
+}
+
+fn write_addr(f: &mut fmt::Formatter<'_>, a: &AddrMatch) -> fmt::Result {
+    match a {
+        AddrMatch::Any => write!(f, " any"),
+        AddrMatch::Host(ip) => write!(f, " host {ip}"),
+        AddrMatch::Net(p) => write!(f, " {p}"),
+    }
+}
+
+impl fmt::Display for Acl {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "ip access-list extended {}", self.name)?;
+        for e in &self.entries {
+            writeln!(f, "{e}")?;
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Display for Config {
+    /// Canonical rendering: ancillary lists first (the order route-maps
+    /// need them), then ACLs, then route-maps; each group sorted by name.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for pl in self.prefix_lists.values() {
+            write!(f, "{pl}")?;
+        }
+        for al in self.as_path_lists.values() {
+            write!(f, "{al}")?;
+        }
+        for cl in self.community_lists.values() {
+            write!(f, "{cl}")?;
+        }
+        for acl in self.acls.values() {
+            write!(f, "{acl}")?;
+        }
+        for rm in self.route_maps.values() {
+            write!(f, "{rm}")?;
+        }
+        Ok(())
+    }
+}

@@ -1,0 +1,42 @@
+//! Simulator errors.
+
+use clarify_netconfig::ConfigError;
+
+/// Everything that can go wrong building or running a simulation.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum SimError {
+    /// A session referenced a router that does not exist.
+    UnknownRouter(String),
+    /// Two routers share a name.
+    DuplicateRouter(String),
+    /// A session's policy referenced a route-map missing from the router's
+    /// configuration, or evaluation failed.
+    Config {
+        /// The router whose configuration failed.
+        router: String,
+        /// The underlying error.
+        error: ConfigError,
+    },
+    /// Propagation did not reach a fixed point within the round budget.
+    NoConvergence {
+        /// The budget that was exhausted.
+        rounds: usize,
+    },
+}
+
+impl std::fmt::Display for SimError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SimError::UnknownRouter(n) => write!(f, "unknown router '{n}'"),
+            SimError::DuplicateRouter(n) => write!(f, "duplicate router '{n}'"),
+            SimError::Config { router, error } => {
+                write!(f, "configuration error on router '{router}': {error}")
+            }
+            SimError::NoConvergence { rounds } => {
+                write!(f, "propagation did not converge within {rounds} rounds")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SimError {}

@@ -1,0 +1,48 @@
+//! A deterministic BGP propagation simulator.
+//!
+//! The §5 evaluation of the paper checks five *global* routing policies on
+//! a small topology after synthesizing all route-maps incrementally. This
+//! crate provides the substrate for that check: routers with per-neighbor
+//! import/export route-maps (evaluated by `clarify-netconfig`), synchronous
+//! route propagation to a fixed point, Cisco-style best-path selection, and
+//! RIB queries.
+//!
+//! The model is deliberately simple and fully deterministic:
+//!
+//! * every session is point-to-point; split horizon applies (a route is
+//!   never re-advertised to the neighbor it was learned from);
+//! * when advertising across AS boundaries the sender prepends its ASN,
+//!   the receiver drops looped paths, and LOCAL_PREF/weight reset to their
+//!   defaults (100 / 0) before the import policy runs;
+//! * within an AS, routes propagate transitively over iBGP sessions (as if
+//!   every router were a route reflector); real iBGP's
+//!   no-re-advertisement rule — which requires a full mesh or explicit
+//!   reflectors — is intentionally not modelled;
+//! * best-path selection: highest weight, then highest LOCAL_PREF, then
+//!   shortest AS path, then lowest MED, then lowest neighbor name (a
+//!   deterministic stand-in for router-id comparison);
+//! * propagation iterates synchronous rounds until the adj-RIBs stop
+//!   changing, erroring out if convergence takes implausibly long.
+//!
+//! ```
+//! use clarify_netsim::NetworkBuilder;
+//!
+//! let mut b = NetworkBuilder::new();
+//! b.router("A", 65001).originate("10.0.0.0/8".parse().unwrap());
+//! b.router("B", 65002);
+//! b.link("A", "B");
+//! let net = b.build().unwrap().converge().unwrap();
+//! assert!(net.best_route("B", &"10.0.0.0/8".parse().unwrap()).is_some());
+//! ```
+
+#![warn(missing_docs)]
+
+mod error;
+mod network;
+mod propagate;
+
+pub use error::SimError;
+pub use network::{Network, NetworkBuilder, RibEntry, Router, RouterBuilder, Session};
+
+#[cfg(test)]
+mod tests;

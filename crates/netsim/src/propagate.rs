@@ -1,0 +1,176 @@
+//! Synchronous route propagation to a fixed point.
+
+use std::collections::BTreeMap;
+
+use clarify_netconfig::RouteMapVerdict;
+use clarify_nettypes::{BgpRoute, Prefix};
+
+use crate::error::SimError;
+use crate::network::{Network, RibEntry};
+
+/// Hard bound on propagation rounds; BGP on an n-router topology without
+/// policy oscillation converges in O(n) synchronous rounds, so this only
+/// trips on genuinely divergent (policy-dispute) configurations.
+const MAX_ROUNDS: usize = 200;
+
+impl Network {
+    /// Runs synchronous propagation rounds until every adj-RIB stops
+    /// changing, then populates the per-router RIBs. Consumes and returns
+    /// the network for fluent use.
+    pub fn converge(mut self) -> Result<Network, SimError> {
+        // adj_in[(receiver, sender)] = routes offered on that session.
+        let mut adj_in: BTreeMap<(String, String), BTreeMap<Prefix, BgpRoute>> = BTreeMap::new();
+        let mut ribs: BTreeMap<String, BTreeMap<Prefix, RibEntry>> = BTreeMap::new();
+
+        // Round 0: locally originated routes only.
+        for r in self.routers.values() {
+            let mut rib = BTreeMap::new();
+            for p in &r.originated {
+                rib.insert(
+                    *p,
+                    RibEntry {
+                        route: BgpRoute::with_defaults(*p),
+                        learned_from: None,
+                    },
+                );
+            }
+            ribs.insert(r.name.clone(), rib);
+        }
+
+        for _round in 0..MAX_ROUNDS {
+            // 1. Compute every advertisement from the current RIBs.
+            let mut next_adj: BTreeMap<(String, String), BTreeMap<Prefix, BgpRoute>> =
+                BTreeMap::new();
+            for sender in self.routers.values() {
+                let rib = &ribs[&sender.name];
+                for session in &sender.sessions {
+                    let receiver = &self.routers[&session.neighbor];
+                    // The receiver must also have a session back to us for
+                    // the adjacency to be up.
+                    let Some(recv_session) = receiver.session(&sender.name) else {
+                        continue;
+                    };
+                    let mut offered: BTreeMap<Prefix, BgpRoute> = BTreeMap::new();
+                    for (prefix, entry) in rib {
+                        // Split horizon.
+                        if entry.learned_from.as_deref() == Some(receiver.name.as_str()) {
+                            continue;
+                        }
+                        // Sender-side export policy.
+                        let mut route = entry.route.clone();
+                        if let Some(policy) = &session.export_policy {
+                            match sender.config.eval_route_map(policy, &route) {
+                                Ok(RouteMapVerdict::Permit { route: out, .. }) => route = out,
+                                Ok(_) => continue,
+                                Err(error) => {
+                                    return Err(SimError::Config {
+                                        router: sender.name.clone(),
+                                        error,
+                                    })
+                                }
+                            }
+                        }
+                        // Cross-AS transmission semantics.
+                        if sender.asn != receiver.asn {
+                            route.as_path = route.as_path.prepend(sender.asn);
+                            route.local_pref = 100;
+                            route.weight = 0;
+                            if route.as_path.contains(receiver.asn) {
+                                continue; // loop prevention
+                            }
+                        }
+                        // Receiver-side import policy.
+                        if let Some(policy) = &recv_session.import_policy {
+                            match receiver.config.eval_route_map(policy, &route) {
+                                Ok(RouteMapVerdict::Permit { route: out, .. }) => route = out,
+                                Ok(_) => continue,
+                                Err(error) => {
+                                    return Err(SimError::Config {
+                                        router: receiver.name.clone(),
+                                        error,
+                                    })
+                                }
+                            }
+                        }
+                        offered.insert(*prefix, route);
+                    }
+                    next_adj.insert((receiver.name.clone(), sender.name.clone()), offered);
+                }
+            }
+
+            // 2. Recompute RIBs from originations + adjacency inputs.
+            let mut next_ribs: BTreeMap<String, BTreeMap<Prefix, RibEntry>> = BTreeMap::new();
+            for r in self.routers.values() {
+                let mut rib: BTreeMap<Prefix, RibEntry> = BTreeMap::new();
+                for p in &r.originated {
+                    rib.insert(
+                        *p,
+                        RibEntry {
+                            route: BgpRoute::with_defaults(*p),
+                            learned_from: None,
+                        },
+                    );
+                }
+                for ((recv, sender), offered) in &next_adj {
+                    if recv != &r.name {
+                        continue;
+                    }
+                    for (prefix, route) in offered {
+                        let candidate = RibEntry {
+                            route: route.clone(),
+                            learned_from: Some(sender.clone()),
+                        };
+                        match rib.get(prefix) {
+                            None => {
+                                rib.insert(*prefix, candidate);
+                            }
+                            Some(current) => {
+                                if better(&candidate, current) {
+                                    rib.insert(*prefix, candidate);
+                                }
+                            }
+                        }
+                    }
+                }
+                next_ribs.insert(r.name.clone(), rib);
+            }
+
+            let done = next_adj == adj_in && next_ribs == ribs;
+            adj_in = next_adj;
+            ribs = next_ribs;
+            if done {
+                self.ribs = ribs;
+                self.converged = true;
+                return Ok(self);
+            }
+        }
+        Err(SimError::NoConvergence { rounds: MAX_ROUNDS })
+    }
+}
+
+/// Cisco-style best-path comparison (locally originated routes always win
+/// because they never appear as candidates against themselves here; the
+/// origination loop inserts them first and `better` prefers the incumbent
+/// on full ties).
+fn better(candidate: &RibEntry, current: &RibEntry) -> bool {
+    // Locally originated beats learned.
+    if current.learned_from.is_none() {
+        return false;
+    }
+    let a = &candidate.route;
+    let b = &current.route;
+    if a.weight != b.weight {
+        return a.weight > b.weight;
+    }
+    if a.local_pref != b.local_pref {
+        return a.local_pref > b.local_pref;
+    }
+    if a.as_path.len() != b.as_path.len() {
+        return a.as_path.len() < b.as_path.len();
+    }
+    if a.metric != b.metric {
+        return a.metric < b.metric;
+    }
+    // Deterministic final tie-break: lowest neighbor name.
+    candidate.learned_from < current.learned_from
+}

@@ -1,0 +1,99 @@
+//! BGP AS paths.
+
+use std::str::FromStr;
+
+use crate::ParseError;
+
+/// A BGP AS path: the sequence of autonomous systems a route traversed,
+/// most recent hop first (so the last element is the originating AS).
+///
+/// Confederation segments and AS sets are out of scope; the paper's own
+/// examples use plain sequences (`"confederation": false`).
+#[derive(Clone, PartialEq, Eq, Hash, Default, PartialOrd, Ord)]
+pub struct AsPath {
+    asns: Vec<u32>,
+}
+
+impl AsPath {
+    /// An empty path (locally originated route).
+    pub fn empty() -> AsPath {
+        AsPath::default()
+    }
+
+    /// Builds a path from hops, most recent first.
+    pub fn from_asns(asns: Vec<u32>) -> AsPath {
+        AsPath { asns }
+    }
+
+    /// The hops, most recent first.
+    pub fn asns(&self) -> &[u32] {
+        &self.asns
+    }
+
+    /// Number of hops (BGP best-path compares this).
+    pub fn len(&self) -> usize {
+        self.asns.len()
+    }
+
+    /// Whether the path is empty.
+    pub fn is_empty(&self) -> bool {
+        self.asns.is_empty()
+    }
+
+    /// The originating AS (last hop), if any.
+    pub fn origin_as(&self) -> Option<u32> {
+        self.asns.last().copied()
+    }
+
+    /// Prepends a hop, as a router does when advertising to an eBGP peer.
+    pub fn prepend(&self, asn: u32) -> AsPath {
+        let mut asns = Vec::with_capacity(self.asns.len() + 1);
+        asns.push(asn);
+        asns.extend_from_slice(&self.asns);
+        AsPath { asns }
+    }
+
+    /// Whether the path already contains `asn` (loop prevention).
+    pub fn contains(&self, asn: u32) -> bool {
+        self.asns.contains(&asn)
+    }
+
+    /// The space-separated rendering Cisco regexes are matched against,
+    /// e.g. `"10 20 32"`. The empty path renders as an empty string.
+    pub fn subject(&self) -> String {
+        self.asns
+            .iter()
+            .map(|a| a.to_string())
+            .collect::<Vec<_>>()
+            .join(" ")
+    }
+}
+
+impl FromStr for AsPath {
+    type Err = ParseError;
+
+    /// Parses a space-separated list of AS numbers; empty input is the
+    /// empty path.
+    fn from_str(s: &str) -> Result<Self, ParseError> {
+        let mut asns = Vec::new();
+        for tok in s.split_whitespace() {
+            let asn: u32 = tok
+                .parse()
+                .map_err(|_| ParseError::new(format!("bad AS number '{tok}'")))?;
+            asns.push(asn);
+        }
+        Ok(AsPath { asns })
+    }
+}
+
+impl std::fmt::Display for AsPath {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "[{}]", self.subject())
+    }
+}
+
+impl std::fmt::Debug for AsPath {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        std::fmt::Display::fmt(self, f)
+    }
+}

@@ -1,0 +1,61 @@
+//! BGP standard communities.
+
+use std::str::FromStr;
+
+use crate::ParseError;
+
+/// A standard BGP community `ASN:value` (RFC 1997).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Community {
+    /// High half, conventionally an AS number.
+    pub asn: u16,
+    /// Low half, operator-defined.
+    pub value: u16,
+}
+
+impl Community {
+    /// Builds a community from its two 16-bit halves.
+    pub fn new(asn: u16, value: u16) -> Community {
+        Community { asn, value }
+    }
+
+    /// The canonical `N:M` rendering used as the regex subject string for
+    /// expanded community lists.
+    pub fn subject(&self) -> String {
+        format!("{}:{}", self.asn, self.value)
+    }
+}
+
+impl FromStr for Community {
+    type Err = ParseError;
+
+    fn from_str(s: &str) -> Result<Self, ParseError> {
+        let (a, v) = s
+            .split_once(':')
+            .ok_or_else(|| ParseError::new(format!("community '{s}' missing ':'")))?;
+        let asn: u32 = a
+            .parse()
+            .map_err(|_| ParseError::new(format!("bad community half '{a}'")))?;
+        let value: u32 = v
+            .parse()
+            .map_err(|_| ParseError::new(format!("bad community half '{v}'")))?;
+        if asn > u32::from(u16::MAX) || value > u32::from(u16::MAX) {
+            return Err(ParseError::new(format!(
+                "community '{s}' half exceeds 65535"
+            )));
+        }
+        Ok(Community::new(asn as u16, value as u16))
+    }
+}
+
+impl std::fmt::Display for Community {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}:{}", self.asn, self.value)
+    }
+}
+
+impl std::fmt::Debug for Community {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        std::fmt::Display::fmt(self, f)
+    }
+}

@@ -1,0 +1,56 @@
+//! Domain types shared by every Clarify crate.
+//!
+//! These are the *concrete* values that flow through configurations and
+//! analyses: IPv4 prefixes and prefix ranges, BGP communities and AS paths,
+//! route advertisements, and packets. The symbolic layer
+//! (`clarify-analysis`) mirrors each field with BDD variables; witnesses it
+//! extracts decode back into these types, so `Display` output here is what
+//! users see in differential examples.
+//!
+//! ```
+//! use clarify_nettypes::{Prefix, PrefixRange};
+//!
+//! let range: PrefixRange = "10.0.0.0/8 le 24".parse().unwrap();
+//! assert!(range.matches(&"10.1.0.0/16".parse::<Prefix>().unwrap()));
+//! assert!(!range.matches(&"10.1.2.0/30".parse::<Prefix>().unwrap()));
+//! ```
+
+#![warn(missing_docs)]
+
+mod aspath;
+mod community;
+mod packet;
+mod prefix;
+mod route;
+
+pub use aspath::AsPath;
+pub use community::Community;
+pub use packet::{Packet, PortRange, Protocol};
+pub use prefix::{Prefix, PrefixRange};
+pub use route::BgpRoute;
+
+/// Error type for all textual parsing in this crate.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ParseError {
+    /// What failed to parse and why.
+    pub message: String,
+}
+
+impl ParseError {
+    pub(crate) fn new(message: impl Into<String>) -> Self {
+        ParseError {
+            message: message.into(),
+        }
+    }
+}
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "parse error: {}", self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+#[cfg(test)]
+mod tests;

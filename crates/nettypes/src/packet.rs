@@ -1,0 +1,171 @@
+//! Packets and the match dimensions of extended ACLs.
+
+use std::net::Ipv4Addr;
+use std::str::FromStr;
+
+use crate::ParseError;
+
+/// The protocols an extended ACL can match on.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, PartialOrd, Ord)]
+pub enum Protocol {
+    /// Any IP protocol (`ip` keyword).
+    Ip,
+    /// Transmission Control Protocol.
+    Tcp,
+    /// User Datagram Protocol.
+    Udp,
+    /// Internet Control Message Protocol.
+    Icmp,
+}
+
+impl Protocol {
+    /// Whether a concrete packet protocol satisfies this match value
+    /// (`Ip` matches everything).
+    pub fn matches(&self, concrete: Protocol) -> bool {
+        *self == Protocol::Ip || *self == concrete
+    }
+
+    /// A small stable code used by the symbolic encoding (2 bits).
+    pub fn code(&self) -> u8 {
+        match self {
+            Protocol::Ip => 0, // only used as a match wildcard, never concrete
+            Protocol::Tcp => 1,
+            Protocol::Udp => 2,
+            Protocol::Icmp => 3,
+        }
+    }
+
+    /// Inverse of [`Protocol::code`] for witness decoding; code 0 decodes
+    /// to TCP (an arbitrary concrete representative of "any").
+    pub fn from_code(code: u8) -> Protocol {
+        match code & 0b11 {
+            1 => Protocol::Tcp,
+            2 => Protocol::Udp,
+            3 => Protocol::Icmp,
+            _ => Protocol::Tcp,
+        }
+    }
+
+    /// The IOS keyword.
+    pub fn keyword(&self) -> &'static str {
+        match self {
+            Protocol::Ip => "ip",
+            Protocol::Tcp => "tcp",
+            Protocol::Udp => "udp",
+            Protocol::Icmp => "icmp",
+        }
+    }
+}
+
+impl FromStr for Protocol {
+    type Err = ParseError;
+
+    fn from_str(s: &str) -> Result<Self, ParseError> {
+        match s {
+            "ip" => Ok(Protocol::Ip),
+            "tcp" => Ok(Protocol::Tcp),
+            "udp" => Ok(Protocol::Udp),
+            "icmp" => Ok(Protocol::Icmp),
+            other => Err(ParseError::new(format!("unknown protocol '{other}'"))),
+        }
+    }
+}
+
+impl std::fmt::Display for Protocol {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.keyword())
+    }
+}
+
+/// An inclusive L4 port range; `0..=65535` means "any port".
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct PortRange {
+    /// Lowest matching port.
+    pub lo: u16,
+    /// Highest matching port.
+    pub hi: u16,
+}
+
+impl PortRange {
+    /// The full range (matches any port).
+    pub const ANY: PortRange = PortRange {
+        lo: 0,
+        hi: u16::MAX,
+    };
+
+    /// A single port (`eq N`).
+    pub fn eq(port: u16) -> PortRange {
+        PortRange { lo: port, hi: port }
+    }
+
+    /// An explicit range; panics if `lo > hi`.
+    pub fn new(lo: u16, hi: u16) -> PortRange {
+        assert!(lo <= hi, "invalid port range {lo}..{hi}");
+        PortRange { lo, hi }
+    }
+
+    /// Whether `port` falls inside.
+    pub fn contains(&self, port: u16) -> bool {
+        self.lo <= port && port <= self.hi
+    }
+
+    /// Whether this is the unconstrained range.
+    pub fn is_any(&self) -> bool {
+        self.lo == 0 && self.hi == u16::MAX
+    }
+
+    /// Whether the two ranges share a port.
+    pub fn overlaps(&self, other: &PortRange) -> bool {
+        self.lo.max(other.lo) <= self.hi.min(other.hi)
+    }
+}
+
+impl std::fmt::Display for PortRange {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        if self.is_any() {
+            write!(f, "any")
+        } else if self.lo == self.hi {
+            write!(f, "eq {}", self.lo)
+        } else {
+            write!(f, "range {} {}", self.lo, self.hi)
+        }
+    }
+}
+
+/// A concrete packet header, the input space of ACL analysis.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct Packet {
+    /// Source address.
+    pub src_ip: Ipv4Addr,
+    /// Destination address.
+    pub dst_ip: Ipv4Addr,
+    /// L4 protocol (never [`Protocol::Ip`], which is match-only).
+    pub protocol: Protocol,
+    /// Source port (0 for ICMP).
+    pub src_port: u16,
+    /// Destination port (0 for ICMP).
+    pub dst_port: u16,
+}
+
+impl Packet {
+    /// A TCP packet with the given endpoints.
+    pub fn tcp(src_ip: Ipv4Addr, src_port: u16, dst_ip: Ipv4Addr, dst_port: u16) -> Packet {
+        Packet {
+            src_ip,
+            dst_ip,
+            protocol: Protocol::Tcp,
+            src_port,
+            dst_port,
+        }
+    }
+}
+
+impl std::fmt::Display for Packet {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} {}:{} -> {}:{}",
+            self.protocol, self.src_ip, self.src_port, self.dst_ip, self.dst_port
+        )
+    }
+}

@@ -1,0 +1,226 @@
+//! IPv4 prefixes and Cisco prefix-list match ranges.
+
+use std::net::Ipv4Addr;
+use std::str::FromStr;
+
+use crate::ParseError;
+
+/// An IPv4 prefix in CIDR notation, stored normalized (host bits zero).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Prefix {
+    addr: u32,
+    len: u8,
+}
+
+impl Prefix {
+    /// Builds a prefix, zeroing any bits beyond `len`. Panics if `len > 32`.
+    pub fn new(addr: Ipv4Addr, len: u8) -> Prefix {
+        assert!(len <= 32, "prefix length {len} out of range");
+        let raw = u32::from(addr);
+        Prefix {
+            addr: raw & Self::mask(len),
+            len,
+        }
+    }
+
+    /// Builds from a raw network-order integer, zeroing host bits.
+    pub fn from_u32(addr: u32, len: u8) -> Prefix {
+        Self::new(Ipv4Addr::from(addr), len)
+    }
+
+    /// The all-zero default prefix `0.0.0.0/0`.
+    pub const DEFAULT: Prefix = Prefix { addr: 0, len: 0 };
+
+    fn mask(len: u8) -> u32 {
+        if len == 0 {
+            0
+        } else {
+            u32::MAX << (32 - len)
+        }
+    }
+
+    /// Network address.
+    pub fn addr(&self) -> Ipv4Addr {
+        Ipv4Addr::from(self.addr)
+    }
+
+    /// Network address as a raw integer.
+    pub fn addr_u32(&self) -> u32 {
+        self.addr
+    }
+
+    /// Prefix length in bits.
+    pub fn len(&self) -> u8 {
+        self.len
+    }
+
+    /// True only for the zero-length default prefix.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Whether `addr` falls inside this prefix.
+    pub fn contains_addr(&self, addr: Ipv4Addr) -> bool {
+        (u32::from(addr) & Self::mask(self.len)) == self.addr
+    }
+
+    /// Whether `other` is equal to or more specific than `self`.
+    pub fn covers(&self, other: &Prefix) -> bool {
+        other.len >= self.len && (other.addr & Self::mask(self.len)) == self.addr
+    }
+
+    /// Whether the two address ranges intersect at all.
+    pub fn overlaps(&self, other: &Prefix) -> bool {
+        self.covers(other) || other.covers(self)
+    }
+}
+
+impl FromStr for Prefix {
+    type Err = ParseError;
+
+    fn from_str(s: &str) -> Result<Self, ParseError> {
+        let (ip, len) = s
+            .split_once('/')
+            .ok_or_else(|| ParseError::new(format!("prefix '{s}' missing '/'")))?;
+        let addr: Ipv4Addr = ip
+            .parse()
+            .map_err(|_| ParseError::new(format!("bad IPv4 address '{ip}'")))?;
+        let len: u8 = len
+            .parse()
+            .map_err(|_| ParseError::new(format!("bad prefix length '{len}'")))?;
+        if len > 32 {
+            return Err(ParseError::new(format!("prefix length {len} > 32")));
+        }
+        Ok(Prefix::new(addr, len))
+    }
+}
+
+impl std::fmt::Display for Prefix {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}/{}", self.addr(), self.len)
+    }
+}
+
+impl std::fmt::Debug for Prefix {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        std::fmt::Display::fmt(self, f)
+    }
+}
+
+/// A Cisco prefix-list style match: a covering prefix plus a permitted
+/// range of prefix lengths (`ge`/`le` modifiers).
+///
+/// Semantics follow IOS: a candidate route prefix matches when the covering
+/// prefix covers it **and** its length falls within `[min_len, max_len]`.
+/// Without modifiers the entry matches the exact prefix only.
+#[derive(Clone, Copy, PartialEq, Eq, Hash)]
+pub struct PrefixRange {
+    /// The covering prefix.
+    pub prefix: Prefix,
+    /// Minimum matching length (inclusive).
+    pub min_len: u8,
+    /// Maximum matching length (inclusive).
+    pub max_len: u8,
+}
+
+impl PrefixRange {
+    /// Exact-match range for a single prefix.
+    pub fn exact(prefix: Prefix) -> PrefixRange {
+        PrefixRange {
+            prefix,
+            min_len: prefix.len(),
+            max_len: prefix.len(),
+        }
+    }
+
+    /// Builds a range with optional `ge`/`le` bounds, validating the IOS
+    /// constraint `len <= ge <= le <= 32`.
+    pub fn with_bounds(prefix: Prefix, ge: Option<u8>, le: Option<u8>) -> Result<Self, ParseError> {
+        let min_len = ge.unwrap_or_else(|| prefix.len());
+        // `ge` without `le` opens the upper bound to /32 (IOS behaviour).
+        let max_len = le.unwrap_or(if ge.is_some() { 32 } else { min_len });
+        if !(prefix.len() <= min_len && min_len <= max_len && max_len <= 32) {
+            return Err(ParseError::new(format!(
+                "invalid prefix range: {} ge {} le {}",
+                prefix, min_len, max_len
+            )));
+        }
+        Ok(PrefixRange {
+            prefix,
+            min_len,
+            max_len,
+        })
+    }
+
+    /// Whether a concrete route prefix matches this range.
+    pub fn matches(&self, candidate: &Prefix) -> bool {
+        self.prefix.covers(candidate)
+            && candidate.len() >= self.min_len
+            && candidate.len() <= self.max_len
+    }
+
+    /// Whether two ranges can match a common prefix.
+    pub fn overlaps(&self, other: &PrefixRange) -> bool {
+        let lo = self.min_len.max(other.min_len);
+        let hi = self.max_len.min(other.max_len);
+        lo <= hi && self.prefix.overlaps(&other.prefix)
+    }
+}
+
+impl FromStr for PrefixRange {
+    type Err = ParseError;
+
+    /// Parses `A.B.C.D/L`, optionally followed by `ge N` and/or `le N`.
+    fn from_str(s: &str) -> Result<Self, ParseError> {
+        let mut parts = s.split_whitespace();
+        let prefix: Prefix = parts
+            .next()
+            .ok_or_else(|| ParseError::new("empty prefix range"))?
+            .parse()?;
+        let mut ge = None;
+        let mut le = None;
+        while let Some(word) = parts.next() {
+            let value: u8 = parts
+                .next()
+                .ok_or_else(|| ParseError::new(format!("'{word}' missing value")))?
+                .parse()
+                .map_err(|_| ParseError::new(format!("bad length after '{word}'")))?;
+            match word {
+                "ge" => ge = Some(value),
+                "le" => le = Some(value),
+                other => {
+                    return Err(ParseError::new(format!(
+                        "expected 'ge' or 'le', found '{other}'"
+                    )))
+                }
+            }
+        }
+        PrefixRange::with_bounds(prefix, ge, le)
+    }
+}
+
+impl std::fmt::Display for PrefixRange {
+    /// Renders the shortest IOS form that parses back to the same range:
+    /// `ge` is printed when the lower bound exceeds the prefix length, and
+    /// `le` when the upper bound differs from what the parser would infer
+    /// (32 after a `ge`, the prefix length otherwise).
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.prefix)?;
+        let exact = self.prefix.len();
+        let ge_printed = self.min_len != exact;
+        if ge_printed {
+            write!(f, " ge {}", self.min_len)?;
+        }
+        let implied_max = if ge_printed { 32 } else { exact };
+        if self.max_len != implied_max {
+            write!(f, " le {}", self.max_len)?;
+        }
+        Ok(())
+    }
+}
+
+impl std::fmt::Debug for PrefixRange {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        std::fmt::Display::fmt(self, f)
+    }
+}

@@ -1,0 +1,106 @@
+//! BGP route advertisements, the input space of route-map analysis.
+
+use std::collections::BTreeSet;
+use std::net::Ipv4Addr;
+
+use crate::{AsPath, Community, Prefix};
+
+/// A concrete BGP route advertisement.
+///
+/// Field set and default values follow the differential examples in the
+/// paper (§2.2): network, AS path, communities, local preference, metric
+/// (MED), next hop, tag, and weight.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct BgpRoute {
+    /// The advertised network.
+    pub network: Prefix,
+    /// AS path, most recent hop first.
+    pub as_path: AsPath,
+    /// Standard communities, kept sorted for deterministic display.
+    pub communities: BTreeSet<Community>,
+    /// LOCAL_PREF attribute.
+    pub local_pref: u32,
+    /// MED / metric attribute.
+    pub metric: u32,
+    /// NEXT_HOP attribute.
+    pub next_hop: Ipv4Addr,
+    /// Route tag.
+    pub tag: u32,
+    /// Cisco administrative weight.
+    pub weight: u16,
+}
+
+impl BgpRoute {
+    /// A route with the paper's default attribute values: local-pref 100,
+    /// metric 0, next hop 0.0.0.1, tag 0, weight 0, empty path and
+    /// communities.
+    pub fn with_defaults(network: Prefix) -> BgpRoute {
+        BgpRoute {
+            network,
+            as_path: AsPath::empty(),
+            communities: BTreeSet::new(),
+            local_pref: 100,
+            metric: 0,
+            next_hop: Ipv4Addr::new(0, 0, 0, 1),
+            tag: 0,
+            weight: 0,
+        }
+    }
+
+    /// Builder-style setter for the AS path.
+    pub fn path(mut self, asns: &[u32]) -> BgpRoute {
+        self.as_path = AsPath::from_asns(asns.to_vec());
+        self
+    }
+
+    /// Builder-style setter adding one community.
+    pub fn community(mut self, c: Community) -> BgpRoute {
+        self.communities.insert(c);
+        self
+    }
+
+    /// Builder-style setter for local preference.
+    pub fn lp(mut self, local_pref: u32) -> BgpRoute {
+        self.local_pref = local_pref;
+        self
+    }
+
+    /// Builder-style setter for metric.
+    pub fn med(mut self, metric: u32) -> BgpRoute {
+        self.metric = metric;
+        self
+    }
+
+    /// Communities rendered for display: `["300:3", "65000:1"]`.
+    pub fn communities_display(&self) -> String {
+        let items: Vec<String> = self
+            .communities
+            .iter()
+            .map(|c| format!("\"{c}\""))
+            .collect();
+        format!("[{}]", items.join(", "))
+    }
+}
+
+impl std::fmt::Display for BgpRoute {
+    /// Renders in the multi-line layout the paper shows to users.
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(f, "Network: {}", self.network)?;
+        writeln!(
+            f,
+            "AS Path: [{{ \"asns\": [{}], \"confederation\": false }}]",
+            self.as_path
+                .asns()
+                .iter()
+                .map(|a| a.to_string())
+                .collect::<Vec<_>>()
+                .join(", ")
+        )?;
+        writeln!(f, "Communities: {}", self.communities_display())?;
+        writeln!(f, "Local Preference: {}", self.local_pref)?;
+        writeln!(f, "Metric: {}", self.metric)?;
+        writeln!(f, "Next Hop IP: {}", self.next_hop)?;
+        writeln!(f, "Tag: {}", self.tag)?;
+        write!(f, "Weight: {}", self.weight)
+    }
+}

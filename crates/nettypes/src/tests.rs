@@ -1,0 +1,316 @@
+use std::net::Ipv4Addr;
+
+use crate::{AsPath, BgpRoute, Community, Packet, PortRange, Prefix, PrefixRange, Protocol};
+
+#[test]
+fn prefix_normalizes_host_bits() {
+    let p = Prefix::new(Ipv4Addr::new(10, 1, 2, 3), 8);
+    assert_eq!(p.to_string(), "10.0.0.0/8");
+    assert_eq!(p, "10.255.255.255/8".parse().unwrap());
+}
+
+#[test]
+fn prefix_parse_roundtrip() {
+    for s in ["0.0.0.0/0", "10.0.0.0/8", "100.0.0.0/16", "1.2.3.4/32"] {
+        let p: Prefix = s.parse().unwrap();
+        assert_eq!(p.to_string(), s);
+    }
+}
+
+#[test]
+fn prefix_parse_errors() {
+    assert!("10.0.0.0".parse::<Prefix>().is_err());
+    assert!("10.0.0.0/33".parse::<Prefix>().is_err());
+    assert!("10.0.0/8".parse::<Prefix>().is_err());
+    assert!("x/8".parse::<Prefix>().is_err());
+}
+
+#[test]
+fn prefix_covers_and_overlaps() {
+    let p8: Prefix = "10.0.0.0/8".parse().unwrap();
+    let p16: Prefix = "10.1.0.0/16".parse().unwrap();
+    let other: Prefix = "20.0.0.0/16".parse().unwrap();
+    assert!(p8.covers(&p16));
+    assert!(!p16.covers(&p8));
+    assert!(p8.covers(&p8));
+    assert!(p8.overlaps(&p16));
+    assert!(p16.overlaps(&p8));
+    assert!(!p16.overlaps(&other));
+    assert!(Prefix::DEFAULT.covers(&other));
+}
+
+#[test]
+fn prefix_contains_addr() {
+    let p: Prefix = "10.0.0.0/8".parse().unwrap();
+    assert!(p.contains_addr(Ipv4Addr::new(10, 200, 1, 1)));
+    assert!(!p.contains_addr(Ipv4Addr::new(11, 0, 0, 1)));
+    assert!(Prefix::DEFAULT.contains_addr(Ipv4Addr::new(1, 2, 3, 4)));
+}
+
+#[test]
+fn prefix_range_exact() {
+    let r = PrefixRange::exact("10.0.0.0/8".parse().unwrap());
+    assert!(r.matches(&"10.0.0.0/8".parse().unwrap()));
+    assert!(!r.matches(&"10.1.0.0/16".parse().unwrap()));
+}
+
+#[test]
+fn prefix_range_le() {
+    // The paper's D1 entry: 10.0.0.0/8 le 24.
+    let r: PrefixRange = "10.0.0.0/8 le 24".parse().unwrap();
+    assert!(r.matches(&"10.0.0.0/8".parse().unwrap()));
+    assert!(r.matches(&"10.1.0.0/16".parse().unwrap()));
+    assert!(r.matches(&"10.1.2.0/24".parse().unwrap()));
+    assert!(!r.matches(&"10.1.2.0/25".parse().unwrap()));
+    assert!(!r.matches(&"11.0.0.0/16".parse().unwrap()));
+}
+
+#[test]
+fn prefix_range_ge() {
+    // The paper's D1 entry: 1.0.0.0/20 ge 24 (le defaults to 32).
+    let r: PrefixRange = "1.0.0.0/20 ge 24".parse().unwrap();
+    assert!(!r.matches(&"1.0.0.0/20".parse().unwrap()));
+    assert!(r.matches(&"1.0.0.0/24".parse().unwrap()));
+    assert!(r.matches(&"1.0.15.255/32".parse().unwrap()));
+}
+
+#[test]
+fn prefix_range_ge_le() {
+    let r: PrefixRange = "100.0.0.0/16 ge 16 le 23".parse().unwrap();
+    assert!(r.matches(&"100.0.0.0/16".parse().unwrap()));
+    assert!(r.matches(&"100.0.0.0/23".parse().unwrap()));
+    assert!(!r.matches(&"100.0.0.0/24".parse().unwrap()));
+}
+
+#[test]
+fn prefix_range_invalid_bounds() {
+    assert!("10.0.0.0/8 ge 4".parse::<PrefixRange>().is_err());
+    assert!("10.0.0.0/8 ge 24 le 16".parse::<PrefixRange>().is_err());
+    assert!("10.0.0.0/8 le 33".parse::<PrefixRange>().is_err());
+    assert!("10.0.0.0/8 eq 9".parse::<PrefixRange>().is_err());
+}
+
+#[test]
+fn prefix_range_overlap() {
+    let a: PrefixRange = "10.0.0.0/8 le 24".parse().unwrap();
+    let b: PrefixRange = "10.1.0.0/16 le 32".parse().unwrap();
+    let c: PrefixRange = "10.0.0.0/8 ge 25".parse().unwrap();
+    assert!(a.overlaps(&b));
+    assert!(b.overlaps(&a));
+    assert!(!a.overlaps(&c), "length ranges are disjoint");
+}
+
+#[test]
+fn prefix_range_display_roundtrip() {
+    for s in [
+        "10.0.0.0/8",
+        "10.0.0.0/8 le 24",
+        "1.0.0.0/20 ge 24",
+        "100.0.0.0/16 ge 17 le 23",
+        // Regression: ge N le N used to print as a bare "ge N", widening
+        // the upper bound to 32 on re-parse.
+        "10.0.0.0/8 ge 24 le 24",
+        "10.0.0.0/8 ge 9 le 9",
+    ] {
+        let r: PrefixRange = s.parse().unwrap();
+        let printed = r.to_string();
+        let reparsed: PrefixRange = printed.parse().unwrap();
+        assert_eq!(r, reparsed, "{s} -> {printed}");
+    }
+}
+
+#[test]
+fn community_parse_and_display() {
+    let c: Community = "300:3".parse().unwrap();
+    assert_eq!(c, Community::new(300, 3));
+    assert_eq!(c.to_string(), "300:3");
+    assert_eq!(c.subject(), "300:3");
+    assert!("300".parse::<Community>().is_err());
+    assert!("70000:1".parse::<Community>().is_err());
+    assert!("1:70000".parse::<Community>().is_err());
+    assert!("a:b".parse::<Community>().is_err());
+}
+
+#[test]
+fn aspath_basics() {
+    let p = AsPath::from_asns(vec![10, 20, 32]);
+    assert_eq!(p.len(), 3);
+    assert_eq!(p.origin_as(), Some(32));
+    assert_eq!(p.subject(), "10 20 32");
+    assert!(p.contains(20));
+    assert!(!p.contains(99));
+    let q = p.prepend(7);
+    assert_eq!(q.subject(), "7 10 20 32");
+    assert_eq!(AsPath::empty().subject(), "");
+    assert_eq!(AsPath::empty().origin_as(), None);
+}
+
+#[test]
+fn aspath_parse() {
+    let p: AsPath = "10 20 32".parse().unwrap();
+    assert_eq!(p.asns(), &[10, 20, 32]);
+    let empty: AsPath = "".parse().unwrap();
+    assert!(empty.is_empty());
+    assert!("10 x".parse::<AsPath>().is_err());
+}
+
+#[test]
+fn protocol_matching() {
+    assert!(Protocol::Ip.matches(Protocol::Tcp));
+    assert!(Protocol::Ip.matches(Protocol::Icmp));
+    assert!(Protocol::Tcp.matches(Protocol::Tcp));
+    assert!(!Protocol::Tcp.matches(Protocol::Udp));
+}
+
+#[test]
+fn protocol_codes_roundtrip() {
+    for p in [Protocol::Tcp, Protocol::Udp, Protocol::Icmp] {
+        assert_eq!(Protocol::from_code(p.code()), p);
+    }
+}
+
+#[test]
+fn port_range_semantics() {
+    assert!(PortRange::ANY.contains(0));
+    assert!(PortRange::ANY.contains(65535));
+    assert!(PortRange::ANY.is_any());
+    let r = PortRange::eq(443);
+    assert!(r.contains(443));
+    assert!(!r.contains(444));
+    let r = PortRange::new(1000, 2000);
+    assert!(r.overlaps(&PortRange::new(1500, 3000)));
+    assert!(!r.overlaps(&PortRange::new(2001, 3000)));
+    assert_eq!(r.to_string(), "range 1000 2000");
+    assert_eq!(PortRange::eq(80).to_string(), "eq 80");
+    assert_eq!(PortRange::ANY.to_string(), "any");
+}
+
+#[test]
+#[should_panic(expected = "invalid port range")]
+fn port_range_rejects_inverted() {
+    PortRange::new(2, 1);
+}
+
+#[test]
+fn packet_display() {
+    let p = Packet::tcp(
+        Ipv4Addr::new(1, 1, 1, 1),
+        1234,
+        Ipv4Addr::new(2, 2, 2, 2),
+        80,
+    );
+    assert_eq!(p.to_string(), "tcp 1.1.1.1:1234 -> 2.2.2.2:80");
+}
+
+#[test]
+fn route_defaults_match_paper() {
+    let r = BgpRoute::with_defaults("100.0.0.0/16".parse().unwrap());
+    assert_eq!(r.local_pref, 100);
+    assert_eq!(r.metric, 0);
+    assert_eq!(r.next_hop, Ipv4Addr::new(0, 0, 0, 1));
+    assert_eq!(r.tag, 0);
+    assert_eq!(r.weight, 0);
+}
+
+#[test]
+fn route_display_matches_paper_layout() {
+    let r = BgpRoute::with_defaults("100.0.0.0/16".parse().unwrap())
+        .path(&[32])
+        .community("300:3".parse().unwrap());
+    let s = r.to_string();
+    assert!(s.contains("Network: 100.0.0.0/16"), "{s}");
+    assert!(
+        s.contains("AS Path: [{ \"asns\": [32], \"confederation\": false }]"),
+        "{s}"
+    );
+    assert!(s.contains("Communities: [\"300:3\"]"), "{s}");
+    assert!(s.contains("Local Preference: 100"), "{s}");
+    assert!(s.contains("Next Hop IP: 0.0.0.1"), "{s}");
+}
+
+#[test]
+fn route_builder_chain() {
+    let r = BgpRoute::with_defaults("10.0.0.0/8".parse().unwrap())
+        .path(&[1, 2])
+        .lp(300)
+        .med(55)
+        .community(Community::new(65000, 1))
+        .community(Community::new(300, 3));
+    assert_eq!(r.local_pref, 300);
+    assert_eq!(r.metric, 55);
+    assert_eq!(r.communities.len(), 2);
+    // Sorted display.
+    assert_eq!(r.communities_display(), "[\"300:3\", \"65000:1\"]");
+}
+
+mod properties {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        /// Covers is a partial order compatible with address containment.
+        #[test]
+        fn covers_transitive(a in 0u32.., la in 0u8..=32, lb in 0u8..=32, lc in 0u8..=32) {
+            let mut ls = [la, lb, lc];
+            ls.sort_unstable();
+            let p1 = Prefix::from_u32(a, ls[0]);
+            let p2 = Prefix::from_u32(a, ls[1]);
+            let p3 = Prefix::from_u32(a, ls[2]);
+            prop_assert!(p1.covers(&p2));
+            prop_assert!(p2.covers(&p3));
+            prop_assert!(p1.covers(&p3));
+        }
+
+        /// A range built from any prefix matches that exact prefix iff the
+        /// bounds admit its length.
+        #[test]
+        fn range_matches_self(addr in 0u32.., len in 0u8..=32) {
+            let p = Prefix::from_u32(addr, len);
+            prop_assert!(PrefixRange::exact(p).matches(&p));
+        }
+
+        /// Display/parse round-trip for prefixes.
+        #[test]
+        fn prefix_roundtrip(addr in 0u32.., len in 0u8..=32) {
+            let p = Prefix::from_u32(addr, len);
+            let q: Prefix = p.to_string().parse().unwrap();
+            prop_assert_eq!(p, q);
+        }
+
+        /// Community subject strings always re-parse to the same community.
+        #[test]
+        fn community_roundtrip(asn in 0u16.., value in 0u16..) {
+            let c = Community::new(asn, value);
+            let d: Community = c.subject().parse().unwrap();
+            prop_assert_eq!(c, d);
+        }
+
+        /// AS-path subject strings round-trip.
+        #[test]
+        fn aspath_roundtrip(asns in proptest::collection::vec(0u32..=65535, 0..6)) {
+            let p = AsPath::from_asns(asns);
+            let q: AsPath = p.subject().parse().unwrap();
+            prop_assert_eq!(p, q);
+        }
+    }
+}
+
+mod range_display_properties {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        /// Display/parse round-trip for *every* representable range.
+        #[test]
+        fn any_range_roundtrips(addr in 0u32.., len in 0u8..=32, a in 0u8..=32, b in 0u8..=32) {
+            let prefix = Prefix::from_u32(addr, len);
+            let (mut lo, mut hi) = (a.min(b), a.max(b));
+            lo = lo.max(len);
+            hi = hi.max(lo);
+            let r = PrefixRange { prefix, min_len: lo, max_len: hi };
+            let printed = r.to_string();
+            let reparsed: PrefixRange = printed.parse().unwrap();
+            prop_assert_eq!(r, reparsed, "printed as {}", printed);
+        }
+    }
+}

@@ -1,0 +1,128 @@
+//! Aggregate statistics over overlap reports — the numbers §3 reports.
+
+use clarify_analysis::OverlapReport;
+
+/// Census of an ACL population, mirroring §3's ACL metrics.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct AclCensus {
+    /// Number of ACLs examined.
+    pub total: usize,
+    /// ACLs with at least one overlapping pair.
+    pub with_overlap: usize,
+    /// ACLs with more than 20 overlapping pairs.
+    pub overlap_gt20: usize,
+    /// ACLs with at least one *conflicting* overlap.
+    pub with_conflicts: usize,
+    /// ACLs with more than 20 conflicting pairs.
+    pub conflicts_gt20: usize,
+    /// ACLs with at least one non-trivial (non-subset) conflicting overlap.
+    pub nontrivial: usize,
+    /// ACLs with more than 20 non-trivial conflicting pairs.
+    pub nontrivial_gt20: usize,
+    /// Largest overlapping-pair count seen in a single ACL.
+    pub max_pairs: usize,
+}
+
+impl AclCensus {
+    /// Folds one ACL's report into the census.
+    pub fn add(&mut self, report: &OverlapReport) {
+        self.total += 1;
+        let pairs = report.count();
+        let conflicts = report.conflict_count();
+        let nontrivial = report.nontrivial_conflict_count();
+        if pairs > 0 {
+            self.with_overlap += 1;
+        }
+        if pairs > 20 {
+            self.overlap_gt20 += 1;
+        }
+        if conflicts > 0 {
+            self.with_conflicts += 1;
+        }
+        if conflicts > 20 {
+            self.conflicts_gt20 += 1;
+        }
+        if nontrivial > 0 {
+            self.nontrivial += 1;
+        }
+        if nontrivial > 20 {
+            self.nontrivial_gt20 += 1;
+        }
+        self.max_pairs = self.max_pairs.max(pairs);
+    }
+
+    /// Computes the census over many reports.
+    pub fn of<'a>(reports: impl IntoIterator<Item = &'a OverlapReport>) -> AclCensus {
+        let mut c = AclCensus::default();
+        for r in reports {
+            c.add(r);
+        }
+        c
+    }
+
+    /// Fraction of ACLs with conflicting overlaps (the §3.2 "37.7%").
+    pub fn conflict_fraction(&self) -> f64 {
+        frac(self.with_conflicts, self.total)
+    }
+
+    /// Fraction of conflicting ACLs with more than 20 conflicts ("27%").
+    pub fn gt20_of_conflicting(&self) -> f64 {
+        frac(self.conflicts_gt20, self.with_conflicts)
+    }
+
+    /// Fraction of ACLs with non-trivial overlaps ("18.6%").
+    pub fn nontrivial_fraction(&self) -> f64 {
+        frac(self.nontrivial, self.total)
+    }
+
+    /// Fraction of non-trivial ACLs with more than 20 such pairs ("16.3%").
+    pub fn gt20_of_nontrivial(&self) -> f64 {
+        frac(self.nontrivial_gt20, self.nontrivial)
+    }
+}
+
+/// Census of a route-map population, mirroring §3's route-map metrics
+/// (actions ignored for the overlap count; conflicts tracked separately).
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct RouteMapCensus {
+    /// Number of route-maps examined.
+    pub total: usize,
+    /// Route-maps with at least one overlapping stanza pair.
+    pub with_overlap: usize,
+    /// Route-maps with more than 20 overlapping pairs.
+    pub overlap_gt20: usize,
+    /// Largest overlapping-pair count in a single route-map.
+    pub max_pairs: usize,
+}
+
+impl RouteMapCensus {
+    /// Folds one route-map's report into the census.
+    pub fn add(&mut self, report: &OverlapReport) {
+        self.total += 1;
+        let pairs = report.count();
+        if pairs > 0 {
+            self.with_overlap += 1;
+        }
+        if pairs > 20 {
+            self.overlap_gt20 += 1;
+        }
+        self.max_pairs = self.max_pairs.max(pairs);
+    }
+
+    /// Computes the census over many reports.
+    pub fn of<'a>(reports: impl IntoIterator<Item = &'a OverlapReport>) -> RouteMapCensus {
+        let mut c = RouteMapCensus::default();
+        for r in reports {
+            c.add(r);
+        }
+        c
+    }
+}
+
+fn frac(num: usize, den: usize) -> f64 {
+    if den == 0 {
+        0.0
+    } else {
+        num as f64 / den as f64
+    }
+}

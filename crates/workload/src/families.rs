@@ -1,0 +1,169 @@
+//! Parameterized configuration families with known overlap structure.
+
+use std::net::Ipv4Addr;
+
+use rand::Rng;
+
+use clarify_netconfig::{Acl, AclEntry, Action, AddrMatch, Config};
+use clarify_nettypes::{PortRange, Prefix, Protocol};
+
+/// An ACL with `n` rules on pairwise-disjoint /16 source prefixes: zero
+/// overlapping pairs.
+pub fn clean_acl(rng: &mut impl Rng, name: &str, n: usize) -> Acl {
+    assert!(n <= 200, "disjoint /16 pool exhausted");
+    let base = rng.gen_range(11u8..200);
+    let entries = (0..n)
+        .map(|i| AclEntry {
+            action: Action::Permit,
+            protocol: Protocol::Tcp,
+            src: AddrMatch::Net(Prefix::new(Ipv4Addr::new(base, i as u8, 0, 0), 16)),
+            src_ports: PortRange::ANY,
+            dst: AddrMatch::Any,
+            dst_ports: PortRange::eq(1000 + i as u16),
+        })
+        .collect();
+    Acl {
+        name: name.to_string(),
+        entries,
+    }
+}
+
+/// An ACL with `k` pairwise-disjoint host-to-host permits followed by
+/// `deny ip any any`: exactly `k` conflicting pairs, every one of them
+/// subset-shaped (the "trivial" §3.2 case).
+pub fn subset_tail_acl(rng: &mut impl Rng, name: &str, k: usize) -> Acl {
+    assert!(k <= 250, "host pool exhausted");
+    let a = rng.gen_range(1u8..250);
+    let mut entries: Vec<AclEntry> = (0..k)
+        .map(|i| AclEntry {
+            action: Action::Permit,
+            protocol: Protocol::Tcp,
+            src: AddrMatch::Host(Ipv4Addr::new(10, a, (i / 250) as u8, (i % 250) as u8 + 1)),
+            src_ports: PortRange::ANY,
+            dst: AddrMatch::Host(Ipv4Addr::new(20, a, 0, (i % 250) as u8 + 1)),
+            dst_ports: PortRange::eq(443),
+        })
+        .collect();
+    entries.push(AclEntry {
+        action: Action::Deny,
+        protocol: Protocol::Ip,
+        src: AddrMatch::Any,
+        src_ports: PortRange::ANY,
+        dst: AddrMatch::Any,
+        dst_ports: PortRange::ANY,
+    });
+    Acl {
+        name: name.to_string(),
+        entries,
+    }
+}
+
+/// A "crossing" ACL with `p` narrow permits and `d` wide denies built so
+/// that every permit/deny pair overlaps without either containing the
+/// other: exactly `p * d` conflicting, non-subset pairs and nothing else.
+///
+/// Structure: permits match distinct /16s under 10.0.0.0/8 with the full
+/// destination-port band `[0, 400]`; denies match all of 10.0.0.0/8 but a
+/// single destination port each.
+pub fn cross_acl(rng: &mut impl Rng, name: &str, p: usize, d: usize) -> Acl {
+    assert!(p <= 250 && d <= 200, "pool exhausted");
+    let shift = rng.gen_range(0u16..50);
+    let mut entries: Vec<AclEntry> = (0..p)
+        .map(|i| AclEntry {
+            action: Action::Permit,
+            protocol: Protocol::Tcp,
+            src: AddrMatch::Net(Prefix::new(Ipv4Addr::new(10, i as u8, 0, 0), 16)),
+            src_ports: PortRange::ANY,
+            dst: AddrMatch::Any,
+            dst_ports: PortRange::new(0, 400),
+        })
+        .collect();
+    entries.extend((0..d).map(|j| AclEntry {
+        action: Action::Deny,
+        protocol: Protocol::Tcp,
+        src: AddrMatch::Net(Prefix::new(Ipv4Addr::new(10, 0, 0, 0), 8)),
+        src_ports: PortRange::ANY,
+        dst: AddrMatch::Any,
+        dst_ports: PortRange::eq(50 + shift + j as u16),
+    }));
+    Acl {
+        name: name.to_string(),
+        entries,
+    }
+}
+
+/// A config holding one route-map whose `n` stanzas match pairwise
+/// disjoint exact /8 prefixes: zero overlapping stanza pairs.
+pub fn clean_route_map_config(rng: &mut impl Rng, map: &str, n: usize) -> Config {
+    assert!(n <= 100, "prefix pool exhausted");
+    let base = rng.gen_range(30u8..120);
+    let mut text = String::new();
+    for i in 0..n {
+        text.push_str(&format!(
+            "ip prefix-list {map}_PL{i} seq 5 permit {}.0.0.0/8\n",
+            base + i as u8
+        ));
+    }
+    for i in 0..n {
+        text.push_str(&format!(
+            "route-map {map} {} {}\n match ip address prefix-list {map}_PL{i}\n",
+            if i % 2 == 0 { "permit" } else { "deny" },
+            (i + 1) * 10,
+        ));
+    }
+    Config::parse(&text).expect("generated config parses")
+}
+
+/// A config holding one route-map with one *wide* stanza (all of
+/// 10.0.0.0/8) and `n - 1` narrow stanzas on distinct /16s below it:
+/// exactly `n - 1` overlapping pairs (wide × each narrow). `conflicting`
+/// of the narrow stanzas take the opposite action from the wide stanza.
+pub fn nested_route_map_config(map: &str, n: usize, conflicting: usize) -> Config {
+    assert!((1..=200).contains(&n) && conflicting <= n.saturating_sub(1));
+    let mut text = String::new();
+    text.push_str(&format!(
+        "ip prefix-list {map}_WIDE seq 5 permit 10.0.0.0/8 le 32\n"
+    ));
+    for i in 1..n {
+        text.push_str(&format!(
+            "ip prefix-list {map}_PL{i} seq 5 permit 10.{}.0.0/16 le 32\n",
+            i as u8
+        ));
+    }
+    // Wide stanza first: action deny.
+    text.push_str(&format!(
+        "route-map {map} deny 10\n match ip address prefix-list {map}_WIDE\n"
+    ));
+    for i in 1..n {
+        // `conflicting` narrows get the opposite action (permit).
+        let action = if i <= conflicting { "permit" } else { "deny" };
+        text.push_str(&format!(
+            "route-map {map} {action} {}\n match ip address prefix-list {map}_PL{i}\n",
+            (i + 1) * 10,
+        ));
+    }
+    Config::parse(&text).expect("generated config parses")
+}
+
+/// The disambiguation-scaling family: a route-map with `n` stanzas
+/// (`match tag i`, `set metric 1000+i`) plus a snippet matching every
+/// 10.0.0.0/8 route — the snippet overlaps all `n` stanzas, and each of
+/// the `n + 1` insertion slots is behaviourally distinct. Returns
+/// `(base, snippet)`; the snippet's route-map is named `NEW`.
+pub fn disambiguation_family(n: usize) -> (Config, Config) {
+    let mut text = String::new();
+    for i in 0..n {
+        text.push_str(&format!(
+            "route-map RM permit {}\n match tag {}\n set metric {}\n",
+            (i + 1) * 10,
+            i,
+            1000 + i
+        ));
+    }
+    let base = Config::parse(&text).expect("generated config parses");
+    let snippet = Config::parse(
+        "ip prefix-list PL permit 10.0.0.0/8 le 32\nroute-map NEW permit 10\n match ip address prefix-list PL\n set metric 99\n",
+    )
+    .expect("snippet parses");
+    (base, snippet)
+}

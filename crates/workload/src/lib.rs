@@ -1,0 +1,37 @@
+//! Synthetic configuration populations calibrated to the paper's §3
+//! measurements.
+//!
+//! The paper measured overlap prevalence in a major cloud provider's WAN
+//! and a university campus network. Those configurations are proprietary;
+//! this crate generates seeded synthetic populations whose *measured*
+//! overlap statistics land on the reported numbers, so the census code
+//! (`clarify-analysis`) runs against data of the same shape and scale:
+//!
+//! * **cloud WAN** — 237 ACLs (69 with ≥1 overlap, 48 of those with more
+//!   than 20, one border ACL with over 100 overlapping pairs) and 800
+//!   route-maps (140 with overlaps, 3 with more than 20);
+//! * **campus** — 11,088 ACLs (37.7% with conflicting overlaps; 27% of
+//!   those with >20 conflicts; 18.6% non-trivial after filtering
+//!   subset-shaped pairs, 16.3% of those >20) and 169 route-maps (2 with
+//!   overlapping stanzas, one of which has three overlapping pairs, two of
+//!   them conflicting).
+//!
+//! Every generator takes an explicit seed; identical seeds produce
+//! identical populations. Individual ACL/route-map family constructors are
+//! exported for tests and benchmarks.
+
+#![warn(missing_docs)]
+
+mod census;
+mod families;
+mod populations;
+
+pub use census::{AclCensus, RouteMapCensus};
+pub use families::{
+    clean_acl, clean_route_map_config, cross_acl, disambiguation_family, nested_route_map_config,
+    subset_tail_acl,
+};
+pub use populations::{campus, cloud, CampusWorkload, CloudWorkload};
+
+#[cfg(test)]
+mod tests;

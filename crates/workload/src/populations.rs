@@ -1,0 +1,143 @@
+//! The two §3 populations: cloud WAN and campus.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use clarify_netconfig::{Acl, Config};
+
+use crate::families::{
+    clean_acl, clean_route_map_config, cross_acl, nested_route_map_config, subset_tail_acl,
+};
+
+/// The cloud-WAN population of §3.1.
+#[derive(Clone, Debug)]
+pub struct CloudWorkload {
+    /// 237 non-identical ACLs.
+    pub acls: Vec<Acl>,
+    /// 800 route-maps, one per config (each config carries the map's
+    /// ancillary lists).
+    pub route_maps: Vec<(Config, String)>,
+}
+
+/// Generates the cloud-WAN population.
+///
+/// Class layout (engineered so the measured census reproduces §3.1):
+/// 237 ACLs = 168 clean + 21 lightly overlapping (1–20 pairs) + 47 heavy
+/// (>20 pairs) + 1 border ACL with >100 pairs; 800 route-maps = 660 clean
+/// + 137 light (1–20 overlapping pairs) + 3 heavy (>20).
+pub fn cloud(seed: u64) -> CloudWorkload {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut acls = Vec::with_capacity(237);
+    // The border ACL from the paper's anecdote: "dozens of rules permitting
+    // and denying combinations" with over 100 overlapping pairs.
+    acls.push(cross_acl(&mut rng, "EDGE_INGRESS", 12, 9)); // 108 pairs
+    for i in 0..47 {
+        let p = rng.gen_range(7..=12);
+        let d = rng.gen_range(3..=4);
+        debug_assert!(p * d > 20 && p * d <= 48);
+        acls.push(cross_acl(&mut rng, &format!("CLOUD_HEAVY_{i}"), p, d));
+    }
+    for i in 0..21 {
+        let p = rng.gen_range(1..=10);
+        let d = rng.gen_range(1..=2);
+        debug_assert!(p * d >= 1 && p * d <= 20);
+        acls.push(cross_acl(&mut rng, &format!("CLOUD_LIGHT_{i}"), p, d));
+    }
+    for i in 0..168 {
+        let n = rng.gen_range(3..=12);
+        acls.push(clean_acl(&mut rng, &format!("CLOUD_CLEAN_{i}"), n));
+    }
+
+    let mut route_maps = Vec::with_capacity(800);
+    for i in 0..3 {
+        // >20 overlapping pairs: wide stanza over 21+ narrows.
+        let n = rng.gen_range(23..=30);
+        let name = format!("RM_HEAVY_{i}");
+        route_maps.push((nested_route_map_config(&name, n, n / 2), name));
+    }
+    for i in 0..137 {
+        let n = rng.gen_range(2..=15); // 1..=14 overlapping pairs
+        let name = format!("RM_LIGHT_{i}");
+        route_maps.push((
+            nested_route_map_config(&name, n.max(2), (n.max(2) - 1) / 2),
+            name,
+        ));
+    }
+    for i in 0..660 {
+        let n = rng.gen_range(1..=8);
+        let name = format!("RM_CLEAN_{i}");
+        route_maps.push((clean_route_map_config(&mut rng, &name, n), name));
+    }
+    CloudWorkload { acls, route_maps }
+}
+
+/// The campus population of §3.2.
+#[derive(Clone, Debug)]
+pub struct CampusWorkload {
+    /// 11,088 ACLs.
+    pub acls: Vec<Acl>,
+    /// 169 route-maps.
+    pub route_maps: Vec<(Config, String)>,
+}
+
+/// Generates the campus population.
+///
+/// Class layout (engineered to reproduce §3.2):
+///
+/// | class              | count | conflicts | non-trivial |
+/// |--------------------|------:|-----------|-------------|
+/// | clean              |  6908 | 0         | 0           |
+/// | subset-tail light  |  1325 | 1–20      | 0           |
+/// | subset-tail heavy  |   793 | >20       | 0           |
+/// | crossing light     |  1726 | 1–20      | 1–20        |
+/// | crossing heavy     |   336 | >20       | >20         |
+///
+/// Giving 4180/11088 = 37.7% with conflicting overlaps, 1129/4180 = 27%
+/// of those with more than 20 conflicts, 2062/11088 = 18.6% non-trivial,
+/// and 336/2062 = 16.3% of those with more than 20 non-trivial pairs.
+pub fn campus(seed: u64) -> CampusWorkload {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut acls = Vec::with_capacity(11_088);
+    for i in 0..6908 {
+        let n = rng.gen_range(2..=10);
+        acls.push(clean_acl(&mut rng, &format!("CAMPUS_CLEAN_{i}"), n));
+    }
+    for i in 0..1325 {
+        let k = rng.gen_range(1..=20);
+        acls.push(subset_tail_acl(&mut rng, &format!("CAMPUS_TAIL_L_{i}"), k));
+    }
+    for i in 0..793 {
+        let k = rng.gen_range(21..=40);
+        acls.push(subset_tail_acl(&mut rng, &format!("CAMPUS_TAIL_H_{i}"), k));
+    }
+    for i in 0..1726 {
+        let p = rng.gen_range(1..=10);
+        let d = rng.gen_range(1..=2);
+        let (p, d) = if p * d > 20 { (p, 1) } else { (p, d) };
+        acls.push(cross_acl(&mut rng, &format!("CAMPUS_CROSS_L_{i}"), p, d));
+    }
+    for i in 0..336 {
+        let p = rng.gen_range(7..=12);
+        let d = rng.gen_range(3..=5);
+        debug_assert!(p * d > 20);
+        acls.push(cross_acl(&mut rng, &format!("CAMPUS_CROSS_H_{i}"), p, d));
+    }
+
+    let mut route_maps = Vec::with_capacity(169);
+    // The paper: 2 route-maps with overlapping stanzas; one has three
+    // overlapping pairs of which two are conflicting.
+    route_maps.push((
+        nested_route_map_config("CAMPUS_RM_A", 4, 2),
+        "CAMPUS_RM_A".to_string(),
+    ));
+    route_maps.push((
+        nested_route_map_config("CAMPUS_RM_B", 2, 1),
+        "CAMPUS_RM_B".to_string(),
+    ));
+    for i in 0..167 {
+        let n = rng.gen_range(1..=6);
+        let name = format!("CAMPUS_RM_{i}");
+        route_maps.push((clean_route_map_config(&mut rng, &name, n), name));
+    }
+    CampusWorkload { acls, route_maps }
+}

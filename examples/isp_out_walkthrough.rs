@@ -1,0 +1,91 @@
+//! The paper's §2 walkthrough, optionally interactive.
+//!
+//! ```sh
+//! cargo run --example isp_out_walkthrough                # auto-answers
+//! cargo run --example isp_out_walkthrough -- --interactive
+//! ```
+//!
+//! In interactive mode you play the user: the disambiguator shows each
+//! differential route with its two possible behaviours and you type `1`
+//! or `2`, exactly the exchange in §2.2 of the paper.
+
+use std::io::Write;
+
+use clarify::core::{Choice, Disambiguator, FnOracle, PlacementStrategy};
+use clarify::llm::{Pipeline, PipelineOutcome, SemanticBackend};
+use clarify::netconfig::Config;
+
+const ISP_OUT: &str = "\
+ip as-path access-list D0 permit _32$
+ip prefix-list D1 seq 10 permit 10.0.0.0/8 le 24
+ip prefix-list D1 seq 20 permit 20.0.0.0/16 le 32
+ip prefix-list D1 seq 30 permit 1.0.0.0/20 ge 24
+route-map ISP_OUT deny 10
+ match as-path D0
+route-map ISP_OUT deny 20
+ match ip address prefix-list D1
+route-map ISP_OUT permit 30
+ match local-preference 300
+";
+
+const PROMPT: &str = "Write a route-map stanza that permits routes containing the prefix \
+100.0.0.0/16 with mask length less than or equal to 23 and tagged with the community 300:3. \
+Their MED value should be set to 55.";
+
+fn main() {
+    let interactive = std::env::args().any(|a| a == "--interactive");
+    let base = Config::parse(ISP_OUT).expect("paper config parses");
+
+    println!("--- existing route-map ---\n{ISP_OUT}");
+    println!("--- your intent ---\n{PROMPT}\n");
+
+    let mut pipeline = Pipeline::new(SemanticBackend::new(), 3);
+    let PipelineOutcome::RouteMap {
+        snippet,
+        map_name,
+        spec,
+        ..
+    } = pipeline.synthesize(PROMPT).expect("pipeline runs")
+    else {
+        panic!("expected a route-map outcome");
+    };
+    println!("--- synthesized and verified snippet ---\n{snippet}");
+    println!("--- extracted specification (please confirm it matches your intent) ---");
+    println!("{}\n", spec.to_json());
+
+    let mut ask = FnOracle(move |q: &clarify::core::DisambiguationQuestion| {
+        println!(
+            "The new stanza interacts with existing stanza {}.",
+            q.pivot_seq
+        );
+        println!("For the following input route, which behaviour do you want?\n\n{q}\n");
+        if interactive {
+            loop {
+                print!("your choice [1/2]: ");
+                std::io::stdout().flush().expect("flush");
+                let mut line = String::new();
+                if std::io::stdin().read_line(&mut line).is_err() {
+                    return Choice::First;
+                }
+                match line.trim() {
+                    "1" => return Choice::First,
+                    "2" => return Choice::Second,
+                    _ => println!("please answer 1 or 2"),
+                }
+            }
+        } else {
+            println!("(auto mode: choosing OPTION 1)\n");
+            Choice::First
+        }
+    });
+
+    let result = Disambiguator::new(PlacementStrategy::BinarySearch)
+        .insert(&base, "ISP_OUT", &snippet, &map_name, &mut ask)
+        .expect("disambiguation succeeds");
+
+    println!(
+        "--- disambiguation complete: {} question(s), stanza placed at position {} ---\n",
+        result.questions, result.position
+    );
+    println!("--- final configuration ---\n{}", result.config);
+}

@@ -1,0 +1,70 @@
+//! Quickstart: one English sentence in, a verified and correctly placed
+//! route-map stanza out.
+//!
+//! ```sh
+//! cargo run --example quickstart
+//! ```
+
+use clarify::core::{
+    AddStanzaOutcome, ClarifySession, Disambiguator, IntentOracle, PlacementStrategy,
+};
+use clarify::llm::SemanticBackend;
+use clarify::netconfig::Config;
+
+fn main() {
+    // The device's existing policy: a route-map with one deny stanza.
+    let base = Config::parse(
+        "ip prefix-list OLD seq 5 permit 100.0.0.0/8 le 32\n\
+         route-map EDGE deny 10\n match ip address prefix-list OLD\n",
+    )
+    .expect("base config parses");
+
+    // What the user ultimately wants (here played by an oracle; a real
+    // deployment asks the actual user the same questions interactively).
+    let intended = Config::parse(
+        "ip prefix-list OLD seq 5 permit 100.0.0.0/8 le 32\n\
+         ip prefix-list NEW seq 5 permit 100.0.0.0/16 le 23\n\
+         route-map EDGE permit 10\n match ip address prefix-list NEW\n set metric 55\n\
+         route-map EDGE deny 20\n match ip address prefix-list OLD\n",
+    )
+    .expect("intended config parses");
+    let mut user = IntentOracle::new(&intended, "EDGE");
+
+    // The Clarify session: simulated LLM + binary-search disambiguator.
+    let mut session = ClarifySession::new(
+        SemanticBackend::new(),
+        3,
+        Disambiguator::new(PlacementStrategy::BinarySearch),
+    );
+
+    let prompt = "Write a route-map stanza that permits routes containing the prefix \
+                  100.0.0.0/16 with mask length less than or equal to 23. \
+                  Their MED value should be set to 55.";
+    println!("prompt: {prompt}\n");
+
+    match session
+        .add_stanza(&base, "EDGE", prompt, &mut user)
+        .expect("session runs")
+    {
+        AddStanzaOutcome::Inserted {
+            config,
+            result,
+            llm_calls,
+        } => {
+            println!(
+                "inserted at position {} after {} LLM calls and {} disambiguation question(s)\n",
+                result.position, llm_calls, result.questions
+            );
+            for (i, (q, answer)) in result.transcript.iter().enumerate() {
+                println!(
+                    "--- question {} (user answered {answer:?}) ---\n{q}\n",
+                    i + 1
+                );
+            }
+            println!("--- final configuration ---\n{config}");
+        }
+        AddStanzaOutcome::Punted { reason, .. } => {
+            println!("the LLM could not produce a verified stanza: {reason}");
+        }
+    }
+}

@@ -1,0 +1,327 @@
+//! The `clarify` command-line tool.
+//!
+//! ```text
+//! clarify audit <config-file>
+//!     Overlap census for every ACL and route-map in the file (the §3
+//!     measurement as a tool).
+//!
+//! clarify ask <config-file> <route-map> <english intent...>
+//!     Synthesize a stanza from the intent, verify it, and interactively
+//!     disambiguate where it belongs; prints the updated configuration.
+//!
+//! clarify ask-acl <config-file> <acl> <english intent...>
+//!     Same for an ACL entry.
+//!
+//! clarify compare <file-a> <file-b> <route-map> [limit]
+//!     Print concrete routes on which the two versions of the route-map
+//!     behave differently (differential verification).
+//! ```
+
+use std::io::Write as _;
+use std::process::ExitCode;
+
+use clarify::analysis::{
+    acl_overlaps, compare_route_policies, route_map_chain_overlaps, route_map_overlaps,
+    PacketSpace, RouteSpace,
+};
+use clarify::core::{
+    insert_acl_with_oracle, Choice, Disambiguator, FnAclOracle, FnOracle, PlacementStrategy,
+};
+use clarify::llm::{Pipeline, PipelineOutcome, SemanticBackend};
+use clarify::netconfig::Config;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let result = match args.first().map(String::as_str) {
+        Some("audit") => audit(&args[1..]),
+        Some("ask") => ask(&args[1..], false),
+        Some("ask-acl") => ask(&args[1..], true),
+        Some("compare") => compare(&args[1..]),
+        Some("chain") => chain(&args[1..]),
+        Some("--help") | Some("-h") | None => {
+            eprint!("{}", USAGE);
+            return ExitCode::SUCCESS;
+        }
+        Some(other) => Err(format!("unknown command '{other}'\n\n{USAGE}")),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+const USAGE: &str = "\
+usage:
+  clarify audit <config-file>
+  clarify ask <config-file> <route-map> <english intent...>
+  clarify ask-acl <config-file> <acl> <english intent...>
+  clarify compare <file-a> <file-b> <route-map> [limit]
+  clarify chain <config-file> <route-map> <route-map>...
+";
+
+fn load(path: &str) -> Result<Config, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    Config::parse(&text).map_err(|e| format!("{path}: {e}"))
+}
+
+fn audit(args: &[String]) -> Result<(), String> {
+    let [path] = args else {
+        return Err(format!("audit takes one config file\n\n{USAGE}"));
+    };
+    let cfg = load(path)?;
+    cfg.validate().map_err(|e| e.to_string())?;
+
+    println!("== ACLs ({}) ==", cfg.acls.len());
+    for acl in cfg.acls.values() {
+        let r = acl_overlaps(acl);
+        println!(
+            "{}: {} rules, {} overlapping pairs ({} conflicting, {} non-trivial)",
+            acl.name,
+            r.num_rules,
+            r.count(),
+            r.conflict_count(),
+            r.nontrivial_conflict_count()
+        );
+        let mut space = PacketSpace::new();
+        for p in r.pairs.iter().filter(|p| p.conflicting && !p.subset) {
+            println!("  conflict: rule {} vs rule {}", p.i, p.j);
+            println!("   {}", acl.entries[p.i]);
+            println!("   {}", acl.entries[p.j]);
+            // Exact size of the contested packet region, as a fraction of
+            // the whole header space.
+            let a = space.encode_entry(&acl.entries[p.i]);
+            let b = space.encode_entry(&acl.entries[p.j]);
+            let both = space.manager().and(a, b);
+            let valid = space.valid();
+            let both = space.manager().and(both, valid);
+            let contested = space.manager().sat_count_exact(both);
+            let total = space.manager().sat_count_exact(valid);
+            println!(
+                "   contested region: 2^{:.1} packets ({:.2e} of the header space)",
+                (contested as f64).log2(),
+                contested as f64 / total as f64
+            );
+        }
+    }
+
+    println!("\n== route-maps ({}) ==", cfg.route_maps.len());
+    // One space serves every map: it depends only on the config's regexes.
+    let mut space = RouteSpace::new(&[&cfg]).map_err(|e| e.to_string())?;
+    for rm in cfg.route_maps.values() {
+        let r = route_map_overlaps(&mut space, &cfg, rm).map_err(|e| e.to_string())?;
+        println!(
+            "{}: {} stanzas, {} overlapping pairs ({} with differing actions)",
+            rm.name,
+            r.num_rules,
+            r.count(),
+            r.pairs.iter().filter(|p| p.conflicting).count()
+        );
+        for p in &r.pairs {
+            println!(
+                "  overlap: stanza {} and stanza {}{}",
+                rm.stanzas[p.i].seq,
+                rm.stanzas[p.j].seq,
+                if p.conflicting {
+                    " (actions differ)"
+                } else {
+                    ""
+                }
+            );
+        }
+    }
+    Ok(())
+}
+
+fn read_choice() -> Choice {
+    loop {
+        print!("your choice [1/2]: ");
+        std::io::stdout().flush().ok();
+        let mut line = String::new();
+        if std::io::stdin().read_line(&mut line).is_err() || line.is_empty() {
+            println!("(end of input: choosing OPTION 1)");
+            return Choice::First;
+        }
+        match line.trim() {
+            "1" => return Choice::First,
+            "2" => return Choice::Second,
+            _ => println!("please answer 1 or 2"),
+        }
+    }
+}
+
+fn ask(args: &[String], acl_mode: bool) -> Result<(), String> {
+    let [path, target, intent @ ..] = args else {
+        return Err(format!(
+            "ask takes a config file, a target name, and an intent\n\n{USAGE}"
+        ));
+    };
+    if intent.is_empty() {
+        return Err("missing the English intent".to_string());
+    }
+    let base = load(path)?;
+    // Validate the target up front so a typo'd name fails fast instead of
+    // after a full synthesis round.
+    if acl_mode {
+        if base.acl(target).is_none() {
+            return Err(format!("no access-list '{target}' in {path}"));
+        }
+    } else if base.route_map(target).is_none() {
+        return Err(format!("no route-map '{target}' in {path}"));
+    }
+    let prompt = intent.join(" ");
+    let mut pipeline = Pipeline::new(SemanticBackend::new(), 3);
+    let outcome = pipeline.synthesize(&prompt).map_err(|e| e.to_string())?;
+
+    match (outcome, acl_mode) {
+        (
+            PipelineOutcome::RouteMap {
+                snippet,
+                map_name,
+                spec,
+                llm_calls,
+                ..
+            },
+            false,
+        ) => {
+            println!("synthesized and verified in {llm_calls} LLM calls:\n{snippet}");
+            println!("specification: {}\n", spec.to_json());
+            let mut oracle = FnOracle(|q: &clarify::core::DisambiguationQuestion| {
+                println!(
+                    "The new stanza interacts with existing stanza {}. For this route:\n\n{q}\n",
+                    q.pivot_seq
+                );
+                read_choice()
+            });
+            let result = Disambiguator::new(PlacementStrategy::BinarySearch)
+                .insert(&base, target, &snippet, &map_name, &mut oracle)
+                .map_err(|e| e.to_string())?;
+            println!(
+                "\nplaced at position {} after {} question(s); updated configuration:\n",
+                result.position, result.questions
+            );
+            println!("{}", result.config);
+            Ok(())
+        }
+        (
+            PipelineOutcome::Acl {
+                entry, llm_calls, ..
+            },
+            true,
+        ) => {
+            println!("synthesized and verified in {llm_calls} LLM calls:\n{entry}\n");
+            let mut oracle = FnAclOracle(|q: &clarify::core::AclQuestion| {
+                println!(
+                    "The new entry interacts with existing entry {}. For this packet:\n\n{q}\n",
+                    q.pivot_index
+                );
+                read_choice()
+            });
+            let result = insert_acl_with_oracle(
+                &base,
+                target,
+                &entry,
+                PlacementStrategy::BinarySearch,
+                &mut oracle,
+            )
+            .map_err(|e| e.to_string())?;
+            println!(
+                "\nplaced at position {} after {} question(s); updated configuration:\n",
+                result.position, result.questions
+            );
+            println!("{}", result.config);
+            Ok(())
+        }
+        (PipelineOutcome::Punt { reason, llm_calls }, _) => Err(format!(
+            "the synthesizer could not produce a verified result after {llm_calls} calls: {reason}"
+        )),
+        (PipelineOutcome::RouteMap { .. }, true) => {
+            Err("that intent describes a route-map; use `clarify ask`".to_string())
+        }
+        (PipelineOutcome::Acl { .. }, false) => {
+            Err("that intent describes an ACL; use `clarify ask-acl`".to_string())
+        }
+    }
+}
+
+fn compare(args: &[String]) -> Result<(), String> {
+    let (a_path, b_path, map, limit) = match args {
+        [a, b, m] => (a, b, m, 4usize),
+        [a, b, m, l] => (a, b, m, l.parse().map_err(|_| "bad limit".to_string())?),
+        _ => {
+            return Err(format!(
+                "compare takes two files and a route-map name\n\n{USAGE}"
+            ))
+        }
+    };
+    let cfg_a = load(a_path)?;
+    let cfg_b = load(b_path)?;
+    let mut space = RouteSpace::new(&[&cfg_a, &cfg_b]).map_err(|e| e.to_string())?;
+    let diffs = compare_route_policies(&mut space, &cfg_a, map, &cfg_b, map, limit)
+        .map_err(|e| e.to_string())?;
+    if diffs.is_empty() {
+        println!("the two versions of '{map}' are behaviourally equivalent");
+        return Ok(());
+    }
+    println!("{} difference(s) found (limit {limit}):", diffs.len());
+    for d in &diffs {
+        println!("\ninput route:\n{}", d.route);
+        let show = |v: &clarify::netconfig::RouteMapVerdict| match v {
+            clarify::netconfig::RouteMapVerdict::Permit { route, .. } => {
+                format!("ACTION: permit\n{route}")
+            }
+            _ => "ACTION: deny".to_string(),
+        };
+        println!("\n{a_path}:\n{}", show(&d.a));
+        println!("\n{b_path}:\n{}", show(&d.b));
+    }
+    Ok(())
+}
+
+/// Cross-map overlap census for a chain of route-maps applied in sequence
+/// to the same neighbor (the §3.1 observation).
+fn chain(args: &[String]) -> Result<(), String> {
+    let [path, maps @ ..] = args else {
+        return Err(format!(
+            "chain takes a config file and route-map names\n\n{USAGE}"
+        ));
+    };
+    if maps.len() < 2 {
+        return Err("chain needs at least two route-map names".to_string());
+    }
+    let cfg = load(path)?;
+    let chain: Vec<_> = maps
+        .iter()
+        .map(|m| {
+            cfg.route_map(m)
+                .cloned()
+                .ok_or_else(|| format!("no route-map '{m}' in {path}"))
+        })
+        .collect::<Result<_, _>>()?;
+    let refs: Vec<&clarify::netconfig::RouteMap> = chain.iter().collect();
+    let mut space = RouteSpace::new(&[&cfg]).map_err(|e| e.to_string())?;
+    let pairs = route_map_chain_overlaps(&mut space, &cfg, &refs).map_err(|e| e.to_string())?;
+    let cross = pairs.iter().filter(|p| p.map_i != p.map_j).count();
+    println!(
+        "{} overlapping stanza pairs across the chain ({} of them cross-map):",
+        pairs.len(),
+        cross
+    );
+    for p in &pairs {
+        println!(
+            "  {}:{} overlaps {}:{}{}",
+            maps[p.map_i],
+            chain[p.map_i].stanzas[p.stanza_i].seq,
+            maps[p.map_j],
+            chain[p.map_j].stanzas[p.stanza_j].seq,
+            if p.conflicting {
+                "  (actions differ)"
+            } else {
+                ""
+            }
+        );
+    }
+    Ok(())
+}

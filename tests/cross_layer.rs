@@ -1,0 +1,138 @@
+//! Cross-crate consistency tests: the symbolic layer against the concrete
+//! evaluator, the LLM pipeline against the disambiguator, and the fault
+//! injector against the whole loop.
+
+use clarify::analysis::{compare_route_policies, RouteSpace};
+use clarify::core::{
+    verify_against_intent, AddStanzaOutcome, ClarifySession, Disambiguator, IntentOracle,
+    PlacementStrategy,
+};
+use clarify::llm::{FaultyBackend, RouteMapIntent, SemanticBackend};
+use clarify::netconfig::{insert_route_map_stanza, Config};
+use clarify::workload::disambiguation_family;
+
+/// Every placement the disambiguator can choose is reachable, and for
+/// each the result matches the intent perfectly (the §4 guarantee that
+/// all valid insertion points are behaviourally equivalent).
+#[test]
+fn all_slots_reachable_and_verified() {
+    let n = 6;
+    let (base, snip) = disambiguation_family(n);
+    for slot in 0..=n {
+        let intended = insert_route_map_stanza(&base, "RM", &snip, "NEW", slot)
+            .expect("insert")
+            .0;
+        for strategy in [
+            PlacementStrategy::BinarySearch,
+            PlacementStrategy::LinearScan,
+        ] {
+            let mut oracle = IntentOracle::new(&intended, "RM");
+            let result = Disambiguator::new(strategy)
+                .insert(&base, "RM", &snip, "NEW", &mut oracle)
+                .unwrap_or_else(|e| panic!("slot {slot} {strategy:?}: {e}"));
+            verify_against_intent(&result.config, "RM", &intended, "RM")
+                .unwrap_or_else(|e| panic!("slot {slot} {strategy:?}: {e}"));
+        }
+    }
+}
+
+/// An end-to-end session under a flaky LLM still converges to the intent:
+/// the verifier rejects corrupted snippets, the retry loop recovers, and
+/// the disambiguator places the verified stanza correctly.
+#[test]
+fn faulty_session_still_converges_or_punts_cleanly() {
+    let base = Config::parse(
+        "route-map RM permit 10\n match tag 1\n set metric 1001\n\
+         route-map RM permit 20\n match tag 2\n set metric 1002\n",
+    )
+    .expect("parses");
+    let prompt = "Write a route-map stanza that permits routes containing the prefix \
+                  10.0.0.0/8 with mask length less than or equal to 24. Their MED value \
+                  should be set to 99.";
+    let intent = RouteMapIntent::parse(prompt).expect("intent parses");
+    let (snippet, map_name) = intent.to_snippet().expect("snippet");
+    let intended = insert_route_map_stanza(&base, "RM", &snippet, &map_name, 0)
+        .expect("insert")
+        .0;
+
+    let mut converged = 0;
+    let mut punted = 0;
+    for seed in 0..20 {
+        let backend = FaultyBackend::new(SemanticBackend::new(), 0.6, seed);
+        let mut session = ClarifySession::new(backend, 4, Disambiguator::default());
+        let mut oracle = IntentOracle::new(&intended, "RM");
+        match session
+            .add_stanza(&base, "RM", prompt, &mut oracle)
+            .expect("session runs")
+        {
+            AddStanzaOutcome::Inserted { config, .. } => {
+                verify_against_intent(&config, "RM", &intended, "RM")
+                    .expect("verified insertions match the intent exactly");
+                converged += 1;
+            }
+            AddStanzaOutcome::Punted { .. } => punted += 1,
+        }
+    }
+    assert!(converged >= 10, "most seeds converge ({converged}/20)");
+    assert_eq!(converged + punted, 20);
+}
+
+/// The symbolic comparator is symmetric: diff(A,B) is empty iff diff(B,A)
+/// is, across an assortment of placements.
+#[test]
+fn comparator_symmetry() {
+    let (base, snip) = disambiguation_family(4);
+    let cfgs: Vec<Config> = (0..=4)
+        .map(|p| {
+            insert_route_map_stanza(&base, "RM", &snip, "NEW", p)
+                .expect("insert")
+                .0
+        })
+        .collect();
+    for a in &cfgs {
+        for b in &cfgs {
+            let mut s1 = RouteSpace::new(&[a, b]).expect("space");
+            let d1 = compare_route_policies(&mut s1, a, "RM", b, "RM", 1).expect("cmp");
+            let mut s2 = RouteSpace::new(&[b, a]).expect("space");
+            let d2 = compare_route_policies(&mut s2, b, "RM", a, "RM", 1).expect("cmp");
+            assert_eq!(d1.is_empty(), d2.is_empty());
+        }
+    }
+}
+
+/// Insertion position changes behaviour only when the snippet overlaps
+/// something in between (the §4 equivalence-class structure).
+#[test]
+fn positions_within_a_slot_are_equivalent() {
+    // Base with two disjoint stanzas; the snippet overlaps only the second.
+    let base = Config::parse(
+        "ip prefix-list A seq 5 permit 20.0.0.0/8 le 32\n\
+         ip prefix-list B seq 5 permit 10.0.0.0/8 le 32\n\
+         route-map RM deny 10\n match ip address prefix-list A\n\
+         route-map RM deny 20\n match ip address prefix-list B\n",
+    )
+    .expect("parses");
+    let snip = Config::parse(
+        "ip prefix-list PL seq 5 permit 10.7.0.0/16 le 24\n\
+         route-map NEW permit 10\n match ip address prefix-list PL\n",
+    )
+    .expect("parses");
+    // Positions 0 and 1 are both "before the overlapping stanza": equal.
+    let c0 = insert_route_map_stanza(&base, "RM", &snip, "NEW", 0)
+        .expect("i")
+        .0;
+    let c1 = insert_route_map_stanza(&base, "RM", &snip, "NEW", 1)
+        .expect("i")
+        .0;
+    let c2 = insert_route_map_stanza(&base, "RM", &snip, "NEW", 2)
+        .expect("i")
+        .0;
+    let mut s = RouteSpace::new(&[&c0, &c1]).expect("space");
+    assert!(compare_route_policies(&mut s, &c0, "RM", &c1, "RM", 1)
+        .expect("cmp")
+        .is_empty());
+    let mut s = RouteSpace::new(&[&c1, &c2]).expect("space");
+    assert!(!compare_route_policies(&mut s, &c1, "RM", &c2, "RM", 1)
+        .expect("cmp")
+        .is_empty());
+}

@@ -1,0 +1,58 @@
+//! Integration test: the §5 evaluation reproduces Figure 4 and all five
+//! global policies hold on the converged network.
+
+use clarify_bench::figure3;
+
+#[test]
+fn figure_4_statistics_and_global_policies() {
+    let run = figure3::run().expect("evaluation runs");
+
+    // Figure 4, reproduced exactly: (#route-maps, #LLM generation calls,
+    // #disambiguation questions) per router.
+    let expect = [("M", 4, 9, 5), ("R1", 5, 12, 6), ("R2", 5, 12, 6)];
+    assert_eq!(run.stats.len(), expect.len());
+    for ((name, s), (ename, maps, calls, qs)) in run.stats.iter().zip(expect) {
+        assert_eq!(*name, ename);
+        assert_eq!(s.route_maps, maps, "{name} route-maps");
+        assert_eq!(s.synthesis_calls, calls, "{name} generation calls");
+        assert_eq!(s.disambiguations, qs, "{name} disambiguations");
+        // Our pipeline's full accounting: 3 calls per stanza (classify,
+        // spec extraction, generation), no retries needed.
+        assert_eq!(s.total_llm_calls, 3 * calls, "{name} total calls");
+    }
+
+    for (desc, ok) in &run.policies {
+        assert!(ok, "global policy violated: {desc}");
+    }
+}
+
+#[test]
+fn management_prefers_r1_with_local_pref() {
+    let run = figure3::run().expect("evaluation runs");
+    let service = "10.1.0.0/16".parse().expect("prefix");
+    let entry = run
+        .network
+        .best_route("M", &service)
+        .expect("M reaches the service prefix");
+    assert_eq!(entry.learned_from.as_deref(), Some("R1"));
+    assert_eq!(entry.route.local_pref, 300, "set by FROM_R1");
+}
+
+#[test]
+fn dc_service_route_carries_tag_community() {
+    let run = figure3::run().expect("evaluation runs");
+    let service = "10.1.0.0/16".parse().expect("prefix");
+    // R1's FROM_DC adds 65001:10 on import from the datacenter.
+    let entry = run
+        .network
+        .best_route("R1", &service)
+        .expect("R1 reaches the service prefix");
+    assert!(
+        entry
+            .route
+            .communities
+            .contains(&"65001:10".parse().expect("community")),
+        "communities: {:?}",
+        entry.route.communities
+    );
+}

@@ -1,0 +1,123 @@
+//! Integration test: the paper's §2 worked example end to end, spanning
+//! the LLM pipeline, the symbolic verifier, the disambiguator, and the
+//! insertion engine.
+
+use clarify::core::{verify_against_intent, Disambiguator, IntentOracle, PlacementStrategy};
+use clarify::llm::{Pipeline, PipelineOutcome, SemanticBackend};
+use clarify::netconfig::{insert_route_map_stanza, Config, RouteMapVerdict};
+use clarify::nettypes::BgpRoute;
+
+const ISP_OUT: &str = "\
+ip as-path access-list D0 permit _32$
+ip prefix-list D1 seq 10 permit 10.0.0.0/8 le 24
+ip prefix-list D1 seq 20 permit 20.0.0.0/16 le 32
+ip prefix-list D1 seq 30 permit 1.0.0.0/20 ge 24
+route-map ISP_OUT deny 10
+ match as-path D0
+route-map ISP_OUT deny 20
+ match ip address prefix-list D1
+route-map ISP_OUT permit 30
+ match local-preference 300
+";
+
+const PROMPT: &str = "Write a route-map stanza that permits routes containing the prefix \
+100.0.0.0/16 with mask length less than or equal to 23 and tagged with the community 300:3. \
+Their MED value should be set to 55.";
+
+/// The §2.2 differential route.
+fn paper_route() -> BgpRoute {
+    BgpRoute::with_defaults("100.0.0.0/16".parse().expect("prefix"))
+        .path(&[32])
+        .community("300:3".parse().expect("community"))
+}
+
+#[test]
+fn full_worked_example() {
+    let base = Config::parse(ISP_OUT).expect("paper config parses");
+
+    // Synthesis: classify + spec + one generation, verified first-pass.
+    let mut pipeline = Pipeline::new(SemanticBackend::new(), 3);
+    let PipelineOutcome::RouteMap {
+        snippet,
+        map_name,
+        spec,
+        llm_calls,
+        attempts,
+    } = pipeline.synthesize(PROMPT).expect("pipeline runs")
+    else {
+        panic!("expected route-map synthesis");
+    };
+    assert_eq!(llm_calls, 3);
+    assert_eq!(attempts, 1);
+    assert_eq!(map_name, "SET_METRIC");
+    let json = spec.to_json();
+    assert!(json.contains("\"permit\": true"));
+    assert!(json.contains("100.0.0.0/16:16-23"));
+    assert!(json.contains("_300:3_"));
+    assert!(json.contains("\"metric\": 55"));
+
+    // The snippet behaves exactly like the paper's on the paper's route.
+    let v = snippet
+        .eval_route_map(&map_name, &paper_route())
+        .expect("snippet eval");
+    assert_eq!(v.route().expect("permitted").metric, 55);
+
+    // Disambiguation towards Figure 2(a): OPTION 1 on the paper's route.
+    let intended = insert_route_map_stanza(&base, "ISP_OUT", &snippet, &map_name, 0)
+        .expect("intended insert")
+        .0;
+    let mut oracle = IntentOracle::new(&intended, "ISP_OUT");
+    let result = Disambiguator::new(PlacementStrategy::BinarySearch)
+        .insert(&base, "ISP_OUT", &snippet, &map_name, &mut oracle)
+        .expect("disambiguation");
+    assert_eq!(result.position, 0, "Figure 2(a): top placement");
+    assert!(result.questions >= 1 && result.questions <= 2);
+
+    // The renames of Figure 2: COM_LIST -> D2, PREFIX_100 -> D3.
+    assert_eq!(
+        result.report.renames,
+        vec![
+            ("COM_LIST".to_string(), "D2".to_string()),
+            ("PREFIX_100".to_string(), "D3".to_string())
+        ]
+    );
+
+    // The final policy implements OPTION 1 for the paper's route...
+    let v = result
+        .config
+        .eval_route_map("ISP_OUT", &paper_route())
+        .expect("final eval");
+    match v {
+        RouteMapVerdict::Permit { route, .. } => assert_eq!(route.metric, 55),
+        other => panic!("expected OPTION 1 (permit, metric 55), got {other:?}"),
+    }
+    // ...and equals the intended policy on every route.
+    verify_against_intent(&result.config, "ISP_OUT", &intended, "ISP_OUT")
+        .expect("behaviourally equal to the intent");
+}
+
+#[test]
+fn option_2_when_user_prefers_bottom() {
+    let base = Config::parse(ISP_OUT).expect("parses");
+    let mut pipeline = Pipeline::new(SemanticBackend::new(), 3);
+    let PipelineOutcome::RouteMap {
+        snippet, map_name, ..
+    } = pipeline.synthesize(PROMPT).expect("pipeline runs")
+    else {
+        panic!("expected route-map synthesis");
+    };
+    let intended = insert_route_map_stanza(&base, "ISP_OUT", &snippet, &map_name, 3)
+        .expect("intended insert")
+        .0;
+    let mut oracle = IntentOracle::new(&intended, "ISP_OUT");
+    let result = Disambiguator::new(PlacementStrategy::BinarySearch)
+        .insert(&base, "ISP_OUT", &snippet, &map_name, &mut oracle)
+        .expect("disambiguation");
+    // OPTION 2: the as-path deny wins for the paper's route.
+    let v = result
+        .config
+        .eval_route_map("ISP_OUT", &paper_route())
+        .expect("final eval");
+    assert!(!v.is_permit());
+    verify_against_intent(&result.config, "ISP_OUT", &intended, "ISP_OUT").expect("equal");
+}
