@@ -477,47 +477,40 @@ fn spec_json_rendering_matches_paper_shape() {
 
 mod properties {
     use super::*;
-    use proptest::prelude::*;
+    use clarify_testkit::{gens, prop_assert, prop_assert_eq, property, Rng, Source};
 
-    fn arb_route() -> impl Strategy<Value = BgpRoute> {
-        (
-            0u32..,
-            0u8..=32,
-            prop_oneof![
-                Just(vec![]),
-                Just(vec![32u32]),
-                Just(vec![10, 32]),
-                Just(vec![32, 10]),
-                Just(vec![7, 8, 9])
-            ],
-            prop_oneof![
-                Just(vec![]),
-                Just(vec!["300:3"]),
-                Just(vec!["300:4", "300:3"]),
-                Just(vec!["65000:9"])
-            ],
-            prop_oneof![Just(100u32), Just(300u32), Just(55u32)],
-            0u32..1024,
-        )
-            .prop_map(|(addr, len, path, comms, lp, metric)| {
-                let mut r = BgpRoute::with_defaults(Prefix::from_u32(addr, len))
-                    .path(&path)
-                    .lp(lp)
-                    .med(metric);
-                for c in comms {
-                    r = r.community(c.parse().unwrap());
-                }
-                r
-            })
+    fn arb_route(g: &mut Source) -> BgpRoute {
+        let addr = g.gen_range(0u32..=u32::MAX);
+        let len = g.gen_range(0u8..=32);
+        let path = g.pick(&[
+            vec![],
+            vec![32u32],
+            vec![10, 32],
+            vec![32, 10],
+            vec![7, 8, 9],
+        ]);
+        let comms = g.pick(&[
+            vec![],
+            vec!["300:3"],
+            vec!["300:4", "300:3"],
+            vec!["65000:9"],
+        ]);
+        let lp = g.pick(&[100u32, 300, 55]);
+        let metric = g.gen_range(0u32..1024);
+        let mut r = BgpRoute::with_defaults(Prefix::from_u32(addr, len))
+            .path(&path)
+            .lp(lp)
+            .med(metric);
+        for c in comms {
+            r = r.community(c.parse().unwrap());
+        }
+        r
     }
 
-    proptest! {
-        #![proptest_config(ProptestConfig::with_cases(64))]
-
+    property! {
         /// The symbolic permit set agrees with the concrete evaluator on
         /// arbitrary routes for the paper's configs (both policies).
-        #[test]
-        fn symbolic_matches_concrete(r in arb_route()) {
+        fn symbolic_matches_concrete(r in arb_route) cases 64 {
             let base = Config::parse(ISP_OUT).unwrap();
             let snip = Config::parse(SNIPPET).unwrap();
             let mut space = RouteSpace::new(&[&base, &snip]).unwrap();
@@ -531,8 +524,7 @@ mod properties {
         }
 
         /// compare_route_policies never reports a non-difference.
-        #[test]
-        fn diffs_are_real(pos_a in 0usize..=3, pos_b in 0usize..=3) {
+        fn diffs_are_real(pos_a in gens::ints(0usize..=3), pos_b in gens::ints(0usize..=3)) cases 64 {
             let base = Config::parse(ISP_OUT).unwrap();
             let snip = Config::parse(SNIPPET).unwrap();
             let (ca, _) = insert_route_map_stanza(&base, "ISP_OUT", &snip, "SET_METRIC", pos_a).unwrap();
@@ -557,8 +549,7 @@ mod properties {
         }
 
         /// Interval and symbolic ACL overlap analyses agree on random ACLs.
-        #[test]
-        fn acl_overlap_agreement(seed in 0u64..200) {
+        fn acl_overlap_agreement(seed in gens::ints(0u64..200)) cases 64 {
             // Deterministic pseudo-random ACL from the seed.
             let mut x = seed.wrapping_mul(6364136223846793005).wrapping_add(1);
             let mut next = || { x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407); (x >> 33) as u32 };

@@ -266,19 +266,19 @@ fn pattern_roundtrip_text() {
 
 mod properties {
     use super::*;
-    use proptest::prelude::*;
+    use clarify_testkit::{gens, prop_assert, prop_assert_eq, property, Source};
 
     /// Random subjects over a small alphabet, checked against a tiny
     /// reference matcher for concatenations of literals with `.`/`*`.
-    fn arb_subject() -> impl Strategy<Value = String> {
-        proptest::collection::vec(prop_oneof![Just('a'), Just('b'), Just('c')], 0..8)
-            .prop_map(|v| v.into_iter().collect())
+    fn arb_subject(g: &mut Source) -> String {
+        g.vec(0, 7, |g| g.pick(&['a', 'b', 'c']))
+            .into_iter()
+            .collect()
     }
 
-    proptest! {
+    property! {
         /// De Morgan over languages: ¬(A ∪ B) = ¬A ∩ ¬B, checked pointwise.
-        #[test]
-        fn de_morgan_pointwise(s in arb_subject()) {
+        fn de_morgan_pointwise(s in arb_subject) {
             let a = dfa("^a.*$");
             let b = dfa("^.*b$");
             let lhs = a.union(&b).complement();
@@ -287,15 +287,13 @@ mod properties {
         }
 
         /// Complement truly flips membership for every subject.
-        #[test]
-        fn complement_pointwise(s in arb_subject()) {
+        fn complement_pointwise(s in arb_subject) {
             let d = dfa("^(ab|c)+$");
             prop_assert_eq!(d.matches(&s), !d.complement().matches(&s));
         }
 
         /// Minimized product DFAs agree with direct evaluation.
-        #[test]
-        fn intersect_pointwise(s in arb_subject()) {
+        fn intersect_pointwise(s in arb_subject) {
             let a = dfa("_b_");
             let b = dfa("^a");
             let i = a.intersect(&b);
@@ -303,10 +301,9 @@ mod properties {
         }
 
         /// A DFA's witness is always accepted by that DFA.
-        #[test]
-        fn witness_accepted(pat in prop_oneof![
-            Just("^a+b$"), Just("_32$"), Just("^(x|y)z*$"), Just("[0-9]:[0-9]")
-        ]) {
+        fn witness_accepted(pat in gens::sampled(vec![
+            "^a+b$", "_32$", "^(x|y)z*$", "[0-9]:[0-9]",
+        ])) {
             let d = dfa(pat);
             let w = d.witness().expect("nonempty");
             prop_assert!(d.matches(&w), "witness {:?} for {}", w, pat);
@@ -321,7 +318,7 @@ mod reference {
     use super::*;
     use crate::ast::Ast;
     use crate::{ETX, STX};
-    use proptest::prelude::*;
+    use clarify_testkit::{prop_assert_eq, property, Rng, Source};
     use std::collections::BTreeSet;
 
     /// All positions where a match of `ast` starting at `start` can end.
@@ -399,46 +396,39 @@ mod reference {
     }
 
     /// Random pattern strings over a small alphabet, rendered from a
-    /// recursive shape so they always parse.
-    fn arb_pattern() -> impl Strategy<Value = String> {
-        let leaf = prop_oneof![
-            Just("a".to_string()),
-            Just("b".to_string()),
-            Just("0".to_string()),
-            Just(".".to_string()),
-            Just("_".to_string()),
-            Just("^".to_string()),
-            Just("$".to_string()),
-            Just("[ab]".to_string()),
-            Just("[^a]".to_string()),
-            Just("[0-1]".to_string()),
-        ];
-        leaf.prop_recursive(3, 24, 3, |inner| {
-            prop_oneof![
-                (inner.clone(), inner.clone()).prop_map(|(a, b)| format!("{a}{b}")),
-                (inner.clone(), inner.clone()).prop_map(|(a, b)| format!("({a}|{b})")),
-                inner.clone().prop_map(|a| format!("({a})*")),
-                inner.clone().prop_map(|a| format!("({a})+")),
-                inner.prop_map(|a| format!("({a})?")),
-            ]
-        })
+    /// recursive shape so they always parse. Choice 0 is a leaf, so the
+    /// all-zeros shrink target is the single literal "a".
+    fn arb_pattern(g: &mut Source) -> String {
+        fn node(g: &mut Source, depth: usize) -> String {
+            let k = if depth == 0 {
+                0
+            } else {
+                g.gen_range(0usize..6)
+            };
+            match k {
+                0 => g
+                    .pick(&["a", "b", "0", ".", "_", "^", "$", "[ab]", "[^a]", "[0-1]"])
+                    .to_string(),
+                1 => format!("{}{}", node(g, depth - 1), node(g, depth - 1)),
+                2 => format!("({}|{})", node(g, depth - 1), node(g, depth - 1)),
+                3 => format!("({})*", node(g, depth - 1)),
+                4 => format!("({})+", node(g, depth - 1)),
+                _ => format!("({})?", node(g, depth - 1)),
+            }
+        }
+        node(g, 3)
     }
 
-    fn arb_subject() -> impl Strategy<Value = String> {
-        proptest::collection::vec(
-            prop_oneof![Just('a'), Just('b'), Just('0'), Just('1'), Just(' ')],
-            0..7,
-        )
-        .prop_map(|v| v.into_iter().collect())
+    fn arb_subject(g: &mut Source) -> String {
+        g.vec(0, 6, |g| g.pick(&['a', 'b', '0', '1', ' ']))
+            .into_iter()
+            .collect()
     }
 
-    proptest! {
-        #![proptest_config(ProptestConfig::with_cases(512))]
-
+    property! {
         /// The compiled DFA agrees with naive AST evaluation on every
         /// random (pattern, subject) pair.
-        #[test]
-        fn dfa_matches_naive_reference(pat in arb_pattern(), text in arb_subject()) {
+        fn dfa_matches_naive_reference(pat in arb_pattern, text in arb_subject) cases 512 {
             let re = Regex::parse(&pat).expect("generated patterns parse");
             let dfa = re.to_dfa();
             prop_assert_eq!(
@@ -449,8 +439,7 @@ mod reference {
         }
 
         /// Complementation agrees with the negated reference.
-        #[test]
-        fn complement_matches_negated_reference(pat in arb_pattern(), text in arb_subject()) {
+        fn complement_matches_negated_reference(pat in arb_pattern, text in arb_subject) cases 512 {
             let re = Regex::parse(&pat).expect("generated patterns parse");
             let cdfa = re.to_dfa().complement();
             prop_assert_eq!(cdfa.matches(&text), !naive_matches(&re, &text));
@@ -460,15 +449,12 @@ mod reference {
 
 mod parser_robustness {
     use super::*;
-    use proptest::prelude::*;
+    use clarify_testkit::{gens, property};
 
-    proptest! {
-        #![proptest_config(ProptestConfig::with_cases(512))]
-
+    property! {
         /// The regex parser never panics; it parses or errors cleanly, and
         /// whatever parses also compiles without panicking.
-        #[test]
-        fn regex_parser_never_panics(input in "[ -~]{0,40}") {
+        fn regex_parser_never_panics(input in gens::ascii_string(40)) cases 512 {
             if let Ok(re) = Regex::parse(&input) {
                 let _ = re.to_dfa();
             }

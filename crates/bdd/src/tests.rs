@@ -312,7 +312,7 @@ fn var_out_of_range_panics() {
 
 mod properties {
     use super::*;
-    use proptest::prelude::*;
+    use clarify_testkit::{prop_assert, prop_assert_eq, property, Rng, Source};
 
     /// A tiny expression language for generating random Boolean functions.
     #[derive(Clone, Debug)]
@@ -326,18 +326,24 @@ mod properties {
 
     const NVARS: u32 = 6;
 
-    fn arb_expr() -> impl Strategy<Value = Expr> {
-        let leaf = (0..NVARS).prop_map(Expr::Var);
-        leaf.prop_recursive(5, 64, 2, |inner| {
-            prop_oneof![
-                inner.clone().prop_map(|e| Expr::Not(Box::new(e))),
-                (inner.clone(), inner.clone())
-                    .prop_map(|(a, b)| Expr::And(Box::new(a), Box::new(b))),
-                (inner.clone(), inner.clone())
-                    .prop_map(|(a, b)| Expr::Or(Box::new(a), Box::new(b))),
-                (inner.clone(), inner).prop_map(|(a, b)| Expr::Xor(Box::new(a), Box::new(b))),
-            ]
-        })
+    /// Choice 0 is a leaf variable, so the all-zeros shrink target is
+    /// the single expression `Var(0)`.
+    fn arb_expr(g: &mut Source) -> Expr {
+        fn node(g: &mut Source, depth: usize) -> Expr {
+            let k = if depth == 0 {
+                0
+            } else {
+                g.gen_range(0usize..5)
+            };
+            match k {
+                0 => Expr::Var(g.gen_range(0..NVARS)),
+                1 => Expr::Not(Box::new(node(g, depth - 1))),
+                2 => Expr::And(Box::new(node(g, depth - 1)), Box::new(node(g, depth - 1))),
+                3 => Expr::Or(Box::new(node(g, depth - 1)), Box::new(node(g, depth - 1))),
+                _ => Expr::Xor(Box::new(node(g, depth - 1)), Box::new(node(g, depth - 1))),
+            }
+        }
+        node(g, 5)
     }
 
     fn build(m: &mut Manager, e: &Expr) -> Ref {
@@ -372,10 +378,9 @@ mod properties {
         }
     }
 
-    proptest! {
+    property! {
         /// The BDD agrees with direct expression evaluation on every input.
-        #[test]
-        fn bdd_matches_truth_table(e in arb_expr()) {
+        fn bdd_matches_truth_table(e in arb_expr) {
             let mut m = Manager::new(NVARS);
             let f = build(&mut m, &e);
             for bits in 0..(1u32 << NVARS) {
@@ -386,8 +391,7 @@ mod properties {
         }
 
         /// sat_count equals the brute-force model count.
-        #[test]
-        fn sat_count_matches_brute_force(e in arb_expr()) {
+        fn sat_count_matches_brute_force(e in arb_expr) {
             let mut m = Manager::new(NVARS);
             let f = build(&mut m, &e);
             let brute = (0..(1u32 << NVARS)).filter(|&bits| eval_expr(&e, bits)).count();
@@ -396,8 +400,7 @@ mod properties {
 
         /// Canonicity: two syntactically different but equivalent builds
         /// produce the same Ref.
-        #[test]
-        fn double_negation_canonical(e in arb_expr()) {
+        fn double_negation_canonical(e in arb_expr) {
             let mut m = Manager::new(NVARS);
             let f = build(&mut m, &e);
             let nf = m.not(f);
@@ -406,8 +409,7 @@ mod properties {
         }
 
         /// any_sat always returns a genuine model.
-        #[test]
-        fn any_sat_is_model(e in arb_expr()) {
+        fn any_sat_is_model(e in arb_expr) {
             let mut m = Manager::new(NVARS);
             let f = build(&mut m, &e);
             match m.any_sat(f) {
@@ -419,8 +421,7 @@ mod properties {
         }
 
         /// exists is monotone: f implies exists v. f
-        #[test]
-        fn exists_weakens(e in arb_expr(), v in 0..NVARS) {
+        fn exists_weakens(e in arb_expr, v in |g: &mut Source| g.gen_range(0..NVARS)) {
             let mut m = Manager::new(NVARS);
             let f = build(&mut m, &e);
             let ex = m.exists(f, &[v]);
@@ -430,8 +431,7 @@ mod properties {
         }
 
         /// Shannon expansion: f == ite(v, f|v=1, f|v=0).
-        #[test]
-        fn shannon_expansion(e in arb_expr(), v in 0..NVARS) {
+        fn shannon_expansion(e in arb_expr, v in |g: &mut Source| g.gen_range(0..NVARS)) {
             let mut m = Manager::new(NVARS);
             let f = build(&mut m, &e);
             let hi = m.restrict(f, v, true);

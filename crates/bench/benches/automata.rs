@@ -1,7 +1,7 @@
 //! Regex / automata benchmarks: compilation, matching, set operations,
 //! and atomic-predicate construction (A1 ablation support).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use clarify_testkit::bench::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
 
 use clarify_automata::{AtomSpace, Regex};

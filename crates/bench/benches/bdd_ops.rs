@@ -1,7 +1,7 @@
 //! Microbenchmarks for the BDD substrate: the cost floor under every
 //! symbolic analysis.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use clarify_testkit::bench::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
 
 use clarify_bdd::Manager;
@@ -27,7 +27,7 @@ fn bench_range_encoding(c: &mut Criterion) {
             b.iter(|| {
                 let mut m = Manager::new(bits as u32);
                 let vars: Vec<u32> = (0..bits as u32).collect();
-                black_box(m.range_const(&vars, 100, (1 << (bits - 1)) as u64))
+                black_box(m.range_const(&vars, 100, 1u64 << (bits - 1)))
             });
         });
     }

@@ -2,7 +2,7 @@
 //! a full insert with binary search vs linear scan vs top/bottom-only as
 //! the overlap count grows.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use clarify_testkit::bench::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
 
 use clarify_core::{Disambiguator, IntentOracle, PlacementStrategy};

@@ -1,7 +1,7 @@
 //! BGP simulator convergence cost on line and ring topologies with
 //! per-neighbor policies.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use clarify_testkit::bench::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
 
 use clarify_netconfig::Config;

@@ -1,9 +1,8 @@
 //! The §3 overlap census machinery: exact interval arithmetic versus the
 //! symbolic (BDD) cross-check on ACLs, and the route-map analysis.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use clarify_rng::StdRng;
+use clarify_testkit::bench::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
 
 use clarify_analysis::{

@@ -1,7 +1,7 @@
 //! Concrete route-map evaluation throughput (the reference semantics the
 //! symbolic layer is checked against).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use clarify_testkit::bench::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
 
 use clarify_netconfig::Config;

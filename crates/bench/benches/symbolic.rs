@@ -2,7 +2,7 @@
 //! A1 ablation: differential comparison with and without set-clause
 //! differencing (permit/deny only).
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use clarify_testkit::bench::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 
 use clarify_analysis::{compare_route_policies, RouteSpace};

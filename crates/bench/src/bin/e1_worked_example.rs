@@ -3,132 +3,6 @@
 //! placements of Figure 2, and the §2.2 differential example with
 //! OPTION 1 / OPTION 2.
 
-use clarify_analysis::{compare_route_policies, RouteSpace};
-use clarify_core::{Disambiguator, IntentOracle, PlacementStrategy};
-use clarify_llm::{LlmBackend, Pipeline, PipelineOutcome, SemanticBackend};
-use clarify_netconfig::{insert_route_map_stanza, Config};
-
-const ISP_OUT: &str = "\
-ip as-path access-list D0 permit _32$
-ip prefix-list D1 seq 10 permit 10.0.0.0/8 le 24
-ip prefix-list D1 seq 20 permit 20.0.0.0/16 le 32
-ip prefix-list D1 seq 30 permit 1.0.0.0/20 ge 24
-route-map ISP_OUT deny 10
- match as-path D0
-route-map ISP_OUT deny 20
- match ip address prefix-list D1
-route-map ISP_OUT permit 30
- match local-preference 300
-";
-
-const PROMPT: &str = "Write a route-map stanza that permits routes containing the prefix \
-100.0.0.0/16 with mask length less than or equal to 23 and tagged with the community 300:3. \
-Their MED value should be set to 55.";
-
 fn main() {
-    println!("=== E1: the Section 2 worked example ===\n");
-    println!("--- existing policy (ISP_OUT) ---\n{ISP_OUT}");
-    println!("--- user prompt ---\n{PROMPT}\n");
-
-    let base = Config::parse(ISP_OUT).expect("paper config parses");
-
-    // Steps 1-5 of Figure 1: classify, retrieve, synthesize, extract the
-    // spec, verify.
-    let mut pipeline = Pipeline::new(SemanticBackend::new(), 3);
-    let outcome = pipeline.synthesize(PROMPT).expect("pipeline runs");
-    let PipelineOutcome::RouteMap {
-        snippet,
-        map_name,
-        spec,
-        llm_calls,
-        attempts,
-    } = outcome
-    else {
-        panic!("expected a route-map outcome");
-    };
-    println!("--- synthesized snippet (verified, {llm_calls} LLM calls, {attempts} attempt) ---");
-    println!("{snippet}");
-    println!("--- machine-readable spec (JSON, as in the paper) ---");
-    println!("{}\n", spec.to_json());
-
-    // Figure 2: the four insertion points.
-    println!("=== E2: the four candidate placements of Figure 2 ===");
-    let mut placements = Vec::new();
-    for (label, pos) in [
-        ("(a) top", 0usize),
-        ("(b) bottom", 3),
-        ("(c) after stanza 10", 1),
-        ("(d) after stanza 20", 2),
-    ] {
-        let (cfg, report) =
-            insert_route_map_stanza(&base, "ISP_OUT", &snippet, &map_name, pos).expect("insert");
-        println!("\n--- Figure 2{label}: renames {:?} ---", report.renames);
-        println!("{}", cfg.route_map("ISP_OUT").expect("map"));
-        placements.push(cfg);
-    }
-
-    // Placement equivalence classes: (c) and (d) are behaviourally equal
-    // (the snippet is disjoint from the D1 deny), (a) and (b) are not.
-    let mut space = RouteSpace::new(&[&placements[2], &placements[3]]).expect("space");
-    let eq_cd = compare_route_policies(
-        &mut space,
-        &placements[2],
-        "ISP_OUT",
-        &placements[3],
-        "ISP_OUT",
-        1,
-    )
-    .expect("compare")
-    .is_empty();
-    println!("\nplacements (c) and (d) behaviourally equivalent: {eq_cd}");
-
-    // The §2.2 differential example between (a) and (b).
-    let mut space = RouteSpace::new(&[&placements[0], &placements[1]]).expect("space");
-    let diffs = compare_route_policies(
-        &mut space,
-        &placements[0],
-        "ISP_OUT",
-        &placements[1],
-        "ISP_OUT",
-        4,
-    )
-    .expect("compare");
-    println!("\n=== differential examples between (a) and (b) ===");
-    for d in &diffs {
-        println!("\ninput route:\n{}", d.route);
-        println!("\nOPTION 1 (insert at top):");
-        match &d.a {
-            clarify_netconfig::RouteMapVerdict::Permit { route, .. } => {
-                println!("ACTION: permit\n{route}")
-            }
-            _ => println!("ACTION: deny"),
-        }
-        println!("\nOPTION 2 (insert at bottom):");
-        match &d.b {
-            clarify_netconfig::RouteMapVerdict::Permit { route, .. } => {
-                println!("ACTION: permit\n{route}")
-            }
-            _ => println!("ACTION: deny"),
-        }
-    }
-
-    // Run the full disambiguation with a user who wants Figure 2(a).
-    println!("\n=== full disambiguation (user wants OPTION 1 semantics) ===");
-    let intended = placements[0].clone();
-    let mut oracle = IntentOracle::new(&intended, "ISP_OUT");
-    let result = Disambiguator::new(PlacementStrategy::BinarySearch)
-        .insert(&base, "ISP_OUT", &snippet, &map_name, &mut oracle)
-        .expect("disambiguation");
-    println!(
-        "overlapping stanzas: {}, questions asked: {}, final position: {}",
-        result.overlap_candidates, result.questions, result.position
-    );
-    for (i, (q, c)) in result.transcript.iter().enumerate() {
-        println!("\n--- question {} (answered {:?}) ---\n{q}", i + 1, c);
-    }
-    println!(
-        "\n--- final route-map ---\n{}",
-        result.config.route_map("ISP_OUT").expect("map")
-    );
-    println!("backend: {}", pipeline.backend().name());
+    print!("{}", clarify_bench::worked_example_report());
 }

@@ -4,3 +4,6 @@
 #![warn(missing_docs)]
 
 pub mod figure3;
+pub mod worked_example;
+
+pub use worked_example::worked_example_report;

@@ -1065,7 +1065,7 @@ mod network_session_tests {
 
 mod model_properties {
     use crate::model::{check_conditions, valid_insertion_points, ConditionReport, IntentTarget};
-    use proptest::prelude::*;
+    use clarify_testkit::{gens, prop_assert, prop_assert_eq, property};
 
     /// Rules and the new rule are random subsets of a tiny universe,
     /// encoded as bitmasks over inputs 0..6.
@@ -1077,51 +1077,73 @@ mod model_properties {
         }
     }
 
-    proptest! {
-        #![proptest_config(ProptestConfig::with_cases(256))]
+    /// The body of the property, shared with the explicit regression
+    /// cases below.
+    fn check_valid_points(rule_masks: Vec<u8>, new_mask: u8, intent_bits: u8) {
+        let rules: Vec<MaskRule> = rule_masks.into_iter().map(MaskRule).collect();
+        let new_rule = MaskRule(new_mask);
+        let universe: Vec<u32> = (0..6).collect();
+        // Intent: input i goes to the new rule iff bit i of intent_bits
+        // is set AND the new rule actually matches it (so condition 2
+        // holds by construction for the "holds" direction; violations
+        // are exercised when the bit is set but the rule mismatches).
+        let m_prime: Vec<IntentTarget> = universe
+            .iter()
+            .map(|i| {
+                if intent_bits & (1 << i) != 0 {
+                    IntentTarget::NewRule
+                } else {
+                    IntentTarget::Original
+                }
+            })
+            .collect();
+        let points = valid_insertion_points(&rules, &new_rule, &universe, &m_prime);
+        // Contiguity.
+        for w in points.windows(2) {
+            prop_assert_eq!(w[1], w[0] + 1, "valid slots form a range: {:?}", points);
+        }
+        // Soundness: conditions satisfied => at least one point; a
+        // violated condition 2 or 3 => no point.
+        match check_conditions(&rules, &new_rule, &universe, &m_prime) {
+            ConditionReport::Satisfied => {
+                // Condition 1 is structural; 2 and 3 hold. There must
+                // be an insertion point.
+                prop_assert!(!points.is_empty(), "conditions hold but no slot");
+            }
+            _ => prop_assert!(points.is_empty(), "conditions fail but slot exists"),
+        }
+    }
 
+    property! {
         /// The §4 equivalence claim: the set of valid insertion points is
         /// always a contiguous (possibly empty) range, and it is non-empty
         /// exactly when the three conditions hold.
-        #[test]
         fn valid_points_contiguous_and_conditions_sound(
-            rule_masks in proptest::collection::vec(0u8..64, 0..4),
-            new_mask in 0u8..64,
-            intent_bits in 0u8..64,
-        ) {
-            let rules: Vec<MaskRule> = rule_masks.into_iter().map(MaskRule).collect();
-            let new_rule = MaskRule(new_mask);
-            let universe: Vec<u32> = (0..6).collect();
-            // Intent: input i goes to the new rule iff bit i of intent_bits
-            // is set AND the new rule actually matches it (so condition 2
-            // holds by construction for the "holds" direction; violations
-            // are exercised when the bit is set but the rule mismatches).
-            let m_prime: Vec<IntentTarget> = universe
-                .iter()
-                .map(|i| {
-                    if intent_bits & (1 << i) != 0 {
-                        IntentTarget::NewRule
-                    } else {
-                        IntentTarget::Original
-                    }
-                })
-                .collect();
-            let points = valid_insertion_points(&rules, &new_rule, &universe, &m_prime);
-            // Contiguity.
-            for w in points.windows(2) {
-                prop_assert_eq!(w[1], w[0] + 1, "valid slots form a range: {:?}", points);
-            }
-            // Soundness: conditions satisfied => at least one point; a
-            // violated condition 2 or 3 => no point.
-            match check_conditions(&rules, &new_rule, &universe, &m_prime) {
-                ConditionReport::Satisfied => {
-                    // Condition 1 is structural; 2 and 3 hold. There must
-                    // be an insertion point.
-                    prop_assert!(!points.is_empty(), "conditions hold but no slot");
-                }
-                _ => prop_assert!(points.is_empty(), "conditions fail but slot exists"),
-            }
+            rule_masks in gens::vec_of(gens::ints(0u8..64), 0, 3),
+            new_mask in gens::ints(0u8..64),
+            intent_bits in gens::ints(0u8..64),
+        ) cases 256 {
+            check_valid_points(rule_masks, new_mask, intent_bits);
         }
+    }
+
+    /// Saved shrunk corner cases from the original generated-failure seed
+    /// file, kept as explicit tests so they run on every build:
+    ///
+    /// * `rule_masks = [], new_mask = 17, intent_bits = 16` — the intent
+    ///   routes input 4 to the new rule and the new rule matches it, but
+    ///   input 0 (also matched by the new rule) must stay Original; with
+    ///   no existing rules there is nowhere "below" the new rule for
+    ///   input 0 to fall through to, so condition 3 must reject every
+    ///   slot rather than report Satisfied with an empty range.
+    /// * `rule_masks = [], new_mask = 1, intent_bits = 0` — the new rule
+    ///   matches input 0 but the intent sends no input to it at all; the
+    ///   empty-config corner where the "conditions fail => no slot"
+    ///   direction once disagreed with `check_conditions`.
+    #[test]
+    fn condition_three_empty_config_corner_cases() {
+        check_valid_points(vec![], 17, 16);
+        check_valid_points(vec![], 1, 0);
     }
 }
 

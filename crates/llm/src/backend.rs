@@ -1,8 +1,7 @@
 //! LLM backends: the trait, the deterministic semantic backend, and the
 //! fault-injecting wrapper.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use clarify_rng::{Rng, StdRng};
 
 use clarify_analysis::StanzaSpec;
 use clarify_netconfig::RouteMapSet;

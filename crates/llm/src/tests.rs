@@ -324,73 +324,70 @@ fn pipeline_rejects_gibberish_with_intent_error() {
 
 mod properties {
     use super::*;
-    use proptest::prelude::*;
+    use clarify_testkit::{gens, prop_assert, prop_assert_eq, property, Source};
 
-    fn arb_route_intent() -> impl Strategy<Value = RouteMapIntent> {
-        (
-            any::<bool>(),
-            prop_oneof![
-                Just(vec![]),
-                Just(vec![(
-                    "10.0.0.0/8".parse().unwrap(),
-                    PrefixConstraint::Le(24)
-                )]),
-                Just(vec![(
-                    "100.0.0.0/16".parse().unwrap(),
-                    PrefixConstraint::Between(17, 23)
-                )]),
-                Just(vec![(
-                    "1.0.0.0/20".parse().unwrap(),
-                    PrefixConstraint::Ge(24)
-                )]),
-                Just(vec![(
-                    "192.168.0.0/16".parse().unwrap(),
-                    PrefixConstraint::Exact
-                )]),
-            ],
-            prop_oneof![Just(None), Just(Some(32u32)), Just(Some(65000u32))],
-            prop_oneof![
-                Just(vec![]),
-                Just(vec!["300:3"]),
-                Just(vec!["65000:1", "65000:2"])
-            ],
-            prop_oneof![Just(None), Just(Some(300u32))],
-            prop_oneof![
-                Just(vec![]),
-                Just(vec![SetIntent::Metric(55)]),
-                Just(vec![SetIntent::LocalPref(250)]),
-                Just(vec![SetIntent::Tag(9)]),
-            ],
-        )
-            .prop_map(|(permit, prefixes, origin, comms, lp, sets)| {
-                let mut i = RouteMapIntent {
-                    permit,
-                    prefixes,
-                    origin_as: origin,
-                    match_local_pref: lp,
-                    sets,
-                    ..Default::default()
-                };
-                for c in comms {
-                    i.communities.push(c.parse().unwrap());
-                }
-                if i.prefixes.is_empty()
-                    && i.communities.is_empty()
-                    && i.origin_as.is_none()
-                    && i.match_local_pref.is_none()
-                {
-                    i.match_all = true;
-                }
-                i
-            })
+    fn arb_route_intent(g: &mut Source) -> RouteMapIntent {
+        let permit = g.pick(&[false, true]);
+        let prefixes = g.pick(&[
+            vec![],
+            vec![("10.0.0.0/8".parse().unwrap(), PrefixConstraint::Le(24))],
+            vec![(
+                "100.0.0.0/16".parse().unwrap(),
+                PrefixConstraint::Between(17, 23),
+            )],
+            vec![("1.0.0.0/20".parse().unwrap(), PrefixConstraint::Ge(24))],
+            vec![("192.168.0.0/16".parse().unwrap(), PrefixConstraint::Exact)],
+        ]);
+        let origin = g.pick(&[None, Some(32u32), Some(65000u32)]);
+        let comms = g.pick(&[vec![], vec!["300:3"], vec!["65000:1", "65000:2"]]);
+        let lp = g.pick(&[None, Some(300u32)]);
+        let sets = g.pick(&[
+            vec![],
+            vec![SetIntent::Metric(55)],
+            vec![SetIntent::LocalPref(250)],
+            vec![SetIntent::Tag(9)],
+        ]);
+        let mut i = RouteMapIntent {
+            permit,
+            prefixes,
+            origin_as: origin,
+            match_local_pref: lp,
+            sets,
+            ..Default::default()
+        };
+        for c in comms {
+            i.communities.push(c.parse().unwrap());
+        }
+        if i.prefixes.is_empty()
+            && i.communities.is_empty()
+            && i.origin_as.is_none()
+            && i.match_local_pref.is_none()
+        {
+            i.match_all = true;
+        }
+        i
     }
 
-    proptest! {
-        #![proptest_config(ProptestConfig::with_cases(64))]
+    /// Saved regression (formerly in the generated-failure seed file): a
+    /// deny intent matching two communities and nothing else. The
+    /// two-community conjunction once failed the render -> parse
+    /// round-trip.
+    #[test]
+    fn intent_roundtrip_two_community_regression() {
+        let intent = RouteMapIntent {
+            permit: false,
+            communities: vec!["65000:1".parse().unwrap(), "65000:2".parse().unwrap()],
+            ..Default::default()
+        };
+        let rendered = intent.render_prompt();
+        let reparsed =
+            RouteMapIntent::parse(&rendered).unwrap_or_else(|e| panic!("{e}: {rendered}"));
+        assert_eq!(intent, reparsed);
+    }
 
+    property! {
         /// render -> parse is the identity on intents.
-        #[test]
-        fn intent_roundtrip(intent in arb_route_intent()) {
+        fn intent_roundtrip(intent in arb_route_intent) cases 64 {
             let rendered = intent.render_prompt();
             let reparsed = RouteMapIntent::parse(&rendered)
                 .unwrap_or_else(|e| panic!("{e}: {rendered}"));
@@ -398,8 +395,7 @@ mod properties {
         }
 
         /// The full pipeline verifies every rendered intent first-pass.
-        #[test]
-        fn pipeline_verifies_rendered_intents(intent in arb_route_intent()) {
+        fn pipeline_verifies_rendered_intents(intent in arb_route_intent) cases 64 {
             let mut p = Pipeline::new(SemanticBackend::new(), 2);
             let out = p.synthesize(&intent.render_prompt()).unwrap();
             prop_assert!(out.is_success(), "intent {:?}", intent);
@@ -492,34 +488,30 @@ fn synonym_actions() {
 
 mod robustness {
     use super::*;
-    use proptest::prelude::*;
+    use clarify_testkit::{gens, property};
 
-    proptest! {
-        #![proptest_config(ProptestConfig::with_cases(256))]
-
+    property! {
         /// The intent parser never panics on arbitrary printable prompts.
-        #[test]
-        fn intent_parser_never_panics(input in "[ -~]{0,200}") {
+        fn intent_parser_never_panics(input in gens::ascii_string(200)) cases 256 {
             let _ = RouteMapIntent::parse(&input);
             let _ = AclIntent::parse(&input);
         }
 
         /// English-word soup with embedded network tokens never panics.
-        #[test]
         fn intent_parser_never_panics_on_word_soup(
-            words in proptest::collection::vec(
-                prop_oneof![
-                    Just("permits"), Just("denies"), Just("routes"), Just("containing"),
-                    Just("the"), Just("prefix"), Just("mask"), Just("length"), Just("less"),
-                    Just("than"), Just("or"), Just("equal"), Just("to"), Just("longer"),
-                    Just("between"), Just("and"), Just("set"), Just("metric"), Just("community"),
-                    Just("as"), Just("originating"), Just("from"), Just("packets"), Just("host"),
-                    Just("port"), Just("10.0.0.0/8"), Just("1.2.3.4"), Just("300:3"), Just("55"),
-                    Just("tagged"), Just("with"), Just("local"), Just("preference"),
-                ],
-                0..30,
+            words in gens::vec_of(
+                gens::sampled(vec![
+                    "permits", "denies", "routes", "containing",
+                    "the", "prefix", "mask", "length", "less",
+                    "than", "or", "equal", "to", "longer",
+                    "between", "and", "set", "metric", "community",
+                    "as", "originating", "from", "packets", "host",
+                    "port", "10.0.0.0/8", "1.2.3.4", "300:3", "55",
+                    "tagged", "with", "local", "preference",
+                ]),
+                0, 29,
             )
-        ) {
+        ) cases 256 {
             let text = words.join(" ");
             let _ = RouteMapIntent::parse(&text);
             let _ = AclIntent::parse(&text);

@@ -511,16 +511,17 @@ mod properties {
     use super::*;
     use crate::{PrefixList, PrefixListEntry};
     use clarify_nettypes::PrefixRange;
-    use proptest::prelude::*;
+    use clarify_testkit::{gens, prop_assert_eq, property, Rng, Source};
 
-    fn arb_prefix() -> impl Strategy<Value = Prefix> {
-        (0u32.., 0u8..=32).prop_map(|(a, l)| Prefix::from_u32(a, l))
+    fn arb_prefix(g: &mut Source) -> Prefix {
+        let addr = g.gen_range(0u32..=u32::MAX);
+        let len = g.gen_range(0u8..=32);
+        Prefix::from_u32(addr, len)
     }
 
-    proptest! {
+    property! {
         /// Printing any parsed-then-printed config is a fixpoint.
-        #[test]
-        fn print_is_fixpoint(seed in 0u32..1000) {
+        fn print_is_fixpoint(seed in gens::ints(0u32..1000)) {
             // Build a small config from the seed deterministically.
             let lp = 100 + seed % 400;
             let text = format!(
@@ -535,8 +536,7 @@ mod properties {
 
         /// Prefix-list evaluation agrees with direct range matching when
         /// all entries are permits.
-        #[test]
-        fn prefix_list_permit_only(prefixes in proptest::collection::vec(arb_prefix(), 1..6), probe in arb_prefix()) {
+        fn prefix_list_permit_only(prefixes in gens::vec_of(arb_prefix, 1, 5), probe in arb_prefix) {
             let entries: Vec<PrefixListEntry> = prefixes
                 .iter()
                 .enumerate()
@@ -617,55 +617,50 @@ fn standard_community_list_rejects_conjunctive_entries() {
 
 mod robustness {
     use super::*;
-    use proptest::prelude::*;
+    use clarify_testkit::{gens, prop_assert_eq, property};
 
-    proptest! {
-        #![proptest_config(ProptestConfig::with_cases(256))]
-
+    property! {
         /// The parser never panics on arbitrary printable input — it either
         /// parses or returns a positioned error.
-        #[test]
-        fn parser_never_panics(input in "[ -~\n]{0,300}") {
+        fn parser_never_panics(input in gens::ascii_string_with_newlines(300)) cases 256 {
             let _ = Config::parse(&input);
         }
 
         /// Keyword-shaped garbage also never panics (denser coverage of
         /// the statement dispatch than uniform noise).
-        #[test]
         fn parser_never_panics_on_keyword_soup(
-            words in proptest::collection::vec(
-                prop_oneof![
-                    Just("route-map"), Just("ip"), Just("prefix-list"), Just("access-list"),
-                    Just("extended"), Just("as-path"), Just("community-list"), Just("expanded"),
-                    Just("standard"), Just("match"), Just("set"), Just("permit"), Just("deny"),
-                    Just("seq"), Just("le"), Just("ge"), Just("eq"), Just("range"), Just("host"),
-                    Just("any"), Just("tcp"), Just("udp"), Just("10.0.0.0/8"), Just("1.2.3.4"),
-                    Just("10"), Just("300:3"), Just("_32$"), Just("RM"), Just("\n"),
-                ],
-                0..40,
+            words in gens::vec_of(
+                gens::sampled(vec![
+                    "route-map", "ip", "prefix-list", "access-list",
+                    "extended", "as-path", "community-list", "expanded",
+                    "standard", "match", "set", "permit", "deny",
+                    "seq", "le", "ge", "eq", "range", "host",
+                    "any", "tcp", "udp", "10.0.0.0/8", "1.2.3.4",
+                    "10", "300:3", "_32$", "RM", "\n",
+                ]),
+                0, 39,
             )
-        ) {
+        ) cases 256 {
             let text = words.join(" ");
             let _ = Config::parse(&text);
         }
 
         /// Whatever parses, prints, and re-parses is stable (idempotent
         /// canonical form) — on keyword soup that happens to be valid.
-        #[test]
         fn print_parse_idempotent_on_valid_soup(
-            words in proptest::collection::vec(
-                prop_oneof![
-                    Just("ip prefix-list P seq 5 permit 10.0.0.0/8 le 24\n"),
-                    Just("ip prefix-list Q seq 5 deny 20.0.0.0/8\n"),
-                    Just("ip as-path access-list A permit _32$\n"),
-                    Just("ip community-list expanded C permit _300:3_\n"),
-                    Just("route-map R1 permit 10\n match ip address prefix-list P\n"),
-                    Just("route-map R2 deny 10\n set metric 5\n"),
-                    Just("ip access-list extended ACL\n permit tcp any any eq 80\n"),
-                ],
-                1..6,
+            words in gens::vec_of(
+                gens::sampled(vec![
+                    "ip prefix-list P seq 5 permit 10.0.0.0/8 le 24\n",
+                    "ip prefix-list Q seq 5 deny 20.0.0.0/8\n",
+                    "ip as-path access-list A permit _32$\n",
+                    "ip community-list expanded C permit _300:3_\n",
+                    "route-map R1 permit 10\n match ip address prefix-list P\n",
+                    "route-map R2 deny 10\n set metric 5\n",
+                    "ip access-list extended ACL\n permit tcp any any eq 80\n",
+                ]),
+                1, 5,
             )
-        ) {
+        ) cases 256 {
             let text: String = words.concat();
             if let Ok(cfg) = Config::parse(&text) {
                 let printed = cfg.to_string();

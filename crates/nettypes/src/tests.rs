@@ -245,12 +245,16 @@ fn route_builder_chain() {
 
 mod properties {
     use super::*;
-    use proptest::prelude::*;
+    use clarify_testkit::{gens, prop_assert, prop_assert_eq, property};
 
-    proptest! {
+    property! {
         /// Covers is a partial order compatible with address containment.
-        #[test]
-        fn covers_transitive(a in 0u32.., la in 0u8..=32, lb in 0u8..=32, lc in 0u8..=32) {
+        fn covers_transitive(
+            a in gens::ints(0u32..=u32::MAX),
+            la in gens::ints(0u8..=32),
+            lb in gens::ints(0u8..=32),
+            lc in gens::ints(0u8..=32),
+        ) {
             let mut ls = [la, lb, lc];
             ls.sort_unstable();
             let p1 = Prefix::from_u32(a, ls[0]);
@@ -263,31 +267,27 @@ mod properties {
 
         /// A range built from any prefix matches that exact prefix iff the
         /// bounds admit its length.
-        #[test]
-        fn range_matches_self(addr in 0u32.., len in 0u8..=32) {
+        fn range_matches_self(addr in gens::ints(0u32..=u32::MAX), len in gens::ints(0u8..=32)) {
             let p = Prefix::from_u32(addr, len);
             prop_assert!(PrefixRange::exact(p).matches(&p));
         }
 
         /// Display/parse round-trip for prefixes.
-        #[test]
-        fn prefix_roundtrip(addr in 0u32.., len in 0u8..=32) {
+        fn prefix_roundtrip(addr in gens::ints(0u32..=u32::MAX), len in gens::ints(0u8..=32)) {
             let p = Prefix::from_u32(addr, len);
             let q: Prefix = p.to_string().parse().unwrap();
             prop_assert_eq!(p, q);
         }
 
         /// Community subject strings always re-parse to the same community.
-        #[test]
-        fn community_roundtrip(asn in 0u16.., value in 0u16..) {
+        fn community_roundtrip(asn in gens::ints(0u16..=u16::MAX), value in gens::ints(0u16..=u16::MAX)) {
             let c = Community::new(asn, value);
             let d: Community = c.subject().parse().unwrap();
             prop_assert_eq!(c, d);
         }
 
         /// AS-path subject strings round-trip.
-        #[test]
-        fn aspath_roundtrip(asns in proptest::collection::vec(0u32..=65535, 0..6)) {
+        fn aspath_roundtrip(asns in gens::vec_of(gens::ints(0u32..=65535), 0, 5)) {
             let p = AsPath::from_asns(asns);
             let q: AsPath = p.subject().parse().unwrap();
             prop_assert_eq!(p, q);
@@ -297,12 +297,16 @@ mod properties {
 
 mod range_display_properties {
     use super::*;
-    use proptest::prelude::*;
+    use clarify_testkit::{gens, prop_assert_eq, property};
 
-    proptest! {
+    property! {
         /// Display/parse round-trip for *every* representable range.
-        #[test]
-        fn any_range_roundtrips(addr in 0u32.., len in 0u8..=32, a in 0u8..=32, b in 0u8..=32) {
+        fn any_range_roundtrips(
+            addr in gens::ints(0u32..=u32::MAX),
+            len in gens::ints(0u8..=32),
+            a in gens::ints(0u8..=32),
+            b in gens::ints(0u8..=32),
+        ) {
             let prefix = Prefix::from_u32(addr, len);
             let (mut lo, mut hi) = (a.min(b), a.max(b));
             lo = lo.max(len);

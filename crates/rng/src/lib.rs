@@ -1,0 +1,235 @@
+//! Seedable pseudo-random number generation with no external dependencies.
+//!
+//! The workspace's randomized components — the workload population
+//! generators, the fault-injecting LLM backend, and the benches — need a
+//! small, reproducible PRNG, not a cryptographic one. This crate provides
+//! [splitmix64] (for seeding) and [xoshiro256**] (the workhorse), exposed
+//! behind a [`Rng`] trait shaped like the subset of `rand::Rng` the repo
+//! actually uses: `gen_range`, `gen_bool`, `gen`, `shuffle`, `choose`, and
+//! `seed_from_u64` / `from_seed` construction.
+//!
+//! Determinism contract (DESIGN.md "Determinism"): the same seed always
+//! produces the same stream, on every platform, forever. The generators
+//! here are pinned algorithms with published reference outputs, so that
+//! contract survives toolchain upgrades — unlike a third-party crate whose
+//! minor versions may legally change streams.
+//!
+//! [splitmix64]: https://prng.di.unimi.it/splitmix64.c
+//! [xoshiro256**]: https://prng.di.unimi.it/xoshiro256starstar.c
+
+#![warn(missing_docs)]
+
+/// The raw 64-bit generator interface: everything else is derived.
+pub trait RngCore {
+    /// Returns the next 64 uniformly distributed bits.
+    fn next_u64(&mut self) -> u64;
+}
+
+/// Sebastiano Vigna's splitmix64: a tiny counter-based generator used to
+/// expand a single `u64` seed into the larger xoshiro state (its intended
+/// role) and as a standalone generator for throwaway streams.
+#[derive(Clone, Debug)]
+pub struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    /// Creates a generator from a seed.
+    pub fn new(seed: u64) -> SplitMix64 {
+        SplitMix64 { state: seed }
+    }
+}
+
+impl RngCore for SplitMix64 {
+    fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+}
+
+/// xoshiro256**: the workspace's general-purpose generator. 256 bits of
+/// state, period 2^256 − 1, passes BigCrush; equidistributed enough for
+/// workload synthesis and fault injection.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Xoshiro256StarStar {
+    s: [u64; 4],
+}
+
+/// The workspace's default seedable generator (the role `rand::rngs::StdRng`
+/// played before the zero-dependency port).
+pub type StdRng = Xoshiro256StarStar;
+
+impl Xoshiro256StarStar {
+    /// Seeds the full 256-bit state by running splitmix64, the seeding
+    /// procedure recommended by the xoshiro authors.
+    pub fn seed_from_u64(seed: u64) -> Xoshiro256StarStar {
+        let mut sm = SplitMix64::new(seed);
+        Xoshiro256StarStar {
+            s: [sm.next_u64(), sm.next_u64(), sm.next_u64(), sm.next_u64()],
+        }
+    }
+
+    /// Constructs a generator from raw state bytes (little-endian words).
+    /// An all-zero state is a fixed point of xoshiro, so it is re-seeded
+    /// through splitmix64 instead.
+    pub fn from_seed(seed: [u8; 32]) -> Xoshiro256StarStar {
+        let mut s = [0u64; 4];
+        for (i, chunk) in seed.chunks_exact(8).enumerate() {
+            s[i] = u64::from_le_bytes(chunk.try_into().expect("8-byte chunk"));
+        }
+        if s == [0; 4] {
+            return Xoshiro256StarStar::seed_from_u64(0);
+        }
+        Xoshiro256StarStar { s }
+    }
+}
+
+impl RngCore for Xoshiro256StarStar {
+    fn next_u64(&mut self) -> u64 {
+        let result = self.s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        result
+    }
+}
+
+/// Types that can be drawn uniformly from an inclusive range.
+pub trait SampleUniform: Copy + PartialOrd {
+    /// Draws a value in `[lo, hi]` (both inclusive) from `rng`.
+    fn sample_inclusive<R: RngCore + ?Sized>(lo: Self, hi: Self, rng: &mut R) -> Self;
+}
+
+macro_rules! impl_sample_uniform_unsigned {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_inclusive<R: RngCore + ?Sized>(lo: Self, hi: Self, rng: &mut R) -> Self {
+                debug_assert!(lo <= hi);
+                let span = (hi as u128) - (lo as u128) + 1;
+                if span == 0 {
+                    // Full u128 span is impossible for <= 64-bit types, but
+                    // the widest full range still needs the raw draw.
+                    return rng.next_u64() as $t;
+                }
+                lo.wrapping_add((rng.next_u64() as u128 % span) as $t)
+            }
+        }
+    )*};
+}
+impl_sample_uniform_unsigned!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_sample_uniform_signed {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_inclusive<R: RngCore + ?Sized>(lo: Self, hi: Self, rng: &mut R) -> Self {
+                debug_assert!(lo <= hi);
+                let span = (hi as i128 - lo as i128 + 1) as u128;
+                ((lo as i128) + (rng.next_u64() as u128 % span) as i128) as $t
+            }
+        }
+    )*};
+}
+impl_sample_uniform_signed!(i8, i16, i32, i64, isize);
+
+/// Range arguments accepted by [`Rng::gen_range`]: `lo..hi` and `lo..=hi`.
+pub trait SampleRange<T> {
+    /// The inclusive `(lo, hi)` bounds. Panics on an empty range.
+    fn inclusive_bounds(self) -> (T, T);
+}
+
+macro_rules! impl_sample_range {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for core::ops::Range<$t> {
+            fn inclusive_bounds(self) -> ($t, $t) {
+                assert!(self.start < self.end, "gen_range on empty range");
+                (self.start, self.end - 1)
+            }
+        }
+        impl SampleRange<$t> for core::ops::RangeInclusive<$t> {
+            fn inclusive_bounds(self) -> ($t, $t) {
+                let (lo, hi) = self.into_inner();
+                assert!(lo <= hi, "gen_range on empty range");
+                (lo, hi)
+            }
+        }
+    )*};
+}
+impl_sample_range!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+/// Types with a canonical "uniform over the whole domain" distribution,
+/// supporting `rng.gen::<T>()`.
+pub trait Standard: Sized {
+    /// Draws one value.
+    fn from_rng<R: RngCore + ?Sized>(rng: &mut R) -> Self;
+}
+
+impl Standard for u64 {
+    fn from_rng<R: RngCore + ?Sized>(rng: &mut R) -> u64 {
+        rng.next_u64()
+    }
+}
+impl Standard for u32 {
+    fn from_rng<R: RngCore + ?Sized>(rng: &mut R) -> u32 {
+        (rng.next_u64() >> 32) as u32
+    }
+}
+impl Standard for bool {
+    fn from_rng<R: RngCore + ?Sized>(rng: &mut R) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+impl Standard for f64 {
+    /// Uniform in `[0, 1)` with 53 bits of precision.
+    fn from_rng<R: RngCore + ?Sized>(rng: &mut R) -> f64 {
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+/// The convenience surface, blanket-implemented for every [`RngCore`].
+pub trait Rng: RngCore {
+    /// Draws a value uniformly from `range` (`lo..hi` or `lo..=hi`).
+    fn gen_range<T: SampleUniform, S: SampleRange<T>>(&mut self, range: S) -> T {
+        let (lo, hi) = range.inclusive_bounds();
+        T::sample_inclusive(lo, hi, self)
+    }
+
+    /// Draws one value of a [`Standard`]-distributed type.
+    fn gen<T: Standard>(&mut self) -> T {
+        T::from_rng(self)
+    }
+
+    /// Returns `true` with probability `p` (clamped to `[0, 1]`).
+    fn gen_bool(&mut self, p: f64) -> bool {
+        assert!((0.0..=1.0).contains(&p), "probability out of range");
+        self.gen::<f64>() < p
+    }
+
+    /// Fisher–Yates shuffles `slice` in place.
+    fn shuffle<T>(&mut self, slice: &mut [T]) {
+        for i in (1..slice.len()).rev() {
+            let j = self.gen_range(0..=i);
+            slice.swap(i, j);
+        }
+    }
+
+    /// Picks a uniformly random element, or `None` if `slice` is empty.
+    fn choose<'a, T>(&mut self, slice: &'a [T]) -> Option<&'a T> {
+        if slice.is_empty() {
+            None
+        } else {
+            Some(&slice[self.gen_range(0..slice.len())])
+        }
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+#[cfg(test)]
+mod tests;

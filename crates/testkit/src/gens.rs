@@ -1,0 +1,59 @@
+//! Reusable generator combinators: free functions returning
+//! `Fn(&mut Source) -> T` closures, composable with hand-written
+//! generator functions.
+
+use crate::Source;
+use clarify_rng::{Rng, SampleRange, SampleUniform};
+
+/// Uniform integers from a `lo..hi` or `lo..=hi` range.
+pub fn ints<T, R>(range: R) -> impl Fn(&mut Source) -> T + Clone
+where
+    T: SampleUniform,
+    R: SampleRange<T> + Clone,
+{
+    move |g| g.gen_range(range.clone())
+}
+
+/// Always the same value (the `Just` of proptest).
+pub fn just<T: Clone>(value: T) -> impl Fn(&mut Source) -> T + Clone {
+    move |_| value.clone()
+}
+
+/// A uniformly chosen clone of one of `options`. Shrinks toward the first
+/// option, so list the simplest one first.
+pub fn sampled<T: Clone>(options: Vec<T>) -> impl Fn(&mut Source) -> T + Clone {
+    move |g| g.pick(&options)
+}
+
+/// Uniform booleans. Shrinks toward `false`.
+pub fn boolean() -> impl Fn(&mut Source) -> bool + Clone {
+    |g| g.gen_range(0u8..=1) == 1
+}
+
+/// Vectors with length in `[min_len, max_len]` and items from `item`.
+pub fn vec_of<T, G>(item: G, min_len: usize, max_len: usize) -> impl Fn(&mut Source) -> Vec<T>
+where
+    G: Fn(&mut Source) -> T,
+{
+    move |g| g.vec(min_len, max_len, |g| item(g))
+}
+
+/// Printable-ASCII strings up to `max_len` chars (proptest's
+/// `"[ -~]{0,N}"`).
+pub fn ascii_string(max_len: usize) -> impl Fn(&mut Source) -> String + Clone {
+    move |g| g.ascii(max_len, &[])
+}
+
+/// Printable-ASCII-plus-newline strings up to `max_len` chars
+/// (proptest's `"[ -~\n]{0,N}"`).
+pub fn ascii_string_with_newlines(max_len: usize) -> impl Fn(&mut Source) -> String + Clone {
+    move |g| g.ascii(max_len, &['\n'])
+}
+
+/// Strings built by concatenating `len` draws from a character set.
+pub fn string_from(chars: Vec<char>, max_len: usize) -> impl Fn(&mut Source) -> String + Clone {
+    move |g| {
+        let n = g.gen_range(0..=max_len);
+        (0..n).map(|_| g.pick(&chars)).collect()
+    }
+}

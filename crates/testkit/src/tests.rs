@@ -1,0 +1,117 @@
+use crate::{gens, prop_assert, prop_assert_eq, property, Rng, Runner, Source};
+
+#[test]
+fn passing_property_runs_all_cases() {
+    use std::sync::atomic::{AtomicU32, Ordering};
+    let count = AtomicU32::new(0);
+    let fail = Runner::new("always_passes")
+        .cases(64)
+        .run_impl(&|g: &mut Source| {
+            count.fetch_add(1, Ordering::SeqCst);
+            let _ = g.gen_range(0u32..100);
+        });
+    assert!(fail.is_none());
+    assert_eq!(count.load(Ordering::SeqCst), 64);
+}
+
+#[test]
+fn failure_is_shrunk_to_the_boundary() {
+    // "All u32 < 100_000 are < 1000" is false; the minimal counterexample
+    // is exactly 1000 and greedy shrinking must find it.
+    let fail = Runner::new("boundary")
+        .cases(256)
+        .run_impl(&|g: &mut Source| {
+            let v = g.gen_range(0u32..100_000);
+            assert!(v < 1000, "too big: {v}");
+        })
+        .expect("property must fail");
+    // Replay the shrunk choices to recover the value.
+    let mut src = Source::replaying(fail.choices.clone());
+    let v = src.gen_range(0u32..100_000);
+    assert_eq!(v, 1000, "shrunk to the exact boundary: {fail:?}");
+    assert!(
+        fail.message.contains("too big"),
+        "actual message: {:?}",
+        fail.message
+    );
+}
+
+#[test]
+fn vec_failures_shrink_toward_short_vectors() {
+    // Vectors with any element >= 10 fail; minimal counterexample is a
+    // single element of exactly 10.
+    let fail = Runner::new("vec_shrink")
+        .cases(256)
+        .run_impl(&|g: &mut Source| {
+            let v = g.vec(0, 20, |g| g.gen_range(0u32..1000));
+            assert!(v.iter().all(|&x| x < 10), "{v:?}");
+        })
+        .expect("property must fail");
+    let mut src = Source::replaying(fail.choices.clone());
+    let v = src.vec(0, 20, |g| g.gen_range(0u32..1000));
+    // Greedy shrinking pins the offending element at the exact boundary
+    // and zeroes everything else (it may not always delete the zeroed
+    // prefix, so assert shape rather than exact equality with [10]).
+    assert_eq!(v.iter().filter(|&&x| x == 10).count(), 1, "{fail:?}");
+    assert!(v.iter().all(|&x| x == 0 || x == 10), "{fail:?}");
+    assert!(v.len() <= 20, "{fail:?}");
+}
+
+#[test]
+fn failures_are_deterministic() {
+    let run = || {
+        Runner::new("det")
+            .cases(64)
+            .run_impl(&|g: &mut Source| {
+                let v = g.gen_range(0u64..1 << 40);
+                assert!(v % 7 != 3);
+            })
+            .expect("fails")
+    };
+    let (a, b) = (run(), run());
+    assert_eq!(a.seed, b.seed);
+    assert_eq!(a.case, b.case);
+    assert_eq!(a.choices, b.choices);
+}
+
+#[test]
+fn replay_pads_with_zeros() {
+    let mut src = Source::replaying(vec![5]);
+    assert_eq!(src.gen_range(0u32..10), 5);
+    assert_eq!(src.gen_range(0u32..10), 0, "exhausted stream yields zeros");
+    assert_eq!(src.gen_range(3u32..10), 3, "zero maps to the lower bound");
+}
+
+#[test]
+fn ascii_strings_are_printable() {
+    let mut src = Source::recording(1);
+    for _ in 0..50 {
+        let s = src.ascii(40, &['\n']);
+        assert!(s.len() <= 40);
+        assert!(
+            s.chars().all(|c| c == '\n' || (' '..='~').contains(&c)),
+            "{s:?}"
+        );
+    }
+}
+
+// The macro surface itself, exercised as real #[test]s.
+property! {
+    /// Sorting is idempotent.
+    fn sort_idempotent(v in gens::vec_of(gens::ints(0i64..=100), 0, 12)) {
+        let mut once = v.clone();
+        once.sort();
+        let mut twice = once.clone();
+        twice.sort();
+        prop_assert_eq!(once, twice);
+    }
+
+    fn pick_stays_in_options(x in gens::sampled(vec!["a", "b", "c"])) cases 64 {
+        prop_assert!(["a", "b", "c"].contains(&x));
+    }
+
+    fn boolean_generates(b in gens::boolean(), n in gens::ints(0u8..=7)) cases 64 {
+        prop_assert!(n <= 7);
+        let _ = b;
+    }
+}

@@ -2,7 +2,7 @@
 
 use std::net::Ipv4Addr;
 
-use rand::Rng;
+use clarify_rng::Rng;
 
 use clarify_netconfig::{Acl, AclEntry, Action, AddrMatch, Config};
 use clarify_nettypes::{PortRange, Prefix, Protocol};

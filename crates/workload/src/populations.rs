@@ -1,7 +1,6 @@
 //! The two §3 populations: cloud WAN and campus.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use clarify_rng::{Rng, StdRng};
 
 use clarify_netconfig::{Acl, Config};
 
@@ -56,7 +55,7 @@ pub fn cloud(seed: u64) -> CloudWorkload {
         route_maps.push((nested_route_map_config(&name, n, n / 2), name));
     }
     for i in 0..137 {
-        let n = rng.gen_range(2..=15); // 1..=14 overlapping pairs
+        let n = rng.gen_range(2usize..=15); // 1..=14 overlapping pairs
         let name = format!("RM_LIGHT_{i}");
         route_maps.push((
             nested_route_map_config(&name, n.max(2), (n.max(2) - 1) / 2),

@@ -1,5 +1,4 @@
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use clarify_rng::StdRng;
 
 use clarify_analysis::{acl_overlaps, route_map_overlaps, RouteSpace};
 

@@ -1,0 +1,39 @@
+//! Golden-output test for the E1/E2 worked example: the report printed by
+//! `cargo run --bin e1_worked_example` must match the checked-in snapshot
+//! byte for byte. The whole pipeline is deterministic, so any drift is a
+//! behaviour change that needs review (and, if intended, a snapshot
+//! refresh: `cargo run --release -p clarify-bench --bin e1_worked_example
+//! > testdata/e1_worked_example.txt`).
+
+use std::path::Path;
+
+#[test]
+fn worked_example_matches_snapshot() {
+    let snapshot_path =
+        Path::new(env!("CARGO_MANIFEST_DIR")).join("testdata/e1_worked_example.txt");
+    let expected = std::fs::read_to_string(&snapshot_path).expect("snapshot exists");
+    let actual = clarify_bench::worked_example_report();
+    if actual != expected {
+        // Locate the first differing line for a readable failure.
+        let (mut line, mut a, mut b) = (0, "", "");
+        for (i, (x, y)) in actual.lines().zip(expected.lines()).enumerate() {
+            if x != y {
+                (line, a, b) = (i + 1, x, y);
+                break;
+            }
+        }
+        panic!(
+            "E1 report drifted from testdata/e1_worked_example.txt at line {line}:\n  \
+             actual:   {a:?}\n  expected: {b:?}\n\
+             (refresh the snapshot only if the change is intended)"
+        );
+    }
+}
+
+#[test]
+fn worked_example_is_run_to_run_deterministic() {
+    assert_eq!(
+        clarify_bench::worked_example_report(),
+        clarify_bench::worked_example_report()
+    );
+}

@@ -1,0 +1,107 @@
+//! The zero-dependency guarantee: every manifest in the workspace may
+//! depend only on sibling path crates, never on crates.io. This is what
+//! lets `cargo build --offline` work on a machine that has never had
+//! network access.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+
+/// All Cargo.toml files in the workspace: the root manifest plus one per
+/// crate under `crates/`.
+fn workspace_manifests() -> Vec<PathBuf> {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"));
+    let mut out = vec![root.join("Cargo.toml")];
+    let crates = root.join("crates");
+    for entry in fs::read_dir(&crates).expect("crates/ exists") {
+        let dir = entry.expect("readable dir entry").path();
+        let manifest = dir.join("Cargo.toml");
+        if manifest.is_file() {
+            out.push(manifest);
+        }
+    }
+    assert!(out.len() >= 11, "expected the full workspace, got {out:?}");
+    out
+}
+
+/// Returns the entries of every `*dependencies*` table in the manifest as
+/// `(section, line)` pairs, using a minimal TOML section scan (no TOML
+/// crate — that would itself be an external dependency).
+fn dependency_lines(text: &str) -> Vec<(String, String)> {
+    let mut out = Vec::new();
+    let mut section = String::new();
+    for raw in text.lines() {
+        let line = raw.trim();
+        if line.starts_with('[') && line.ends_with(']') {
+            section = line.trim_matches(['[', ']']).to_string();
+            continue;
+        }
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        if section.ends_with("dependencies") {
+            out.push((section.clone(), line.to_string()));
+        }
+    }
+    out
+}
+
+#[test]
+fn every_dependency_is_a_workspace_path_crate() {
+    for manifest in workspace_manifests() {
+        let text = fs::read_to_string(&manifest).expect("manifest reads");
+        for (section, line) in dependency_lines(&text) {
+            let ok = line.contains("path = \"")
+                || line.contains(".workspace = true")
+                || line.contains("workspace = true");
+            assert!(
+                ok,
+                "{}: [{}] entry `{}` is not a path/workspace dependency — \
+                 external crates break the offline build",
+                manifest.display(),
+                section,
+                line,
+            );
+        }
+    }
+}
+
+#[test]
+fn workspace_dependency_table_only_names_local_crates() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"));
+    let text = fs::read_to_string(root.join("Cargo.toml")).expect("root manifest");
+    for (section, line) in dependency_lines(&text) {
+        if section != "workspace.dependencies" {
+            continue;
+        }
+        let (name, spec) = line.split_once('=').expect("key = value");
+        assert!(
+            name.trim().starts_with("clarify-"),
+            "workspace dependency `{name}` is not a clarify-* crate"
+        );
+        assert!(
+            spec.contains("path = \"crates/"),
+            "workspace dependency `{name}` must point into crates/: {spec}"
+        );
+    }
+}
+
+#[test]
+fn banned_external_crates_never_reappear() {
+    // The crates this workspace deliberately replaced with in-repo
+    // equivalents (clarify-rng, clarify-testkit). Keep the list in sync
+    // with DESIGN.md §5.
+    const BANNED: [&str; 3] = ["rand", "proptest", "criterion"];
+    for manifest in workspace_manifests() {
+        let text = fs::read_to_string(&manifest).expect("manifest reads");
+        for (section, line) in dependency_lines(&text) {
+            let name = line.split('=').next().unwrap_or("").trim();
+            assert!(
+                !BANNED.contains(&name),
+                "{}: [{}] resurrects banned dependency `{}`",
+                manifest.display(),
+                section,
+                name,
+            );
+        }
+    }
+}
