@@ -183,6 +183,20 @@ impl PrefixSpace {
             .collect()
     }
 
+    /// First-match firing regions per entry, plus the default-deny
+    /// remainder (prefixes reaching the end without matching).
+    pub fn fire_sets(&mut self, list: &PrefixList) -> (Vec<Ref>, Ref) {
+        let mut fires = Vec::with_capacity(list.entries.len());
+        let mut unmatched = self.valid;
+        for e in &list.entries {
+            let m = self.encode_range(&e.range);
+            fires.push(self.mgr.and(unmatched, m));
+            let nm = self.mgr.not(m);
+            unmatched = self.mgr.and(unmatched, nm);
+        }
+        (fires, unmatched)
+    }
+
     /// A concrete prefix from a region, or `None` when empty. The decoded
     /// prefix is normalized to its length.
     pub fn witness(&mut self, region: Ref) -> Option<Prefix> {

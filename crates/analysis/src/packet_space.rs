@@ -106,6 +106,20 @@ impl PacketSpace {
         acl.entries.iter().map(|e| self.encode_entry(e)).collect()
     }
 
+    /// First-match firing regions per entry, plus the implicit-deny
+    /// remainder (packets reaching the end without matching).
+    pub fn fire_sets(&mut self, acl: &Acl) -> (Vec<Ref>, Ref) {
+        let mut fires = Vec::with_capacity(acl.entries.len());
+        let mut unmatched = self.valid;
+        for e in &acl.entries {
+            let m = self.encode_entry(e);
+            fires.push(self.mgr.and(unmatched, m));
+            let nm = self.mgr.not(m);
+            unmatched = self.mgr.and(unmatched, nm);
+        }
+        (fires, unmatched)
+    }
+
     /// The set of (valid) packets the ACL permits (first match, implicit
     /// trailing deny).
     pub fn permit_set(&mut self, acl: &Acl) -> Ref {

@@ -1,0 +1,42 @@
+//! Cost of the full symbolic lint pass (`clarify-lint`) over generated
+//! route-map and ACL configurations — the price of running it inside the
+//! synthesis loop.
+
+use clarify_rng::StdRng;
+use clarify_testkit::bench::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use clarify_lint::lint_config;
+use clarify_netconfig::Config;
+use clarify_workload::{cross_acl, nested_route_map_config};
+
+fn bench_route_map_lint(c: &mut Criterion) {
+    let mut g = c.benchmark_group("lint/route_map");
+    for n in [4usize, 12, 24] {
+        let cfg = nested_route_map_config("RM", n, n / 2);
+        g.bench_with_input(BenchmarkId::from_parameter(n), &cfg, |b, cfg| {
+            b.iter(|| black_box(lint_config(cfg, None).expect("lint")));
+        });
+    }
+    g.finish();
+}
+
+fn bench_acl_lint(c: &mut Criterion) {
+    let mut g = c.benchmark_group("lint/acl");
+    for (p, d) in [(6usize, 4usize), (12, 9)] {
+        let mut cfg = Config::new();
+        let acl = cross_acl(&mut StdRng::seed_from_u64(1), "A", p, d);
+        cfg.acls.insert("A".to_string(), acl);
+        g.bench_with_input(
+            BenchmarkId::from_parameter(format!("{}rules", p + d)),
+            &cfg,
+            |b, cfg| {
+                b.iter(|| black_box(lint_config(cfg, None).expect("lint")));
+            },
+        );
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_route_map_lint, bench_acl_lint);
+criterion_main!(benches);

@@ -3,6 +3,8 @@
 //! placements of Figure 2, and the §2.2 differential example with
 //! OPTION 1 / OPTION 2.
 
+#![warn(missing_docs)]
+
 fn main() {
     print!("{}", clarify_bench::worked_example_report());
 }

@@ -1,6 +1,8 @@
 //! E3 — the §3.1 cloud-WAN overlap census. Regenerates the numbers the
 //! paper reports for the cloud provider's WAN configurations.
 
+#![warn(missing_docs)]
+
 use clarify_analysis::{acl_overlaps, route_map_overlaps, RouteSpace};
 use clarify_workload::{cloud, AclCensus, RouteMapCensus};
 

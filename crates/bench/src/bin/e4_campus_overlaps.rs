@@ -1,5 +1,7 @@
 //! E4 — the §3.2 campus-network overlap census.
 
+#![warn(missing_docs)]
+
 use clarify_analysis::{acl_overlaps, route_map_overlaps, RouteSpace};
 use clarify_workload::{campus, AclCensus, RouteMapCensus};
 

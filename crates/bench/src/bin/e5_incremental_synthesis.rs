@@ -2,6 +2,8 @@
 //! the Figure 3 topology, the Figure 4 statistics table, and the five
 //! global policy checks on the converged network.
 
+#![warn(missing_docs)]
+
 use clarify_bench::figure3;
 
 fn main() {

@@ -4,6 +4,8 @@
 //! top/bottom-only mode, for the worst-case (bottom-slot) intent and
 //! averaged over all slots.
 
+#![warn(missing_docs)]
+
 use clarify_core::{Disambiguator, IntentOracle, PlacementStrategy};
 use clarify_netconfig::insert_route_map_stanza;
 use clarify_workload::disambiguation_family;

@@ -1,6 +1,8 @@
 //! E7 — the Figure 1 verification loop under an erring LLM: synthesis
 //! retries and punt rates as a function of the backend error rate.
 
+#![warn(missing_docs)]
+
 use clarify_llm::{FaultyBackend, Pipeline, PipelineOutcome, SemanticBackend};
 
 const PROMPT: &str = "Write a route-map stanza that permits routes containing the prefix \

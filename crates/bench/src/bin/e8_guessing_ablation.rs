@@ -7,6 +7,8 @@
 //! n+1 insertion slots is a distinct possible intent; a correct
 //! disambiguator must realize all of them.
 
+#![warn(missing_docs)]
+
 use clarify_core::{
     verify_against_intent, Choice, Disambiguator, FnOracle, IntentOracle, PlacementStrategy,
 };

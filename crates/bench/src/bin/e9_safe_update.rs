@@ -5,6 +5,8 @@
 //! policies named. This is the §3 motivation ("a small error in intent
 //! can ... cause major network downtime") closed end to end.
 
+#![warn(missing_docs)]
+
 use clarify_bench::figure3;
 use clarify_core::{
     Disambiguator, IntentOracle, Invariant, NetworkSession, NetworkUpdateOutcome, PlacementStrategy,

@@ -6,6 +6,7 @@
 
 use clarify_analysis::{compare_filters, PacketSpace};
 use clarify_bdd::Ref;
+use clarify_lint::prune_acl_candidates;
 use clarify_netconfig::{insert_acl_entry, Acl, AclEntry, AclVerdict, Config};
 use clarify_nettypes::Packet;
 
@@ -102,6 +103,11 @@ pub struct AclDisambiguationResult {
     pub questions: usize,
     /// Entries whose match set overlaps the new entry's.
     pub overlap_candidates: usize,
+    /// Overlap candidates discarded by the lint prune (provably
+    /// non-decisive: the new entry is shadowed at that boundary).
+    pub pruned_candidates: usize,
+    /// Number of expensive above/below placement comparisons performed.
+    pub comparisons: usize,
     /// The question/answer transcript.
     pub transcript: Vec<(AclQuestion, Choice)>,
 }
@@ -139,11 +145,18 @@ pub fn insert_acl_with_oracle(
     let n = overlaps.len();
     let mut transcript: Vec<(AclQuestion, Choice)> = Vec::new();
 
+    // Lint-based pre-filter: entries whose firing region the new entry
+    // never reaches (`s* ∧ fire_i = ⊥`) cannot be decisive boundaries, so
+    // their placement comparisons are skipped (provably sound — see
+    // `clarify_lint::prune_acl_candidates`).
+    let candidates = prune_acl_candidates(&mut space, &acl, new_set, &overlaps).kept;
+    let pruned_candidates = n - candidates.len();
+
     // Keep only decisive pivots (above/below placements that actually
     // differ), with their precomputed questions; an equivalence would
     // otherwise be mistaken for an answer and truncate the search.
     let mut pivots: Vec<(usize, AclQuestion)> = Vec::new();
-    for &pivot in &overlaps {
+    for &pivot in &candidates {
         let above = insert_acl_entry(base, acl_name, entry.clone(), pivot)?;
         let below = insert_acl_entry(base, acl_name, entry.clone(), pivot + 1)?;
         let diffs = compare_filters(
@@ -164,6 +177,7 @@ pub fn insert_acl_with_oracle(
             ));
         }
     }
+    let mut comparisons = candidates.len();
     let m = pivots.len();
 
     let slot_to_position = |slot: usize| -> usize {
@@ -219,6 +233,7 @@ pub fn insert_acl_with_oracle(
                 below.acl(acl_name).expect("exists"),
                 1,
             );
+            comparisons += 1;
             match diffs.into_iter().next() {
                 None => acl.entries.len(),
                 Some(d) => {
@@ -245,6 +260,8 @@ pub fn insert_acl_with_oracle(
         position,
         questions: transcript.len(),
         overlap_candidates: n,
+        pruned_candidates,
+        comparisons,
         transcript,
     })
 }

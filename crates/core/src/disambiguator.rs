@@ -3,6 +3,7 @@
 
 use clarify_analysis::{compare_route_policies, RouteSpace};
 use clarify_bdd::Ref;
+use clarify_lint::prune_insertion_candidates;
 use clarify_netconfig::{insert_route_map_stanza, Config, InsertReport, RouteMapVerdict};
 use clarify_nettypes::BgpRoute;
 
@@ -73,21 +74,50 @@ pub struct DisambiguationResult {
     pub questions: usize,
     /// Number of existing stanzas whose match set overlaps the snippet's.
     pub overlap_candidates: usize,
+    /// Overlap candidates discarded by the lint prune (the snippet is
+    /// shadowed at those boundaries, so they are provably non-decisive).
+    pub pruned_candidates: usize,
+    /// Number of expensive above/below placement comparisons performed.
+    pub comparisons: usize,
     /// The full question/answer transcript.
     pub transcript: Vec<(DisambiguationQuestion, Choice)>,
 }
 
 /// The disambiguator itself. Stateless apart from its strategy.
-#[derive(Clone, Copy, Debug, Default)]
+#[derive(Clone, Copy, Debug)]
 pub struct Disambiguator {
     /// Exploration strategy.
     pub strategy: PlacementStrategy,
+    /// Discard overlap candidates where the snippet's match set misses the
+    /// pivot's firing region (`s* ∧ fire_i = ⊥`) before running the
+    /// expensive placement comparison. Sound — see
+    /// [`clarify_lint::prune_insertion_candidates`] — and on by default;
+    /// disable only to measure its effect.
+    pub lint_prune: bool,
+}
+
+impl Default for Disambiguator {
+    fn default() -> Disambiguator {
+        Disambiguator {
+            strategy: PlacementStrategy::default(),
+            lint_prune: true,
+        }
+    }
 }
 
 impl Disambiguator {
-    /// Creates a disambiguator with the given strategy.
+    /// Creates a disambiguator with the given strategy (lint pruning on).
     pub fn new(strategy: PlacementStrategy) -> Disambiguator {
-        Disambiguator { strategy }
+        Disambiguator {
+            strategy,
+            lint_prune: true,
+        }
+    }
+
+    /// Returns this disambiguator with lint pruning switched on or off.
+    pub fn with_lint_prune(mut self, on: bool) -> Disambiguator {
+        self.lint_prune = on;
+        self
     }
 
     /// Inserts the single stanza of `snippet`'s `snippet_map` into `base`'s
@@ -139,6 +169,17 @@ impl Disambiguator {
         let n = overlaps.len();
         let mut transcript: Vec<(DisambiguationQuestion, Choice)> = Vec::new();
 
+        // Lint-based pre-filter: a pivot where the snippet never reaches
+        // the pivot stanza's firing region (`s* ∧ fire_i = ⊥`) cannot be
+        // decisive — above/below placements there are provably equivalent
+        // — so skip its placement comparison outright.
+        let candidates = if self.lint_prune {
+            prune_insertion_candidates(&mut space, base, &base_map, s_star, &overlaps)?.kept
+        } else {
+            overlaps.clone()
+        };
+        let pruned_candidates = n - candidates.len();
+
         // Keep only *decisive* pivots: candidates where inserting the new
         // stanza immediately above vs immediately below actually changes
         // behaviour. An equivalence at a pivot (e.g. a deny snippet
@@ -147,7 +188,7 @@ impl Disambiguator {
         // discard half the search space that may hold the intent. Each
         // decisive pivot carries its precomputed differential question.
         let mut pivots: Vec<(usize, DisambiguationQuestion)> = Vec::new();
-        for &pivot in &overlaps {
+        for &pivot in &candidates {
             if let Some(q) = self.question_at_pivot(
                 &mut space,
                 base,
@@ -160,6 +201,7 @@ impl Disambiguator {
                 pivots.push((pivot, q));
             }
         }
+        let mut comparisons = candidates.len();
         let m = pivots.len();
 
         let slot_to_position = |slot: usize| -> usize {
@@ -219,6 +261,7 @@ impl Disambiguator {
                     base_map.stanzas.len(),
                 )?;
                 let diffs = compare_route_policies(&mut space, &top_cfg, map, &bot_cfg, map, 1)?;
+                comparisons += 1;
                 match diffs.into_iter().next() {
                     None => base_map.stanzas.len(), // equivalent; bottom by convention
                     Some(d) => {
@@ -246,6 +289,8 @@ impl Disambiguator {
             report,
             questions: transcript.len(),
             overlap_candidates: n,
+            pruned_candidates,
+            comparisons,
             transcript,
         })
     }

@@ -154,6 +154,69 @@ fn empty_route_map_insertion() {
     assert_eq!(result.config.route_map("RM").unwrap().stanzas.len(), 1);
 }
 
+/// Base for the lint-prune regression: stanza 10 swallows all of 10/8, so
+/// the lp-matching stanzas below overlap a 10/8 snippet's match set but
+/// can never fire on it — they are shadowed insertion boundaries.
+const PRUNE_BASE: &str = "\
+ip prefix-list ALL10 permit 10.0.0.0/8 le 32
+route-map RM permit 10
+ match ip address prefix-list ALL10
+route-map RM deny 20
+ match local-preference 200
+route-map RM permit 30
+ match local-preference 300
+ set metric 5
+route-map RM deny 40
+ match local-preference 400
+";
+
+const PRUNE_SNIPPET: &str = "\
+ip prefix-list P105 permit 10.5.0.0/16 le 24
+route-map NEW permit 10
+ match ip address prefix-list P105
+ set metric 77
+";
+
+#[test]
+fn lint_prune_skips_shadowed_candidates_without_changing_result() {
+    let base = Config::parse(PRUNE_BASE).unwrap();
+    let snip = Config::parse(PRUNE_SNIPPET).unwrap();
+    let intended = clarify_netconfig::insert_route_map_stanza(&base, "RM", &snip, "NEW", 0)
+        .unwrap()
+        .0;
+
+    let mut oracle = IntentOracle::new(&intended, "RM");
+    let pruned = Disambiguator::new(PlacementStrategy::BinarySearch)
+        .insert(&base, "RM", &snip, "NEW", &mut oracle)
+        .unwrap();
+    let mut oracle = IntentOracle::new(&intended, "RM");
+    let unpruned = Disambiguator::new(PlacementStrategy::BinarySearch)
+        .with_lint_prune(false)
+        .insert(&base, "RM", &snip, "NEW", &mut oracle)
+        .unwrap();
+
+    // All four stanzas overlap the snippet's match set, but only stanza 10
+    // can actually fire on it; the other three boundaries are pruned
+    // before their (expensive) placement comparisons run.
+    assert_eq!(pruned.overlap_candidates, 4);
+    assert_eq!(pruned.pruned_candidates, 3);
+    assert_eq!(pruned.comparisons, 1, "one comparison after pruning");
+    assert_eq!(unpruned.pruned_candidates, 0);
+    assert_eq!(unpruned.comparisons, 4, "naive: one comparison per overlap");
+
+    // Pruning is sound: identical questions, placement, and final config.
+    assert_eq!(pruned.questions, 1);
+    assert_eq!(unpruned.questions, 1);
+    assert_eq!(pruned.position, 0);
+    assert_eq!(unpruned.position, 0);
+    assert_eq!(pruned.config, unpruned.config);
+    verify_against_intent(&pruned.config, "RM", &intended, "RM").unwrap();
+
+    // The headline claim: far fewer questions than overlap candidates —
+    // shadowed positions are never surfaced to the user as distinct.
+    assert!(pruned.questions < pruned.overlap_candidates);
+}
+
 #[test]
 fn scripted_oracle_exhaustion_is_an_error() {
     let base = Config::parse(ISP_OUT).unwrap();

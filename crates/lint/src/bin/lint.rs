@@ -1,0 +1,93 @@
+//! The `lint` command-line tool: run the symbolic linter over one or more
+//! configuration files.
+//!
+//! ```text
+//! lint [--json] [--strict] <config-file>...
+//! ```
+//!
+//! Exit status: 0 when every file is clean (no warnings or errors; notes
+//! are informational), 1 when any file has findings (or, with `--strict`,
+//! any note), 2 on usage or parse errors.
+
+#![warn(missing_docs)]
+
+use std::process::ExitCode;
+
+use clarify_lint::lint_config;
+use clarify_netconfig::Config;
+
+const USAGE: &str = "\
+usage:
+  lint [--json] [--strict] <config-file>...
+
+options:
+  --json    emit one JSON report object per file instead of text
+  --strict  treat notes as findings for the exit status
+";
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut json = false;
+    let mut strict = false;
+    let mut paths: Vec<&str> = Vec::new();
+    for a in &args {
+        match a.as_str() {
+            "--json" => json = true,
+            "--strict" => strict = true,
+            "--help" | "-h" => {
+                eprint!("{USAGE}");
+                return ExitCode::SUCCESS;
+            }
+            flag if flag.starts_with('-') => {
+                eprintln!("error: unknown option '{flag}'\n\n{USAGE}");
+                return ExitCode::from(2);
+            }
+            path => paths.push(path),
+        }
+    }
+    if paths.is_empty() {
+        eprint!("{USAGE}");
+        return ExitCode::from(2);
+    }
+
+    let mut dirty = false;
+    for path in paths {
+        let text = match std::fs::read_to_string(path) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("error: cannot read {path}: {e}");
+                return ExitCode::from(2);
+            }
+        };
+        let (cfg, spans) = match Config::parse_with_spans(&text) {
+            Ok(parsed) => parsed,
+            Err(e) => {
+                eprintln!("error: {path}: {e}");
+                return ExitCode::from(2);
+            }
+        };
+        let report = match lint_config(&cfg, Some(&spans)) {
+            Ok(r) => r,
+            Err(e) => {
+                eprintln!("error: {path}: {e}");
+                return ExitCode::from(2);
+            }
+        };
+        if json {
+            print!("{}", report.render_json(path));
+        } else {
+            print!("{}", report.render_human(path));
+        }
+        let clean = if strict {
+            report.diagnostics.is_empty()
+        } else {
+            report.is_clean()
+        };
+        dirty |= !clean;
+    }
+    if dirty {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}

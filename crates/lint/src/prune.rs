@@ -1,0 +1,91 @@
+//! Lint-based pruning of insertion candidates for the disambiguator.
+//!
+//! The §4 disambiguator enumerates every existing rule whose match set
+//! intersects the new rule's (`s*`) as a candidate pivot, then decides for
+//! each whether inserting above vs below it changes behaviour — an
+//! expensive full policy comparison per candidate. This module supplies a
+//! cheap sound pre-filter built on the same firing-region analysis the
+//! shadowed-rule lint uses:
+//!
+//! Inserting the new rule immediately above rule *i* differs from
+//! inserting it immediately below only on inputs that both reach rule *i*
+//! (are unmatched by rules before it) and match both rule *i* and the new
+//! rule. That region is exactly `s* ∧ fire_i`, where `fire_i` is rule
+//! *i*'s first-match firing region. When it is ⊥ the two placements are
+//! provably equivalent — the new rule would be shadowed at that boundary —
+//! so the pivot can never be decisive and is pruned without running the
+//! comparison. Pruning therefore cannot change which configuration the
+//! disambiguator produces; it only removes provably-redundant work.
+
+use clarify_analysis::{AnalysisError, PacketSpace, PrefixSpace, RouteSpace};
+use clarify_bdd::Ref;
+use clarify_netconfig::{Acl, Config, PrefixList, RouteMap};
+
+/// Which candidates survived the prune.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct PruneOutcome {
+    /// Candidates that may still be decisive, in input order.
+    pub kept: Vec<usize>,
+    /// Candidates proven non-decisive (the new rule is shadowed there).
+    pub pruned: Vec<usize>,
+}
+
+impl PruneOutcome {
+    fn split(fires: &[Ref], mut intersects: impl FnMut(Ref) -> bool, candidates: &[usize]) -> Self {
+        let mut out = PruneOutcome::default();
+        for &i in candidates {
+            if intersects(fires[i]) {
+                out.kept.push(i);
+            } else {
+                out.pruned.push(i);
+            }
+        }
+        out
+    }
+}
+
+/// Prunes route-map insertion candidates (stanza indices into `map`)
+/// against the new stanza's valid match set `s_star`. Keeps candidate `i`
+/// iff `s_star ∧ fire_i ≠ ⊥`.
+pub fn prune_insertion_candidates(
+    space: &mut RouteSpace,
+    cfg: &Config,
+    map: &RouteMap,
+    s_star: Ref,
+    candidates: &[usize],
+) -> Result<PruneOutcome, AnalysisError> {
+    let (fires, _) = space.fire_sets(cfg, map)?;
+    let mut out = PruneOutcome::default();
+    for &i in candidates {
+        if space.manager().and(s_star, fires[i]) != Ref::FALSE {
+            out.kept.push(i);
+        } else {
+            out.pruned.push(i);
+        }
+    }
+    Ok(out)
+}
+
+/// The ACL analogue of [`prune_insertion_candidates`].
+pub fn prune_acl_candidates(
+    space: &mut PacketSpace,
+    acl: &Acl,
+    s_star: Ref,
+    candidates: &[usize],
+) -> PruneOutcome {
+    let (fires, _) = space.fire_sets(acl);
+    let mgr = space.manager();
+    PruneOutcome::split(&fires, |f| mgr.and(s_star, f) != Ref::FALSE, candidates)
+}
+
+/// The prefix-list analogue of [`prune_insertion_candidates`].
+pub fn prune_prefix_candidates(
+    space: &mut PrefixSpace,
+    list: &PrefixList,
+    s_star: Ref,
+    candidates: &[usize],
+) -> PruneOutcome {
+    let (fires, _) = space.fire_sets(list);
+    let mgr = space.manager();
+    PruneOutcome::split(&fires, |f| mgr.and(s_star, f) != Ref::FALSE, candidates)
+}

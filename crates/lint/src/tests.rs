@@ -1,0 +1,428 @@
+use clarify_netconfig::{Config, ObjectKind, RuleId};
+
+use crate::{lint_config, LintCode, Severity};
+
+fn lint_text(text: &str) -> crate::LintReport {
+    let (cfg, spans) = Config::parse_with_spans(text).unwrap();
+    lint_config(&cfg, Some(&spans)).unwrap()
+}
+
+#[test]
+fn shadowed_route_map_stanza_is_flagged_with_witness() {
+    let report = lint_text(
+        "ip prefix-list COVER seq 10 permit 10.0.0.0/8 le 32
+ip prefix-list NARROW seq 10 permit 10.1.0.0/16 le 32
+route-map RM deny 10
+ match ip address prefix-list COVER
+route-map RM deny 20
+ match ip address prefix-list NARROW
+route-map RM permit 30
+",
+    );
+    let shadowed: Vec<_> = report.with_code(LintCode::ShadowedRule).collect();
+    assert_eq!(shadowed.len(), 1, "{report:?}");
+    let d = shadowed[0];
+    assert_eq!(d.rule, RuleId::route_map_stanza("RM", 20));
+    assert_eq!(d.related, Some(RuleId::route_map_stanza("RM", 10)));
+    assert_eq!(d.severity, Severity::Warning);
+    assert_eq!(d.line, Some(5));
+    // The witness names a concrete route inside the shadowed match set.
+    let witness = d.witness.as_deref().expect("witness");
+    assert!(witness.contains("10.1."), "witness was {witness}");
+    assert!(d.suggested_fix.as_deref().unwrap().contains("stanza 10"));
+}
+
+#[test]
+fn redundant_deny_before_implicit_deny_is_flagged() {
+    let report = lint_text(
+        "route-map R2 permit 10
+ match local-preference 100
+route-map R2 deny 20
+ match metric 5
+",
+    );
+    let redundant: Vec<_> = report.with_code(LintCode::RedundantRule).collect();
+    assert_eq!(redundant.len(), 1, "{report:?}");
+    assert_eq!(redundant[0].rule, RuleId::route_map_stanza("R2", 20));
+    // Stanza 20 is not shadowed: it does fire (lp != 100, metric == 5).
+    assert_eq!(report.with_code(LintCode::ShadowedRule).count(), 0);
+    // The lp=100 ∧ metric=5 region is a genuine conflicting overlap note.
+    let conflicts: Vec<_> = report.with_code(LintCode::ConflictingOverlap).collect();
+    assert_eq!(conflicts.len(), 1);
+    assert_eq!(conflicts[0].severity, Severity::Note);
+    assert!(conflicts[0].witness.is_some());
+    // Notes do not make the config dirty; the redundant warning does.
+    assert_eq!(report.finding_count(), 1);
+}
+
+#[test]
+fn empty_match_is_flagged() {
+    let report = lint_text(
+        "route-map R3 permit 10
+ match local-preference 100
+ match local-preference 200
+route-map R3 permit 20
+",
+    );
+    let empty: Vec<_> = report.with_code(LintCode::EmptyMatch).collect();
+    assert_eq!(empty.len(), 1, "{report:?}");
+    assert_eq!(empty[0].rule, RuleId::route_map_stanza("R3", 10));
+    // An empty stanza is reported once, not also as shadowed or redundant.
+    assert_eq!(report.with_code(LintCode::ShadowedRule).count(), 0);
+    assert_eq!(report.with_code(LintCode::RedundantRule).count(), 0);
+}
+
+#[test]
+fn dangling_reference_is_an_error_and_skips_symbolic_checks() {
+    let report = lint_text(
+        "route-map R4 permit 10
+ match ip address prefix-list UNDEFINED
+route-map R4 permit 20
+",
+    );
+    let dangling: Vec<_> = report.with_code(LintCode::DanglingReference).collect();
+    assert_eq!(dangling.len(), 1, "{report:?}");
+    assert_eq!(dangling[0].severity, Severity::Error);
+    assert_eq!(dangling[0].rule, RuleId::route_map_stanza("R4", 10));
+    assert!(dangling[0].message.contains("UNDEFINED"));
+    assert!(!report.is_clean());
+}
+
+#[test]
+fn unused_list_is_a_note() {
+    let report = lint_text(
+        "ip prefix-list ORPHAN seq 10 permit 192.168.0.0/16 le 24
+route-map R5 permit 10
+",
+    );
+    let unused: Vec<_> = report.with_code(LintCode::UnusedList).collect();
+    assert_eq!(unused.len(), 1, "{report:?}");
+    assert_eq!(
+        unused[0].rule,
+        RuleId::object(ObjectKind::PrefixList, "ORPHAN")
+    );
+    assert_eq!(unused[0].severity, Severity::Note);
+    assert!(report.is_clean());
+}
+
+#[test]
+fn shadowed_acl_entry_is_flagged_with_packet_witness() {
+    let report = lint_text(
+        "ip access-list extended EDGE
+ permit ip 10.0.0.0/8 any
+ deny ip 10.1.0.0/16 any
+ permit tcp any any eq 443
+",
+    );
+    let shadowed: Vec<_> = report.with_code(LintCode::ShadowedRule).collect();
+    assert_eq!(shadowed.len(), 1, "{report:?}");
+    let d = shadowed[0];
+    assert_eq!(d.rule, RuleId::acl_entry("EDGE", 1));
+    assert_eq!(d.related, Some(RuleId::acl_entry("EDGE", 0)));
+    assert_eq!(d.line, Some(3));
+    assert!(d.witness.as_deref().unwrap().contains("10.1."));
+}
+
+#[test]
+fn conflicting_acl_overlap_is_a_note_with_witness() {
+    let report = lint_text(
+        "ip access-list extended X
+ permit tcp 10.0.0.0/8 any eq 80
+ deny tcp any 10.9.0.0/16 eq 80
+ permit ip any any
+",
+    );
+    let conflicts: Vec<_> = report.with_code(LintCode::ConflictingOverlap).collect();
+    assert_eq!(conflicts.len(), 1, "{report:?}");
+    assert_eq!(conflicts[0].rule, RuleId::acl_entry("X", 1));
+    assert_eq!(conflicts[0].related, Some(RuleId::acl_entry("X", 0)));
+    assert!(conflicts[0].witness.is_some());
+    assert!(report.is_clean(), "conflict notes are not findings");
+}
+
+#[test]
+fn shadowed_prefix_list_entry_is_flagged() {
+    let report = lint_text(
+        "ip prefix-list P seq 10 permit 10.0.0.0/8 le 32
+ip prefix-list P seq 20 permit 10.0.0.0/16 le 32
+route-map USE permit 10
+ match ip address prefix-list P
+",
+    );
+    let shadowed: Vec<_> = report.with_code(LintCode::ShadowedRule).collect();
+    assert_eq!(shadowed.len(), 1, "{report:?}");
+    assert_eq!(shadowed[0].rule, RuleId::prefix_entry("P", 20));
+    assert_eq!(shadowed[0].related, Some(RuleId::prefix_entry("P", 10)));
+    assert_eq!(shadowed[0].line, Some(2));
+}
+
+#[test]
+fn clean_config_has_no_diagnostics() {
+    let report = lint_text(
+        "ip prefix-list P seq 10 permit 10.0.0.0/8 le 24
+route-map CLEAN deny 10
+ match ip address prefix-list P
+route-map CLEAN permit 20
+ match local-preference 200
+",
+    );
+    // Stanza 20 (permit, lp 200) vs stanza 10: lp-200 routes inside P are
+    // a conflicting overlap note, but nothing is shadowed or redundant.
+    assert!(report.is_clean(), "{report:?}");
+    assert_eq!(report.with_code(LintCode::ShadowedRule).count(), 0);
+    assert_eq!(report.with_code(LintCode::RedundantRule).count(), 0);
+}
+
+#[test]
+fn report_renders_human_and_json() {
+    let report = lint_text(
+        "ip prefix-list P seq 10 permit 10.0.0.0/8 le 32
+ip prefix-list P seq 20 permit 10.0.0.0/16 le 32
+route-map USE permit 10
+ match ip address prefix-list P
+",
+    );
+    let human = report.render_human("test.cfg");
+    assert!(human.contains("test.cfg:2: warning[L001]"), "{human}");
+    assert!(human.contains("1 warning(s)"), "{human}");
+    let json = report.render_json("test.cfg");
+    assert!(json.contains("\"code\": \"L001\""), "{json}");
+    assert!(json.contains("\"check\": \"shadowed-rule\""), "{json}");
+    assert!(json.contains("\"line\": 2"), "{json}");
+    assert!(json.contains("\"clean\": false"), "{json}");
+    // The JSON must escape witness strings safely.
+    assert!(!json.contains('\t'));
+}
+
+#[test]
+fn lint_without_spans_leaves_lines_empty() {
+    let cfg = Config::parse(
+        "ip prefix-list P seq 10 permit 10.0.0.0/8 le 32
+ip prefix-list P seq 20 permit 10.0.0.0/16 le 32
+route-map USE permit 10
+ match ip address prefix-list P
+",
+    )
+    .unwrap();
+    let report = lint_config(&cfg, None).unwrap();
+    assert_eq!(report.with_code(LintCode::ShadowedRule).count(), 1);
+    assert!(report.diagnostics.iter().all(|d| d.line.is_none()));
+}
+
+mod prune {
+    use clarify_analysis::{policies_equivalent, RouteSpace};
+    use clarify_bdd::Ref;
+    use clarify_netconfig::{insert_route_map_stanza, Config};
+
+    use crate::prune_insertion_candidates;
+
+    /// Base map from the disambiguation regression design: stanza 10
+    /// covers the snippet entirely, so every later candidate is pruned.
+    const BASE: &str = "\
+ip prefix-list ALL10 seq 10 permit 10.0.0.0/8 le 32
+ip prefix-list HALF seq 10 permit 10.0.0.0/9 le 32
+ip prefix-list QUAD seq 10 permit 10.4.0.0/14 le 32
+route-map RM deny 10
+ match ip address prefix-list ALL10
+route-map RM permit 20
+ match ip address prefix-list HALF
+route-map RM deny 30
+ match ip address prefix-list QUAD
+route-map RM permit 40
+ match local-preference 300
+";
+
+    const SNIPPET: &str = "\
+ip prefix-list NEW seq 10 permit 10.5.0.0/16 le 24
+route-map SNIP permit 10
+ match ip address prefix-list NEW
+ set metric 77
+";
+
+    #[test]
+    fn prune_keeps_only_candidates_where_snippet_can_fire() {
+        let base = Config::parse(BASE).unwrap();
+        let snippet = Config::parse(SNIPPET).unwrap();
+        let map = base.route_map("RM").unwrap().clone();
+        let snip_map = snippet.route_map("SNIP").unwrap().clone();
+        let mut space = RouteSpace::new(&[&base, &snippet]).unwrap();
+        let valid = space.valid();
+        let raw = space
+            .encode_stanza_match(&snippet, &snip_map.stanzas[0])
+            .unwrap();
+        let s_star = space.manager().and(raw, valid);
+
+        // All four stanzas' match sets intersect the snippet's.
+        let match_sets = space.match_sets(&base, &map).unwrap();
+        let candidates: Vec<usize> = (0..match_sets.len())
+            .filter(|&i| space.manager().and(match_sets[i], s_star) != Ref::FALSE)
+            .collect();
+        assert_eq!(candidates, vec![0, 1, 2, 3]);
+
+        let outcome =
+            prune_insertion_candidates(&mut space, &base, &map, s_star, &candidates).unwrap();
+        // Stanza 10 (deny 10/8) captures the snippet's whole match space,
+        // so at stanzas 20/30/40 the snippet could never fire: pruned.
+        assert_eq!(outcome.kept, vec![0]);
+        assert_eq!(outcome.pruned, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn pruned_candidates_are_provably_non_decisive() {
+        let base = Config::parse(BASE).unwrap();
+        let snippet = Config::parse(SNIPPET).unwrap();
+        let map = base.route_map("RM").unwrap().clone();
+        let snip_map = snippet.route_map("SNIP").unwrap().clone();
+        let mut space = RouteSpace::new(&[&base, &snippet]).unwrap();
+        let valid = space.valid();
+        let raw = space
+            .encode_stanza_match(&snippet, &snip_map.stanzas[0])
+            .unwrap();
+        let s_star = space.manager().and(raw, valid);
+        let candidates: Vec<usize> = (0..map.stanzas.len()).collect();
+        let outcome =
+            prune_insertion_candidates(&mut space, &base, &map, s_star, &candidates).unwrap();
+        for &i in &outcome.pruned {
+            let (above, _) = insert_route_map_stanza(&base, "RM", &snippet, "SNIP", i).unwrap();
+            let (below, _) = insert_route_map_stanza(&base, "RM", &snippet, "SNIP", i + 1).unwrap();
+            assert!(
+                policies_equivalent(&mut space, &above, "RM", &below, "RM").unwrap(),
+                "pruned candidate {i} was decisive"
+            );
+        }
+    }
+}
+
+mod properties {
+    use clarify_netconfig::{Action, Config, PrefixList, PrefixListEntry, RuleKey};
+    use clarify_nettypes::{BgpRoute, Prefix, PrefixRange};
+    use clarify_testkit::{prop_assert, prop_assert_eq, property, Rng, Source};
+
+    use crate::{lint_config, LintCode};
+
+    /// Generates 2-5 pairwise-disjoint exact /16 permit entries plus a
+    /// trailing duplicate of one of them — the seeded shadowed rule.
+    /// All-permit originals keep every original entry live (each uniquely
+    /// permits its range), so only the duplicate shadows.
+    fn arb_seeded_list(g: &mut Source) -> PrefixList {
+        let n = g.gen_range(2usize..6);
+        // Distinct second octets => pairwise disjoint /16 ranges.
+        let mut octets: Vec<u8> = Vec::new();
+        while octets.len() < n {
+            let o = g.gen_range(1u8..=200);
+            if !octets.contains(&o) {
+                octets.push(o);
+            }
+        }
+        let mut entries: Vec<PrefixListEntry> = octets
+            .iter()
+            .enumerate()
+            .map(|(i, &o)| PrefixListEntry {
+                seq: (i as u32 + 1) * 10,
+                action: Action::Permit,
+                range: PrefixRange::exact(Prefix::from_u32(u32::from(o) << 16, 16)),
+            })
+            .collect();
+        let dup = g.gen_range(0usize..n);
+        let dup_action = if g.gen_range(0u8..2) == 0 {
+            Action::Permit
+        } else {
+            Action::Deny
+        };
+        entries.push(PrefixListEntry {
+            seq: (n as u32 + 1) * 10,
+            action: dup_action,
+            range: entries[dup].range,
+        });
+        PrefixList {
+            name: "GEN".into(),
+            entries,
+        }
+    }
+
+    /// Generates (n, distinct lp values, duplicated index) for the
+    /// route-map property.
+    fn arb_lp_map(g: &mut Source) -> (Vec<u32>, usize) {
+        let n = g.gen_range(2usize..5);
+        let mut lps: Vec<u32> = Vec::new();
+        while lps.len() < n {
+            let v = g.gen_range(100u32..500);
+            if !lps.contains(&v) {
+                lps.push(v);
+            }
+        }
+        let dup = g.gen_range(0usize..n);
+        (lps, dup)
+    }
+
+    fn shadowed_seqs(report: &crate::LintReport) -> Vec<u32> {
+        report
+            .with_code(LintCode::ShadowedRule)
+            .map(|d| match d.rule.rule {
+                RuleKey::Seq(s) => s,
+                _ => panic!("diagnostic is not seq-keyed: {:?}", d.rule),
+            })
+            .collect()
+    }
+
+    property! {
+        /// On a generated prefix list with one deliberately seeded
+        /// shadowed entry, the linter flags exactly that entry — and the
+        /// flag set matches brute-force first-match evaluation over every
+        /// entry's own prefix.
+        fn seeded_shadowed_prefix_entry_is_the_only_one(list in arb_seeded_list) {
+            let seeded_seq = list.entries.last().unwrap().seq;
+            let mut cfg = Config::new();
+            cfg.prefix_lists.insert(list.name.clone(), list.clone());
+            let report = lint_config(&cfg, None).unwrap();
+
+            // Symbolic: exactly the seeded entry is shadowed.
+            prop_assert_eq!(shadowed_seqs(&report), vec![seeded_seq]);
+
+            // Brute force: an entry is shadowed iff it is never the first
+            // match on any probe; exact ranges make the entries' own
+            // prefixes a complete probe set.
+            let probes: Vec<Prefix> = list.entries.iter().map(|e| e.range.prefix).collect();
+            for (i, e) in list.entries.iter().enumerate() {
+                let fires_somewhere = probes.iter().any(|p| {
+                    list.entries.iter().position(|f| f.range.matches(p)) == Some(i)
+                });
+                prop_assert_eq!(fires_somewhere, i != list.entries.len() - 1,
+                    "entry {} (seq {})", i, e.seq);
+            }
+        }
+
+        /// Route-map version: stanzas matching distinct local-preference
+        /// values, with a duplicate appended; the linter flags exactly the
+        /// duplicate, cross-validated by evaluating every used lp value.
+        fn seeded_shadowed_stanza_matches_brute_force(parts in arb_lp_map) {
+            let (lps, dup) = parts;
+            let n = lps.len();
+            let mut text = String::new();
+            for (i, lp) in lps.iter().enumerate() {
+                text.push_str(&format!(
+                    "route-map GEN permit {}\n match local-preference {lp}\n set metric {}\n",
+                    (i + 1) * 10,
+                    i + 1,
+                ));
+            }
+            let seeded_seq = ((n + 1) * 10) as u32;
+            text.push_str(&format!(
+                "route-map GEN deny {seeded_seq}\n match local-preference {}\n",
+                lps[dup]
+            ));
+            let cfg = Config::parse(&text).unwrap();
+            let report = lint_config(&cfg, None).unwrap();
+            prop_assert_eq!(shadowed_seqs(&report), vec![seeded_seq]);
+
+            // Brute force on every used lp value: the duplicate stanza is
+            // never the decider.
+            for lp in &lps {
+                let route = BgpRoute::with_defaults(Prefix::from_u32(0x0a00_0000, 8)).lp(*lp);
+                let verdict = cfg.eval_route_map("GEN", &route).unwrap();
+                prop_assert!(verdict.seq().is_some());
+                prop_assert!(verdict.seq() != Some(seeded_seq));
+            }
+        }
+    }
+}

@@ -1,0 +1,45 @@
+//! Golden test: linting the paper's E1 running example (`ISP_OUT`).
+//!
+//! E1 is a *correct* policy, so the linter must report zero findings on it
+//! — this is the false-positive guard. Its two conflicting-overlap pairs
+//! (the §3 census structure: the lp-300 permit overlaps both deny filters)
+//! surface as notes only, and the full human-readable report is pinned
+//! against `testdata/e1_lint_report.txt`.
+
+use clarify_lint::{lint_config, LintCode};
+use clarify_netconfig::Config;
+
+const E1_CFG: &str = include_str!(concat!(
+    env!("CARGO_MANIFEST_DIR"),
+    "/../../testdata/isp_out.cfg"
+));
+const E1_REPORT: &str = include_str!(concat!(
+    env!("CARGO_MANIFEST_DIR"),
+    "/../../testdata/e1_lint_report.txt"
+));
+
+#[test]
+fn e1_is_clean_and_report_matches_golden() {
+    let (cfg, spans) = Config::parse_with_spans(E1_CFG).expect("E1 parses");
+    let report = lint_config(&cfg, Some(&spans)).expect("lint");
+
+    // False-positive guard: a correct real-world policy yields no findings.
+    assert!(
+        report.is_clean(),
+        "E1 must have zero findings, got: {:?}",
+        report.findings().collect::<Vec<_>>()
+    );
+    assert_eq!(report.finding_count(), 0);
+
+    // The §3 structure is still surfaced: exactly the two conflicting
+    // overlaps of the lp-300 permit with the two deny filters, as notes.
+    let conflicts: Vec<_> = report.with_code(LintCode::ConflictingOverlap).collect();
+    assert_eq!(conflicts.len(), 2, "conflicts: {conflicts:?}");
+    for d in &conflicts {
+        assert_eq!(d.rule.to_string(), "route-map ISP_OUT stanza 30");
+        assert!(d.witness.is_some(), "conflict notes carry a witness");
+    }
+
+    // Pin the exact rendering (same origin string the CLI would use).
+    assert_eq!(report.render_human("testdata/isp_out.cfg"), E1_REPORT);
+}

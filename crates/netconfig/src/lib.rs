@@ -34,6 +34,7 @@ mod eval;
 mod insert;
 mod parser;
 mod print;
+mod span;
 
 pub use ast::{
     Acl, AclEntry, Action, AddrMatch, AsPathList, AsPathListEntry, CommunityList,
@@ -45,6 +46,7 @@ pub use eval::{AclVerdict, RouteMapVerdict};
 pub use insert::{
     insert_acl_entry, insert_prefix_list_entry, insert_route_map_stanza, InsertReport,
 };
+pub use span::{ObjectKind, RuleId, RuleKey, SourceMap};
 
 #[cfg(test)]
 mod tests;

@@ -11,6 +11,7 @@ use crate::ast::{
     RouteMapStanza,
 };
 use crate::error::ConfigError;
+use crate::span::{ObjectKind, RuleId, SourceMap};
 
 impl Config {
     /// Parses a configuration from IOS-style text.
@@ -22,205 +23,243 @@ impl Config {
     /// and blank lines are ignored. Indentation is not significant; a
     /// continuation block ends at the next top-level statement.
     pub fn parse(text: &str) -> Result<Config, ConfigError> {
-        let mut cfg = Config::new();
-        // (route-map name, stanza) currently being filled, if any.
-        let mut open_stanza: Option<(String, RouteMapStanza)> = None;
-        // ACL currently being filled, if any.
-        let mut open_acl: Option<String> = None;
+        let mut spans = SourceMap::new();
+        parse_impl(text, &mut spans)
+    }
 
-        let close_stanza = |cfg: &mut Config,
-                            open: &mut Option<(String, RouteMapStanza)>|
-         -> Result<(), ConfigError> {
-            if let Some((name, stanza)) = open.take() {
-                let rm = cfg
-                    .route_maps
-                    .entry(name.clone())
-                    .or_insert_with(|| RouteMap::empty(name));
-                if rm.stanzas.iter().any(|s| s.seq == stanza.seq) {
-                    return Err(ConfigError::DuplicateName {
-                        kind: "route-map stanza",
-                        name: format!("{} {}", rm.name, stanza.seq),
-                    });
-                }
-                rm.stanzas.push(stanza);
-                rm.stanzas.sort_by_key(|s| s.seq);
+    /// Like [`Config::parse`], but also returns a [`SourceMap`] recording
+    /// the one-based source line of every rule, for diagnostics that want
+    /// to point back into the original text.
+    pub fn parse_with_spans(text: &str) -> Result<(Config, SourceMap), ConfigError> {
+        let mut spans = SourceMap::new();
+        let cfg = parse_impl(text, &mut spans)?;
+        Ok((cfg, spans))
+    }
+}
+
+fn parse_impl(text: &str, spans: &mut SourceMap) -> Result<Config, ConfigError> {
+    let mut cfg = Config::new();
+    // (route-map name, stanza, header line) currently being filled.
+    let mut open_stanza: Option<(String, RouteMapStanza, u32)> = None;
+    // ACL currently being filled, if any.
+    let mut open_acl: Option<String> = None;
+
+    let close_stanza = |cfg: &mut Config,
+                        open: &mut Option<(String, RouteMapStanza, u32)>,
+                        spans: &mut SourceMap|
+     -> Result<(), ConfigError> {
+        if let Some((name, stanza, header_line)) = open.take() {
+            let rm = cfg
+                .route_maps
+                .entry(name.clone())
+                .or_insert_with(|| RouteMap::empty(name.clone()));
+            if rm.stanzas.iter().any(|s| s.seq == stanza.seq) {
+                return Err(ConfigError::DuplicateName {
+                    kind: "route-map stanza",
+                    name: format!("{} {}", rm.name, stanza.seq),
+                });
             }
-            Ok(())
-        };
+            spans.record(RuleId::object(ObjectKind::RouteMap, &name), header_line);
+            spans.record(RuleId::route_map_stanza(&name, stanza.seq), header_line);
+            rm.stanzas.push(stanza);
+            rm.stanzas.sort_by_key(|s| s.seq);
+        }
+        Ok(())
+    };
 
-        for (lineno, raw) in text.lines().enumerate() {
-            let line = lineno + 1;
-            let words: Vec<&str> = raw.split_whitespace().collect();
-            if words.is_empty() || words[0].starts_with('!') {
-                continue;
+    for (lineno, raw) in text.lines().enumerate() {
+        let line = lineno + 1;
+        let words: Vec<&str> = raw.split_whitespace().collect();
+        if words.is_empty() || words[0].starts_with('!') {
+            continue;
+        }
+        let err = |message: String| ConfigError::Syntax { line, message };
+
+        match words.as_slice() {
+            // ---- route-map header --------------------------------
+            // The sequence number may be omitted; IOS then assigns
+            // 10, 20, 30, … after the map's current highest.
+            ["route-map", name, action] | ["route-map", name, action, _] => {
+                close_stanza(&mut cfg, &mut open_stanza, spans)?;
+                open_acl = None;
+                let action = parse_action(action).map_err(&err)?;
+                let seq: u32 = match words.get(3) {
+                    Some(seq) => seq
+                        .parse()
+                        .map_err(|_| err(format!("bad sequence number '{seq}'")))?,
+                    None => cfg
+                        .route_maps
+                        .get(*name)
+                        .and_then(|rm| rm.stanzas.last().map(|s| s.seq + 10))
+                        .unwrap_or(10),
+                };
+                open_stanza = Some((
+                    name.to_string(),
+                    RouteMapStanza {
+                        seq,
+                        action,
+                        matches: Vec::new(),
+                        sets: Vec::new(),
+                    },
+                    line as u32,
+                ));
             }
-            let err = |message: String| ConfigError::Syntax { line, message };
-
-            match words.as_slice() {
-                // ---- route-map header --------------------------------
-                // The sequence number may be omitted; IOS then assigns
-                // 10, 20, 30, … after the map's current highest.
-                ["route-map", name, action] | ["route-map", name, action, _] => {
-                    close_stanza(&mut cfg, &mut open_stanza)?;
-                    open_acl = None;
-                    let action = parse_action(action).map_err(&err)?;
-                    let seq: u32 = match words.get(3) {
-                        Some(seq) => seq
-                            .parse()
-                            .map_err(|_| err(format!("bad sequence number '{seq}'")))?,
-                        None => cfg
-                            .route_maps
-                            .get(*name)
-                            .and_then(|rm| rm.stanzas.last().map(|s| s.seq + 10))
-                            .unwrap_or(10),
-                    };
-                    open_stanza = Some((
-                        name.to_string(),
-                        RouteMapStanza {
-                            seq,
-                            action,
-                            matches: Vec::new(),
-                            sets: Vec::new(),
-                        },
-                    ));
-                }
-                // ---- match / set continuation lines ------------------
-                ["match", rest @ ..] => {
-                    let (_, stanza) = open_stanza
-                        .as_mut()
-                        .ok_or_else(|| err("'match' outside a route-map stanza".into()))?;
-                    stanza.matches.push(parse_match(rest).map_err(&err)?);
-                }
-                ["set", rest @ ..] => {
-                    let (_, stanza) = open_stanza
-                        .as_mut()
-                        .ok_or_else(|| err("'set' outside a route-map stanza".into()))?;
-                    stanza.sets.push(parse_set(rest).map_err(&err)?);
-                }
-                // ---- prefix list -------------------------------------
-                ["ip", "prefix-list", name, rest @ ..] => {
-                    close_stanza(&mut cfg, &mut open_stanza)?;
-                    open_acl = None;
-                    let entry = parse_prefix_list_entry(rest, &cfg, name).map_err(&err)?;
-                    let pl =
-                        cfg.prefix_lists
-                            .entry(name.to_string())
-                            .or_insert_with(|| PrefixList {
-                                name: name.to_string(),
-                                entries: Vec::new(),
-                            });
-                    if pl.entries.iter().any(|e| e.seq == entry.seq) {
-                        return Err(ConfigError::DuplicateName {
-                            kind: "prefix-list entry",
-                            name: format!("{name} seq {}", entry.seq),
-                        });
-                    }
-                    pl.entries.push(entry);
-                    pl.entries.sort_by_key(|e| e.seq);
-                }
-                // ---- as-path list ------------------------------------
-                ["ip", "as-path", "access-list", name, action, regex @ ..] => {
-                    close_stanza(&mut cfg, &mut open_stanza)?;
-                    open_acl = None;
-                    let action = parse_action(action).map_err(&err)?;
-                    let pattern = regex.join(" ");
-                    if pattern.is_empty() {
-                        return Err(err("as-path access-list missing regex".into()));
-                    }
-                    let regex = Regex::parse(&pattern)
-                        .map_err(|e| err(format!("bad as-path regex: {e}")))?;
-                    cfg.as_path_lists
-                        .entry(name.to_string())
-                        .or_insert_with(|| AsPathList {
-                            name: name.to_string(),
-                            entries: Vec::new(),
-                        })
-                        .entries
-                        .push(AsPathListEntry { action, regex });
-                }
-                // ---- standard community list --------------------------
-                // Desugared to the equivalent expanded entry `_N:M_`.
-                // Conjunctive entries (several communities on one line)
-                // are not supported; write one entry per community or use
-                // several match clauses.
-                ["ip", "community-list", "standard", name, action, comms @ ..] => {
-                    close_stanza(&mut cfg, &mut open_stanza)?;
-                    open_acl = None;
-                    let action = parse_action(action).map_err(&err)?;
-                    if comms.len() != 1 {
-                        return Err(err(
-                            "standard community-list entries must name exactly one community \
-                             (conjunctive entries are unsupported; use separate match clauses)"
-                                .into(),
-                        ));
-                    }
-                    let community: Community =
-                        comms[0]
-                            .parse()
-                            .map_err(|e: clarify_nettypes::ParseError| {
-                                err(format!("bad community: {}", e.message))
-                            })?;
-                    let regex = Regex::parse(&format!("_{community}_"))
-                        .expect("community pattern is valid");
-                    cfg.community_lists
-                        .entry(name.to_string())
-                        .or_insert_with(|| CommunityList {
-                            name: name.to_string(),
-                            entries: Vec::new(),
-                        })
-                        .entries
-                        .push(CommunityListEntry { action, regex });
-                }
-                // ---- community list ----------------------------------
-                ["ip", "community-list", "expanded", name, action, regex @ ..] => {
-                    close_stanza(&mut cfg, &mut open_stanza)?;
-                    open_acl = None;
-                    let action = parse_action(action).map_err(&err)?;
-                    let pattern = regex.join(" ");
-                    if pattern.is_empty() {
-                        return Err(err("community-list missing regex".into()));
-                    }
-                    let regex = Regex::parse(&pattern)
-                        .map_err(|e| err(format!("bad community regex: {e}")))?;
-                    cfg.community_lists
-                        .entry(name.to_string())
-                        .or_insert_with(|| CommunityList {
-                            name: name.to_string(),
-                            entries: Vec::new(),
-                        })
-                        .entries
-                        .push(CommunityListEntry { action, regex });
-                }
-                // ---- extended ACL header -----------------------------
-                ["ip", "access-list", "extended", name] => {
-                    close_stanza(&mut cfg, &mut open_stanza)?;
-                    cfg.acls.entry(name.to_string()).or_insert_with(|| Acl {
+            // ---- match / set continuation lines ------------------
+            ["match", rest @ ..] => {
+                let (_, stanza, _) = open_stanza
+                    .as_mut()
+                    .ok_or_else(|| err("'match' outside a route-map stanza".into()))?;
+                stanza.matches.push(parse_match(rest).map_err(&err)?);
+            }
+            ["set", rest @ ..] => {
+                let (_, stanza, _) = open_stanza
+                    .as_mut()
+                    .ok_or_else(|| err("'set' outside a route-map stanza".into()))?;
+                stanza.sets.push(parse_set(rest).map_err(&err)?);
+            }
+            // ---- prefix list -------------------------------------
+            ["ip", "prefix-list", name, rest @ ..] => {
+                close_stanza(&mut cfg, &mut open_stanza, spans)?;
+                open_acl = None;
+                let entry = parse_prefix_list_entry(rest, &cfg, name).map_err(&err)?;
+                let pl = cfg
+                    .prefix_lists
+                    .entry(name.to_string())
+                    .or_insert_with(|| PrefixList {
                         name: name.to_string(),
                         entries: Vec::new(),
                     });
-                    open_acl = Some(name.to_string());
+                if pl.entries.iter().any(|e| e.seq == entry.seq) {
+                    return Err(ConfigError::DuplicateName {
+                        kind: "prefix-list entry",
+                        name: format!("{name} seq {}", entry.seq),
+                    });
                 }
-                // ---- ACL entries (inside an open ACL) ----------------
-                [action @ ("permit" | "deny"), rest @ ..] => {
-                    let acl_name = open_acl
-                        .clone()
-                        .ok_or_else(|| err("permit/deny outside an access-list".into()))?;
-                    let action = parse_action(action).map_err(&err)?;
-                    let entry = parse_acl_entry(action, rest).map_err(&err)?;
-                    cfg.acls
-                        .get_mut(&acl_name)
-                        .expect("open ACL exists")
-                        .entries
-                        .push(entry);
+                spans.record(RuleId::object(ObjectKind::PrefixList, *name), line as u32);
+                spans.record(RuleId::prefix_entry(*name, entry.seq), line as u32);
+                pl.entries.push(entry);
+                pl.entries.sort_by_key(|e| e.seq);
+            }
+            // ---- as-path list ------------------------------------
+            ["ip", "as-path", "access-list", name, action, regex @ ..] => {
+                close_stanza(&mut cfg, &mut open_stanza, spans)?;
+                open_acl = None;
+                let action = parse_action(action).map_err(&err)?;
+                let pattern = regex.join(" ");
+                if pattern.is_empty() {
+                    return Err(err("as-path access-list missing regex".into()));
                 }
-                _ => {
-                    return Err(err(format!("unrecognised statement '{}'", words.join(" "))));
+                let regex =
+                    Regex::parse(&pattern).map_err(|e| err(format!("bad as-path regex: {e}")))?;
+                let entries = &mut cfg
+                    .as_path_lists
+                    .entry(name.to_string())
+                    .or_insert_with(|| AsPathList {
+                        name: name.to_string(),
+                        entries: Vec::new(),
+                    })
+                    .entries;
+                spans.record(RuleId::object(ObjectKind::AsPathList, *name), line as u32);
+                spans.record(RuleId::as_path_entry(*name, entries.len()), line as u32);
+                entries.push(AsPathListEntry { action, regex });
+            }
+            // ---- standard community list --------------------------
+            // Desugared to the equivalent expanded entry `_N:M_`.
+            // Conjunctive entries (several communities on one line)
+            // are not supported; write one entry per community or use
+            // several match clauses.
+            ["ip", "community-list", "standard", name, action, comms @ ..] => {
+                close_stanza(&mut cfg, &mut open_stanza, spans)?;
+                open_acl = None;
+                let action = parse_action(action).map_err(&err)?;
+                if comms.len() != 1 {
+                    return Err(err(
+                        "standard community-list entries must name exactly one community \
+                         (conjunctive entries are unsupported; use separate match clauses)"
+                            .into(),
+                    ));
                 }
+                let community: Community =
+                    comms[0]
+                        .parse()
+                        .map_err(|e: clarify_nettypes::ParseError| {
+                            err(format!("bad community: {}", e.message))
+                        })?;
+                let regex =
+                    Regex::parse(&format!("_{community}_")).expect("community pattern is valid");
+                let entries = &mut cfg
+                    .community_lists
+                    .entry(name.to_string())
+                    .or_insert_with(|| CommunityList {
+                        name: name.to_string(),
+                        entries: Vec::new(),
+                    })
+                    .entries;
+                spans.record(
+                    RuleId::object(ObjectKind::CommunityList, *name),
+                    line as u32,
+                );
+                spans.record(RuleId::community_entry(*name, entries.len()), line as u32);
+                entries.push(CommunityListEntry { action, regex });
+            }
+            // ---- community list ----------------------------------
+            ["ip", "community-list", "expanded", name, action, regex @ ..] => {
+                close_stanza(&mut cfg, &mut open_stanza, spans)?;
+                open_acl = None;
+                let action = parse_action(action).map_err(&err)?;
+                let pattern = regex.join(" ");
+                if pattern.is_empty() {
+                    return Err(err("community-list missing regex".into()));
+                }
+                let regex =
+                    Regex::parse(&pattern).map_err(|e| err(format!("bad community regex: {e}")))?;
+                let entries = &mut cfg
+                    .community_lists
+                    .entry(name.to_string())
+                    .or_insert_with(|| CommunityList {
+                        name: name.to_string(),
+                        entries: Vec::new(),
+                    })
+                    .entries;
+                spans.record(
+                    RuleId::object(ObjectKind::CommunityList, *name),
+                    line as u32,
+                );
+                spans.record(RuleId::community_entry(*name, entries.len()), line as u32);
+                entries.push(CommunityListEntry { action, regex });
+            }
+            // ---- extended ACL header -----------------------------
+            ["ip", "access-list", "extended", name] => {
+                close_stanza(&mut cfg, &mut open_stanza, spans)?;
+                cfg.acls.entry(name.to_string()).or_insert_with(|| Acl {
+                    name: name.to_string(),
+                    entries: Vec::new(),
+                });
+                spans.record(RuleId::object(ObjectKind::Acl, *name), line as u32);
+                open_acl = Some(name.to_string());
+            }
+            // ---- ACL entries (inside an open ACL) ----------------
+            [action @ ("permit" | "deny"), rest @ ..] => {
+                let acl_name = open_acl
+                    .clone()
+                    .ok_or_else(|| err("permit/deny outside an access-list".into()))?;
+                let action = parse_action(action).map_err(&err)?;
+                let entry = parse_acl_entry(action, rest).map_err(&err)?;
+                let entries = &mut cfg
+                    .acls
+                    .get_mut(&acl_name)
+                    .expect("open ACL exists")
+                    .entries;
+                spans.record(RuleId::acl_entry(&acl_name, entries.len()), line as u32);
+                entries.push(entry);
+            }
+            _ => {
+                return Err(err(format!("unrecognised statement '{}'", words.join(" "))));
             }
         }
-        close_stanza(&mut cfg, &mut open_stanza)?;
-        Ok(cfg)
     }
+    close_stanza(&mut cfg, &mut open_stanza, spans)?;
+    Ok(cfg)
 }
 
 fn parse_action(word: &str) -> Result<Action, String> {

@@ -709,3 +709,60 @@ fn config_merge_detects_clashes() {
         Err(ConfigError::DuplicateName { .. })
     ));
 }
+
+#[test]
+fn parse_with_spans_records_rule_lines() {
+    use crate::{ObjectKind, RuleId};
+    let (cfg, spans) = Config::parse_with_spans(ISP_OUT).unwrap();
+    assert_eq!(cfg, Config::parse(ISP_OUT).unwrap());
+    // ISP_OUT layout: as-path line 1, prefix-list seqs 10/20/30 on lines
+    // 2-4, route-map stanza headers on lines 5, 7, 9.
+    assert_eq!(spans.line(&RuleId::as_path_entry("D0", 0)), Some(1));
+    assert_eq!(spans.line(&RuleId::prefix_entry("D1", 10)), Some(2));
+    assert_eq!(spans.line(&RuleId::prefix_entry("D1", 30)), Some(4));
+    assert_eq!(
+        spans.line(&RuleId::route_map_stanza("ISP_OUT", 10)),
+        Some(5)
+    );
+    assert_eq!(
+        spans.line(&RuleId::route_map_stanza("ISP_OUT", 30)),
+        Some(9)
+    );
+    // Object headers point at their first occurrence.
+    assert_eq!(
+        spans.line(&RuleId::object(ObjectKind::RouteMap, "ISP_OUT")),
+        Some(5)
+    );
+    assert_eq!(
+        spans.line(&RuleId::object(ObjectKind::PrefixList, "D1")),
+        Some(2)
+    );
+    // Unknown rules have no span.
+    assert_eq!(spans.line(&RuleId::route_map_stanza("ISP_OUT", 99)), None);
+    assert!(!spans.is_empty());
+}
+
+#[test]
+fn acl_spans_and_rule_id_display() {
+    use crate::RuleId;
+    let text = "\
+ip access-list extended EDGE_IN
+ permit tcp any host 10.0.0.1 eq 443
+ deny ip any any
+";
+    let (_, spans) = Config::parse_with_spans(text).unwrap();
+    assert_eq!(spans.line(&RuleId::acl_entry("EDGE_IN", 0)), Some(2));
+    assert_eq!(spans.line(&RuleId::acl_entry("EDGE_IN", 1)), Some(3));
+    assert_eq!(
+        RuleId::acl_entry("EDGE_IN", 1).to_string(),
+        "access-list EDGE_IN rule 1"
+    );
+    assert_eq!(
+        RuleId::route_map_stanza("ISP_OUT", 20).to_string(),
+        "route-map ISP_OUT stanza 20"
+    );
+    assert_eq!(
+        RuleId::prefix_entry("D1", 10).to_string(),
+        "prefix-list D1 seq 10"
+    );
+}

@@ -15,6 +15,8 @@
 //! * [`analysis`] — the Batfish-substitute analyses: `searchFilters`,
 //!   `searchRoutePolicies`, `compareRoutePolicies`, and the §3 overlap
 //!   census;
+//! * [`lint`] — the symbolic config linter (shadowed/redundant/conflicting
+//!   rules) and the disambiguator's candidate-pruning pass;
 //! * [`llm`] — the simulated LLM pipeline with fault injection;
 //! * [`core`] — the disambiguator, user oracles, the §4 formal model, and
 //!   the end-to-end session;
@@ -65,6 +67,7 @@ pub use clarify_analysis as analysis;
 pub use clarify_automata as automata;
 pub use clarify_bdd as bdd;
 pub use clarify_core as core;
+pub use clarify_lint as lint;
 pub use clarify_llm as llm;
 pub use clarify_netconfig as netconfig;
 pub use clarify_netsim as netsim;

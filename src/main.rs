@@ -15,7 +15,13 @@
 //! clarify compare <file-a> <file-b> <route-map> [limit]
 //!     Print concrete routes on which the two versions of the route-map
 //!     behave differently (differential verification).
+//!
+//! clarify lint [--json] <config-file>...
+//!     Symbolic lint: shadowed, redundant, empty, and conflicting rules,
+//!     plus dangling/unused references, with concrete witnesses.
 //! ```
+
+#![warn(missing_docs)]
 
 use std::io::Write as _;
 use std::process::ExitCode;
@@ -38,6 +44,7 @@ fn main() -> ExitCode {
         Some("ask-acl") => ask(&args[1..], true),
         Some("compare") => compare(&args[1..]),
         Some("chain") => chain(&args[1..]),
+        Some("lint") => return lint(&args[1..]),
         Some("--help") | Some("-h") | None => {
             eprint!("{}", USAGE);
             return ExitCode::SUCCESS;
@@ -60,6 +67,7 @@ usage:
   clarify ask-acl <config-file> <acl> <english intent...>
   clarify compare <file-a> <file-b> <route-map> [limit]
   clarify chain <config-file> <route-map> <route-map>...
+  clarify lint [--json] <config-file>...
 ";
 
 fn load(path: &str) -> Result<Config, String> {
@@ -324,4 +332,61 @@ fn chain(args: &[String]) -> Result<(), String> {
         );
     }
     Ok(())
+}
+
+/// The symbolic linter, sharing exit-status conventions with the
+/// standalone `lint` binary: 0 clean, 1 findings, 2 usage/parse errors.
+fn lint(args: &[String]) -> ExitCode {
+    let mut json = false;
+    let mut paths: Vec<&str> = Vec::new();
+    for a in args {
+        match a.as_str() {
+            "--json" => json = true,
+            flag if flag.starts_with('-') => {
+                eprintln!("error: unknown lint option '{flag}'\n\n{USAGE}");
+                return ExitCode::from(2);
+            }
+            path => paths.push(path),
+        }
+    }
+    if paths.is_empty() {
+        eprintln!("error: lint takes at least one config file\n\n{USAGE}");
+        return ExitCode::from(2);
+    }
+    let mut dirty = false;
+    for path in paths {
+        let text = match std::fs::read_to_string(path) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("error: cannot read {path}: {e}");
+                return ExitCode::from(2);
+            }
+        };
+        let parsed = Config::parse_with_spans(&text);
+        let (cfg, spans) = match parsed {
+            Ok(p) => p,
+            Err(e) => {
+                eprintln!("error: {path}: {e}");
+                return ExitCode::from(2);
+            }
+        };
+        let report = match clarify::lint::lint_config(&cfg, Some(&spans)) {
+            Ok(r) => r,
+            Err(e) => {
+                eprintln!("error: {path}: {e}");
+                return ExitCode::from(2);
+            }
+        };
+        if json {
+            print!("{}", report.render_json(path));
+        } else {
+            print!("{}", report.render_human(path));
+        }
+        dirty |= !report.is_clean();
+    }
+    if dirty {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
 }
