@@ -54,6 +54,10 @@ pub struct Stats {
     pub cache_hits: u64,
     /// Misses in the `ite` memo cache since creation.
     pub cache_misses: u64,
+    /// Current entries in the `ite` memo cache (drops to zero after
+    /// [`Manager::clear_op_caches`]; `exists`/`restrict` memos are
+    /// per-call and never persist, so they are not counted here).
+    pub ite_cache_entries: usize,
 }
 
 /// An arena of hash-consed BDD nodes plus the operation caches.
@@ -104,7 +108,22 @@ impl Manager {
             nodes: self.nodes.len() - 2,
             cache_hits: self.cache_hits,
             cache_misses: self.cache_misses,
+            ite_cache_entries: self.ite_cache.len(),
         }
+    }
+
+    /// Drops the operation memo caches while preserving the unique table,
+    /// so every outstanding [`Ref`] stays valid and hash-consing (and
+    /// therefore canonicity) is unaffected.
+    ///
+    /// The `ite` cache memoizes *history*: entries for intermediate
+    /// functions from finished queries are never hit again but are kept
+    /// alive forever, so a long session's cache grows without bound.
+    /// Long-running callers (the disambiguators between rounds, the
+    /// linter between objects) call this at phase boundaries to bound
+    /// that growth. The hit/miss counters are cumulative and survive.
+    pub fn clear_op_caches(&mut self) {
+        self.ite_cache = HashMap::new();
     }
 
     fn node(&self, r: Ref) -> Node {

@@ -292,6 +292,38 @@ fn stats_track_nodes() {
 }
 
 #[test]
+fn clear_op_caches_preserves_unique_table() {
+    let mut m = Manager::new(8);
+    let lits: Vec<_> = (0..8).map(|v| m.var(v)).collect();
+    let mut f = Ref::TRUE;
+    for chunk in lits.chunks(2) {
+        let pair = m.or(chunk[0], chunk[1]);
+        f = m.and(f, pair);
+    }
+    let before = m.stats();
+    assert!(before.ite_cache_entries > 0, "ite work must populate cache");
+
+    m.clear_op_caches();
+    let after = m.stats();
+    assert_eq!(after.ite_cache_entries, 0);
+    // Unique table untouched: no node vanished, refs stay valid.
+    assert_eq!(after.nodes, before.nodes);
+    // Counters are cumulative, not reset.
+    assert_eq!(after.cache_hits, before.cache_hits);
+    assert_eq!(after.cache_misses, before.cache_misses);
+
+    // Rebuilding the same function yields the same canonical Ref —
+    // hash-consing still works and the old Ref is still meaningful.
+    let mut g = Ref::TRUE;
+    for chunk in lits.chunks(2) {
+        let pair = m.or(chunk[0], chunk[1]);
+        g = m.and(g, pair);
+    }
+    assert_eq!(f, g);
+    assert!(m.eval(f, &|_| true));
+}
+
+#[test]
 fn and_all_or_all() {
     let mut m = Manager::new(4);
     let lits: Vec<_> = (0..4).map(|v| m.var(v)).collect();

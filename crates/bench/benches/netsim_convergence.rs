@@ -20,7 +20,8 @@ fn line(n: usize) -> Network {
     for i in 1..n {
         let a = format!("R{}", i - 1);
         let bn = format!("R{i}");
-        b.session_pair(&a, &bn, Some("PASS"), None, Some("PASS"), None);
+        b.session_pair(&a, &bn, Some("PASS"), None, Some("PASS"), None)
+            .expect("declared");
     }
     b.build().expect("builds")
 }
@@ -32,7 +33,8 @@ fn ring(n: usize) -> Network {
         b.router(&format!("R{i}"), 65000 + i as u32).originate(p);
     }
     for i in 0..n {
-        b.link(&format!("R{i}"), &format!("R{}", (i + 1) % n));
+        b.link(&format!("R{i}"), &format!("R{}", (i + 1) % n))
+            .expect("declared");
     }
     b.build().expect("builds")
 }

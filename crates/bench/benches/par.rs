@@ -1,0 +1,72 @@
+//! Scaling of the `clarify-par` worker pool on a real symbolic workload —
+//! the ACL overlap sweep that E3/E4 run per generated ACL — plus the raw
+//! pool overhead on a trivial body.
+//!
+//! The thread count is passed explicitly (`par_map_init_with_threads`) so
+//! the 1-thread row is the inline serial path and the other rows measure
+//! the same workload through the pool. On a single-core host the sweep
+//! rows will be ~flat (there is no parallel speedup to be had); the
+//! interesting number there is how little the pool costs.
+
+use clarify_rng::StdRng;
+use clarify_testkit::bench::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use clarify_analysis::acl_overlaps;
+use clarify_netconfig::Acl;
+use clarify_par::par_map_init_with_threads;
+use clarify_workload::cross_acl;
+
+fn bench_acl_sweep(c: &mut Criterion) {
+    // A small population of moderately overlapping ACLs: big enough that
+    // per-item work dwarfs chunk bookkeeping, small enough to iterate.
+    let acls: Vec<Acl> = (0..16u64)
+        .map(|i| cross_acl(&mut StdRng::seed_from_u64(100 + i), &format!("A{i}"), 6, 4))
+        .collect();
+    let mut g = c.benchmark_group("par/acl_sweep_16");
+    g.sample_size(10);
+    for threads in [1usize, 2, 4] {
+        g.bench_with_input(
+            BenchmarkId::new("threads", threads),
+            &threads,
+            |b, &threads| {
+                b.iter(|| {
+                    black_box(par_map_init_with_threads(
+                        threads,
+                        &acls,
+                        || (),
+                        |_, _, acl| acl_overlaps(acl),
+                    ))
+                });
+            },
+        );
+    }
+    g.finish();
+}
+
+fn bench_pool_overhead(c: &mut Criterion) {
+    // Near-zero-cost body: the measurement is pool setup + chunk claiming
+    // + index-ordered collection for 1024 items.
+    let items: Vec<u64> = (0..1024).collect();
+    let mut g = c.benchmark_group("par/overhead_1024_items");
+    for threads in [1usize, 4] {
+        g.bench_with_input(
+            BenchmarkId::new("threads", threads),
+            &threads,
+            |b, &threads| {
+                b.iter(|| {
+                    black_box(par_map_init_with_threads(
+                        threads,
+                        &items,
+                        || (),
+                        |_, _, &x| x.wrapping_mul(0x9e37_79b9_7f4a_7c15),
+                    ))
+                });
+            },
+        );
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_acl_sweep, bench_pool_overhead);
+criterion_main!(benches);

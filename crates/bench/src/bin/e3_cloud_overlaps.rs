@@ -1,20 +1,21 @@
 //! E3 — the §3.1 cloud-WAN overlap census. Regenerates the numbers the
 //! paper reports for the cloud provider's WAN configurations.
+//!
+//! Usage: `e3_cloud_overlaps [seed] [--threads N]` (seed defaults to 42;
+//! threads default to `CLARIFY_THREADS` / `available_parallelism`).
 
 #![warn(missing_docs)]
 
-use clarify_analysis::{acl_overlaps, route_map_overlaps, RouteSpace};
+use clarify_bench::census::{acl_sweep, route_map_sweep, sweep_args};
 use clarify_workload::{cloud, AclCensus, RouteMapCensus};
 
 fn main() {
-    let seed = std::env::args()
-        .nth(1)
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(42u64);
+    let (seed, threads) = sweep_args();
     println!("=== E3: cloud WAN overlap census (seed {seed}) ===\n");
     let w = cloud(seed);
 
-    let reports: Vec<_> = w.acls.iter().map(acl_overlaps).collect();
+    let sweep_start = std::time::Instant::now();
+    let reports = acl_sweep(&w.acls);
     let acl = AclCensus::of(&reports);
     println!("--- ACLs ---");
     println!(
@@ -35,10 +36,7 @@ fn main() {
     );
 
     let mut rms = RouteMapCensus::default();
-    for (cfg, name) in &w.route_maps {
-        let rm = cfg.route_map(name).expect("generated map exists").clone();
-        let mut space = RouteSpace::new(&[cfg]).expect("space");
-        let r = route_map_overlaps(&mut space, cfg, &rm).expect("overlap analysis");
+    for r in route_map_sweep(&w.route_maps).expect("overlap analysis") {
         rms.add(&r);
     }
     println!("\n--- route-maps ---");
@@ -53,5 +51,9 @@ fn main() {
     println!(
         "with more than 20 overlaps:      {:>5}   (paper: 3)",
         rms.overlap_gt20
+    );
+    eprintln!(
+        "\nsweep wall-clock: {:.1} ms ({threads} threads)",
+        sweep_start.elapsed().as_secs_f64() * 1e3
     );
 }

@@ -1,19 +1,20 @@
 //! E4 — the §3.2 campus-network overlap census.
+//!
+//! Usage: `e4_campus_overlaps [seed] [--threads N]` (seed defaults to 42;
+//! threads default to `CLARIFY_THREADS` / `available_parallelism`).
 
 #![warn(missing_docs)]
 
-use clarify_analysis::{acl_overlaps, route_map_overlaps, RouteSpace};
+use clarify_bench::census::{acl_sweep, route_map_sweep, sweep_args};
 use clarify_workload::{campus, AclCensus, RouteMapCensus};
 
 fn main() {
-    let seed = std::env::args()
-        .nth(1)
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(42u64);
+    let (seed, threads) = sweep_args();
     println!("=== E4: campus network overlap census (seed {seed}) ===\n");
     let w = campus(seed);
 
-    let reports: Vec<_> = w.acls.iter().map(acl_overlaps).collect();
+    let sweep_start = std::time::Instant::now();
+    let reports = acl_sweep(&w.acls);
     let c = AclCensus::of(&reports);
     println!("--- ACLs ---");
     println!(
@@ -39,10 +40,8 @@ fn main() {
 
     let mut rms = RouteMapCensus::default();
     let mut overlapping_details = Vec::new();
-    for (cfg, name) in &w.route_maps {
-        let rm = cfg.route_map(name).expect("generated map exists").clone();
-        let mut space = RouteSpace::new(&[cfg]).expect("space");
-        let r = route_map_overlaps(&mut space, cfg, &rm).expect("overlap analysis");
+    let reports = route_map_sweep(&w.route_maps).expect("overlap analysis");
+    for ((_, name), r) in w.route_maps.iter().zip(&reports) {
         if r.count() > 0 {
             overlapping_details.push((
                 name.clone(),
@@ -50,7 +49,7 @@ fn main() {
                 r.pairs.iter().filter(|p| p.conflicting).count(),
             ));
         }
-        rms.add(&r);
+        rms.add(r);
     }
     println!("\n--- route-maps ---");
     println!("analyzed:                 {:>4}   (paper: 169)", rms.total);
@@ -64,4 +63,8 @@ fn main() {
              (paper: one route-map with 3 pairs, 2 conflicting)"
         );
     }
+    eprintln!(
+        "\nsweep wall-clock: {:.1} ms ({threads} threads)",
+        sweep_start.elapsed().as_secs_f64() * 1e3
+    );
 }

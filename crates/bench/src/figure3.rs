@@ -321,8 +321,8 @@ pub fn build_network(
         .originate(pfx("10.200.0.0/16"))
         .originate(pfx("192.168.0.0/16"));
 
-    b.session_pair("R1", "ISP1", Some("ISP_IN"), Some("ISP_OUT"), None, None);
-    b.session_pair("R2", "ISP2", Some("ISP_IN"), Some("ISP_OUT"), None, None);
+    b.session_pair("R1", "ISP1", Some("ISP_IN"), Some("ISP_OUT"), None, None)?;
+    b.session_pair("R2", "ISP2", Some("ISP_IN"), Some("ISP_OUT"), None, None)?;
     b.session_pair(
         "M",
         "R1",
@@ -330,7 +330,7 @@ pub fn build_network(
         Some("TO_DC"),
         Some("FROM_M"),
         Some("TO_M"),
-    );
+    )?;
     b.session_pair(
         "M",
         "R2",
@@ -338,12 +338,12 @@ pub fn build_network(
         Some("TO_DC"),
         Some("FROM_M"),
         Some("TO_M"),
-    );
-    b.session_pair("M", "MGMT", Some("FROM_MGMT"), None, None, None);
-    b.session_pair("R1", "DC1", Some("FROM_DC"), None, None, None);
-    b.session_pair("R1", "DC2", Some("FROM_DC"), None, None, None);
-    b.session_pair("R2", "DC1", Some("FROM_DC"), None, None, None);
-    b.session_pair("R2", "DC2", Some("FROM_DC"), None, None, None);
+    )?;
+    b.session_pair("M", "MGMT", Some("FROM_MGMT"), None, None, None)?;
+    b.session_pair("R1", "DC1", Some("FROM_DC"), None, None, None)?;
+    b.session_pair("R1", "DC2", Some("FROM_DC"), None, None, None)?;
+    b.session_pair("R2", "DC1", Some("FROM_DC"), None, None, None)?;
+    b.session_pair("R2", "DC2", Some("FROM_DC"), None, None, None)?;
     b.build()?.converge()
 }
 

@@ -3,6 +3,7 @@
 
 #![warn(missing_docs)]
 
+pub mod census;
 pub mod figure3;
 pub mod worked_example;
 

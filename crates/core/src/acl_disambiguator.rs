@@ -155,28 +155,39 @@ pub fn insert_acl_with_oracle(
     // Keep only decisive pivots (above/below placements that actually
     // differ), with their precomputed questions; an equivalence would
     // otherwise be mistaken for an answer and truncate the search.
+    // Hot loop: one `compare_filters` per candidate, all independent.
+    // Fan out with one worker-local `PacketSpace` per worker; canonicity
+    // makes the fresh spaces answer exactly like the shared serial one,
+    // and `par_map_init` returns results in input order.
+    let scan = clarify_par::par_map_init(
+        &candidates,
+        PacketSpace::new,
+        |space, _, &pivot| -> Result<Option<AclQuestion>, ClarifyError> {
+            let above = insert_acl_entry(base, acl_name, entry.clone(), pivot)?;
+            let below = insert_acl_entry(base, acl_name, entry.clone(), pivot + 1)?;
+            let diffs = compare_filters(
+                space,
+                above.acl(acl_name).expect("exists"),
+                below.acl(acl_name).expect("exists"),
+                1,
+            );
+            Ok(diffs.into_iter().next().map(|d| AclQuestion {
+                packet: d.packet,
+                option_first: d.a,
+                option_second: d.b,
+                pivot_index: pivot,
+            }))
+        },
+    );
     let mut pivots: Vec<(usize, AclQuestion)> = Vec::new();
-    for &pivot in &candidates {
-        let above = insert_acl_entry(base, acl_name, entry.clone(), pivot)?;
-        let below = insert_acl_entry(base, acl_name, entry.clone(), pivot + 1)?;
-        let diffs = compare_filters(
-            &mut space,
-            above.acl(acl_name).expect("exists"),
-            below.acl(acl_name).expect("exists"),
-            1,
-        );
-        if let Some(d) = diffs.into_iter().next() {
-            pivots.push((
-                pivot,
-                AclQuestion {
-                    packet: d.packet,
-                    option_first: d.a,
-                    option_second: d.b,
-                    pivot_index: pivot,
-                },
-            ));
+    for (&pivot, q) in candidates.iter().zip(scan) {
+        if let Some(q) = q? {
+            pivots.push((pivot, q));
         }
     }
+    // Overlap/prune round done; drop the shared space's op caches
+    // (unique table preserved) before the strategy phase.
+    space.manager().clear_op_caches();
     let mut comparisons = candidates.len();
     let m = pivots.len();
 

@@ -187,20 +187,35 @@ impl Disambiguator {
         // adjacent slots merge — and treating it as an answer would
         // discard half the search space that may hold the intent. Each
         // decisive pivot carries its precomputed differential question.
+        //
+        // The scan is the hot loop — one full `compare_route_policies`
+        // per candidate — and each comparison is independent, so it fans
+        // out over `clarify-par` with one worker-local `RouteSpace` per
+        // worker. ROBDD canonicity makes the fan-out invisible: a fresh
+        // space built from the same configs yields the same witnesses as
+        // the shared serial space, and results come back in input order.
+        let base_map_ref = &base_map;
+        let scan = clarify_par::par_map_init(
+            &candidates,
+            || None::<RouteSpace>,
+            |worker_space, _, &pivot| -> Result<Option<DisambiguationQuestion>, ClarifyError> {
+                let space = match worker_space {
+                    Some(s) => s,
+                    None => worker_space.insert(RouteSpace::new(&[base, snippet])?),
+                };
+                self.question_at_pivot(space, base, map, snippet, snippet_map, base_map_ref, pivot)
+            },
+        );
         let mut pivots: Vec<(usize, DisambiguationQuestion)> = Vec::new();
-        for &pivot in &candidates {
-            if let Some(q) = self.question_at_pivot(
-                &mut space,
-                base,
-                map,
-                snippet,
-                snippet_map,
-                &base_map,
-                pivot,
-            )? {
+        for (&pivot, q) in candidates.iter().zip(scan) {
+            if let Some(q) = q? {
                 pivots.push((pivot, q));
             }
         }
+        // The overlap/prune round is done with the shared space's ite
+        // cache; drop it (unique table preserved) before the placement
+        // round so long sessions don't accrete dead cache entries.
+        space.manager().clear_op_caches();
         let mut comparisons = candidates.len();
         let m = pivots.len();
 

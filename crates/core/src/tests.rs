@@ -964,8 +964,9 @@ mod network_session_tests {
             .config(border_cfg)
             .originate(pfx("203.0.113.0/24"));
         b.router("CORE", 65001).originate(pfx("10.5.0.0/16"));
-        b.session_pair("BORDER", "ISP", Some("ISP_IN"), Some("ISP_OUT"), None, None);
-        b.link("BORDER", "CORE");
+        b.session_pair("BORDER", "ISP", Some("ISP_IN"), Some("ISP_OUT"), None, None)
+            .unwrap();
+        b.link("BORDER", "CORE").unwrap();
         b.build().unwrap()
     }
 

@@ -2,7 +2,7 @@
 //! configuration files.
 //!
 //! ```text
-//! lint [--json] [--strict] <config-file>...
+//! lint [--json] [--strict] [--threads N] <config-file>...
 //! ```
 //!
 //! Exit status: 0 when every file is clean (no warnings or errors; notes
@@ -18,11 +18,13 @@ use clarify_netconfig::Config;
 
 const USAGE: &str = "\
 usage:
-  lint [--json] [--strict] <config-file>...
+  lint [--json] [--strict] [--threads N] <config-file>...
 
 options:
-  --json    emit one JSON report object per file instead of text
-  --strict  treat notes as findings for the exit status
+  --json         emit one JSON report object per file instead of text
+  --strict       treat notes as findings for the exit status
+  --threads <N>  worker threads for the symbolic passes (default: the
+                 CLARIFY_THREADS env var, else all available cores)
 ";
 
 fn main() -> ExitCode {
@@ -30,10 +32,22 @@ fn main() -> ExitCode {
     let mut json = false;
     let mut strict = false;
     let mut paths: Vec<&str> = Vec::new();
-    for a in &args {
+    let mut args_iter = args.iter();
+    while let Some(a) = args_iter.next() {
         match a.as_str() {
             "--json" => json = true,
             "--strict" => strict = true,
+            "--threads" => {
+                let Some(n) = args_iter
+                    .next()
+                    .map(String::as_str)
+                    .and_then(clarify_par::parse_threads)
+                else {
+                    eprintln!("error: --threads takes a positive integer\n\n{USAGE}");
+                    return ExitCode::from(2);
+                };
+                clarify_par::set_threads(n);
+            }
             "--help" | "-h" => {
                 eprint!("{USAGE}");
                 return ExitCode::SUCCESS;

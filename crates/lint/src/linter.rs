@@ -119,6 +119,12 @@ fn lint_references(cfg: &Config, out: &mut Vec<Diagnostic>) -> BTreeSet<String> 
 
 /// Symbolic route-map checks: empty match, shadowed stanza, redundant
 /// stanza, conflicting overlap.
+///
+/// Each route-map's checks are independent, so the maps fan out over
+/// `clarify-par` with one worker-local [`RouteSpace`] per worker.
+/// Diagnostics come back in map iteration order (the `BTreeMap`'s sorted
+/// order), exactly as the serial loop emitted them, and canonicity makes
+/// the worker-local spaces answer identically to one shared space.
 fn lint_route_maps(
     cfg: &Config,
     broken_maps: &BTreeSet<String>,
@@ -127,12 +133,43 @@ fn lint_route_maps(
     if cfg.route_maps.is_empty() {
         return Ok(());
     }
-    let mut space = RouteSpace::new(&[cfg])?;
+    let maps: Vec<(&String, &clarify_netconfig::RouteMap)> = cfg
+        .route_maps
+        .iter()
+        .filter(|(name, _)| !broken_maps.contains(*name))
+        .collect();
+    let per_map = clarify_par::par_map_init(
+        &maps,
+        || None::<RouteSpace>,
+        |worker_space, _, &(map_name, map)| -> Result<Vec<Diagnostic>, AnalysisError> {
+            let space = match worker_space {
+                Some(s) => s,
+                None => worker_space.insert(RouteSpace::new(&[cfg])?),
+            };
+            let mut diags = Vec::new();
+            lint_one_route_map(space, cfg, map_name, map, &mut diags)?;
+            // Bound cache growth across a long object list: the memo
+            // entries for this map's queries are dead weight for the next.
+            space.manager().clear_op_caches();
+            Ok(diags)
+        },
+    );
+    for diags in per_map {
+        out.extend(diags?);
+    }
+    Ok(())
+}
+
+/// The per-object body of [`lint_route_maps`]: all checks for one map.
+fn lint_one_route_map(
+    space: &mut RouteSpace,
+    cfg: &Config,
+    map_name: &str,
+    map: &clarify_netconfig::RouteMap,
+    out: &mut Vec<Diagnostic>,
+) -> Result<(), AnalysisError> {
     let valid = space.valid();
-    for (map_name, map) in &cfg.route_maps {
-        if broken_maps.contains(map_name) {
-            continue;
-        }
+    {
         let match_sets = space.match_sets(cfg, map)?;
         let (fires, _) = space.fire_sets(cfg, map)?;
         // Empty and shadowed stanzas. A stanza with an empty match also has
@@ -191,7 +228,7 @@ fn lint_route_maps(
                 .expect("map exists")
                 .stanzas
                 .remove(i);
-            if policies_equivalent(&mut space, cfg, map_name, &modified, map_name)? {
+            if policies_equivalent(space, cfg, map_name, &modified, map_name)? {
                 out.push(
                     Diagnostic::new(
                         LintCode::RedundantRule,
@@ -204,7 +241,7 @@ fn lint_route_maps(
         }
         // Conflicting overlaps (§3.2 non-trivial measure): differing
         // actions, neither match set contains the other.
-        let overlaps = route_map_overlaps(&mut space, cfg, map)?;
+        let overlaps = route_map_overlaps(space, cfg, map)?;
         for pair in overlaps.pairs.iter().filter(|p| p.conflicting && !p.subset) {
             let joint = space.manager().and(match_sets[pair.i], match_sets[pair.j]);
             let witness = space.witness(joint)?;
@@ -235,9 +272,29 @@ fn lint_acls(cfg: &Config, out: &mut Vec<Diagnostic>) {
     if cfg.acls.is_empty() {
         return;
     }
-    let mut space = PacketSpace::new();
+    let acls: Vec<(&String, &clarify_netconfig::Acl)> = cfg.acls.iter().collect();
+    let per_acl =
+        clarify_par::par_map_init(&acls, PacketSpace::new, |space, _, &(acl_name, acl)| {
+            let mut diags = Vec::new();
+            lint_one_acl(space, cfg, acl_name, acl, &mut diags);
+            space.manager().clear_op_caches();
+            diags
+        });
+    for diags in per_acl {
+        out.extend(diags);
+    }
+}
+
+/// The per-object body of [`lint_acls`]: all checks for one ACL.
+fn lint_one_acl(
+    space: &mut PacketSpace,
+    cfg: &Config,
+    acl_name: &str,
+    acl: &clarify_netconfig::Acl,
+    out: &mut Vec<Diagnostic>,
+) {
     let valid = space.valid();
-    for (acl_name, acl) in &cfg.acls {
+    {
         let match_sets = space.match_sets(acl);
         let (fires, _) = space.fire_sets(acl);
         let mut dead: BTreeSet<usize> = BTreeSet::new();
@@ -283,7 +340,7 @@ fn lint_acls(cfg: &Config, out: &mut Vec<Diagnostic>) {
             }
             let mut modified = acl.clone();
             modified.entries.remove(i);
-            if filters_equivalent(&mut space, acl, &modified) {
+            if filters_equivalent(space, acl, &modified) {
                 out.push(
                     Diagnostic::new(
                         LintCode::RedundantRule,
@@ -322,9 +379,32 @@ fn lint_prefix_lists(cfg: &Config, out: &mut Vec<Diagnostic>) -> Result<(), Anal
     if cfg.prefix_lists.is_empty() {
         return Ok(());
     }
-    let mut space = PrefixSpace::new();
+    let lists: Vec<(&String, &clarify_netconfig::PrefixList)> = cfg.prefix_lists.iter().collect();
+    let per_list = clarify_par::par_map_init(
+        &lists,
+        PrefixSpace::new,
+        |space, _, &(list_name, list)| -> Result<Vec<Diagnostic>, AnalysisError> {
+            let mut diags = Vec::new();
+            lint_one_prefix_list(space, list_name, list, &mut diags)?;
+            space.manager().clear_op_caches();
+            Ok(diags)
+        },
+    );
+    for diags in per_list {
+        out.extend(diags?);
+    }
+    Ok(())
+}
+
+/// The per-object body of [`lint_prefix_lists`]: all checks for one list.
+fn lint_one_prefix_list(
+    space: &mut PrefixSpace,
+    list_name: &str,
+    list: &clarify_netconfig::PrefixList,
+    out: &mut Vec<Diagnostic>,
+) -> Result<(), AnalysisError> {
     let valid = space.valid();
-    for (list_name, list) in &cfg.prefix_lists {
+    {
         let match_sets = space.match_sets(list);
         let (fires, _) = space.fire_sets(list);
         let mut dead: BTreeSet<usize> = BTreeSet::new();
@@ -370,7 +450,7 @@ fn lint_prefix_lists(cfg: &Config, out: &mut Vec<Diagnostic>) -> Result<(), Anal
             }
             let mut modified = list.clone();
             modified.entries.remove(i);
-            if prefix_lists_equivalent(&mut space, list, &modified)? {
+            if prefix_lists_equivalent(space, list, &modified)? {
                 out.push(
                     Diagnostic::new(
                         LintCode::RedundantRule,

@@ -39,6 +39,42 @@ impl std::fmt::Display for IntentError {
 
 impl std::error::Error for IntentError {}
 
+/// An internal inconsistency between intent *classification* and intent
+/// *construction*: the set-clause classifier recognized an attribute
+/// keyword that the builder has no constructor for.
+///
+/// This arm used to be an `unreachable!()`. It is statically dead only
+/// while the classifier's keyword list and the builder's match stay in
+/// lock-step; a corrupted classification (the fault-injection backend) or
+/// ordinary drift between the two makes it live, and a panic there takes
+/// down the whole evaluation run. As a structured error it converts into
+/// [`IntentError`], so the pipeline reports the request as
+/// unsynthesizable and moves on.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ClassifyError {
+    /// The classified attribute keyword with no constructor.
+    pub field: String,
+}
+
+impl std::fmt::Display for ClassifyError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "classified set attribute '{}' has no constructor; \
+             the classification was inconsistent or corrupted",
+            self.field
+        )
+    }
+}
+
+impl std::error::Error for ClassifyError {}
+
+impl From<ClassifyError> for IntentError {
+    fn from(e: ClassifyError) -> IntentError {
+        IntentError::new(e.to_string())
+    }
+}
+
 /// How a prompt constrains the mask length of a prefix.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum PrefixConstraint {
@@ -427,7 +463,17 @@ impl RouteMapIntent {
             .ok_or_else(|| IntentError::new(format!("set {field} without 'to <value>'")))?;
         let value = next_number(&tokens[to_pos + 1..])
             .ok_or_else(|| IntentError::new(format!("set {field} without a numeric value")))?;
-        intent.sets.push(match field {
+        intent.sets.push(Self::build_set(field, value)?);
+        Ok(())
+    }
+
+    /// Builds the set clause for a classified attribute keyword.
+    ///
+    /// Total over its input: a keyword the classifier emitted but this
+    /// builder does not know is a [`ClassifyError`], not a panic — the
+    /// pipeline punts on the request instead of crashing.
+    pub(crate) fn build_set(field: &str, value: u32) -> Result<SetIntent, IntentError> {
+        Ok(match field {
             "metric" => SetIntent::Metric(value),
             "local-preference" => SetIntent::LocalPref(value),
             "weight" => {
@@ -436,9 +482,13 @@ impl RouteMapIntent {
                 SetIntent::Weight(w)
             }
             "tag" => SetIntent::Tag(value),
-            _ => unreachable!(),
-        });
-        Ok(())
+            other => {
+                return Err(ClassifyError {
+                    field: other.to_string(),
+                }
+                .into())
+            }
+        })
     }
 
     /// Renders the canonical prompt, the inverse of [`RouteMapIntent::parse`].

@@ -32,7 +32,9 @@ pub use backend::{
     FaultKind, FaultyBackend, LlmBackend, LlmRequest, LlmResponse, SemanticBackend, TaskKind,
 };
 pub use error::LlmError;
-pub use intent::{AclIntent, AddrIntent, IntentError, PrefixConstraint, RouteMapIntent, SetIntent};
+pub use intent::{
+    AclIntent, AddrIntent, ClassifyError, IntentError, PrefixConstraint, RouteMapIntent, SetIntent,
+};
 pub use pipeline::{Pipeline, PipelineOutcome, QueryKind};
 pub use promptdb::{PromptDb, PromptEntry};
 

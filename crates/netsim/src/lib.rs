@@ -30,7 +30,7 @@
 //! let mut b = NetworkBuilder::new();
 //! b.router("A", 65001).originate("10.0.0.0/8".parse().unwrap());
 //! b.router("B", 65002);
-//! b.link("A", "B");
+//! b.link("A", "B").unwrap();
 //! let net = b.build().unwrap().converge().unwrap();
 //! assert!(net.best_route("B", &"10.0.0.0/8".parse().unwrap()).is_some());
 //! ```

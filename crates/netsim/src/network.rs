@@ -163,7 +163,10 @@ impl NetworkBuilder {
     }
 
     /// Adds a policy-free bidirectional session between two routers.
-    pub fn link(&mut self, a: &str, b: &str) -> &mut Self {
+    ///
+    /// Fails with [`SimError::UnknownRouter`] if either endpoint has not
+    /// been declared with [`NetworkBuilder::router`].
+    pub fn link(&mut self, a: &str, b: &str) -> Result<&mut Self, SimError> {
         self.session_pair(a, b, None, None, None, None)
     }
 
@@ -171,8 +174,10 @@ impl NetworkBuilder {
     /// `a_import`/`a_export` are applied on router `a`, and symmetrically.
     ///
     /// Both routers must already have been declared with
-    /// [`NetworkBuilder::router`]; a silent no-op here would surface much
-    /// later as a mysteriously missing adjacency, so misuse panics.
+    /// [`NetworkBuilder::router`]; an undeclared endpoint fails with
+    /// [`SimError::UnknownRouter`] — a silent no-op would surface much
+    /// later as a mysteriously missing adjacency. Neither side is
+    /// modified on failure.
     pub fn session_pair(
         &mut self,
         a: &str,
@@ -181,28 +186,28 @@ impl NetworkBuilder {
         a_export: Option<&str>,
         b_import: Option<&str>,
         b_export: Option<&str>,
-    ) -> &mut Self {
+    ) -> Result<&mut Self, SimError> {
         let ra = self
             .routers
-            .iter_mut()
+            .iter()
             .position(|r| r.name == a)
-            .unwrap_or_else(|| panic!("session_pair: declare router '{a}' before linking it"));
+            .ok_or_else(|| SimError::UnknownRouter(a.to_string()))?;
+        let rb = self
+            .routers
+            .iter()
+            .position(|r| r.name == b)
+            .ok_or_else(|| SimError::UnknownRouter(b.to_string()))?;
         self.routers[ra].sessions.push(Session {
             neighbor: b.to_string(),
             import_policy: a_import.map(str::to_string),
             export_policy: a_export.map(str::to_string),
         });
-        let rb = self
-            .routers
-            .iter_mut()
-            .position(|r| r.name == b)
-            .unwrap_or_else(|| panic!("session_pair: declare router '{b}' before linking it"));
         self.routers[rb].sessions.push(Session {
             neighbor: a.to_string(),
             import_policy: b_import.map(str::to_string),
             export_policy: b_export.map(str::to_string),
         });
-        self
+        Ok(self)
     }
 
     /// Validates and produces the network.

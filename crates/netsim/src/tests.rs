@@ -12,7 +12,7 @@ fn single_link_propagation() {
     let mut b = NetworkBuilder::new();
     b.router("A", 65001).originate(pfx("10.0.0.0/8"));
     b.router("B", 65002);
-    b.link("A", "B");
+    b.link("A", "B").unwrap();
     let net = b.build().unwrap().converge().unwrap();
     let e = net.best_route("B", &pfx("10.0.0.0/8")).unwrap();
     assert_eq!(e.learned_from.as_deref(), Some("A"));
@@ -27,8 +27,8 @@ fn multi_hop_prepends_each_as() {
     b.router("A", 1).originate(pfx("10.0.0.0/8"));
     b.router("B", 2);
     b.router("C", 3);
-    b.link("A", "B");
-    b.link("B", "C");
+    b.link("A", "B").unwrap();
+    b.link("B", "C").unwrap();
     let net = b.build().unwrap().converge().unwrap();
     let e = net.best_route("C", &pfx("10.0.0.0/8")).unwrap();
     assert_eq!(e.route.as_path.asns(), &[2, 1]);
@@ -44,9 +44,9 @@ fn loop_prevention_drops_own_as() {
     b.router("A", 1).originate(pfx("10.0.0.0/8"));
     b.router("B", 2);
     b.router("C", 3);
-    b.link("A", "B");
-    b.link("B", "C");
-    b.link("C", "A");
+    b.link("A", "B").unwrap();
+    b.link("B", "C").unwrap();
+    b.link("C", "A").unwrap();
     let net = b.build().unwrap().converge().unwrap();
     for r in ["A", "B", "C"] {
         let e = net.best_route(r, &pfx("10.0.0.0/8")).unwrap();
@@ -64,7 +64,7 @@ fn split_horizon_no_echo() {
     let mut b = NetworkBuilder::new();
     b.router("A", 1).originate(pfx("10.0.0.0/8"));
     b.router("B", 2);
-    b.link("A", "B");
+    b.link("A", "B").unwrap();
     let net = b.build().unwrap().converge().unwrap();
     // A's own route stays locally originated (not replaced by an echo).
     let e = net.best_route("A", &pfx("10.0.0.0/8")).unwrap();
@@ -82,7 +82,8 @@ fn export_policy_filters() {
     b.router("A", 1).config(cfg).originate(pfx("10.0.0.0/8"));
     b.router("A", 1).originate(pfx("20.0.0.0/8"));
     b.router("B", 2);
-    b.session_pair("A", "B", None, Some("NO_TEN"), None, None);
+    b.session_pair("A", "B", None, Some("NO_TEN"), None, None)
+        .unwrap();
     let net = b.build().unwrap().converge().unwrap();
     assert!(
         !net.can_reach("B", &pfx("10.0.0.0/8")),
@@ -100,9 +101,10 @@ fn import_policy_sets_local_pref_and_influences_choice() {
     b.router("A", 1).originate(pfx("10.0.0.0/8"));
     b.router("B", 2).config(cfg_b);
     b.router("C", 3);
-    b.link("A", "C");
-    b.session_pair("B", "A", None, None, None, None);
-    b.session_pair("B", "C", Some("PREFER"), None, None, None);
+    b.link("A", "C").unwrap();
+    b.session_pair("B", "A", None, None, None, None).unwrap();
+    b.session_pair("B", "C", Some("PREFER"), None, None, None)
+        .unwrap();
     let net = b.build().unwrap().converge().unwrap();
     let e = net.best_route("B", &pfx("10.0.0.0/8")).unwrap();
     assert_eq!(e.learned_from.as_deref(), Some("C"), "local-pref 300 wins");
@@ -116,10 +118,10 @@ fn best_path_prefers_shorter_as_path() {
     b.router("B", 2);
     b.router("C", 3);
     b.router("D", 4);
-    b.link("A", "D"); // direct: path length 1
-    b.link("A", "B");
-    b.link("B", "C");
-    b.link("C", "D"); // long way: length 3
+    b.link("A", "D").unwrap(); // direct: path length 1
+    b.link("A", "B").unwrap();
+    b.link("B", "C").unwrap();
+    b.link("C", "D").unwrap(); // long way: length 3
     let net = b.build().unwrap().converge().unwrap();
     assert_eq!(net.next_hop_router("D", &pfx("10.0.0.0/8")), Some("A"));
 }
@@ -132,10 +134,10 @@ fn deterministic_tie_break_by_neighbor_name() {
     b.router("B", 2);
     b.router("C", 3);
     b.router("D", 4);
-    b.link("A", "B");
-    b.link("A", "C");
-    b.link("B", "D");
-    b.link("C", "D");
+    b.link("A", "B").unwrap();
+    b.link("A", "C").unwrap();
+    b.link("B", "D").unwrap();
+    b.link("C", "D").unwrap();
     let net = b.build().unwrap().converge().unwrap();
     assert_eq!(net.next_hop_router("D", &pfx("10.0.0.0/8")), Some("B"));
 }
@@ -148,8 +150,9 @@ fn local_pref_does_not_cross_as_boundaries() {
     b.router("B", 2);
     b.router("C", 3);
     // A exports with LP 400; crossing the AS boundary resets it to 100.
-    b.session_pair("A", "B", None, Some("LP"), None, None);
-    b.link("B", "C");
+    b.session_pair("A", "B", None, Some("LP"), None, None)
+        .unwrap();
+    b.link("B", "C").unwrap();
     let net = b.build().unwrap().converge().unwrap();
     let e = net.best_route("B", &pfx("10.0.0.0/8")).unwrap();
     assert_eq!(e.route.local_pref, 100, "reset at eBGP boundary");
@@ -205,8 +208,9 @@ fn import_filter_blocks_transit() {
     b.router("ISP1", 100).originate(pfx("8.0.0.0/8"));
     b.router("ISP2", 200).originate(pfx("9.0.0.0/8"));
     b.router("B", 2).config(cfg_b);
-    b.session_pair("B", "ISP1", None, None, None, None);
-    b.session_pair("B", "ISP2", None, Some("BLOCK"), None, None);
+    b.session_pair("B", "ISP1", None, None, None, None).unwrap();
+    b.session_pair("B", "ISP2", None, Some("BLOCK"), None, None)
+        .unwrap();
     let net = b.build().unwrap().converge().unwrap();
     assert!(net.can_reach("B", &pfx("8.0.0.0/8")));
     assert!(net.can_reach("B", &pfx("9.0.0.0/8")));
@@ -223,7 +227,7 @@ fn converge_is_idempotent() {
     let mut b = NetworkBuilder::new();
     b.router("A", 1).originate(pfx("10.0.0.0/8"));
     b.router("B", 2);
-    b.link("A", "B");
+    b.link("A", "B").unwrap();
     let net = b.build().unwrap().converge().unwrap();
     let ribs_before = net.rib("B").unwrap().clone();
     let net = net.converge().unwrap();
@@ -236,7 +240,8 @@ fn reconfigure_and_reconverge() {
     let mut b = NetworkBuilder::new();
     b.router("A", 1).originate(pfx("10.0.0.0/8"));
     b.router("B", 2).config(cfg);
-    b.session_pair("A", "B", None, None, Some("BLOCK"), None);
+    b.session_pair("A", "B", None, None, Some("BLOCK"), None)
+        .unwrap();
     let net = b.build().unwrap().converge().unwrap();
     assert!(!net.can_reach("B", &pfx("10.0.0.0/8")));
 
@@ -254,8 +259,8 @@ fn path_to_traces_forwarding_chain() {
     b.router("A", 1).originate(pfx("10.0.0.0/8"));
     b.router("B", 2);
     b.router("C", 3);
-    b.link("A", "B");
-    b.link("B", "C");
+    b.link("A", "B").unwrap();
+    b.link("B", "C").unwrap();
     let net = b.build().unwrap().converge().unwrap();
     assert_eq!(
         net.path_to("C", &pfx("10.0.0.0/8")),
@@ -271,7 +276,7 @@ fn ibgp_same_as_does_not_prepend() {
     let mut b = NetworkBuilder::new();
     b.router("A", 65000).originate(pfx("10.0.0.0/8"));
     b.router("B", 65000);
-    b.link("A", "B");
+    b.link("A", "B").unwrap();
     let net = b.build().unwrap().converge().unwrap();
     let e = net.best_route("B", &pfx("10.0.0.0/8")).unwrap();
     assert!(e.route.as_path.is_empty(), "iBGP keeps the path empty");
@@ -286,16 +291,25 @@ fn ibgp_preserves_local_pref() {
         .config(cfg)
         .originate(pfx("10.0.0.0/8"));
     b.router("B", 65000);
-    b.session_pair("A", "B", None, Some("LP"), None, None);
+    b.session_pair("A", "B", None, Some("LP"), None, None)
+        .unwrap();
     let net = b.build().unwrap().converge().unwrap();
     let e = net.best_route("B", &pfx("10.0.0.0/8")).unwrap();
     assert_eq!(e.route.local_pref, 400, "LOCAL_PREF survives iBGP");
 }
 
 #[test]
-#[should_panic(expected = "declare router 'GHOST' before linking it")]
 fn session_pair_rejects_undeclared_router() {
     let mut b = NetworkBuilder::new();
     b.router("A", 1);
-    b.session_pair("A", "GHOST", None, None, None, None);
+    let err = b
+        .session_pair("A", "GHOST", None, None, None, None)
+        .expect_err("undeclared endpoint must be rejected");
+    assert_eq!(err, SimError::UnknownRouter("GHOST".to_string()));
+    // The failed call must not have half-linked anything: A gained no
+    // session, and the builder is still usable.
+    let err = b.link("GHOST", "A").expect_err("still rejected");
+    assert_eq!(err, SimError::UnknownRouter("GHOST".to_string()));
+    let net = b.build().unwrap();
+    assert!(net.router("A").map_or(true, |r| r.sessions.is_empty()));
 }

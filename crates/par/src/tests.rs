@@ -1,0 +1,120 @@
+use super::*;
+use clarify_testkit::{gens, prop_assert_eq, property, Source};
+
+fn splat(x: u64) -> u64 {
+    // splitmix64-style mixer: cheap, deterministic, input-sensitive.
+    let mut z = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+#[test]
+fn empty_and_singleton() {
+    let empty: Vec<u64> = Vec::new();
+    assert_eq!(par_map(&empty, |&x| x + 1), Vec::<u64>::new());
+    assert_eq!(par_map(&[7u64], |&x| x + 1), vec![8]);
+}
+
+#[test]
+fn indexed_matches_enumerate() {
+    let items: Vec<u64> = (0..100).collect();
+    let got = par_map_indexed(&items, |i, &x| i as u64 * 1000 + x);
+    let want: Vec<u64> = items
+        .iter()
+        .enumerate()
+        .map(|(i, &x)| i as u64 * 1000 + x)
+        .collect();
+    assert_eq!(got, want);
+}
+
+#[test]
+fn init_runs_at_most_once_per_worker() {
+    let inits = AtomicUsize::new(0);
+    let items: Vec<u64> = (0..64).collect();
+    let got = par_map_init_with_threads(
+        4,
+        &items,
+        || {
+            inits.fetch_add(1, Ordering::SeqCst);
+            0u64
+        },
+        |acc, _, &x| {
+            *acc = acc.wrapping_add(x);
+            splat(x)
+        },
+    );
+    assert_eq!(got, items.iter().map(|&x| splat(x)).collect::<Vec<_>>());
+    let n = inits.load(Ordering::SeqCst);
+    assert!((1..=4).contains(&n), "init ran {n} times");
+}
+
+#[test]
+fn panic_propagates_with_first_payload() {
+    let items: Vec<u64> = (0..200).collect();
+    let caught = panic::catch_unwind(AssertUnwindSafe(|| {
+        par_map_init_with_threads(
+            4,
+            &items,
+            || (),
+            |(), _, &x| {
+                if x >= 50 {
+                    panic!("boom at {x}");
+                }
+                x
+            },
+        )
+    }));
+    let payload = caught.expect_err("a worker panic must reach the caller");
+    let msg = payload
+        .downcast_ref::<String>()
+        .cloned()
+        .unwrap_or_default();
+    assert!(msg.starts_with("boom at"), "unexpected payload: {msg:?}");
+}
+
+#[test]
+fn parse_threads_accepts_positive_integers_only() {
+    assert_eq!(parse_threads("8"), Some(8));
+    assert_eq!(parse_threads(" 3 "), Some(3));
+    assert_eq!(parse_threads("0"), None);
+    assert_eq!(parse_threads(""), None);
+    assert_eq!(parse_threads("-2"), None);
+    assert_eq!(parse_threads("many"), None);
+}
+
+#[test]
+fn current_threads_honors_override() {
+    // The override is process-global; this is the only test that touches
+    // it, and it restores the unset state before returning.
+    set_threads(3);
+    assert_eq!(current_threads(), 3);
+    set_threads(0);
+    assert!(current_threads() >= 1);
+}
+
+fn arb_workload(g: &mut Source) -> Vec<u64> {
+    gens::vec_of(gens::ints(0u64..=u64::MAX), 0, 300)(g)
+}
+
+property! {
+    /// The tentpole determinism contract: `par_map` output equals the
+    /// serial `map` for random workloads at every pool size.
+    fn par_map_equals_serial_map(items in arb_workload, threads in gens::ints(1usize..=9)) {
+        let serial: Vec<u64> = items.iter().map(|&x| splat(x)).collect();
+        let parallel = par_map_init_with_threads(threads, &items, || (), |(), _, &x| splat(x));
+        prop_assert_eq!(parallel, serial);
+    }
+
+    /// Worker-local state never leaks into results: a stateful fold used
+    /// only as scratch yields the same per-item outputs at any pool size.
+    fn par_map_init_matches_serial(items in arb_workload, threads in gens::ints(2usize..=8)) {
+        let run = |t: usize| {
+            par_map_init_with_threads(t, &items, || 0u64, |scratch, i, &x| {
+                *scratch = scratch.wrapping_add(x); // history-dependent scratch...
+                splat(x ^ i as u64) // ...but a history-free result
+            })
+        };
+        prop_assert_eq!(run(threads), run(1));
+    }
+}

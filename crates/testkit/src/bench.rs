@@ -10,6 +10,11 @@
 //! This is deliberately *not* a statistics engine. It exists so `cargo
 //! bench` works offline and regressions of 2x+ are visible; fine-grained
 //! confidence intervals were never load-bearing in this repo.
+//!
+//! Set `CLARIFY_BENCH_JSON=<path>` to additionally append one JSON record
+//! per benchmark (name, median/min/max ns per iteration, sample and
+//! iteration counts) to that file — the format the repo's `BENCH_*.json`
+//! trajectory files are built from.
 
 use std::fmt::Display;
 use std::time::{Duration, Instant};
@@ -150,6 +155,45 @@ fn run_bench<F: FnMut(&mut Bencher)>(name: &str, samples: usize, mut f: F) {
         per_iter.len(),
         iters,
     );
+    if let Ok(path) = std::env::var("CLARIFY_BENCH_JSON") {
+        if !path.is_empty() {
+            append_json(&path, name, median, min, max, per_iter.len(), iters);
+        }
+    }
+}
+
+/// Appends one JSON object (own line) describing a finished benchmark to
+/// `path`. Failures are reported but never fail the bench run.
+fn append_json(
+    path: &str,
+    name: &str,
+    median: f64,
+    min: f64,
+    max: f64,
+    samples: usize,
+    iters: u64,
+) {
+    use std::io::Write as _;
+    let name: String = name
+        .chars()
+        .flat_map(|c| match c {
+            '"' | '\\' => vec!['\\', c],
+            c if c.is_control() => vec![' '],
+            c => vec![c],
+        })
+        .collect();
+    let record = format!(
+        "{{\"name\":\"{name}\",\"median_ns\":{median:.1},\"min_ns\":{min:.1},\
+         \"max_ns\":{max:.1},\"samples\":{samples},\"iters\":{iters}}}\n"
+    );
+    let written = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(path)
+        .and_then(|mut f| f.write_all(record.as_bytes()));
+    if let Err(e) = written {
+        eprintln!("CLARIFY_BENCH_JSON: cannot append to {path}: {e}");
+    }
 }
 
 fn fmt_ns(ns: f64) -> String {

@@ -23,7 +23,9 @@
 //! * [`netsim`] — a deterministic BGP propagation simulator for global
 //!   policy checks;
 //! * [`workload`] — seeded synthetic populations calibrated to the paper's
-//!   §3 measurements.
+//!   §3 measurements;
+//! * [`par`] — the zero-dependency scoped worker pool behind the parallel
+//!   disambiguator scans, lint passes, and census sweeps.
 //!
 //! ## Quickstart
 //!
@@ -72,4 +74,5 @@ pub use clarify_llm as llm;
 pub use clarify_netconfig as netconfig;
 pub use clarify_netsim as netsim;
 pub use clarify_nettypes as nettypes;
+pub use clarify_par as par;
 pub use clarify_workload as workload;

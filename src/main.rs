@@ -37,7 +37,21 @@ use clarify::llm::{Pipeline, PipelineOutcome, SemanticBackend};
 use clarify::netconfig::Config;
 
 fn main() -> ExitCode {
-    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    // Global `--threads N`: size the clarify-par worker pool for this run
+    // (takes precedence over the CLARIFY_THREADS environment variable).
+    if let Some(i) = args.iter().position(|a| a == "--threads") {
+        let Some(n) = args
+            .get(i + 1)
+            .map(String::as_str)
+            .and_then(clarify::par::parse_threads)
+        else {
+            eprintln!("error: --threads takes a positive integer\n\n{USAGE}");
+            return ExitCode::from(2);
+        };
+        clarify::par::set_threads(n);
+        args.drain(i..=i + 1);
+    }
     let result = match args.first().map(String::as_str) {
         Some("audit") => audit(&args[1..]),
         Some("ask") => ask(&args[1..], false),
@@ -68,6 +82,10 @@ usage:
   clarify compare <file-a> <file-b> <route-map> [limit]
   clarify chain <config-file> <route-map> <route-map>...
   clarify lint [--json] <config-file>...
+
+options:
+  --threads <N>   worker threads for the symbolic analyses (default: the
+                  CLARIFY_THREADS env var, else all available cores)
 ";
 
 fn load(path: &str) -> Result<Config, String> {
