@@ -186,6 +186,10 @@ impl PrefixSpace {
     /// First-match firing regions per entry, plus the default-deny
     /// remainder (prefixes reaching the end without matching).
     pub fn fire_sets(&mut self, list: &PrefixList) -> (Vec<Ref>, Ref) {
+        let _span = clarify_obs::span!("prefix_fire_sets");
+        clarify_obs::global()
+            .counter("analysis.fire_set_builds")
+            .incr();
         let mut fires = Vec::with_capacity(list.entries.len());
         let mut unmatched = self.valid;
         for e in &list.entries {

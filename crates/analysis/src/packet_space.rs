@@ -27,6 +27,10 @@ impl Default for PacketSpace {
 impl PacketSpace {
     /// Builds the (configuration-independent) packet space.
     pub fn new() -> PacketSpace {
+        let _span = clarify_obs::span!("packet_space_build");
+        clarify_obs::global()
+            .counter("analysis.packet_space_builds")
+            .incr();
         let mut next = 0u32;
         let mut take = |n: u32| -> Vec<u32> {
             let v: Vec<u32> = (next..next + n).collect();
@@ -109,6 +113,10 @@ impl PacketSpace {
     /// First-match firing regions per entry, plus the implicit-deny
     /// remainder (packets reaching the end without matching).
     pub fn fire_sets(&mut self, acl: &Acl) -> (Vec<Ref>, Ref) {
+        let _span = clarify_obs::span!("acl_fire_sets");
+        clarify_obs::global()
+            .counter("analysis.fire_set_builds")
+            .incr();
         let mut fires = Vec::with_capacity(acl.entries.len());
         let mut unmatched = self.valid;
         for e in &acl.entries {

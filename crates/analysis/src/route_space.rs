@@ -51,6 +51,10 @@ pub struct RouteSpace {
 impl RouteSpace {
     /// Builds the space for analyses over the given configurations.
     pub fn new(configs: &[&Config]) -> Result<RouteSpace, AnalysisError> {
+        let _span = clarify_obs::span!("route_space_build");
+        clarify_obs::global()
+            .counter("analysis.route_space_builds")
+            .incr();
         // Collect regex patterns in deterministic first-seen order.
         let mut comm_patterns: Vec<Regex> = Vec::new();
         let mut comm_pattern_idx = HashMap::new();
@@ -336,6 +340,10 @@ impl RouteSpace {
         cfg: &Config,
         map: &RouteMap,
     ) -> Result<(Vec<Ref>, Ref), AnalysisError> {
+        let _span = clarify_obs::span!("route_fire_sets");
+        clarify_obs::global()
+            .counter("analysis.fire_set_builds")
+            .incr();
         let mut fires = Vec::with_capacity(map.stanzas.len());
         let mut unmatched = self.valid;
         for s in &map.stanzas {

@@ -2,6 +2,8 @@
 
 use std::collections::HashMap;
 
+use clarify_obs::{Counter, Gauge, Registry};
+
 use crate::cube::Cube;
 
 /// A handle to a BDD function owned by a [`Manager`].
@@ -60,6 +62,35 @@ pub struct Stats {
     pub ite_cache_entries: usize,
 }
 
+/// Metric handles captured once at manager construction, so the `ite`
+/// kernel never performs a registry lookup. The handles are write-only
+/// and aggregate across every manager wired to the same registry
+/// (worker-local managers in a `clarify-par` pool all feed one total);
+/// with the default disabled registry each update is a single branch.
+struct ObsHandles {
+    ite_calls: Counter,
+    cache_hits: Counter,
+    cache_misses: Counter,
+    cache_clears: Counter,
+    /// Live hash-consed nodes across all managers on this registry.
+    unique_nodes: Gauge,
+    /// Live `ite`-cache entries across all managers on this registry.
+    ite_cache_entries: Gauge,
+}
+
+impl ObsHandles {
+    fn capture(registry: &Registry) -> ObsHandles {
+        ObsHandles {
+            ite_calls: registry.counter("bdd.ite_calls"),
+            cache_hits: registry.counter("bdd.ite_cache_hits"),
+            cache_misses: registry.counter("bdd.ite_cache_misses"),
+            cache_clears: registry.counter("bdd.op_cache_clears"),
+            unique_nodes: registry.gauge("bdd.unique_nodes"),
+            ite_cache_entries: registry.gauge("bdd.ite_cache_entries"),
+        }
+    }
+}
+
 /// An arena of hash-consed BDD nodes plus the operation caches.
 ///
 /// All functions created by one manager share structure. The manager never
@@ -73,12 +104,23 @@ pub struct Manager {
     num_vars: u32,
     cache_hits: u64,
     cache_misses: u64,
+    obs: ObsHandles,
 }
 
 impl Manager {
     /// Creates a manager for functions over `num_vars` Boolean variables
     /// numbered `0..num_vars` (variable 0 is tested first).
+    ///
+    /// Metric handles are captured from the [`clarify_obs::global`]
+    /// registry *current at this call*; use [`Manager::with_registry`]
+    /// to inject one explicitly (isolated tests, per-request registries).
     pub fn new(num_vars: u32) -> Self {
+        Self::with_registry(num_vars, &clarify_obs::global())
+    }
+
+    /// Like [`Manager::new`], but records metrics into `registry`
+    /// instead of the process-global one.
+    pub fn with_registry(num_vars: u32, registry: &Registry) -> Self {
         // Slots 0 and 1 are the terminals; their contents are never read
         // through `node()` because `is_const` handles take an early return,
         // but give them sentinel values anyway.
@@ -94,6 +136,7 @@ impl Manager {
             num_vars,
             cache_hits: 0,
             cache_misses: 0,
+            obs: ObsHandles::capture(registry),
         }
     }
 
@@ -123,6 +166,8 @@ impl Manager {
     /// linter between objects) call this at phase boundaries to bound
     /// that growth. The hit/miss counters are cumulative and survive.
     pub fn clear_op_caches(&mut self) {
+        self.obs.cache_clears.incr();
+        self.obs.ite_cache_entries.sub(self.ite_cache.len() as i64);
         self.ite_cache = HashMap::new();
     }
 
@@ -155,6 +200,7 @@ impl Manager {
         let r = Ref(u32::try_from(self.nodes.len()).expect("BDD arena exceeded u32 indices"));
         self.nodes.push(Node { var, lo, hi });
         self.unique.insert((var, lo, hi), r);
+        self.obs.unique_nodes.add(1);
         r
     }
 
@@ -196,6 +242,7 @@ impl Manager {
     ///
     /// This is the single kernel every binary operation reduces to.
     pub fn ite(&mut self, f: Ref, g: Ref, h: Ref) -> Ref {
+        self.obs.ite_calls.incr();
         // Terminal cases.
         if f == Ref::TRUE {
             return g;
@@ -212,9 +259,11 @@ impl Manager {
 
         if let Some(&r) = self.ite_cache.get(&(f, g, h)) {
             self.cache_hits += 1;
+            self.obs.cache_hits.incr();
             return r;
         }
         self.cache_misses += 1;
+        self.obs.cache_misses.incr();
 
         let top = self.level(f).min(self.level(g)).min(self.level(h));
         let (f0, f1) = self.cofactors(f, top);
@@ -223,7 +272,11 @@ impl Manager {
         let lo = self.ite(f0, g0, h0);
         let hi = self.ite(f1, g1, h1);
         let r = self.mk(top, lo, hi);
-        self.ite_cache.insert((f, g, h), r);
+        // A deeper recursion can have memoized this very triple already;
+        // only count genuinely new entries toward the live gauge.
+        if self.ite_cache.insert((f, g, h), r).is_none() {
+            self.obs.ite_cache_entries.add(1);
+        }
         r
     }
 
@@ -558,6 +611,16 @@ impl Manager {
         let ge = self.ge_const(vars, lo);
         let le = self.le_const(vars, hi);
         self.and(ge, le)
+    }
+}
+
+impl Drop for Manager {
+    /// Lowers the live-resource gauges by this manager's contribution,
+    /// so `bdd.unique_nodes` / `bdd.ite_cache_entries` track what is
+    /// actually alive across short-lived per-analysis managers.
+    fn drop(&mut self) {
+        self.obs.unique_nodes.sub((self.nodes.len() - 2) as i64);
+        self.obs.ite_cache_entries.sub(self.ite_cache.len() as i64);
     }
 }
 

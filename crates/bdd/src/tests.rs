@@ -517,3 +517,48 @@ fn wide_var_slices_work() {
     let g = m.le_const(&vars, 5);
     assert_eq!(m.sat_count_exact(g), 6);
 }
+
+#[test]
+fn obs_counters_survive_clear_op_caches_but_gauge_drops() {
+    let reg = clarify_obs::Registry::new();
+    let mut m = Manager::with_registry(8, &reg);
+    let a = m.var(0);
+    let b = m.var(1);
+    let c = m.var(2);
+    let ab = m.and(a, b);
+    let _f = m.or(ab, c);
+    let _g = m.xor(a, c);
+
+    let before = reg.snapshot();
+    assert!(before.counter("bdd.ite_calls") > 0);
+    assert!(before.counter("bdd.ite_cache_misses") > 0);
+    assert!(before.gauge("bdd.ite_cache_entries") > 0);
+    assert_eq!(before.counter("bdd.op_cache_clears"), 0);
+
+    m.clear_op_caches();
+
+    let after = reg.snapshot();
+    // Counters are monotonic history: clearing the memo tables must not
+    // erase them.
+    assert_eq!(
+        after.counter("bdd.ite_calls"),
+        before.counter("bdd.ite_calls")
+    );
+    assert_eq!(
+        after.counter("bdd.ite_cache_misses"),
+        before.counter("bdd.ite_cache_misses")
+    );
+    // The live-entry gauge tracks the actual table, which is now empty.
+    assert_eq!(after.gauge("bdd.ite_cache_entries"), 0);
+    assert_eq!(after.counter("bdd.op_cache_clears"), 1);
+
+    // Rebuilding after the clear re-populates the cache and the gauge.
+    let _h = m.and(b, c);
+    assert!(reg.snapshot().gauge("bdd.ite_cache_entries") > 0);
+
+    // Dropping the manager returns the node gauge to zero.
+    assert!(reg.snapshot().gauge("bdd.unique_nodes") > 0);
+    drop(m);
+    assert_eq!(reg.snapshot().gauge("bdd.unique_nodes"), 0);
+    assert_eq!(reg.snapshot().gauge("bdd.ite_cache_entries"), 0);
+}

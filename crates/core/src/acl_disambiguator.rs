@@ -121,6 +121,7 @@ pub fn insert_acl_with_oracle(
     strategy: PlacementStrategy,
     oracle: &mut dyn AclOracle,
 ) -> Result<AclDisambiguationResult, ClarifyError> {
+    let _insert_span = clarify_obs::span!("disambiguator_insert");
     let acl = base
         .acl(acl_name)
         .ok_or(clarify_netconfig::ConfigError::NotFound {
@@ -159,26 +160,29 @@ pub fn insert_acl_with_oracle(
     // Fan out with one worker-local `PacketSpace` per worker; canonicity
     // makes the fresh spaces answer exactly like the shared serial one,
     // and `par_map_init` returns results in input order.
-    let scan = clarify_par::par_map_init(
-        &candidates,
-        PacketSpace::new,
-        |space, _, &pivot| -> Result<Option<AclQuestion>, ClarifyError> {
-            let above = insert_acl_entry(base, acl_name, entry.clone(), pivot)?;
-            let below = insert_acl_entry(base, acl_name, entry.clone(), pivot + 1)?;
-            let diffs = compare_filters(
-                space,
-                above.acl(acl_name).expect("exists"),
-                below.acl(acl_name).expect("exists"),
-                1,
-            );
-            Ok(diffs.into_iter().next().map(|d| AclQuestion {
-                packet: d.packet,
-                option_first: d.a,
-                option_second: d.b,
-                pivot_index: pivot,
-            }))
-        },
-    );
+    let scan = {
+        let _scan_span = clarify_obs::span!("pivot_scan");
+        clarify_par::par_map_init(
+            &candidates,
+            PacketSpace::new,
+            |space, _, &pivot| -> Result<Option<AclQuestion>, ClarifyError> {
+                let above = insert_acl_entry(base, acl_name, entry.clone(), pivot)?;
+                let below = insert_acl_entry(base, acl_name, entry.clone(), pivot + 1)?;
+                let diffs = compare_filters(
+                    space,
+                    above.acl(acl_name).expect("exists"),
+                    below.acl(acl_name).expect("exists"),
+                    1,
+                );
+                Ok(diffs.into_iter().next().map(|d| AclQuestion {
+                    packet: d.packet,
+                    option_first: d.a,
+                    option_second: d.b,
+                    pivot_index: pivot,
+                }))
+            },
+        )
+    };
     let mut pivots: Vec<(usize, AclQuestion)> = Vec::new();
     for (&pivot, q) in candidates.iter().zip(scan) {
         if let Some(q) = q? {
@@ -205,6 +209,7 @@ pub fn insert_acl_with_oracle(
                transcript: &mut Vec<(AclQuestion, Choice)>,
                oracle: &mut dyn AclOracle|
      -> Result<Choice, ClarifyError> {
+        let _round_span = clarify_obs::span!("disambiguation_round");
         let q = pivots[k].1.clone();
         let c = oracle.choose(&q)?;
         transcript.push((q, c));
@@ -248,6 +253,7 @@ pub fn insert_acl_with_oracle(
             match diffs.into_iter().next() {
                 None => acl.entries.len(),
                 Some(d) => {
+                    let _round_span = clarify_obs::span!("disambiguation_round");
                     let q = AclQuestion {
                         packet: d.packet,
                         option_first: d.a,
@@ -266,6 +272,12 @@ pub fn insert_acl_with_oracle(
     };
 
     let config = insert_acl_entry(base, acl_name, entry.clone(), position)?;
+    crate::disambiguator::record_insert_metrics(
+        n,
+        pruned_candidates,
+        transcript.len(),
+        comparisons,
+    );
     Ok(AclDisambiguationResult {
         config,
         position,

@@ -130,6 +130,7 @@ impl Disambiguator {
         snippet_map: &str,
         oracle: &mut dyn UserOracle,
     ) -> Result<DisambiguationResult, ClarifyError> {
+        let _insert_span = clarify_obs::span!("disambiguator_insert");
         let base_map = base
             .route_map(map)
             .ok_or(clarify_netconfig::ConfigError::NotFound {
@@ -195,17 +196,28 @@ impl Disambiguator {
         // space built from the same configs yields the same witnesses as
         // the shared serial space, and results come back in input order.
         let base_map_ref = &base_map;
-        let scan = clarify_par::par_map_init(
-            &candidates,
-            || None::<RouteSpace>,
-            |worker_space, _, &pivot| -> Result<Option<DisambiguationQuestion>, ClarifyError> {
-                let space = match worker_space {
-                    Some(s) => s,
-                    None => worker_space.insert(RouteSpace::new(&[base, snippet])?),
-                };
-                self.question_at_pivot(space, base, map, snippet, snippet_map, base_map_ref, pivot)
-            },
-        );
+        let scan = {
+            let _scan_span = clarify_obs::span!("pivot_scan");
+            clarify_par::par_map_init(
+                &candidates,
+                || None::<RouteSpace>,
+                |worker_space, _, &pivot| -> Result<Option<DisambiguationQuestion>, ClarifyError> {
+                    let space = match worker_space {
+                        Some(s) => s,
+                        None => worker_space.insert(RouteSpace::new(&[base, snippet])?),
+                    };
+                    self.question_at_pivot(
+                        space,
+                        base,
+                        map,
+                        snippet,
+                        snippet_map,
+                        base_map_ref,
+                        pivot,
+                    )
+                },
+            )
+        };
         let mut pivots: Vec<(usize, DisambiguationQuestion)> = Vec::new();
         for (&pivot, q) in candidates.iter().zip(scan) {
             if let Some(q) = q? {
@@ -233,6 +245,7 @@ impl Disambiguator {
                    transcript: &mut Vec<(DisambiguationQuestion, Choice)>,
                    oracle: &mut dyn UserOracle|
          -> Result<Choice, ClarifyError> {
+            let _round_span = clarify_obs::span!("disambiguation_round");
             let q = pivots[k].1.clone();
             let c = oracle.choose(&q)?;
             transcript.push((q, c));
@@ -280,6 +293,7 @@ impl Disambiguator {
                 match diffs.into_iter().next() {
                     None => base_map.stanzas.len(), // equivalent; bottom by convention
                     Some(d) => {
+                        let _round_span = clarify_obs::span!("disambiguation_round");
                         let q = DisambiguationQuestion {
                             route: d.route,
                             option_first: d.a,
@@ -298,6 +312,7 @@ impl Disambiguator {
         };
 
         let (config, report) = insert_route_map_stanza(base, map, snippet, snippet_map, position)?;
+        record_insert_metrics(n, pruned_candidates, transcript.len(), comparisons);
         Ok(DisambiguationResult {
             config,
             position,
@@ -357,4 +372,28 @@ pub fn verify_against_intent(
             witness: Box::new(d.route),
         }),
     }
+}
+
+/// Records one insertion's aggregate metrics into the global registry.
+///
+/// Shared by the route-map, ACL, and prefix-list disambiguators so every
+/// insertion — whatever the object type — lands in the same counters, and
+/// so zero-valued counters (e.g. no candidates pruned) are still
+/// registered and show up in trace output.
+pub(crate) fn record_insert_metrics(
+    overlap_candidates: usize,
+    pruned_candidates: usize,
+    questions: usize,
+    comparisons: usize,
+) {
+    let obs = clarify_obs::global();
+    obs.counter("disambiguator.insertions").incr();
+    obs.counter("disambiguator.overlap_candidates")
+        .add(overlap_candidates as u64);
+    obs.counter("disambiguator.candidates_pruned")
+        .add(pruned_candidates as u64);
+    obs.counter("disambiguator.questions_asked")
+        .add(questions as u64);
+    obs.counter("disambiguator.comparisons")
+        .add(comparisons as u64);
 }

@@ -94,6 +94,7 @@ pub fn insert_prefix_entry_with_oracle(
     strategy: PlacementStrategy,
     oracle: &mut dyn PrefixOracle,
 ) -> Result<PrefixDisambiguationResult, ClarifyError> {
+    let _insert_span = clarify_obs::span!("disambiguator_insert");
     let list = base
         .prefix_lists
         .get(list_name)
@@ -159,6 +160,7 @@ pub fn insert_prefix_entry_with_oracle(
                transcript: &mut Vec<(PrefixQuestion, Choice)>,
                oracle: &mut dyn PrefixOracle|
      -> Result<Choice, ClarifyError> {
+        let _round_span = clarify_obs::span!("disambiguation_round");
         let q = pivots[k].1;
         let c = oracle.choose(&q)?;
         transcript.push((q, c));
@@ -202,6 +204,7 @@ pub fn insert_prefix_entry_with_oracle(
             match diffs.into_iter().next() {
                 None => list.entries.len(),
                 Some(d) => {
+                    let _round_span = clarify_obs::span!("disambiguation_round");
                     let q = PrefixQuestion {
                         prefix: d.prefix,
                         first_permits: d.a_permits,
@@ -220,6 +223,9 @@ pub fn insert_prefix_entry_with_oracle(
     };
 
     let config = insert_prefix_list_entry(base, list_name, entry.clone(), position)?;
+    // Prefix lists have no lint prune; the decisive-pivot scan stands in
+    // for the comparison count.
+    crate::disambiguator::record_insert_metrics(n, 0, transcript.len(), overlaps.len());
     Ok(PrefixDisambiguationResult {
         config,
         position,

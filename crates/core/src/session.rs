@@ -54,10 +54,29 @@ pub struct ClarifySession<B> {
     stats: SessionStats,
 }
 
+/// Mirrors one `SessionStats` bump into the global registry, so traces
+/// carry the paper's Figure 4 counters without threading a registry
+/// through every call site. Registering all five names up front (see
+/// [`ClarifySession::new`]) keeps zero-valued counters visible in traces.
+fn record_session_metric(field: &str, delta: usize) {
+    clarify_obs::global()
+        .counter(&format!("session.{field}"))
+        .add(delta as u64);
+}
+
 impl<B: LlmBackend> ClarifySession<B> {
     /// Creates a session over the given backend. `max_attempts` bounds the
     /// synthesis retry loop.
     pub fn new(backend: B, max_attempts: usize, disambiguator: Disambiguator) -> Self {
+        for field in [
+            "rollbacks",
+            "llm_calls",
+            "disambiguations",
+            "stanzas_added",
+            "punts",
+        ] {
+            record_session_metric(field, 0);
+        }
         ClarifySession {
             pipeline: Pipeline::new(backend, max_attempts),
             disambiguator,
@@ -75,6 +94,9 @@ impl<B: LlmBackend> ClarifySession<B> {
     pub(crate) fn record_rollback(&mut self) {
         self.stats.stanzas_added = self.stats.stanzas_added.saturating_sub(1);
         self.stats.rollbacks += 1;
+        // The obs counters stay monotonic: only the rollback itself is
+        // recorded, not the stanza decrement.
+        record_session_metric("rollbacks", 1);
     }
 
     /// Adds one stanza described by `prompt` to `map` in `base`.
@@ -98,6 +120,7 @@ impl<B: LlmBackend> ClarifySession<B> {
                 ..
             } => {
                 self.stats.llm_calls += llm_calls;
+                record_session_metric("llm_calls", llm_calls);
                 let mut working = base.clone();
                 if working.route_map(map).is_none() {
                     working
@@ -109,6 +132,8 @@ impl<B: LlmBackend> ClarifySession<B> {
                     .insert(&working, map, &snippet, &map_name, oracle)?;
                 self.stats.disambiguations += result.questions;
                 self.stats.stanzas_added += 1;
+                record_session_metric("disambiguations", result.questions);
+                record_session_metric("stanzas_added", 1);
                 Ok(AddStanzaOutcome::Inserted {
                     config: result.config.clone(),
                     result: Box::new(result),
@@ -117,13 +142,16 @@ impl<B: LlmBackend> ClarifySession<B> {
             }
             PipelineOutcome::Acl { llm_calls, .. } => {
                 self.stats.llm_calls += llm_calls;
+                record_session_metric("llm_calls", llm_calls);
                 Err(ClarifyError::Llm(clarify_llm::LlmError::UnsupportedQuery(
                     "expected a route-map intent, got an ACL intent".to_string(),
                 )))
             }
             PipelineOutcome::Punt { llm_calls, reason } => {
                 self.stats.llm_calls += llm_calls;
+                record_session_metric("llm_calls", llm_calls);
                 self.stats.punts += 1;
+                record_session_metric("punts", 1);
                 Ok(AddStanzaOutcome::Punted { reason, llm_calls })
             }
         }
@@ -166,6 +194,7 @@ impl<B: LlmBackend> ClarifySession<B> {
                 entry, llm_calls, ..
             } => {
                 self.stats.llm_calls += llm_calls;
+                record_session_metric("llm_calls", llm_calls);
                 let mut working = base.clone();
                 if working.acl(acl_name).is_none() {
                     working.acls.insert(
@@ -185,6 +214,8 @@ impl<B: LlmBackend> ClarifySession<B> {
                 )?;
                 self.stats.disambiguations += result.questions;
                 self.stats.stanzas_added += 1;
+                record_session_metric("disambiguations", result.questions);
+                record_session_metric("stanzas_added", 1);
                 Ok(AddAclOutcome::Inserted {
                     config: result.config.clone(),
                     result: Box::new(result),
@@ -193,13 +224,16 @@ impl<B: LlmBackend> ClarifySession<B> {
             }
             PipelineOutcome::RouteMap { llm_calls, .. } => {
                 self.stats.llm_calls += llm_calls;
+                record_session_metric("llm_calls", llm_calls);
                 Err(ClarifyError::Llm(clarify_llm::LlmError::UnsupportedQuery(
                     "expected an ACL intent, got a route-map intent".to_string(),
                 )))
             }
             PipelineOutcome::Punt { llm_calls, reason } => {
                 self.stats.llm_calls += llm_calls;
+                record_session_metric("llm_calls", llm_calls);
                 self.stats.punts += 1;
+                record_session_metric("punts", 1);
                 Ok(AddAclOutcome::Punted { reason, llm_calls })
             }
         }

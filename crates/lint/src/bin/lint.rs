@@ -2,7 +2,7 @@
 //! configuration files.
 //!
 //! ```text
-//! lint [--json] [--strict] [--threads N] <config-file>...
+//! lint [--json] [--strict] [--threads N] [--trace-json PATH] [--stats] <config-file>...
 //! ```
 //!
 //! Exit status: 0 when every file is clean (no warnings or errors; notes
@@ -18,25 +18,39 @@ use clarify_netconfig::Config;
 
 const USAGE: &str = "\
 usage:
-  lint [--json] [--strict] [--threads N] <config-file>...
+  lint [--json] [--strict] [--threads N] [--trace-json PATH] [--stats] <config-file>...
 
 options:
-  --json         emit one JSON report object per file instead of text
-  --strict       treat notes as findings for the exit status
-  --threads <N>  worker threads for the symbolic passes (default: the
-                 CLARIFY_THREADS env var, else all available cores)
+  --json              emit one JSON report object per file instead of text
+  --strict            treat notes as findings for the exit status
+  --threads <N>       worker threads for the symbolic passes (default: the
+                      CLARIFY_THREADS env var, else all available cores)
+  --trace-json <PATH> record internal metrics and write them to PATH as
+                      JSON at exit
+  --stats             record internal metrics and print a summary to
+                      stderr at exit
 ";
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut json = false;
     let mut strict = false;
+    let mut stats = false;
+    let mut trace_json: Option<String> = None;
     let mut paths: Vec<&str> = Vec::new();
     let mut args_iter = args.iter();
     while let Some(a) = args_iter.next() {
         match a.as_str() {
             "--json" => json = true,
             "--strict" => strict = true,
+            "--stats" => stats = true,
+            "--trace-json" => {
+                let Some(path) = args_iter.next() else {
+                    eprintln!("error: --trace-json takes a file path\n\n{USAGE}");
+                    return ExitCode::from(2);
+                };
+                trace_json = Some(path.clone());
+            }
             "--threads" => {
                 let Some(n) = args_iter
                     .next()
@@ -63,9 +77,33 @@ fn main() -> ExitCode {
         eprint!("{USAGE}");
         return ExitCode::from(2);
     }
+    if trace_json.is_some() || stats {
+        clarify_obs::install(clarify_obs::Registry::new());
+    }
 
+    let code = run(json, strict, &paths);
+
+    // Dump metrics on every exit path so failing runs still leave a trace.
+    if trace_json.is_some() || stats {
+        let snapshot = clarify_obs::global().snapshot();
+        if let Some(path) = trace_json {
+            if let Err(e) = std::fs::write(&path, snapshot.to_json()) {
+                eprintln!("error: cannot write {path}: {e}");
+                return ExitCode::from(2);
+            }
+        }
+        if stats {
+            eprint!("{}", snapshot.render_human());
+        }
+    }
+    code
+}
+
+/// Lints every file; split out of `main` so the metrics dump above runs
+/// on every return path.
+fn run(json: bool, strict: bool, paths: &[&str]) -> ExitCode {
     let mut dirty = false;
-    for path in paths {
+    for &path in paths {
         let text = match std::fs::read_to_string(path) {
             Ok(t) => t,
             Err(e) => {

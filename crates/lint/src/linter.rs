@@ -30,17 +30,37 @@ fn verb(a: Action) -> &'static str {
 /// [`LintCode::DanglingReference`] error and are skipped by the symbolic
 /// passes (their match conditions cannot be encoded).
 pub fn lint_config(cfg: &Config, spans: Option<&SourceMap>) -> Result<LintReport, AnalysisError> {
+    let _span = clarify_obs::span!("lint_config");
     let mut report = LintReport::default();
-    let broken_maps = lint_references(cfg, &mut report.diagnostics);
-    lint_route_maps(cfg, &broken_maps, &mut report.diagnostics)?;
-    lint_acls(cfg, &mut report.diagnostics);
-    lint_prefix_lists(cfg, &mut report.diagnostics)?;
+    let broken_maps = {
+        let _pass = clarify_obs::span!("lint_references");
+        lint_references(cfg, &mut report.diagnostics)
+    };
+    {
+        let _pass = clarify_obs::span!("lint_route_maps");
+        lint_route_maps(cfg, &broken_maps, &mut report.diagnostics)?;
+    }
+    {
+        let _pass = clarify_obs::span!("lint_acls");
+        lint_acls(cfg, &mut report.diagnostics);
+    }
+    {
+        let _pass = clarify_obs::span!("lint_prefix_lists");
+        lint_prefix_lists(cfg, &mut report.diagnostics)?;
+    }
     if let Some(spans) = spans {
         for d in &mut report.diagnostics {
             d.line = spans.line(&d.rule);
         }
     }
-    Ok(report.finish())
+    let report = report.finish();
+    let obs = clarify_obs::global();
+    obs.counter("lint.configs_linted").incr();
+    for d in &report.diagnostics {
+        obs.counter(&format!("lint.findings.{}", d.code.code()))
+            .incr();
+    }
+    Ok(report)
 }
 
 /// The AST walk: dangling references (error) and unused lists (note).

@@ -1,0 +1,55 @@
+//! The standalone `lint` binary's `--trace-json` / `--stats` flags: the
+//! golden stdout is untouched by tracing, and the dumped trace carries the
+//! linter's counters and per-pass span timings.
+
+use std::path::{Path, PathBuf};
+use std::process::{Command, Stdio};
+
+use clarify_obs::Snapshot;
+
+fn repo_root() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("../..")
+}
+
+#[test]
+fn lint_bin_trace_json_and_stats() {
+    let trace = std::env::temp_dir().join(format!("lint_bin_trace_{}.json", std::process::id()));
+    let output = Command::new(env!("CARGO_BIN_EXE_lint"))
+        .current_dir(repo_root())
+        .args([
+            "--stats",
+            "--threads",
+            "1",
+            "--trace-json",
+            trace.to_str().unwrap(),
+            "testdata/isp_out.cfg",
+        ])
+        .stdin(Stdio::null())
+        .output()
+        .expect("lint runs");
+
+    // Notes only: exit 0, and stdout still matches the golden report.
+    assert!(output.status.success());
+    let golden =
+        std::fs::read_to_string(repo_root().join("testdata/e1_lint_report.txt")).expect("golden");
+    assert_eq!(String::from_utf8_lossy(&output.stdout), golden);
+    assert!(String::from_utf8_lossy(&output.stderr).contains("histograms:"));
+
+    let json = std::fs::read_to_string(&trace).expect("trace written");
+    std::fs::remove_file(&trace).ok();
+    let snap = Snapshot::from_json(&json).expect("valid JSON");
+    assert_eq!(snap.counter("lint.configs_linted"), 1);
+    assert_eq!(snap.counter("lint.findings.L003"), 2);
+    for pass in [
+        "span.lint_references.ns",
+        "span.lint_route_maps.ns",
+        "span.lint_acls.ns",
+        "span.lint_prefix_lists.ns",
+    ] {
+        assert_eq!(
+            snap.histogram(pass).map(|h| h.count),
+            Some(1),
+            "missing pass timing {pass}"
+        );
+    }
+}

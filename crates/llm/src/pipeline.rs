@@ -83,6 +83,17 @@ impl<B: LlmBackend> Pipeline<B> {
     /// threshold of `max_attempts` synthesis calls per intent.
     pub fn new(backend: B, max_attempts: usize) -> Pipeline<B> {
         assert!(max_attempts >= 1, "at least one attempt required");
+        // Register the pipeline's counter vocabulary up front so traces
+        // show zeros (e.g. no punts) rather than omitting the names.
+        let obs = clarify_obs::global();
+        for name in [
+            "pipeline.llm_calls",
+            "pipeline.verifications",
+            "pipeline.retries",
+            "pipeline.punts",
+        ] {
+            let _ = obs.counter(name);
+        }
         Pipeline {
             backend,
             db: PromptDb::defaults(),
@@ -104,11 +115,14 @@ impl<B: LlmBackend> Pipeline<B> {
             user: user.to_string(),
             feedback: feedback.map(str::to_string),
         };
+        clarify_obs::global().counter("pipeline.llm_calls").incr();
         self.backend.complete(&req).text
     }
 
     /// Runs the full pipeline on one user prompt.
     pub fn synthesize(&mut self, prompt: &str) -> Result<PipelineOutcome, LlmError> {
+        let _span = clarify_obs::span!("pipeline_synthesize");
+        let obs = clarify_obs::global();
         let mut llm_calls = 0usize;
 
         // (1) classify, (2) retrieve happens inside call().
@@ -138,6 +152,9 @@ impl<B: LlmBackend> Pipeline<B> {
                     } else {
                         Some(feedback.as_str())
                     };
+                    if attempt > 1 {
+                        obs.counter("pipeline.retries").incr();
+                    }
                     let text = self.call(TaskKind::SynthesizeRouteMap, prompt, fb);
                     llm_calls += 1;
                     if let Some(err) = text.strip_prefix("ERROR:") {
@@ -156,6 +173,7 @@ impl<B: LlmBackend> Pipeline<B> {
                         feedback = "it contained no route-map".to_string();
                         continue;
                     };
+                    obs.counter("pipeline.verifications").incr();
                     match verify_stanza_against_spec(&snippet, &map_name, &spec) {
                         Ok(SpecVerdict::Verified) => {
                             return Ok(PipelineOutcome::RouteMap {
@@ -191,6 +209,7 @@ impl<B: LlmBackend> Pipeline<B> {
                         Err(e) => return Err(LlmError::Analysis(e.to_string())),
                     }
                 }
+                obs.counter("pipeline.punts").incr();
                 Ok(PipelineOutcome::Punt {
                     llm_calls,
                     reason: feedback,
@@ -206,6 +225,9 @@ impl<B: LlmBackend> Pipeline<B> {
                     } else {
                         Some(feedback.as_str())
                     };
+                    if attempt > 1 {
+                        obs.counter("pipeline.retries").incr();
+                    }
                     let text = self.call(TaskKind::SynthesizeAcl, prompt, fb);
                     llm_calls += 1;
                     if let Some(err) = text.strip_prefix("ERROR:") {
@@ -217,6 +239,7 @@ impl<B: LlmBackend> Pipeline<B> {
                         feedback = "it was not a single valid ACL entry".to_string();
                         continue;
                     };
+                    obs.counter("pipeline.verifications").incr();
                     if acl_entries_equivalent(&entry, &spec_entry) {
                         return Ok(PipelineOutcome::Acl {
                             entry,
@@ -226,6 +249,7 @@ impl<B: LlmBackend> Pipeline<B> {
                     }
                     feedback = "the entry does not implement the specification".to_string();
                 }
+                obs.counter("pipeline.punts").incr();
                 Ok(PipelineOutcome::Punt {
                     llm_calls,
                     reason: feedback,

@@ -311,5 +311,5 @@ fn session_pair_rejects_undeclared_router() {
     let err = b.link("GHOST", "A").expect_err("still rejected");
     assert_eq!(err, SimError::UnknownRouter("GHOST".to_string()));
     let net = b.build().unwrap();
-    assert!(net.router("A").map_or(true, |r| r.sessions.is_empty()));
+    assert!(net.router("A").is_none_or(|r| r.sessions.is_empty()));
 }

@@ -1,0 +1,371 @@
+//! The registry and its lock-free instrument handles.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::sync::{Arc, RwLock};
+use std::time::Instant;
+
+use crate::snapshot::{HistogramBucket, HistogramSnapshot, Snapshot};
+
+/// Number of histogram buckets. Bucket 0 holds the value 0; bucket `i`
+/// (for `i >= 1`) holds values in `[2^(i-1), 2^i)`, except the last,
+/// which is open-ended. 64 buckets cover the full `u64` range, so a
+/// nanosecond histogram spans sub-nanosecond to ~584 years.
+pub const HISTOGRAM_BUCKETS: usize = 64;
+
+/// The shared storage behind a [`Histogram`] handle.
+#[derive(Debug)]
+pub(crate) struct HistogramCore {
+    buckets: [AtomicU64; HISTOGRAM_BUCKETS],
+    count: AtomicU64,
+    sum: AtomicU64,
+    min: AtomicU64,
+    max: AtomicU64,
+}
+
+impl HistogramCore {
+    fn new() -> HistogramCore {
+        HistogramCore {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            min: AtomicU64::new(u64::MAX),
+            max: AtomicU64::new(0),
+        }
+    }
+
+    /// The bucket index for `v`: 0 for 0, else `floor(log2(v)) + 1`,
+    /// capped at the last bucket.
+    pub(crate) fn bucket_index(v: u64) -> usize {
+        if v == 0 {
+            0
+        } else {
+            (64 - v.leading_zeros() as usize).min(HISTOGRAM_BUCKETS - 1)
+        }
+    }
+
+    fn record(&self, v: u64) {
+        self.buckets[Self::bucket_index(v)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(v, Ordering::Relaxed);
+        self.min.fetch_min(v, Ordering::Relaxed);
+        self.max.fetch_max(v, Ordering::Relaxed);
+    }
+
+    fn snapshot(&self) -> HistogramSnapshot {
+        let count = self.count.load(Ordering::Relaxed);
+        let buckets = self
+            .buckets
+            .iter()
+            .enumerate()
+            .filter_map(|(i, b)| {
+                let c = b.load(Ordering::Relaxed);
+                (c > 0).then(|| HistogramBucket {
+                    le: bucket_upper_bound(i),
+                    count: c,
+                })
+            })
+            .collect();
+        HistogramSnapshot {
+            count,
+            sum: self.sum.load(Ordering::Relaxed),
+            min: if count == 0 {
+                0
+            } else {
+                self.min.load(Ordering::Relaxed)
+            },
+            max: self.max.load(Ordering::Relaxed),
+            buckets,
+        }
+    }
+}
+
+/// The inclusive upper bound of bucket `i` (`0` for bucket 0, `2^i - 1`
+/// otherwise; the last bucket saturates to `u64::MAX`).
+pub(crate) fn bucket_upper_bound(i: usize) -> u64 {
+    if i == 0 {
+        0
+    } else if i >= HISTOGRAM_BUCKETS - 1 {
+        u64::MAX
+    } else {
+        (1u64 << i) - 1
+    }
+}
+
+/// A monotonic event counter. Cloning shares the underlying atomic; the
+/// default value is a no-op handle that records nothing.
+#[derive(Clone, Debug, Default)]
+pub struct Counter(Option<Arc<AtomicU64>>);
+
+impl Counter {
+    /// A handle that ignores every increment (what disabled registries
+    /// hand out).
+    pub fn noop() -> Counter {
+        Counter(None)
+    }
+
+    /// Adds `n` (relaxed).
+    #[inline]
+    pub fn add(&self, n: u64) {
+        if let Some(c) = &self.0 {
+            c.fetch_add(n, Ordering::Relaxed);
+        }
+    }
+
+    /// Adds 1 (relaxed).
+    #[inline]
+    pub fn incr(&self) {
+        self.add(1);
+    }
+
+    /// The current value (0 for a no-op handle).
+    pub fn get(&self) -> u64 {
+        self.0
+            .as_ref()
+            .map(|c| c.load(Ordering::Relaxed))
+            .unwrap_or(0)
+    }
+}
+
+/// A signed level that can rise and fall (live cache entries, live
+/// nodes). Cloning shares the underlying atomic.
+#[derive(Clone, Debug, Default)]
+pub struct Gauge(Option<Arc<AtomicI64>>);
+
+impl Gauge {
+    /// A handle that ignores every update.
+    pub fn noop() -> Gauge {
+        Gauge(None)
+    }
+
+    /// Raises the level by `n` (relaxed).
+    #[inline]
+    pub fn add(&self, n: i64) {
+        if let Some(g) = &self.0 {
+            g.fetch_add(n, Ordering::Relaxed);
+        }
+    }
+
+    /// Lowers the level by `n` (relaxed).
+    #[inline]
+    pub fn sub(&self, n: i64) {
+        self.add(-n);
+    }
+
+    /// Sets the level outright.
+    #[inline]
+    pub fn set(&self, v: i64) {
+        if let Some(g) = &self.0 {
+            g.store(v, Ordering::Relaxed);
+        }
+    }
+
+    /// The current level (0 for a no-op handle).
+    pub fn get(&self) -> i64 {
+        self.0
+            .as_ref()
+            .map(|g| g.load(Ordering::Relaxed))
+            .unwrap_or(0)
+    }
+}
+
+/// A fixed-bucket log-scale histogram handle. Cloning shares the
+/// underlying storage.
+#[derive(Clone, Debug, Default)]
+pub struct Histogram(Option<Arc<HistogramCore>>);
+
+impl Histogram {
+    /// A handle that ignores every observation.
+    pub fn noop() -> Histogram {
+        Histogram(None)
+    }
+
+    /// Records one observation (relaxed; no locks, no allocation).
+    #[inline]
+    pub fn record(&self, v: u64) {
+        if let Some(h) = &self.0 {
+            h.record(v);
+        }
+    }
+
+    /// Number of observations recorded so far (0 for a no-op handle).
+    pub fn count(&self) -> u64 {
+        self.0
+            .as_ref()
+            .map(|h| h.count.load(Ordering::Relaxed))
+            .unwrap_or(0)
+    }
+
+    /// Whether this handle actually records (false for no-op handles).
+    pub fn is_live(&self) -> bool {
+        self.0.is_some()
+    }
+}
+
+/// An RAII timing guard: records its wall-clock lifetime, in
+/// nanoseconds, into a histogram when dropped. Obtained from
+/// [`Registry::span`] or the [`crate::span!`] macro.
+#[must_use = "a span records on drop; binding it to `_` drops it immediately"]
+#[derive(Debug)]
+pub struct Span {
+    hist: Histogram,
+    start: Option<Instant>,
+}
+
+impl Span {
+    /// A span over the given histogram. No clock is read when the
+    /// histogram is a no-op handle.
+    pub fn new(hist: Histogram) -> Span {
+        let start = hist.is_live().then(Instant::now);
+        Span { hist, start }
+    }
+
+    /// A span that records nothing.
+    pub fn noop() -> Span {
+        Span {
+            hist: Histogram::noop(),
+            start: None,
+        }
+    }
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        if let Some(start) = self.start {
+            let ns = u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX);
+            self.hist.record(ns);
+        }
+    }
+}
+
+/// A named collection of counters, gauges, and histograms.
+///
+/// Instrument *registration* (the `counter`/`gauge`/`histogram` lookups)
+/// takes a read-write lock and is meant for construction time; the
+/// returned handles are lock-free and are what hot paths hold. A
+/// disabled registry ([`Registry::disabled`]) short-circuits before any
+/// lock and hands out no-op handles.
+#[derive(Debug)]
+pub struct Registry {
+    enabled: bool,
+    counters: RwLock<BTreeMap<String, Arc<AtomicU64>>>,
+    gauges: RwLock<BTreeMap<String, Arc<AtomicI64>>>,
+    histograms: RwLock<BTreeMap<String, Arc<HistogramCore>>>,
+}
+
+impl Default for Registry {
+    fn default() -> Registry {
+        Registry::new()
+    }
+}
+
+impl Registry {
+    /// An enabled registry: handles record for real.
+    pub fn new() -> Registry {
+        Registry {
+            enabled: true,
+            counters: RwLock::new(BTreeMap::new()),
+            gauges: RwLock::new(BTreeMap::new()),
+            histograms: RwLock::new(BTreeMap::new()),
+        }
+    }
+
+    /// A disabled registry: every handle is a no-op and nothing is ever
+    /// stored. This is the process-wide default.
+    pub fn disabled() -> Registry {
+        Registry {
+            enabled: false,
+            counters: RwLock::new(BTreeMap::new()),
+            gauges: RwLock::new(BTreeMap::new()),
+            histograms: RwLock::new(BTreeMap::new()),
+        }
+    }
+
+    /// Whether handles from this registry record anything.
+    pub fn is_enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// The counter named `name`, created at 0 on first use.
+    pub fn counter(&self, name: &str) -> Counter {
+        if !self.enabled {
+            return Counter::noop();
+        }
+        if let Some(c) = self.counters.read().expect("obs lock").get(name) {
+            return Counter(Some(c.clone()));
+        }
+        let mut w = self.counters.write().expect("obs lock");
+        Counter(Some(w.entry(name.to_string()).or_default().clone()))
+    }
+
+    /// The gauge named `name`, created at 0 on first use.
+    pub fn gauge(&self, name: &str) -> Gauge {
+        if !self.enabled {
+            return Gauge::noop();
+        }
+        if let Some(g) = self.gauges.read().expect("obs lock").get(name) {
+            return Gauge(Some(g.clone()));
+        }
+        let mut w = self.gauges.write().expect("obs lock");
+        Gauge(Some(w.entry(name.to_string()).or_default().clone()))
+    }
+
+    /// The histogram named `name`, created empty on first use.
+    pub fn histogram(&self, name: &str) -> Histogram {
+        if !self.enabled {
+            return Histogram::noop();
+        }
+        if let Some(h) = self.histograms.read().expect("obs lock").get(name) {
+            return Histogram(Some(h.clone()));
+        }
+        let mut w = self.histograms.write().expect("obs lock");
+        Histogram(Some(
+            w.entry(name.to_string())
+                .or_insert_with(|| Arc::new(HistogramCore::new()))
+                .clone(),
+        ))
+    }
+
+    /// Opens a timing span recording into the `span.<name>.ns`
+    /// histogram on drop. Disabled registries return a no-op guard
+    /// without reading the clock.
+    pub fn span(&self, name: &str) -> Span {
+        if !self.enabled {
+            return Span::noop();
+        }
+        Span::new(self.histogram(&format!("span.{name}.ns")))
+    }
+
+    /// A point-in-time copy of every instrument, for rendering or
+    /// serialization. Relaxed reads: values recorded by threads that
+    /// have not yet been joined may be mid-update, which is fine for a
+    /// diagnostic report (the CLIs snapshot after all work completes).
+    pub fn snapshot(&self) -> Snapshot {
+        let counters = self
+            .counters
+            .read()
+            .expect("obs lock")
+            .iter()
+            .map(|(k, v)| (k.clone(), v.load(Ordering::Relaxed)))
+            .collect();
+        let gauges = self
+            .gauges
+            .read()
+            .expect("obs lock")
+            .iter()
+            .map(|(k, v)| (k.clone(), v.load(Ordering::Relaxed)))
+            .collect();
+        let histograms = self
+            .histograms
+            .read()
+            .expect("obs lock")
+            .iter()
+            .map(|(k, v)| (k.clone(), v.snapshot()))
+            .collect();
+        Snapshot {
+            counters,
+            gauges,
+            histograms,
+        }
+    }
+}

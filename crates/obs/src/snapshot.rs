@@ -1,0 +1,465 @@
+//! Point-in-time registry snapshots: the machine-readable JSON report
+//! behind `--trace-json`, the human summary behind `--stats`, and a
+//! minimal JSON reader so integration tests can check emitted reports
+//! without an external JSON crate.
+
+use std::collections::BTreeMap;
+
+/// One non-empty histogram bucket.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct HistogramBucket {
+    /// Inclusive upper bound of the bucket (0, then `2^i - 1`).
+    pub le: u64,
+    /// Observations that landed in it.
+    pub count: u64,
+}
+
+/// A frozen histogram: totals plus the non-empty buckets.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    /// Number of observations.
+    pub count: u64,
+    /// Sum of all observed values.
+    pub sum: u64,
+    /// Smallest observed value (0 when empty).
+    pub min: u64,
+    /// Largest observed value (0 when empty).
+    pub max: u64,
+    /// The non-empty buckets, ascending by bound.
+    pub buckets: Vec<HistogramBucket>,
+}
+
+impl HistogramSnapshot {
+    /// Mean observed value (0 when empty).
+    pub fn mean(&self) -> u64 {
+        self.sum.checked_div(self.count).unwrap_or(0)
+    }
+}
+
+/// A frozen copy of a whole [`crate::Registry`].
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Snapshot {
+    /// Counter values by name.
+    pub counters: BTreeMap<String, u64>,
+    /// Gauge levels by name.
+    pub gauges: BTreeMap<String, i64>,
+    /// Histograms by name.
+    pub histograms: BTreeMap<String, HistogramSnapshot>,
+}
+
+impl Snapshot {
+    /// A counter's value, 0 when it was never registered.
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// A gauge's level, 0 when it was never registered.
+    pub fn gauge(&self, name: &str) -> i64 {
+        self.gauges.get(name).copied().unwrap_or(0)
+    }
+
+    /// A histogram by name, when it was registered.
+    pub fn histogram(&self, name: &str) -> Option<&HistogramSnapshot> {
+        self.histograms.get(name)
+    }
+
+    /// Renders the snapshot as a deterministic JSON document (names
+    /// sorted; hand-rolled — the workspace is dependency-free by
+    /// design).
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        out.push_str("{\n  \"counters\": {");
+        for (i, (k, v)) in self.counters.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!("\n    {}: {v}", json_str(k)));
+        }
+        out.push_str(if self.counters.is_empty() {
+            "},\n"
+        } else {
+            "\n  },\n"
+        });
+        out.push_str("  \"gauges\": {");
+        for (i, (k, v)) in self.gauges.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!("\n    {}: {v}", json_str(k)));
+        }
+        out.push_str(if self.gauges.is_empty() {
+            "},\n"
+        } else {
+            "\n  },\n"
+        });
+        out.push_str("  \"histograms\": {");
+        for (i, (k, h)) in self.histograms.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "\n    {}: {{\"count\": {}, \"sum\": {}, \"min\": {}, \"max\": {}, \"buckets\": [",
+                json_str(k),
+                h.count,
+                h.sum,
+                h.min,
+                h.max
+            ));
+            for (j, b) in h.buckets.iter().enumerate() {
+                if j > 0 {
+                    out.push_str(", ");
+                }
+                out.push_str(&format!("{{\"le\": {}, \"count\": {}}}", b.le, b.count));
+            }
+            out.push_str("]}");
+        }
+        out.push_str(if self.histograms.is_empty() {
+            "}\n"
+        } else {
+            "\n  }\n"
+        });
+        out.push_str("}\n");
+        out
+    }
+
+    /// Parses a document produced by [`Snapshot::to_json`] (any
+    /// whitespace; unknown keys rejected — the format is ours).
+    pub fn from_json(text: &str) -> Result<Snapshot, String> {
+        let value = json::parse(text)?;
+        let top = value.as_object("top level")?;
+        let mut snap = Snapshot::default();
+        for (key, v) in top {
+            match key.as_str() {
+                "counters" => {
+                    for (name, n) in v.as_object("counters")? {
+                        snap.counters.insert(name.clone(), n.as_u64(name)?);
+                    }
+                }
+                "gauges" => {
+                    for (name, n) in v.as_object("gauges")? {
+                        snap.gauges.insert(name.clone(), n.as_i64(name)?);
+                    }
+                }
+                "histograms" => {
+                    for (name, h) in v.as_object("histograms")? {
+                        let mut hs = HistogramSnapshot::default();
+                        for (field, fv) in h.as_object(name)? {
+                            match field.as_str() {
+                                "count" => hs.count = fv.as_u64(field)?,
+                                "sum" => hs.sum = fv.as_u64(field)?,
+                                "min" => hs.min = fv.as_u64(field)?,
+                                "max" => hs.max = fv.as_u64(field)?,
+                                "buckets" => {
+                                    for b in fv.as_array(field)? {
+                                        let fields = b.as_object("bucket")?;
+                                        let mut bucket = HistogramBucket { le: 0, count: 0 };
+                                        for (bk, bv) in fields {
+                                            match bk.as_str() {
+                                                "le" => bucket.le = bv.as_u64(bk)?,
+                                                "count" => bucket.count = bv.as_u64(bk)?,
+                                                other => {
+                                                    return Err(format!(
+                                                        "unknown bucket key '{other}'"
+                                                    ))
+                                                }
+                                            }
+                                        }
+                                        hs.buckets.push(bucket);
+                                    }
+                                }
+                                other => {
+                                    return Err(format!("unknown histogram key '{other}'"));
+                                }
+                            }
+                        }
+                        snap.histograms.insert(name.clone(), hs);
+                    }
+                }
+                other => return Err(format!("unknown top-level key '{other}'")),
+            }
+        }
+        Ok(snap)
+    }
+
+    /// Renders the human `--stats` summary: counters and gauges in name
+    /// order, then one line per histogram with count/mean/min/max.
+    pub fn render_human(&self) -> String {
+        let mut out = String::new();
+        if self.counters.is_empty() && self.gauges.is_empty() && self.histograms.is_empty() {
+            out.push_str("obs: no metrics recorded\n");
+            return out;
+        }
+        if !self.counters.is_empty() {
+            out.push_str("counters:\n");
+            for (k, v) in &self.counters {
+                out.push_str(&format!("  {k:<44} {v}\n"));
+            }
+        }
+        if !self.gauges.is_empty() {
+            out.push_str("gauges:\n");
+            for (k, v) in &self.gauges {
+                out.push_str(&format!("  {k:<44} {v}\n"));
+            }
+        }
+        if !self.histograms.is_empty() {
+            out.push_str("histograms:\n");
+            for (k, h) in &self.histograms {
+                out.push_str(&format!(
+                    "  {k:<44} count {}  mean {}  min {}  max {}\n",
+                    h.count,
+                    fmt_ns(h.mean()),
+                    fmt_ns(h.min),
+                    fmt_ns(h.max),
+                ));
+            }
+        }
+        out
+    }
+}
+
+/// Formats a (nanosecond) value for the human summary. All histograms in
+/// this workspace record nanoseconds; raw-valued histograms would simply
+/// read as "ns" and still be unambiguous next to the JSON report.
+fn fmt_ns(ns: u64) -> String {
+    let ns = ns as f64;
+    if ns < 1_000.0 {
+        format!("{ns:.0}ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.1}us", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.1}ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.2}s", ns / 1_000_000_000.0)
+    }
+}
+
+/// Escapes a string into a JSON string literal.
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// A minimal recursive-descent JSON reader — just enough to read back
+/// the documents this crate writes (objects, arrays, strings, integers,
+/// booleans, null).
+mod json {
+    /// A parsed JSON value. Object member order is preserved. `Bool`
+    /// and `Null` payloads are parsed for completeness but no snapshot
+    /// field reads them.
+    #[allow(dead_code)]
+    pub(crate) enum Value {
+        Object(Vec<(String, Value)>),
+        Array(Vec<Value>),
+        Str(String),
+        Int(i128),
+        Bool(bool),
+        Null,
+    }
+
+    impl Value {
+        pub(crate) fn as_object(&self, what: &str) -> Result<&Vec<(String, Value)>, String> {
+            match self {
+                Value::Object(m) => Ok(m),
+                _ => Err(format!("{what}: expected an object")),
+            }
+        }
+
+        pub(crate) fn as_array(&self, what: &str) -> Result<&Vec<Value>, String> {
+            match self {
+                Value::Array(a) => Ok(a),
+                _ => Err(format!("{what}: expected an array")),
+            }
+        }
+
+        pub(crate) fn as_u64(&self, what: &str) -> Result<u64, String> {
+            match self {
+                Value::Int(n) => {
+                    u64::try_from(*n).map_err(|_| format!("{what}: {n} out of u64 range"))
+                }
+                _ => Err(format!("{what}: expected an integer")),
+            }
+        }
+
+        pub(crate) fn as_i64(&self, what: &str) -> Result<i64, String> {
+            match self {
+                Value::Int(n) => {
+                    i64::try_from(*n).map_err(|_| format!("{what}: {n} out of i64 range"))
+                }
+                _ => Err(format!("{what}: expected an integer")),
+            }
+        }
+    }
+
+    pub(crate) fn parse(text: &str) -> Result<Value, String> {
+        let bytes = text.as_bytes();
+        let mut pos = 0usize;
+        let v = value(bytes, &mut pos)?;
+        skip_ws(bytes, &mut pos);
+        if pos != bytes.len() {
+            return Err(format!("trailing data at byte {pos}"));
+        }
+        Ok(v)
+    }
+
+    fn skip_ws(b: &[u8], pos: &mut usize) {
+        while *pos < b.len() && matches!(b[*pos], b' ' | b'\t' | b'\n' | b'\r') {
+            *pos += 1;
+        }
+    }
+
+    fn expect(b: &[u8], pos: &mut usize, c: u8) -> Result<(), String> {
+        skip_ws(b, pos);
+        if *pos < b.len() && b[*pos] == c {
+            *pos += 1;
+            Ok(())
+        } else {
+            Err(format!("expected '{}' at byte {pos}", c as char))
+        }
+    }
+
+    fn value(b: &[u8], pos: &mut usize) -> Result<Value, String> {
+        skip_ws(b, pos);
+        match b.get(*pos) {
+            Some(b'{') => object(b, pos),
+            Some(b'[') => array(b, pos),
+            Some(b'"') => Ok(Value::Str(string(b, pos)?)),
+            Some(b't') => keyword(b, pos, "true", Value::Bool(true)),
+            Some(b'f') => keyword(b, pos, "false", Value::Bool(false)),
+            Some(b'n') => keyword(b, pos, "null", Value::Null),
+            Some(c) if c.is_ascii_digit() || *c == b'-' => number(b, pos),
+            _ => Err(format!("unexpected input at byte {pos}")),
+        }
+    }
+
+    fn keyword(b: &[u8], pos: &mut usize, word: &str, v: Value) -> Result<Value, String> {
+        if b[*pos..].starts_with(word.as_bytes()) {
+            *pos += word.len();
+            Ok(v)
+        } else {
+            Err(format!("bad literal at byte {pos}"))
+        }
+    }
+
+    fn object(b: &[u8], pos: &mut usize) -> Result<Value, String> {
+        expect(b, pos, b'{')?;
+        let mut members = Vec::new();
+        skip_ws(b, pos);
+        if b.get(*pos) == Some(&b'}') {
+            *pos += 1;
+            return Ok(Value::Object(members));
+        }
+        loop {
+            skip_ws(b, pos);
+            let key = string(b, pos)?;
+            expect(b, pos, b':')?;
+            members.push((key, value(b, pos)?));
+            skip_ws(b, pos);
+            match b.get(*pos) {
+                Some(b',') => *pos += 1,
+                Some(b'}') => {
+                    *pos += 1;
+                    return Ok(Value::Object(members));
+                }
+                _ => return Err(format!("expected ',' or '}}' at byte {pos}")),
+            }
+        }
+    }
+
+    fn array(b: &[u8], pos: &mut usize) -> Result<Value, String> {
+        expect(b, pos, b'[')?;
+        let mut items = Vec::new();
+        skip_ws(b, pos);
+        if b.get(*pos) == Some(&b']') {
+            *pos += 1;
+            return Ok(Value::Array(items));
+        }
+        loop {
+            items.push(value(b, pos)?);
+            skip_ws(b, pos);
+            match b.get(*pos) {
+                Some(b',') => *pos += 1,
+                Some(b']') => {
+                    *pos += 1;
+                    return Ok(Value::Array(items));
+                }
+                _ => return Err(format!("expected ',' or ']' at byte {pos}")),
+            }
+        }
+    }
+
+    fn string(b: &[u8], pos: &mut usize) -> Result<String, String> {
+        expect(b, pos, b'"')?;
+        let mut out = String::new();
+        loop {
+            match b.get(*pos) {
+                None => return Err("unterminated string".to_string()),
+                Some(b'"') => {
+                    *pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    *pos += 1;
+                    match b.get(*pos) {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'u') => {
+                            let hex = b
+                                .get(*pos + 1..*pos + 5)
+                                .ok_or("truncated \\u escape".to_string())?;
+                            let hex = std::str::from_utf8(hex).map_err(|e| e.to_string())?;
+                            let code = u32::from_str_radix(hex, 16).map_err(|e| e.to_string())?;
+                            out.push(
+                                char::from_u32(code)
+                                    .ok_or_else(|| format!("bad \\u{hex} escape"))?,
+                            );
+                            *pos += 4;
+                        }
+                        _ => return Err(format!("bad escape at byte {pos}")),
+                    }
+                    *pos += 1;
+                }
+                Some(_) => {
+                    // Consume one UTF-8 scalar (multi-byte safe: take the
+                    // longest prefix str::from_utf8 accepts).
+                    let rest = &b[*pos..];
+                    let len = (1..=4.min(rest.len()))
+                        .find(|&n| std::str::from_utf8(&rest[..n]).is_ok())
+                        .ok_or("invalid utf-8 in string".to_string())?;
+                    out.push_str(std::str::from_utf8(&rest[..len]).expect("checked"));
+                    *pos += len;
+                }
+            }
+        }
+    }
+
+    fn number(b: &[u8], pos: &mut usize) -> Result<Value, String> {
+        let start = *pos;
+        if b.get(*pos) == Some(&b'-') {
+            *pos += 1;
+        }
+        while b.get(*pos).is_some_and(u8::is_ascii_digit) {
+            *pos += 1;
+        }
+        let text = std::str::from_utf8(&b[start..*pos]).expect("digits are utf-8");
+        text.parse::<i128>()
+            .map(Value::Int)
+            .map_err(|_| format!("bad number '{text}'"))
+    }
+}

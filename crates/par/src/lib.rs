@@ -138,9 +138,13 @@ where
 {
     let len = items.len();
     let threads = threads.clamp(1, len.max(1));
+    let obs = clarify_obs::global();
+    obs.counter("par.maps").incr();
+    obs.counter("par.items").add(len as u64);
     if threads == 1 || len <= 1 {
         // Inline serial path: no pool, natural panic propagation. This is
         // also the reference implementation the parallel path must match.
+        obs.counter("par.inline_runs").incr();
         let mut state = init();
         return items
             .iter()
@@ -148,6 +152,8 @@ where
             .map(|(i, item)| f(&mut state, i, item))
             .collect();
     }
+    obs.counter("par.pool_runs").incr();
+    let _pool_span = obs.span("par_map");
 
     // Chunked distribution: workers claim fixed-size chunks from a shared
     // atomic counter. ~4 chunks per worker balances load against counter

@@ -15,6 +15,11 @@
 //! per benchmark (name, median/min/max ns per iteration, sample and
 //! iteration counts) to that file — the format the repo's `BENCH_*.json`
 //! trajectory files are built from.
+//!
+//! Set `CLARIFY_BENCH_QUICK=1` for a fast smoke pass (CI's bench job):
+//! the per-sample target drops to 500µs and every benchmark takes at most
+//! 5 samples, trading precision for wall-clock time while keeping the
+//! same output format.
 
 use std::fmt::Display;
 use std::time::{Duration, Instant};
@@ -22,6 +27,16 @@ use std::time::{Duration, Instant};
 /// Target wall-clock time for one sample batch.
 const SAMPLE_TARGET: Duration = Duration::from_millis(4);
 const DEFAULT_SAMPLES: usize = 15;
+
+/// Quick-mode settings (`CLARIFY_BENCH_QUICK=1`): much smaller batches,
+/// few samples — a smoke pass proving the benches run, not a measurement.
+const QUICK_SAMPLE_TARGET: Duration = Duration::from_micros(500);
+const QUICK_SAMPLES: usize = 5;
+
+/// Whether `CLARIFY_BENCH_QUICK` asks for the fast smoke pass.
+fn quick_mode() -> bool {
+    std::env::var("CLARIFY_BENCH_QUICK").is_ok_and(|v| !v.is_empty() && v != "0")
+}
 
 /// Entry point handed to every bench function (mirrors
 /// `criterion::Criterion`).
@@ -115,8 +130,13 @@ impl Bencher {
 }
 
 fn run_bench<F: FnMut(&mut Bencher)>(name: &str, samples: usize, mut f: F) {
+    let (sample_target, samples) = if quick_mode() {
+        (QUICK_SAMPLE_TARGET, samples.min(QUICK_SAMPLES))
+    } else {
+        (SAMPLE_TARGET, samples)
+    };
     // Calibrate: grow the iteration count until one batch costs at least
-    // SAMPLE_TARGET (or a cap is hit, for very slow bodies).
+    // the sample target (or a cap is hit, for very slow bodies).
     let mut iters = 1u64;
     loop {
         let mut b = Bencher {
@@ -124,12 +144,12 @@ fn run_bench<F: FnMut(&mut Bencher)>(name: &str, samples: usize, mut f: F) {
             elapsed: Duration::ZERO,
         };
         f(&mut b);
-        if b.elapsed >= SAMPLE_TARGET || iters >= 1 << 20 {
+        if b.elapsed >= sample_target || iters >= 1 << 20 {
             break;
         }
         // At least double; overshoot toward the target in one step when
         // the measured time says we can.
-        let scale = (SAMPLE_TARGET.as_nanos() / b.elapsed.as_nanos().max(1)).clamp(2, 1024);
+        let scale = (sample_target.as_nanos() / b.elapsed.as_nanos().max(1)).clamp(2, 1024);
         iters = iters.saturating_mul(scale as u64).min(1 << 20);
     }
 

@@ -37,7 +37,7 @@
 //!
 //! # Micro-benches
 //!
-//! The [`bench`] module exposes a Criterion-shaped API (`Criterion`,
+//! The [`mod@bench`] module exposes a Criterion-shaped API (`Criterion`,
 //! `benchmark_group`, `bench_function`, `criterion_group!`,
 //! `criterion_main!`) backed by plain `std::time::Instant` timing, so the
 //! workspace's benches build and run with zero external dependencies.

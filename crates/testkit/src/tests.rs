@@ -1,4 +1,4 @@
-use crate::{gens, prop_assert, prop_assert_eq, property, Rng, Runner, Source};
+use crate::{gens, Rng, Runner, Source};
 
 #[test]
 fn passing_property_runs_all_cases() {

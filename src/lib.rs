@@ -25,7 +25,10 @@
 //! * [`workload`] — seeded synthetic populations calibrated to the paper's
 //!   §3 measurements;
 //! * [`par`] — the zero-dependency scoped worker pool behind the parallel
-//!   disambiguator scans, lint passes, and census sweeps.
+//!   disambiguator scans, lint passes, and census sweeps;
+//! * [`obs`] — the zero-dependency metrics registry (counters, gauges,
+//!   log-scale histograms, spans) behind the CLIs' `--trace-json` and
+//!   `--stats` flags.
 //!
 //! ## Quickstart
 //!
@@ -74,5 +77,6 @@ pub use clarify_llm as llm;
 pub use clarify_netconfig as netconfig;
 pub use clarify_netsim as netsim;
 pub use clarify_nettypes as nettypes;
+pub use clarify_obs as obs;
 pub use clarify_par as par;
 pub use clarify_workload as workload;

@@ -52,6 +52,54 @@ fn main() -> ExitCode {
         clarify::par::set_threads(n);
         args.drain(i..=i + 1);
     }
+    // Global observability flags: `--trace-json PATH` dumps the metrics
+    // registry as JSON at exit; `--stats` prints a human summary to
+    // stderr. Either one switches recording on; with neither, the
+    // registry stays disabled and every instrument is a no-op.
+    let trace_json = match args.iter().position(|a| a == "--trace-json") {
+        Some(i) => {
+            let Some(path) = args.get(i + 1).cloned() else {
+                eprintln!("error: --trace-json takes a file path\n\n{USAGE}");
+                return ExitCode::from(2);
+            };
+            args.drain(i..=i + 1);
+            Some(path)
+        }
+        None => None,
+    };
+    let stats = match args.iter().position(|a| a == "--stats") {
+        Some(i) => {
+            args.remove(i);
+            true
+        }
+        None => false,
+    };
+    if trace_json.is_some() || stats {
+        clarify::obs::install(clarify::obs::Registry::new());
+    }
+
+    let code = run(&args);
+
+    // Metrics are dumped on every exit path (including failures) so a
+    // failing run still leaves a trace to debug from.
+    if trace_json.is_some() || stats {
+        let snapshot = clarify::obs::global().snapshot();
+        if let Some(path) = trace_json {
+            if let Err(e) = std::fs::write(&path, snapshot.to_json()) {
+                eprintln!("error: cannot write {path}: {e}");
+                return ExitCode::from(2);
+            }
+        }
+        if stats {
+            eprint!("{}", snapshot.render_human());
+        }
+    }
+    code
+}
+
+/// Dispatches one subcommand; split out of `main` so the observability
+/// dump above runs on every return path.
+fn run(args: &[String]) -> ExitCode {
     let result = match args.first().map(String::as_str) {
         Some("audit") => audit(&args[1..]),
         Some("ask") => ask(&args[1..], false),
@@ -84,8 +132,13 @@ usage:
   clarify lint [--json] <config-file>...
 
 options:
-  --threads <N>   worker threads for the symbolic analyses (default: the
-                  CLARIFY_THREADS env var, else all available cores)
+  --threads <N>       worker threads for the symbolic analyses (default:
+                      the CLARIFY_THREADS env var, else all available
+                      cores)
+  --trace-json <PATH> record internal metrics and write them to PATH as
+                      JSON at exit
+  --stats             record internal metrics and print a summary to
+                      stderr at exit
 ";
 
 fn load(path: &str) -> Result<Config, String> {

@@ -1,0 +1,68 @@
+//! Cross-thread registry stress: many `clarify-par` workers hammering one
+//! `Registry`'s instruments concurrently must lose no updates — relaxed
+//! atomic read-modify-writes are still atomic, so totals are exact.
+
+use clarify::obs::Registry;
+use clarify::par::par_map_init_with_threads;
+
+#[test]
+fn par_workers_hammering_one_registry_keep_exact_totals() {
+    let reg = Registry::new();
+    let counter = reg.counter("stress.events");
+    let gauge = reg.gauge("stress.level");
+    let hist = reg.histogram("stress.values");
+
+    const ITEMS: usize = 10_000;
+    const THREADS: usize = 8;
+    let items: Vec<u64> = (0..ITEMS as u64).collect();
+
+    // Each item adds its value to the counter, nudges the gauge up and
+    // down (net +1), and records itself into the histogram — all through
+    // handles shared across every worker.
+    let results = par_map_init_with_threads(
+        THREADS,
+        &items,
+        || (),
+        |(), _, &v| {
+            counter.add(v);
+            gauge.add(2);
+            gauge.sub(1);
+            hist.record(v);
+            v
+        },
+    );
+    assert_eq!(results, items, "par_map output order is preserved");
+
+    let expected_sum: u64 = items.iter().sum();
+    let snap = reg.snapshot();
+    assert_eq!(snap.counter("stress.events"), expected_sum);
+    assert_eq!(snap.gauge("stress.level"), ITEMS as i64);
+    let h = snap.histogram("stress.values").expect("registered");
+    assert_eq!(h.count, ITEMS as u64);
+    assert_eq!(h.sum, expected_sum);
+    assert_eq!(h.min, 0);
+    assert_eq!(h.max, ITEMS as u64 - 1);
+    // Every recorded value landed in exactly one bucket.
+    assert_eq!(h.buckets.iter().map(|b| b.count).sum::<u64>(), ITEMS as u64);
+}
+
+#[test]
+fn registration_races_resolve_to_one_instrument() {
+    // Workers racing to register the *same* names must all end up with
+    // handles to the same storage — the first write wins the map slot and
+    // everyone else adopts it.
+    let reg = Registry::new();
+    let items: Vec<usize> = (0..1_000).collect();
+    par_map_init_with_threads(
+        8,
+        &items,
+        || (),
+        |(), _, _| {
+            reg.counter("race.shared").incr();
+            reg.histogram("race.hist").record(1);
+        },
+    );
+    let snap = reg.snapshot();
+    assert_eq!(snap.counter("race.shared"), 1_000);
+    assert_eq!(snap.histogram("race.hist").map(|h| h.count), Some(1_000));
+}

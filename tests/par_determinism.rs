@@ -29,6 +29,13 @@ fn lint_report_text() -> String {
 
 #[test]
 fn one_thread_and_eight_threads_are_byte_identical() {
+    // Record throughout: metrics must be purely observational, so the
+    // byte-identity contract has to hold with a live registry installed,
+    // not just with the disabled default. (This is the only test in the
+    // workspace that installs the global registry with the engine
+    // running; it owns the process-global set_threads override too.)
+    clarify::obs::install(clarify::obs::Registry::new());
+
     // Serial reference (threads = 1 takes the inline code path in
     // `par_map_init_with_threads` — no pool is spawned at all).
     clarify::par::set_threads(1);
@@ -42,8 +49,16 @@ fn one_thread_and_eight_threads_are_byte_identical() {
     let lint_parallel = lint_report_text();
 
     // Back to the default (env var / available_parallelism) for any other
-    // code that runs in this process.
+    // code that runs in this process, and back to the no-op registry.
     clarify::par::set_threads(0);
+    let snapshot = clarify::obs::global().snapshot();
+    clarify::obs::install(clarify::obs::Registry::disabled());
+
+    // The registry actually saw both runs (2 inline, at least 1 pooled
+    // map), so the assertions below exercise recording, not a no-op.
+    assert!(snapshot.counter("par.inline_runs") > 0);
+    assert!(snapshot.counter("par.pool_runs") > 0);
+    assert!(snapshot.counter("bdd.ite_calls") > 0);
 
     assert_eq!(
         worked_serial, worked_parallel,

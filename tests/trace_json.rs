@@ -1,0 +1,171 @@
+//! End-to-end `--trace-json` / `--stats` coverage: run the release CLI on
+//! the §2 worked example (E1) and pin the trace against the known counter
+//! values, exactly as the golden report pins the stdout.
+
+use std::path::{Path, PathBuf};
+use std::process::{Command, Stdio};
+
+use clarify::obs::Snapshot;
+
+/// The E1 prompt (identical to `clarify_bench::worked_example::PROMPT`).
+const E1_PROMPT: &str = "Write a route-map stanza that permits routes containing the prefix \
+100.0.0.0/16 with mask length less than or equal to 23 and tagged with the community 300:3. \
+Their MED value should be set to 55.";
+
+fn manifest_dir() -> &'static Path {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+}
+
+fn unique_tmp(name: &str) -> PathBuf {
+    let mut p = std::env::temp_dir();
+    p.push(format!("clarify_{}_{}", name, std::process::id()));
+    p
+}
+
+#[test]
+fn ask_trace_json_pins_e1_counters() {
+    let trace = unique_tmp("e1_trace.json");
+    // Stdin is closed, so every question falls back to OPTION 1 — the
+    // same answers the worked example's intent oracle gives on E1.
+    let output = Command::new(env!("CARGO_BIN_EXE_clarify"))
+        .current_dir(manifest_dir())
+        .args([
+            "--threads",
+            "1",
+            "--trace-json",
+            trace.to_str().unwrap(),
+            "ask",
+            "testdata/isp_out.cfg",
+            "ISP_OUT",
+            E1_PROMPT,
+        ])
+        .stdin(Stdio::null())
+        .output()
+        .expect("clarify runs");
+    assert!(
+        output.status.success(),
+        "clarify ask failed: {}",
+        String::from_utf8_lossy(&output.stderr)
+    );
+
+    let json = std::fs::read_to_string(&trace).expect("trace file written");
+    std::fs::remove_file(&trace).ok();
+    let snap = Snapshot::from_json(&json).expect("trace is valid JSON");
+
+    // The paper's worked example, as pinned by the E1 golden report:
+    // 3 LLM calls (classify, spec, one synthesis attempt), first-attempt
+    // verification, 2 overlapping stanzas, 2 binary-search questions.
+    assert_eq!(snap.counter("pipeline.llm_calls"), 3);
+    assert_eq!(snap.counter("pipeline.verifications"), 1);
+    assert_eq!(snap.counter("pipeline.retries"), 0);
+    assert_eq!(snap.counter("pipeline.punts"), 0);
+    assert_eq!(snap.counter("disambiguator.insertions"), 1);
+    assert_eq!(snap.counter("disambiguator.overlap_candidates"), 2);
+    assert_eq!(snap.counter("disambiguator.candidates_pruned"), 0);
+    assert_eq!(snap.counter("disambiguator.questions_asked"), 2);
+
+    // The symbolic work underneath: the ite kernel ran and its memo cache
+    // was exercised in both directions.
+    assert!(snap.counter("bdd.ite_calls") > 0);
+    assert!(snap.counter("bdd.ite_cache_hits") > 0);
+    assert!(snap.counter("bdd.ite_cache_misses") > 0);
+
+    // Per-round span timings: one insertion, one pivot scan, one question
+    // per disambiguation round.
+    let round = snap
+        .histogram("span.disambiguation_round.ns")
+        .expect("round span recorded");
+    assert_eq!(round.count, 2);
+    assert!(round.sum > 0);
+    let insert = snap
+        .histogram("span.disambiguator_insert.ns")
+        .expect("insert span recorded");
+    assert_eq!(insert.count, 1);
+    assert_eq!(
+        snap.histogram("span.pivot_scan.ns").map(|h| h.count),
+        Some(1)
+    );
+    assert_eq!(
+        snap.histogram("span.pipeline_synthesize.ns")
+            .map(|h| h.count),
+        Some(1)
+    );
+}
+
+#[test]
+fn lint_stats_preserves_golden_stdout() {
+    let trace = unique_tmp("lint_trace.json");
+    let output = Command::new(env!("CARGO_BIN_EXE_clarify"))
+        .current_dir(manifest_dir())
+        .args([
+            "--stats",
+            "--trace-json",
+            trace.to_str().unwrap(),
+            "lint",
+            "testdata/isp_out.cfg",
+        ])
+        .stdin(Stdio::null())
+        .output()
+        .expect("clarify runs");
+
+    // The metrics layer is observational: stdout must still match the
+    // golden lint report byte for byte, and the (notes-only) exit status
+    // stays 0.
+    let golden = std::fs::read_to_string(manifest_dir().join("testdata/e1_lint_report.txt"))
+        .expect("golden exists");
+    assert_eq!(String::from_utf8_lossy(&output.stdout), golden);
+    assert!(output.status.success());
+
+    // --stats writes the human summary to stderr, not stdout.
+    let stderr = String::from_utf8_lossy(&output.stderr);
+    assert!(stderr.contains("counters:"), "stats summary on stderr");
+    assert!(stderr.contains("lint.findings.L003"));
+
+    let json = std::fs::read_to_string(&trace).expect("trace file written");
+    std::fs::remove_file(&trace).ok();
+    let snap = Snapshot::from_json(&json).expect("trace is valid JSON");
+    assert_eq!(snap.counter("lint.configs_linted"), 1);
+    assert_eq!(snap.counter("lint.findings.L003"), 2);
+    assert!(snap.histogram("span.lint_config.ns").is_some());
+}
+
+#[test]
+fn without_flags_no_trace_is_recorded() {
+    // The disabled-registry default: same command, no flags, no trace
+    // side effects, identical stdout.
+    let output = Command::new(env!("CARGO_BIN_EXE_clarify"))
+        .current_dir(manifest_dir())
+        .args(["lint", "testdata/isp_out.cfg"])
+        .stdin(Stdio::null())
+        .output()
+        .expect("clarify runs");
+    let golden = std::fs::read_to_string(manifest_dir().join("testdata/e1_lint_report.txt"))
+        .expect("golden exists");
+    assert_eq!(String::from_utf8_lossy(&output.stdout), golden);
+    assert_eq!(String::from_utf8_lossy(&output.stderr), "");
+}
+
+#[test]
+fn trace_json_survives_command_failure() {
+    // Metrics are dumped on every exit path: a run that ends with
+    // findings-free parse errors (unknown route-map) still writes the
+    // trace, with the pipeline counters registered at zero.
+    let trace = unique_tmp("fail_trace.json");
+    let output = Command::new(env!("CARGO_BIN_EXE_clarify"))
+        .current_dir(manifest_dir())
+        .args([
+            "--trace-json",
+            trace.to_str().unwrap(),
+            "ask",
+            "testdata/isp_out.cfg",
+            "NO_SUCH_MAP",
+            "anything",
+        ])
+        .stdin(Stdio::null())
+        .output()
+        .expect("clarify runs");
+    assert!(!output.status.success());
+    let json = std::fs::read_to_string(&trace).expect("trace written despite failure");
+    std::fs::remove_file(&trace).ok();
+    Snapshot::from_json(&json).expect("valid JSON");
+}
