@@ -97,7 +97,10 @@ impl PrefixSpace {
     pub fn new() -> PrefixSpace {
         let addr_vars: Vec<u32> = (0..32).collect();
         let len_vars: Vec<u32> = (32..38).collect();
-        let mut mgr = Manager::new(38);
+        // Prefix-list comparisons stay small (38 variables, interval
+        // constraints only); a modest pre-size avoids the first rehashes
+        // without over-allocating per comparison.
+        let mut mgr = Manager::with_capacity(38, 1 << 12);
         let valid = mgr.le_const(&len_vars, 32);
         PrefixSpace {
             mgr,

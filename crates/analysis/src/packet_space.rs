@@ -42,7 +42,10 @@ impl PacketSpace {
         let proto_vars = take(2);
         let sport_vars = take(16);
         let dport_vars = take(16);
-        let mut mgr = Manager::new(next);
+        // 98 variables and range-heavy ACL encodings: pre-size for the
+        // typical footprint of a lint/disambiguation pass so the unique
+        // table skips its early rehash ladder.
+        let mut mgr = Manager::with_capacity(next, 1 << 14);
         // Protocol code 0 is the `ip` wildcard, never a concrete packet.
         let valid = mgr.ge_const(&proto_vars, 1);
         PacketSpace {

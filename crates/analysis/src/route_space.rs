@@ -117,7 +117,11 @@ impl RouteSpace {
         let comm_vars = take(comm_atoms.len());
         let path_vars = take(path_bits);
 
-        let mut mgr = Manager::new(next);
+        // Pre-size the kernel tables from the atomic-predicate counts: the
+        // fixed fields contribute a roughly constant footprint, and every
+        // community/path atom multiplies the stanza encodings it appears in.
+        let node_hint = 1 << 13 | ((comm_atoms.len() + path_atoms.len()) * 512).next_power_of_two();
+        let mut mgr = Manager::with_capacity(next, node_hint);
         let mut valid = mgr.le_const(&plen_vars, 32);
         if !path_vars.is_empty() {
             let in_range = mgr.le_const(&path_vars, (path_atoms.len().max(1) - 1) as u64);

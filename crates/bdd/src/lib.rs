@@ -28,8 +28,10 @@
 
 #![warn(missing_docs)]
 
+mod cache;
 mod cube;
 mod manager;
+mod unique;
 
 pub use cube::Cube;
 pub use manager::{Manager, Ref, Stats};

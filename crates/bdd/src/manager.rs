@@ -4,7 +4,9 @@ use std::collections::HashMap;
 
 use clarify_obs::{Counter, Gauge, Registry};
 
+use crate::cache::{ComputedCache, PutOutcome};
 use crate::cube::Cube;
+use crate::unique::UniqueTable;
 
 /// A handle to a BDD function owned by a [`Manager`].
 ///
@@ -12,7 +14,7 @@ use crate::cube::Cube;
 /// denote semantically equal Boolean functions (canonicity of ROBDDs).
 /// A `Ref` must only be used with the manager that produced it.
 #[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
-pub struct Ref(u32);
+pub struct Ref(pub(crate) u32);
 
 impl Ref {
     /// The constant-false function.
@@ -41,25 +43,47 @@ impl std::fmt::Debug for Ref {
 }
 
 #[derive(Clone, Copy)]
-struct Node {
-    var: u32,
-    lo: Ref,
-    hi: Ref,
+pub(crate) struct Node {
+    pub(crate) var: u32,
+    pub(crate) lo: Ref,
+    pub(crate) hi: Ref,
 }
+
+/// Operation tags for the binary kernels with their own computed-cache
+/// namespace (xor/xnor/diff). Tags live in the cache key's third slot,
+/// above every legal node index, so `(f, g, OP_XOR)` can never collide
+/// with a genuine `ite` triple.
+const OP_XOR: u32 = u32::MAX - 1;
+const OP_XNOR: u32 = u32::MAX - 2;
+const OP_DIFF: u32 = u32::MAX - 3;
+
+/// Hard ceiling on arena indices: everything above is reserved for the
+/// operation tags and the tables' vacancy sentinels.
+const MAX_NODES: u32 = u32::MAX - 8;
+
+/// Default capacity hint (in nodes) for managers built without one.
+const DEFAULT_NODE_HINT: usize = 1 << 14;
 
 /// Usage counters for diagnostics and benchmarks.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct Stats {
     /// Number of live (hash-consed) internal nodes, terminals excluded.
     pub nodes: usize,
-    /// Hits in the `ite` memo cache since creation.
+    /// Hits in the computed cache since creation.
     pub cache_hits: u64,
-    /// Misses in the `ite` memo cache since creation.
+    /// Misses in the computed cache since creation.
     pub cache_misses: u64,
-    /// Current entries in the `ite` memo cache (drops to zero after
-    /// [`Manager::clear_op_caches`]; `exists`/`restrict` memos are
-    /// per-call and never persist, so they are not counted here).
+    /// Currently occupied slots of the bounded computed cache (drops to
+    /// zero after [`Manager::clear_op_caches`]; `exists`/`restrict` memos
+    /// are per-call and never persist, so they are not counted here).
     pub ite_cache_entries: usize,
+    /// Cumulative unique-table slot inspections. A value close to the
+    /// node count means the hash is spreading keys well.
+    pub unique_probes: u64,
+    /// Cumulative computed-cache collision evictions. The cache is
+    /// direct-mapped and lossy; evictions cost recomputation, not
+    /// correctness.
+    pub computed_evictions: u64,
 }
 
 /// Metric handles captured once at manager construction, so the `ite`
@@ -72,9 +96,13 @@ struct ObsHandles {
     cache_hits: Counter,
     cache_misses: Counter,
     cache_clears: Counter,
+    /// Unique-table slot inspections across all managers on this registry.
+    unique_probes: Counter,
+    /// Computed-cache collision evictions across all managers.
+    computed_evictions: Counter,
     /// Live hash-consed nodes across all managers on this registry.
     unique_nodes: Gauge,
-    /// Live `ite`-cache entries across all managers on this registry.
+    /// Live computed-cache entries across all managers on this registry.
     ite_cache_entries: Gauge,
 }
 
@@ -85,6 +113,8 @@ impl ObsHandles {
             cache_hits: registry.counter("bdd.ite_cache_hits"),
             cache_misses: registry.counter("bdd.ite_cache_misses"),
             cache_clears: registry.counter("bdd.op_cache_clears"),
+            unique_probes: registry.counter("bdd.unique_probes"),
+            computed_evictions: registry.counter("bdd.computed_evictions"),
             unique_nodes: registry.gauge("bdd.unique_nodes"),
             ite_cache_entries: registry.gauge("bdd.ite_cache_entries"),
         }
@@ -97,10 +127,17 @@ impl ObsHandles {
 /// frees nodes (no garbage collection): Clarify analyses are short-lived and
 /// bounded, and a fresh manager per analysis keeps the design simple — the
 /// same trade-off smoltcp makes by preferring robustness over cleverness.
+///
+/// The kernel data structures are hand-rolled for the hot path (see
+/// DESIGN.md §8): the unique table is an open-addressing hash table of
+/// bare `u32` arena indices, and the operation memo is a fixed-size
+/// direct-mapped *lossy* computed cache in the CUDD tradition. Losing a
+/// computed-cache entry never loses correctness — results are re-derived
+/// and hash-consing lands them on the same [`Ref`].
 pub struct Manager {
     nodes: Vec<Node>,
-    unique: HashMap<(u32, Ref, Ref), Ref>,
-    ite_cache: HashMap<(Ref, Ref, Ref), Ref>,
+    unique: UniqueTable,
+    computed: ComputedCache,
     num_vars: u32,
     cache_hits: u64,
     cache_misses: u64,
@@ -115,12 +152,31 @@ impl Manager {
     /// registry *current at this call*; use [`Manager::with_registry`]
     /// to inject one explicitly (isolated tests, per-request registries).
     pub fn new(num_vars: u32) -> Self {
-        Self::with_registry(num_vars, &clarify_obs::global())
+        Self::with_capacity(num_vars, DEFAULT_NODE_HINT)
+    }
+
+    /// Like [`Manager::new`], but pre-sizes the unique table and computed
+    /// cache for roughly `node_hint` live nodes, so workloads with a known
+    /// footprint (the analysis spaces derive one from their atomic
+    /// predicate counts) skip the early rehash ladder. The hint is only a
+    /// hint: the arena and unique table still grow on demand, and the
+    /// computed cache is clamped to a bounded size either way.
+    pub fn with_capacity(num_vars: u32, node_hint: usize) -> Self {
+        Self::with_capacity_and_registry(num_vars, node_hint, &clarify_obs::global())
     }
 
     /// Like [`Manager::new`], but records metrics into `registry`
     /// instead of the process-global one.
     pub fn with_registry(num_vars: u32, registry: &Registry) -> Self {
+        Self::with_capacity_and_registry(num_vars, DEFAULT_NODE_HINT, registry)
+    }
+
+    /// The fully explicit constructor: capacity hint plus registry.
+    pub fn with_capacity_and_registry(
+        num_vars: u32,
+        node_hint: usize,
+        registry: &Registry,
+    ) -> Self {
         // Slots 0 and 1 are the terminals; their contents are never read
         // through `node()` because `is_const` handles take an early return,
         // but give them sentinel values anyway.
@@ -129,10 +185,13 @@ impl Manager {
             lo: Ref::FALSE,
             hi: Ref::TRUE,
         };
+        let mut nodes = Vec::with_capacity(node_hint.saturating_add(2).min(1 << 24));
+        nodes.push(sentinel);
+        nodes.push(sentinel);
         Manager {
-            nodes: vec![sentinel, sentinel],
-            unique: HashMap::new(),
-            ite_cache: HashMap::new(),
+            nodes,
+            unique: UniqueTable::with_node_capacity(node_hint),
+            computed: ComputedCache::with_node_capacity(node_hint),
             num_vars,
             cache_hits: 0,
             cache_misses: 0,
@@ -151,24 +210,28 @@ impl Manager {
             nodes: self.nodes.len() - 2,
             cache_hits: self.cache_hits,
             cache_misses: self.cache_misses,
-            ite_cache_entries: self.ite_cache.len(),
+            ite_cache_entries: self.computed.live(),
+            unique_probes: self.unique.probes(),
+            computed_evictions: self.computed.evictions(),
         }
     }
 
-    /// Drops the operation memo caches while preserving the unique table,
-    /// so every outstanding [`Ref`] stays valid and hash-consing (and
+    /// Empties the computed cache while preserving the unique table, so
+    /// every outstanding [`Ref`] stays valid and hash-consing (and
     /// therefore canonicity) is unaffected.
     ///
-    /// The `ite` cache memoizes *history*: entries for intermediate
-    /// functions from finished queries are never hit again but are kept
-    /// alive forever, so a long session's cache grows without bound.
-    /// Long-running callers (the disambiguators between rounds, the
-    /// linter between objects) call this at phase boundaries to bound
-    /// that growth. The hit/miss counters are cumulative and survive.
+    /// The cache memoizes *history*: entries for intermediate functions
+    /// from finished queries are rarely hit again. Long-running callers
+    /// (the disambiguators between rounds, the linter between objects)
+    /// call this at phase boundaries for a clean-slate hit/miss profile.
+    /// Since the cache became a fixed-size direct-mapped table this is a
+    /// cheap in-place `fill` — no reallocation, and skipping the call no
+    /// longer risks unbounded growth. The hit/miss counters are
+    /// cumulative and survive.
     pub fn clear_op_caches(&mut self) {
         self.obs.cache_clears.incr();
-        self.obs.ite_cache_entries.sub(self.ite_cache.len() as i64);
-        self.ite_cache = HashMap::new();
+        let live = self.computed.reset();
+        self.obs.ite_cache_entries.sub(live as i64);
     }
 
     fn node(&self, r: Ref) -> Node {
@@ -194,13 +257,25 @@ impl Manager {
             var < self.level(lo) && var < self.level(hi),
             "order violation"
         );
-        if let Some(&r) = self.unique.get(&(var, lo, hi)) {
-            return r;
-        }
-        let r = Ref(u32::try_from(self.nodes.len()).expect("BDD arena exceeded u32 indices"));
-        self.nodes.push(Node { var, lo, hi });
-        self.unique.insert((var, lo, hi), r);
-        self.obs.unique_nodes.add(1);
+        // Grow (if needed) before probing so the insertion slot stays valid.
+        self.unique.reserve_one(&self.nodes);
+        let probes_before = self.unique.probes();
+        let r = match self.unique.find_or_slot(&self.nodes, var, lo.0, hi.0) {
+            Ok(idx) => Ref(idx),
+            Err(slot) => {
+                let idx = u32::try_from(self.nodes.len())
+                    .ok()
+                    .filter(|&i| i < MAX_NODES)
+                    .expect("BDD arena exceeded the u32 index space");
+                self.nodes.push(Node { var, lo, hi });
+                self.unique.insert(slot, idx);
+                self.obs.unique_nodes.add(1);
+                Ref(idx)
+            }
+        };
+        self.obs
+            .unique_probes
+            .add(self.unique.probes() - probes_before);
         r
     }
 
@@ -243,12 +318,35 @@ impl Manager {
     /// This is the single kernel every binary operation reduces to.
     pub fn ite(&mut self, f: Ref, g: Ref, h: Ref) -> Ref {
         self.obs.ite_calls.incr();
-        // Terminal cases.
+        self.ite_norm(f, g, h)
+    }
+
+    /// Standard-triple normalization, then the cached apply. Internal
+    /// recursion re-enters here, so the rewrites fire at every level of
+    /// the recursion, not just at the API boundary.
+    ///
+    /// Rewrites (Brace–Rudell–Bryant):
+    /// - terminal `f` selects an argument;
+    /// - `ite(f, f, h) = ite(f, 1, h)` and `ite(f, g, f) = ite(f, g, 0)`;
+    /// - equal branches collapse; `ite(f, 1, 0) = f`;
+    /// - the commuting forms are argument-canonicalized by `Ref` order:
+    ///   `ite(f, 1, h) = f|h = ite(h, 1, f)` and
+    ///   `ite(f, g, 0) = f&g = ite(g, f, 0)`, so both operand orders share
+    ///   one computed-cache entry. (`ite(f, 0, h) = !f & h` does *not*
+    ///   commute and gets no swap.)
+    fn ite_norm(&mut self, mut f: Ref, mut g: Ref, mut h: Ref) -> Ref {
         if f == Ref::TRUE {
             return g;
         }
         if f == Ref::FALSE {
             return h;
+        }
+        // f is non-constant from here on.
+        if g == f {
+            g = Ref::TRUE;
+        }
+        if h == f {
+            h = Ref::FALSE;
         }
         if g == h {
             return g;
@@ -256,11 +354,25 @@ impl Manager {
         if g == Ref::TRUE && h == Ref::FALSE {
             return f;
         }
+        if g == Ref::TRUE {
+            // Disjunction: both operands are non-constant here (h constant
+            // was caught above), order them.
+            if h < f {
+                std::mem::swap(&mut f, &mut h);
+            }
+        } else if h == Ref::FALSE && g < f {
+            // Conjunction: same argument ordering.
+            std::mem::swap(&mut f, &mut g);
+        }
+        self.ite_apply(f, g, h)
+    }
 
-        if let Some(&r) = self.ite_cache.get(&(f, g, h)) {
+    /// The cached Shannon expansion for an already-normalized triple.
+    fn ite_apply(&mut self, f: Ref, g: Ref, h: Ref) -> Ref {
+        if let Some(r) = self.computed.get(f.0, g.0, h.0) {
             self.cache_hits += 1;
             self.obs.cache_hits.incr();
-            return r;
+            return Ref(r);
         }
         self.cache_misses += 1;
         self.obs.cache_misses.incr();
@@ -269,53 +381,200 @@ impl Manager {
         let (f0, f1) = self.cofactors(f, top);
         let (g0, g1) = self.cofactors(g, top);
         let (h0, h1) = self.cofactors(h, top);
-        let lo = self.ite(f0, g0, h0);
-        let hi = self.ite(f1, g1, h1);
+        let lo = self.ite_norm(f0, g0, h0);
+        let hi = self.ite_norm(f1, g1, h1);
         let r = self.mk(top, lo, hi);
-        // A deeper recursion can have memoized this very triple already;
-        // only count genuinely new entries toward the live gauge.
-        if self.ite_cache.insert((f, g, h), r).is_none() {
-            self.obs.ite_cache_entries.add(1);
-        }
+        self.cache_put(f.0, g.0, h.0, r.0);
         r
+    }
+
+    /// Records an operation result, keeping the occupancy gauge and the
+    /// eviction counter in step with what the lossy cache actually did.
+    fn cache_put(&mut self, f: u32, g: u32, h: u32, r: u32) {
+        match self.computed.put(f, g, h, r) {
+            PutOutcome::Fresh => self.obs.ite_cache_entries.add(1),
+            PutOutcome::Evicted => self.obs.computed_evictions.incr(),
+            PutOutcome::Refreshed => {}
+        }
     }
 
     /// Logical negation.
     pub fn not(&mut self, f: Ref) -> Ref {
-        self.ite(f, Ref::FALSE, Ref::TRUE)
+        self.obs.ite_calls.incr();
+        self.not_rec(f)
     }
 
-    /// Logical conjunction.
+    fn not_rec(&mut self, f: Ref) -> Ref {
+        match f {
+            Ref::FALSE => Ref::TRUE,
+            Ref::TRUE => Ref::FALSE,
+            _ => self.ite_apply(f, Ref::FALSE, Ref::TRUE),
+        }
+    }
+
+    /// Logical conjunction (a dedicated apply entry: operands are ordered
+    /// so `and(a, b)` and `and(b, a)` share one computed-cache entry).
     pub fn and(&mut self, f: Ref, g: Ref) -> Ref {
-        self.ite(f, g, Ref::FALSE)
+        self.obs.ite_calls.incr();
+        self.and_rec(f, g)
     }
 
-    /// Logical disjunction.
+    fn and_rec(&mut self, f: Ref, g: Ref) -> Ref {
+        if f == g || g == Ref::TRUE {
+            return f;
+        }
+        if f == Ref::TRUE {
+            return g;
+        }
+        if f == Ref::FALSE || g == Ref::FALSE {
+            return Ref::FALSE;
+        }
+        let (f, g) = if g < f { (g, f) } else { (f, g) };
+        self.ite_apply(f, g, Ref::FALSE)
+    }
+
+    /// Logical disjunction (a dedicated apply entry, operand-ordered like
+    /// [`Manager::and`]).
     pub fn or(&mut self, f: Ref, g: Ref) -> Ref {
-        self.ite(f, Ref::TRUE, g)
+        self.obs.ite_calls.incr();
+        self.or_rec(f, g)
     }
 
-    /// Exclusive or.
+    fn or_rec(&mut self, f: Ref, g: Ref) -> Ref {
+        if f == g || g == Ref::FALSE {
+            return f;
+        }
+        if f == Ref::FALSE {
+            return g;
+        }
+        if f == Ref::TRUE || g == Ref::TRUE {
+            return Ref::TRUE;
+        }
+        let (f, h) = if g < f { (g, f) } else { (f, g) };
+        self.ite_apply(f, Ref::TRUE, h)
+    }
+
+    /// Exclusive or. A dedicated kernel: one recursion under the
+    /// `(f, g, OP_XOR)` cache key instead of the old `not` + `ite` pair,
+    /// so no throwaway negation nodes are materialized.
     pub fn xor(&mut self, f: Ref, g: Ref) -> Ref {
-        let ng = self.not(g);
-        self.ite(f, ng, g)
+        self.obs.ite_calls.incr();
+        self.xor_rec(f, g)
+    }
+
+    fn xor_rec(&mut self, f: Ref, g: Ref) -> Ref {
+        if f == g {
+            return Ref::FALSE;
+        }
+        if f == Ref::FALSE {
+            return g;
+        }
+        if g == Ref::FALSE {
+            return f;
+        }
+        if f == Ref::TRUE {
+            return self.not_rec(g);
+        }
+        if g == Ref::TRUE {
+            return self.not_rec(f);
+        }
+        // Commutative: order the operands for cache sharing.
+        let (f, g) = if g < f { (g, f) } else { (f, g) };
+        if let Some(r) = self.computed.get(f.0, g.0, OP_XOR) {
+            self.cache_hits += 1;
+            self.obs.cache_hits.incr();
+            return Ref(r);
+        }
+        self.cache_misses += 1;
+        self.obs.cache_misses.incr();
+        let top = self.level(f).min(self.level(g));
+        let (f0, f1) = self.cofactors(f, top);
+        let (g0, g1) = self.cofactors(g, top);
+        let lo = self.xor_rec(f0, g0);
+        let hi = self.xor_rec(f1, g1);
+        let r = self.mk(top, lo, hi);
+        self.cache_put(f.0, g.0, OP_XOR, r.0);
+        r
     }
 
     /// Material implication `f -> g`.
     pub fn implies(&mut self, f: Ref, g: Ref) -> Ref {
-        self.ite(f, g, Ref::TRUE)
+        self.obs.ite_calls.incr();
+        self.ite_norm(f, g, Ref::TRUE)
     }
 
-    /// Biconditional `f <-> g`.
+    /// Biconditional `f <-> g`. Dedicated kernel under `(f, g, OP_XNOR)`.
     pub fn iff(&mut self, f: Ref, g: Ref) -> Ref {
-        let ng = self.not(g);
-        self.ite(f, g, ng)
+        self.obs.ite_calls.incr();
+        self.xnor_rec(f, g)
     }
 
-    /// Difference `f & !g`.
+    fn xnor_rec(&mut self, f: Ref, g: Ref) -> Ref {
+        if f == g {
+            return Ref::TRUE;
+        }
+        if f == Ref::TRUE {
+            return g;
+        }
+        if g == Ref::TRUE {
+            return f;
+        }
+        if f == Ref::FALSE {
+            return self.not_rec(g);
+        }
+        if g == Ref::FALSE {
+            return self.not_rec(f);
+        }
+        let (f, g) = if g < f { (g, f) } else { (f, g) };
+        if let Some(r) = self.computed.get(f.0, g.0, OP_XNOR) {
+            self.cache_hits += 1;
+            self.obs.cache_hits.incr();
+            return Ref(r);
+        }
+        self.cache_misses += 1;
+        self.obs.cache_misses.incr();
+        let top = self.level(f).min(self.level(g));
+        let (f0, f1) = self.cofactors(f, top);
+        let (g0, g1) = self.cofactors(g, top);
+        let lo = self.xnor_rec(f0, g0);
+        let hi = self.xnor_rec(f1, g1);
+        let r = self.mk(top, lo, hi);
+        self.cache_put(f.0, g.0, OP_XNOR, r.0);
+        r
+    }
+
+    /// Difference `f & !g`. Dedicated kernel under `(f, g, OP_DIFF)`
+    /// (not commutative — no operand swap).
     pub fn diff(&mut self, f: Ref, g: Ref) -> Ref {
-        let ng = self.not(g);
-        self.and(f, ng)
+        self.obs.ite_calls.incr();
+        self.diff_rec(f, g)
+    }
+
+    fn diff_rec(&mut self, f: Ref, g: Ref) -> Ref {
+        if f == Ref::FALSE || f == g || g == Ref::TRUE {
+            return Ref::FALSE;
+        }
+        if g == Ref::FALSE {
+            return f;
+        }
+        if f == Ref::TRUE {
+            return self.not_rec(g);
+        }
+        if let Some(r) = self.computed.get(f.0, g.0, OP_DIFF) {
+            self.cache_hits += 1;
+            self.obs.cache_hits.incr();
+            return Ref(r);
+        }
+        self.cache_misses += 1;
+        self.obs.cache_misses.incr();
+        let top = self.level(f).min(self.level(g));
+        let (f0, f1) = self.cofactors(f, top);
+        let (g0, g1) = self.cofactors(g, top);
+        let lo = self.diff_rec(f0, g0);
+        let hi = self.diff_rec(f1, g1);
+        let r = self.mk(top, lo, hi);
+        self.cache_put(f.0, g.0, OP_DIFF, r.0);
+        r
     }
 
     /// Conjunction over an iterator (true for the empty sequence).
@@ -377,7 +636,7 @@ impl Manager {
         let r = if rest.first() == Some(&n.var) {
             let lo = self.exists_rec(n.lo, &rest[1..], memo);
             let hi = self.exists_rec(n.hi, &rest[1..], memo);
-            self.or(lo, hi)
+            self.or_rec(lo, hi)
         } else {
             let lo = self.exists_rec(n.lo, rest, memo);
             let hi = self.exists_rec(n.hi, rest, memo);
@@ -620,7 +879,7 @@ impl Drop for Manager {
     /// actually alive across short-lived per-analysis managers.
     fn drop(&mut self) {
         self.obs.unique_nodes.sub((self.nodes.len() - 2) as i64);
-        self.obs.ite_cache_entries.sub(self.ite_cache.len() as i64);
+        self.obs.ite_cache_entries.sub(self.computed.live() as i64);
     }
 }
 

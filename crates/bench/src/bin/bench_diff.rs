@@ -1,0 +1,179 @@
+//! Warn-only bench comparator: diffs fresh `CLARIFY_BENCH_JSON` records
+//! against a committed trajectory baseline (e.g. `BENCH_bdd.json`).
+//!
+//! Usage: `bench_diff <baseline.json> <fresh.json> [name-prefix]`
+//!
+//! Both inputs are scanned for `"name"` / `"median_ns"` pairs with a
+//! tolerant hand-rolled tokenizer, so the pretty-printed trajectory file
+//! and the one-record-per-line bench output parse identically (keeping
+//! the workspace dependency-free). When a name repeats — a trajectory
+//! holds one record set per point — the *last* occurrence wins, i.e. the
+//! newest committed medians. Regressions beyond the threshold print
+//! GitHub `::warning::` annotations; the exit status is always 0, because
+//! shared CI runners make medians too noisy to gate merges on.
+
+use std::collections::BTreeMap;
+use std::process::ExitCode;
+
+/// Fresh-vs-baseline median ratio above which a warning is emitted.
+const WARN_RATIO: f64 = 1.5;
+
+/// Extracts `(name, median_ns)` pairs: every `"median_ns"` value is
+/// attributed to the nearest preceding `"name"` value, which matches both
+/// the trajectory layout and the JSON-lines bench records.
+fn scan_records(text: &str) -> BTreeMap<String, f64> {
+    let mut out = BTreeMap::new();
+    let bytes = text.as_bytes();
+    let mut i = 0;
+    let mut current_name: Option<String> = None;
+    while i < bytes.len() {
+        if bytes[i] != b'"' {
+            i += 1;
+            continue;
+        }
+        let (key, after_key) = match read_string(bytes, i) {
+            Some(x) => x,
+            None => break,
+        };
+        i = after_key;
+        match key.as_str() {
+            "name" => {
+                if let Some((value, next)) = read_string_value(bytes, i) {
+                    current_name = Some(value);
+                    i = next;
+                }
+            }
+            "median_ns" => {
+                if let (Some(name), Some((value, next))) =
+                    (current_name.take(), read_number_value(bytes, i))
+                {
+                    out.insert(name, value);
+                    i = next;
+                }
+            }
+            _ => {}
+        }
+    }
+    out
+}
+
+/// Reads the quoted string starting at `start` (which must index a `"`).
+fn read_string(bytes: &[u8], start: usize) -> Option<(String, usize)> {
+    let mut j = start + 1;
+    let begin = j;
+    while j < bytes.len() && bytes[j] != b'"' {
+        // Bench names and keys never contain escapes; bail if one shows up.
+        if bytes[j] == b'\\' {
+            return None;
+        }
+        j += 1;
+    }
+    if j >= bytes.len() {
+        return None;
+    }
+    Some((
+        String::from_utf8_lossy(&bytes[begin..j]).into_owned(),
+        j + 1,
+    ))
+}
+
+/// After a key, skips `: \t\n` and reads a quoted string value.
+fn read_string_value(bytes: &[u8], mut i: usize) -> Option<(String, usize)> {
+    while i < bytes.len() && ((bytes[i] as char).is_whitespace() || bytes[i] == b':') {
+        i += 1;
+    }
+    if i < bytes.len() && bytes[i] == b'"' {
+        read_string(bytes, i)
+    } else {
+        None
+    }
+}
+
+/// After a key, skips `: \t\n` and reads a float literal.
+fn read_number_value(bytes: &[u8], mut i: usize) -> Option<(f64, usize)> {
+    while i < bytes.len() && ((bytes[i] as char).is_whitespace() || bytes[i] == b':') {
+        i += 1;
+    }
+    let begin = i;
+    while i < bytes.len() && matches!(bytes[i], b'0'..=b'9' | b'.' | b'-' | b'+' | b'e' | b'E') {
+        i += 1;
+    }
+    std::str::from_utf8(&bytes[begin..i])
+        .ok()?
+        .parse()
+        .ok()
+        .map(|v| (v, i))
+}
+
+fn human(ns: f64) -> String {
+    if ns >= 1e6 {
+        format!("{:.2} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.2} us", ns / 1e3)
+    } else {
+        format!("{ns:.0} ns")
+    }
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let (baseline_path, fresh_path) = match (args.first(), args.get(1)) {
+        (Some(b), Some(f)) => (b.clone(), f.clone()),
+        _ => {
+            eprintln!("usage: bench_diff <baseline.json> <fresh.json> [name-prefix]");
+            // Still warn-only: a misinvocation should not fail the job.
+            return ExitCode::SUCCESS;
+        }
+    };
+    let prefix = args.get(2).cloned().unwrap_or_else(|| "bdd_kernel/".into());
+
+    let read = |path: &str| -> Option<String> {
+        match std::fs::read_to_string(path) {
+            Ok(s) => Some(s),
+            Err(e) => {
+                println!("bench_diff: cannot read {path}: {e} (skipping, warn-only)");
+                None
+            }
+        }
+    };
+    let (Some(baseline_text), Some(fresh_text)) = (read(&baseline_path), read(&fresh_path)) else {
+        return ExitCode::SUCCESS;
+    };
+
+    let baseline = scan_records(&baseline_text);
+    let fresh = scan_records(&fresh_text);
+
+    let mut compared = 0;
+    for (name, &base_ns) in baseline.iter().filter(|(n, _)| n.starts_with(&prefix)) {
+        let Some(&fresh_ns) = fresh.get(name) else {
+            println!("::warning::bench_diff: {name} present in {baseline_path} but missing from {fresh_path}");
+            continue;
+        };
+        compared += 1;
+        let ratio = fresh_ns / base_ns;
+        let verdict = if ratio > WARN_RATIO {
+            "REGRESSED"
+        } else if ratio < 1.0 / WARN_RATIO {
+            "improved"
+        } else {
+            "ok"
+        };
+        println!(
+            "bench_diff: {name:45} baseline {:>10}  fresh {:>10}  x{ratio:.2}  {verdict}",
+            human(base_ns),
+            human(fresh_ns),
+        );
+        if ratio > WARN_RATIO {
+            println!(
+                "::warning::bench_diff: {name} median {} vs committed {} ({ratio:.2}x, threshold {WARN_RATIO}x) — \
+                 noise or a real regression; re-run locally with `cargo bench -p clarify-bench --bench bdd_kernel`",
+                human(fresh_ns),
+                human(base_ns),
+            );
+        }
+    }
+    if compared == 0 {
+        println!("::warning::bench_diff: no overlapping '{prefix}*' records between {baseline_path} and {fresh_path}");
+    }
+    ExitCode::SUCCESS
+}

@@ -157,31 +157,40 @@ pub fn insert_acl_with_oracle(
     // differ), with their precomputed questions; an equivalence would
     // otherwise be mistaken for an answer and truncate the search.
     // Hot loop: one `compare_filters` per candidate, all independent.
-    // Fan out with one worker-local `PacketSpace` per worker; canonicity
-    // makes the fresh spaces answer exactly like the shared serial one,
-    // and `par_map_init` returns results in input order.
-    let scan = {
+    // With one thread the comparisons run on the shared space from the
+    // overlap round (cross-round reuse — its unique table is already
+    // warm); with more they fan out with one worker-local `PacketSpace`
+    // per worker. Canonicity makes the fresh spaces answer exactly like
+    // the shared serial one, and results come back in input order.
+    let question_at_pivot =
+        |space: &mut PacketSpace, pivot: usize| -> Result<Option<AclQuestion>, ClarifyError> {
+            let above = insert_acl_entry(base, acl_name, entry.clone(), pivot)?;
+            let below = insert_acl_entry(base, acl_name, entry.clone(), pivot + 1)?;
+            let diffs = compare_filters(
+                space,
+                above.acl(acl_name).expect("exists"),
+                below.acl(acl_name).expect("exists"),
+                1,
+            );
+            Ok(diffs.into_iter().next().map(|d| AclQuestion {
+                packet: d.packet,
+                option_first: d.a,
+                option_second: d.b,
+                pivot_index: pivot,
+            }))
+        };
+    let scan: Vec<Result<Option<AclQuestion>, ClarifyError>> = {
         let _scan_span = clarify_obs::span!("pivot_scan");
-        clarify_par::par_map_init(
-            &candidates,
-            PacketSpace::new,
-            |space, _, &pivot| -> Result<Option<AclQuestion>, ClarifyError> {
-                let above = insert_acl_entry(base, acl_name, entry.clone(), pivot)?;
-                let below = insert_acl_entry(base, acl_name, entry.clone(), pivot + 1)?;
-                let diffs = compare_filters(
-                    space,
-                    above.acl(acl_name).expect("exists"),
-                    below.acl(acl_name).expect("exists"),
-                    1,
-                );
-                Ok(diffs.into_iter().next().map(|d| AclQuestion {
-                    packet: d.packet,
-                    option_first: d.a,
-                    option_second: d.b,
-                    pivot_index: pivot,
-                }))
-            },
-        )
+        if clarify_par::current_threads() == 1 {
+            candidates
+                .iter()
+                .map(|&pivot| question_at_pivot(&mut space, pivot))
+                .collect()
+        } else {
+            clarify_par::par_map_init(&candidates, PacketSpace::new, |space, _, &pivot| {
+                question_at_pivot(space, pivot)
+            })
+        }
     };
     let mut pivots: Vec<(usize, AclQuestion)> = Vec::new();
     for (&pivot, q) in candidates.iter().zip(scan) {

@@ -190,33 +190,60 @@ impl Disambiguator {
         // decisive pivot carries its precomputed differential question.
         //
         // The scan is the hot loop — one full `compare_route_policies`
-        // per candidate — and each comparison is independent, so it fans
-        // out over `clarify-par` with one worker-local `RouteSpace` per
-        // worker. ROBDD canonicity makes the fan-out invisible: a fresh
-        // space built from the same configs yields the same witnesses as
-        // the shared serial space, and results come back in input order.
+        // per candidate — and each comparison is independent. With one
+        // thread it runs directly on the shared space built for the
+        // overlap round (cross-round reuse); with more it fans out over
+        // `clarify-par` with one worker-local `RouteSpace` per worker.
+        // ROBDD canonicity makes the choice invisible: a fresh space
+        // built from the same configs yields the same witnesses as the
+        // shared serial space, and results come back in input order.
         let base_map_ref = &base_map;
-        let scan = {
+        let scan: Vec<Result<Option<DisambiguationQuestion>, ClarifyError>> = {
             let _scan_span = clarify_obs::span!("pivot_scan");
-            clarify_par::par_map_init(
-                &candidates,
-                || None::<RouteSpace>,
-                |worker_space, _, &pivot| -> Result<Option<DisambiguationQuestion>, ClarifyError> {
-                    let space = match worker_space {
-                        Some(s) => s,
-                        None => worker_space.insert(RouteSpace::new(&[base, snippet])?),
-                    };
-                    self.question_at_pivot(
-                        space,
-                        base,
-                        map,
-                        snippet,
-                        snippet_map,
-                        base_map_ref,
-                        pivot,
-                    )
-                },
-            )
+            if clarify_par::current_threads() == 1 {
+                // Serial path: reuse the overlap round's shared space — its
+                // unique table already holds every stanza encoding the
+                // comparisons will rebuild, so this skips a second space
+                // construction per scan. Canonicity makes the reuse
+                // invisible in the output (same witnesses either way).
+                candidates
+                    .iter()
+                    .map(|&pivot| {
+                        self.question_at_pivot(
+                            &mut space,
+                            base,
+                            map,
+                            snippet,
+                            snippet_map,
+                            base_map_ref,
+                            pivot,
+                        )
+                    })
+                    .collect()
+            } else {
+                clarify_par::par_map_init(
+                    &candidates,
+                    || None::<RouteSpace>,
+                    |worker_space,
+                     _,
+                     &pivot|
+                     -> Result<Option<DisambiguationQuestion>, ClarifyError> {
+                        let space = match worker_space {
+                            Some(s) => s,
+                            None => worker_space.insert(RouteSpace::new(&[base, snippet])?),
+                        };
+                        self.question_at_pivot(
+                            space,
+                            base,
+                            map,
+                            snippet,
+                            snippet_map,
+                            base_map_ref,
+                            pivot,
+                        )
+                    },
+                )
+            }
         };
         let mut pivots: Vec<(usize, DisambiguationQuestion)> = Vec::new();
         for (&pivot, q) in candidates.iter().zip(scan) {

@@ -64,11 +64,13 @@ fn ask_trace_json_pins_e1_counters() {
     assert_eq!(snap.counter("disambiguator.candidates_pruned"), 0);
     assert_eq!(snap.counter("disambiguator.questions_asked"), 2);
 
-    // The symbolic work underneath: the ite kernel ran and its memo cache
-    // was exercised in both directions.
+    // The symbolic work underneath: the ite kernel ran, its computed
+    // cache was exercised in both directions, and the open-addressed
+    // unique table recorded its probes.
     assert!(snap.counter("bdd.ite_calls") > 0);
     assert!(snap.counter("bdd.ite_cache_hits") > 0);
     assert!(snap.counter("bdd.ite_cache_misses") > 0);
+    assert!(snap.counter("bdd.unique_probes") > 0);
 
     // Per-round span timings: one insertion, one pivot scan, one question
     // per disambiguation round.
