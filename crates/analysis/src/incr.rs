@@ -1,0 +1,190 @@
+//! Keyed symbolic state for incremental re-analysis.
+//!
+//! The interactive loop of the paper (edit intent → re-verify → re-ask)
+//! re-runs the symbolic analyses after every small edit. This module keys
+//! the expensive artifacts — per-object fire-sets — by `(RuleId, content
+//! hash)` so an edit to one stanza invalidates only the object it touches,
+//! and a reverted edit (the A/B toggling a dialogue produces) hits the
+//! cache from an earlier generation outright.
+//!
+//! Refs stored here point into one specific space's BDD manager, whose
+//! unique table never frees nodes: a cached `Ref` stays valid across
+//! [`Manager::clear_op_caches`](clarify_bdd::Manager::clear_op_caches),
+//! which drops only the memoization tables. A [`FireSetCache`] is
+//! therefore sound exactly as long as its space lives; callers that
+//! rebuild a space (e.g. because the atom environment changed) must
+//! [`FireSetCache::clear`] the cache with it.
+
+use std::collections::HashMap;
+
+use clarify_bdd::Ref;
+use clarify_netconfig::{fnv1a64_combine, Acl, Config, ObjectKind, PrefixList, RouteMap, RuleId};
+
+use crate::error::AnalysisError;
+use crate::filter_compare::PrefixSpace;
+use crate::packet_space::PacketSpace;
+use crate::route_space::RouteSpace;
+
+/// Hash of the **atom environment** a [`RouteSpace`] would build for the
+/// given configurations: the deduplicated community and AS-path regex
+/// pattern lists, in the exact first-seen order [`RouteSpace::new`]
+/// collects them. Two configurations with equal atom-env hashes produce
+/// route spaces with identical variable layouts and atom witnesses, so
+/// route-map findings (including decoded witnesses) carry over verbatim;
+/// when the hash changes, every route-map analysis is dirty, because atom
+/// witnesses — and with them, rendered diagnostics — may shift even for
+/// untouched maps.
+pub fn atom_env_hash(configs: &[&Config]) -> u64 {
+    let mut comm_seen: HashMap<&str, ()> = HashMap::new();
+    let mut path_seen: HashMap<&str, ()> = HashMap::new();
+    let mut h = clarify_netconfig::fnv1a64(b"atom-env/v1");
+    for cfg in configs {
+        for cl in cfg.community_lists.values() {
+            for e in &cl.entries {
+                let pat = e.regex.pattern();
+                if let std::collections::hash_map::Entry::Vacant(v) = comm_seen.entry(pat) {
+                    v.insert(());
+                    h = fnv1a64_combine(h, clarify_netconfig::fnv1a64(pat.as_bytes()));
+                }
+            }
+        }
+    }
+    h = fnv1a64_combine(h, 0xa5a5_a5a5_a5a5_a5a5); // comm/path separator
+    for cfg in configs {
+        for al in cfg.as_path_lists.values() {
+            for e in &al.entries {
+                let pat = e.regex.pattern();
+                if let std::collections::hash_map::Entry::Vacant(v) = path_seen.entry(pat) {
+                    v.insert(());
+                    h = fnv1a64_combine(h, clarify_netconfig::fnv1a64(pat.as_bytes()));
+                }
+            }
+        }
+    }
+    h
+}
+
+/// First-match firing regions of one object: one set per rule, plus the
+/// fall-through remainder (the implicit trailing deny).
+#[derive(Clone, Debug)]
+pub struct FireSets {
+    /// Firing region per stanza/entry, in order.
+    pub fires: Vec<Ref>,
+    /// Assignments reaching the end without matching.
+    pub remainder: Ref,
+}
+
+/// A fire-set cache keyed by `(object identity, content hash)`.
+///
+/// Keying by hash — not just identity — means a dirty object simply
+/// misses (its hash changed) while older generations stay retrievable:
+/// reverting an edit restores the old hash and hits again. Entries are
+/// never evicted except by [`invalidate`](FireSetCache::invalidate) or
+/// [`clear`](FireSetCache::clear); the BDD nodes they point at are
+/// retained by the manager anyway, so the marginal cost of a stale entry
+/// is one map slot.
+#[derive(Debug, Default)]
+pub struct FireSetCache {
+    entries: HashMap<(RuleId, u64), FireSets>,
+}
+
+impl FireSetCache {
+    /// An empty cache.
+    pub fn new() -> FireSetCache {
+        FireSetCache::default()
+    }
+
+    /// Number of cached generations (not distinct objects).
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Looks up the fire-sets of `id` at content hash `hash`, recording
+    /// `incr.cache_hits` / `incr.cache_misses`.
+    pub fn get(&self, id: &RuleId, hash: u64) -> Option<&FireSets> {
+        let hit = self.entries.get(&(id.clone(), hash));
+        if hit.is_some() {
+            clarify_obs::global().counter("incr.cache_hits").incr();
+        } else {
+            clarify_obs::global().counter("incr.cache_misses").incr();
+        }
+        hit
+    }
+
+    /// Stores the fire-sets of `id` at content hash `hash`.
+    pub fn insert(&mut self, id: RuleId, hash: u64, sets: FireSets) {
+        self.entries.insert((id, hash), sets);
+    }
+
+    /// Drops every cached generation of one object.
+    pub fn invalidate(&mut self, id: &RuleId) {
+        self.entries.retain(|(k, _), _| k != id);
+    }
+
+    /// Drops everything — required whenever the owning space is rebuilt,
+    /// because cached Refs point into the old manager.
+    pub fn clear(&mut self) {
+        self.entries.clear();
+    }
+}
+
+impl RouteSpace {
+    /// [`RouteSpace::fire_sets`] through a [`FireSetCache`], keyed by the
+    /// map's object identity and `hash` (its content hash — the caller
+    /// computes it once per edit via
+    /// [`Config::object_hashes`](clarify_netconfig::Config::object_hashes)).
+    pub fn fire_sets_cached(
+        &mut self,
+        cache: &mut FireSetCache,
+        cfg: &Config,
+        map: &RouteMap,
+        hash: u64,
+    ) -> Result<FireSets, AnalysisError> {
+        let id = RuleId::object(ObjectKind::RouteMap, &map.name);
+        if let Some(sets) = cache.get(&id, hash) {
+            return Ok(sets.clone());
+        }
+        let (fires, remainder) = self.fire_sets(cfg, map)?;
+        let sets = FireSets { fires, remainder };
+        cache.insert(id, hash, sets.clone());
+        Ok(sets)
+    }
+}
+
+impl PacketSpace {
+    /// [`PacketSpace::fire_sets`] through a [`FireSetCache`].
+    pub fn fire_sets_cached(&mut self, cache: &mut FireSetCache, acl: &Acl, hash: u64) -> FireSets {
+        let id = RuleId::object(ObjectKind::Acl, &acl.name);
+        if let Some(sets) = cache.get(&id, hash) {
+            return sets.clone();
+        }
+        let (fires, remainder) = self.fire_sets(acl);
+        let sets = FireSets { fires, remainder };
+        cache.insert(id, hash, sets.clone());
+        sets
+    }
+}
+
+impl PrefixSpace {
+    /// [`PrefixSpace::fire_sets`] through a [`FireSetCache`].
+    pub fn fire_sets_cached(
+        &mut self,
+        cache: &mut FireSetCache,
+        list: &PrefixList,
+        hash: u64,
+    ) -> FireSets {
+        let id = RuleId::object(ObjectKind::PrefixList, &list.name);
+        if let Some(sets) = cache.get(&id, hash) {
+            return sets.clone();
+        }
+        let (fires, remainder) = self.fire_sets(list);
+        let sets = FireSets { fires, remainder };
+        cache.insert(id, hash, sets.clone());
+        sets
+    }
+}

@@ -27,6 +27,7 @@
 
 mod error;
 mod filter_compare;
+mod incr;
 mod overlap;
 mod packet_space;
 mod route_compare;
@@ -38,6 +39,7 @@ pub use filter_compare::{
     compare_filters, compare_prefix_lists, filters_equivalent, prefix_lists_equivalent, FilterDiff,
     PrefixListDiff, PrefixSpace,
 };
+pub use incr::{atom_env_hash, FireSetCache, FireSets};
 pub use overlap::{
     acl_overlaps, acl_overlaps_symbolic, route_map_chain_overlaps, route_map_overlaps,
     ChainOverlapPair, OverlapPair, OverlapReport,

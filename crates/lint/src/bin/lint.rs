@@ -2,7 +2,8 @@
 //! configuration files.
 //!
 //! ```text
-//! lint [--json] [--strict] [--threads N] [--trace-json PATH] [--stats] <config-file>...
+//! lint [--json] [--strict] [--threads N] [--trace-json PATH] [--stats]
+//!      [--incremental PREV] [--save-cache PATH] <config-file>...
 //! ```
 //!
 //! Exit status: 0 when every file is clean (no warnings or errors; notes
@@ -13,22 +14,31 @@
 
 use std::process::ExitCode;
 
-use clarify_lint::lint_config;
+use clarify_lint::{lint_config, lint_config_incremental, CacheError, LintCache};
 use clarify_netconfig::Config;
 
 const USAGE: &str = "\
 usage:
-  lint [--json] [--strict] [--threads N] [--trace-json PATH] [--stats] <config-file>...
+  lint [--json] [--strict] [--threads N] [--trace-json PATH] [--stats]
+       [--incremental PREV] [--save-cache PATH] <config-file>...
 
 options:
-  --json              emit one JSON report object per file instead of text
-  --strict            treat notes as findings for the exit status
-  --threads <N>       worker threads for the symbolic passes (default: the
-                      CLARIFY_THREADS env var, else all available cores)
-  --trace-json <PATH> record internal metrics and write them to PATH as
-                      JSON at exit
-  --stats             record internal metrics and print a summary to
-                      stderr at exit
+  --json               emit one JSON report object per file instead of text
+  --strict             treat notes as findings for the exit status
+  --threads <N>        worker threads for the symbolic passes (default: the
+                       CLARIFY_THREADS env var, else all available cores)
+  --trace-json <PATH>  record internal metrics and write them to PATH as
+                       JSON at exit
+  --stats              record internal metrics and print a summary to
+                       stderr at exit
+  --incremental <PREV> re-lint against the cache PREV (written by
+                       --save-cache on an earlier run): only objects the
+                       edit touched are recomputed, cached findings are
+                       spliced for the rest. Requires exactly one config
+                       file. A stale or mismatched cache falls back to a
+                       full recompute with a warning.
+  --save-cache <PATH>  write the lint cache for this run to PATH, for a
+                       later --incremental
 ";
 
 fn main() -> ExitCode {
@@ -37,6 +47,8 @@ fn main() -> ExitCode {
     let mut strict = false;
     let mut stats = false;
     let mut trace_json: Option<String> = None;
+    let mut incremental: Option<String> = None;
+    let mut save_cache: Option<String> = None;
     let mut paths: Vec<&str> = Vec::new();
     let mut args_iter = args.iter();
     while let Some(a) = args_iter.next() {
@@ -50,6 +62,20 @@ fn main() -> ExitCode {
                     return ExitCode::from(2);
                 };
                 trace_json = Some(path.clone());
+            }
+            "--incremental" => {
+                let Some(path) = args_iter.next() else {
+                    eprintln!("error: --incremental takes a cache file path\n\n{USAGE}");
+                    return ExitCode::from(2);
+                };
+                incremental = Some(path.clone());
+            }
+            "--save-cache" => {
+                let Some(path) = args_iter.next() else {
+                    eprintln!("error: --save-cache takes a file path\n\n{USAGE}");
+                    return ExitCode::from(2);
+                };
+                save_cache = Some(path.clone());
             }
             "--threads" => {
                 let Some(n) = args_iter
@@ -77,11 +103,25 @@ fn main() -> ExitCode {
         eprint!("{USAGE}");
         return ExitCode::from(2);
     }
+    if incremental.is_some() && paths.len() != 1 {
+        eprintln!("error: --incremental requires exactly one config file\n\n{USAGE}");
+        return ExitCode::from(2);
+    }
+    if save_cache.is_some() && paths.len() != 1 {
+        eprintln!("error: --save-cache requires exactly one config file\n\n{USAGE}");
+        return ExitCode::from(2);
+    }
     if trace_json.is_some() || stats {
         clarify_obs::install(clarify_obs::Registry::new());
     }
 
-    let code = run(json, strict, &paths);
+    let code = run(
+        json,
+        strict,
+        incremental.as_deref(),
+        save_cache.as_deref(),
+        &paths,
+    );
 
     // Dump metrics on every exit path so failing runs still leave a trace.
     if trace_json.is_some() || stats {
@@ -99,9 +139,42 @@ fn main() -> ExitCode {
     code
 }
 
+/// Loads the `--incremental` cache. `Ok(None)` means the cache was stale
+/// (already warned — the caller lints in full); `Err` is a usage error.
+fn load_cache(path: &str) -> Result<Option<LintCache>, ExitCode> {
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("error: cannot read {path}: {e}");
+            return Err(ExitCode::from(2));
+        }
+    };
+    match LintCache::from_json(&text) {
+        Ok(cache) => Ok(Some(cache)),
+        Err(CacheError::Stale(m)) => {
+            eprintln!("warning: {path}: stale lint cache ({m}); falling back to full lint");
+            Ok(None)
+        }
+        Err(CacheError::Corrupt(m)) => {
+            eprintln!("error: {path}: corrupt lint cache: {m}");
+            Err(ExitCode::from(2))
+        }
+    }
+}
+
 /// Lints every file; split out of `main` so the metrics dump above runs
 /// on every return path.
-fn run(json: bool, strict: bool, paths: &[&str]) -> ExitCode {
+fn run(
+    json: bool,
+    strict: bool,
+    incremental: Option<&str>,
+    save_cache: Option<&str>,
+    paths: &[&str],
+) -> ExitCode {
+    let prev = match incremental.map(load_cache).transpose() {
+        Ok(p) => p.flatten(),
+        Err(code) => return code,
+    };
     let mut dirty = false;
     for &path in paths {
         let text = match std::fs::read_to_string(path) {
@@ -118,13 +191,26 @@ fn run(json: bool, strict: bool, paths: &[&str]) -> ExitCode {
                 return ExitCode::from(2);
             }
         };
-        let report = match lint_config(&cfg, Some(&spans)) {
+        let result = match &prev {
+            Some(cache) => {
+                lint_config_incremental(&cfg, Some(&spans), cache).map(|(report, _)| report)
+            }
+            None => lint_config(&cfg, Some(&spans)),
+        };
+        let report = match result {
             Ok(r) => r,
             Err(e) => {
                 eprintln!("error: {path}: {e}");
                 return ExitCode::from(2);
             }
         };
+        if let Some(out) = save_cache {
+            let cache = LintCache::from_report(&cfg, &report);
+            if let Err(e) = std::fs::write(out, cache.to_json()) {
+                eprintln!("error: cannot write {out}: {e}");
+                return ExitCode::from(2);
+            }
+        }
         if json {
             print!("{}", report.render_json(path));
         } else {

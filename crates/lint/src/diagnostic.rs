@@ -63,6 +63,20 @@ impl LintCode {
         }
     }
 
+    /// The check behind a stable code string, if it is one of ours
+    /// (used when reading back a persisted lint cache).
+    pub fn from_code(code: &str) -> Option<LintCode> {
+        match code {
+            "L001" => Some(LintCode::ShadowedRule),
+            "L002" => Some(LintCode::RedundantRule),
+            "L003" => Some(LintCode::ConflictingOverlap),
+            "L004" => Some(LintCode::EmptyMatch),
+            "L005" => Some(LintCode::DanglingReference),
+            "L006" => Some(LintCode::UnusedList),
+            _ => None,
+        }
+    }
+
     /// Human-readable check name.
     pub fn name(&self) -> &'static str {
         match self {

@@ -44,11 +44,15 @@
 
 #![warn(missing_docs)]
 
+mod cache;
 mod diagnostic;
+mod incremental;
 mod linter;
 mod prune;
 
+pub use cache::{CacheError, CachedObject, LintCache, CACHE_FORMAT};
 pub use diagnostic::{Diagnostic, LintCode, LintReport, Severity};
+pub use incremental::{lint_config_incremental, IncrStats, IncrementalLinter};
 pub use linter::lint_config;
 pub use prune::{
     prune_acl_candidates, prune_insertion_candidates, prune_prefix_candidates, PruneOutcome,

@@ -5,7 +5,7 @@ use std::collections::BTreeSet;
 
 use clarify_analysis::{
     acl_overlaps, filters_equivalent, policies_equivalent, prefix_lists_equivalent,
-    route_map_overlaps, AnalysisError, PacketSpace, PrefixSpace, RouteSpace,
+    route_map_overlaps, AnalysisError, FireSetCache, PacketSpace, PrefixSpace, RouteSpace,
 };
 use clarify_bdd::Ref;
 use clarify_netconfig::{Action, Config, ObjectKind, RuleId, SourceMap};
@@ -38,15 +38,21 @@ pub fn lint_config(cfg: &Config, spans: Option<&SourceMap>) -> Result<LintReport
     };
     {
         let _pass = clarify_obs::span!("lint_route_maps");
-        lint_route_maps(cfg, &broken_maps, &mut report.diagnostics)?;
+        for (_, diags) in lint_route_maps(cfg, &broken_maps, None)? {
+            report.diagnostics.extend(diags);
+        }
     }
     {
         let _pass = clarify_obs::span!("lint_acls");
-        lint_acls(cfg, &mut report.diagnostics);
+        for (_, diags) in lint_acls(cfg, None) {
+            report.diagnostics.extend(diags);
+        }
     }
     {
         let _pass = clarify_obs::span!("lint_prefix_lists");
-        lint_prefix_lists(cfg, &mut report.diagnostics)?;
+        for (_, diags) in lint_prefix_lists(cfg, None)? {
+            report.diagnostics.extend(diags);
+        }
     }
     if let Some(spans) = spans {
         for d in &mut report.diagnostics {
@@ -65,7 +71,7 @@ pub fn lint_config(cfg: &Config, spans: Option<&SourceMap>) -> Result<LintReport
 
 /// The AST walk: dangling references (error) and unused lists (note).
 /// Returns the names of route-maps that cannot be analysed symbolically.
-fn lint_references(cfg: &Config, out: &mut Vec<Diagnostic>) -> BTreeSet<String> {
+pub(crate) fn lint_references(cfg: &Config, out: &mut Vec<Diagnostic>) -> BTreeSet<String> {
     let mut broken = BTreeSet::new();
     let mut used_prefix: BTreeSet<&str> = BTreeSet::new();
     let mut used_as_path: BTreeSet<&str> = BTreeSet::new();
@@ -145,19 +151,24 @@ fn lint_references(cfg: &Config, out: &mut Vec<Diagnostic>) -> BTreeSet<String> 
 /// Diagnostics come back in map iteration order (the `BTreeMap`'s sorted
 /// order), exactly as the serial loop emitted them, and canonicity makes
 /// the worker-local spaces answer identically to one shared space.
-fn lint_route_maps(
+///
+/// With `only = Some(names)` the pass is restricted to those maps — the
+/// incremental driver's dirty subset. Returns one `(name, diagnostics)`
+/// block per linted map, in map iteration order.
+pub(crate) fn lint_route_maps(
     cfg: &Config,
     broken_maps: &BTreeSet<String>,
-    out: &mut Vec<Diagnostic>,
-) -> Result<(), AnalysisError> {
-    if cfg.route_maps.is_empty() {
-        return Ok(());
-    }
+    only: Option<&BTreeSet<String>>,
+) -> Result<Vec<(String, Vec<Diagnostic>)>, AnalysisError> {
     let maps: Vec<(&String, &clarify_netconfig::RouteMap)> = cfg
         .route_maps
         .iter()
         .filter(|(name, _)| !broken_maps.contains(*name))
+        .filter(|(name, _)| only.is_none_or(|set| set.contains(*name)))
         .collect();
+    if maps.is_empty() {
+        return Ok(Vec::new());
+    }
     let per_map = clarify_par::par_map_init(
         &maps,
         || None::<RouteSpace>,
@@ -167,31 +178,40 @@ fn lint_route_maps(
                 None => worker_space.insert(RouteSpace::new(&[cfg])?),
             };
             let mut diags = Vec::new();
-            lint_one_route_map(space, cfg, map_name, map, &mut diags)?;
+            lint_one_route_map(space, cfg, map_name, map, None, &mut diags)?;
             // Bound cache growth across a long object list: the memo
             // entries for this map's queries are dead weight for the next.
             space.manager().clear_op_caches();
             Ok(diags)
         },
     );
-    for diags in per_map {
-        out.extend(diags?);
-    }
-    Ok(())
+    maps.iter()
+        .zip(per_map)
+        .map(|(&(name, _), diags)| Ok((name.clone(), diags?)))
+        .collect()
 }
 
 /// The per-object body of [`lint_route_maps`]: all checks for one map.
-fn lint_one_route_map(
+///
+/// `fire_cache` routes the fire-set build through a keyed
+/// [`FireSetCache`] (the `(RuleId, content-hash)` key makes reverted
+/// edits hit older generations); `None` computes them directly, as the
+/// parallel full pass does with its worker-local spaces.
+pub(crate) fn lint_one_route_map(
     space: &mut RouteSpace,
     cfg: &Config,
     map_name: &str,
     map: &clarify_netconfig::RouteMap,
+    fire_cache: Option<(&mut FireSetCache, u64)>,
     out: &mut Vec<Diagnostic>,
 ) -> Result<(), AnalysisError> {
     let valid = space.valid();
     {
         let match_sets = space.match_sets(cfg, map)?;
-        let (fires, _) = space.fire_sets(cfg, map)?;
+        let fires = match fire_cache {
+            Some((cache, hash)) => space.fire_sets_cached(cache, cfg, map, hash)?.fires,
+            None => space.fire_sets(cfg, map)?.0,
+        };
         // Empty and shadowed stanzas. A stanza with an empty match also has
         // an empty firing region; report it once, as empty.
         let mut dead: BTreeSet<usize> = BTreeSet::new();
@@ -288,35 +308,48 @@ fn lint_one_route_map(
 
 /// Symbolic ACL checks, mirroring the route-map pass over the packet
 /// space. ACL overlap itself is decided with the exact interval census.
-fn lint_acls(cfg: &Config, out: &mut Vec<Diagnostic>) {
-    if cfg.acls.is_empty() {
-        return;
+/// `only` restricts to a dirty subset, as in [`lint_route_maps`].
+pub(crate) fn lint_acls(
+    cfg: &Config,
+    only: Option<&BTreeSet<String>>,
+) -> Vec<(String, Vec<Diagnostic>)> {
+    let acls: Vec<(&String, &clarify_netconfig::Acl)> = cfg
+        .acls
+        .iter()
+        .filter(|(name, _)| only.is_none_or(|set| set.contains(*name)))
+        .collect();
+    if acls.is_empty() {
+        return Vec::new();
     }
-    let acls: Vec<(&String, &clarify_netconfig::Acl)> = cfg.acls.iter().collect();
     let per_acl =
         clarify_par::par_map_init(&acls, PacketSpace::new, |space, _, &(acl_name, acl)| {
             let mut diags = Vec::new();
-            lint_one_acl(space, cfg, acl_name, acl, &mut diags);
+            lint_one_acl(space, cfg, acl_name, acl, None, &mut diags);
             space.manager().clear_op_caches();
             diags
         });
-    for diags in per_acl {
-        out.extend(diags);
-    }
+    acls.iter()
+        .zip(per_acl)
+        .map(|(&(name, _), diags)| (name.clone(), diags))
+        .collect()
 }
 
 /// The per-object body of [`lint_acls`]: all checks for one ACL.
-fn lint_one_acl(
+pub(crate) fn lint_one_acl(
     space: &mut PacketSpace,
     cfg: &Config,
     acl_name: &str,
     acl: &clarify_netconfig::Acl,
+    fire_cache: Option<(&mut FireSetCache, u64)>,
     out: &mut Vec<Diagnostic>,
 ) {
     let valid = space.valid();
     {
         let match_sets = space.match_sets(acl);
-        let (fires, _) = space.fire_sets(acl);
+        let fires = match fire_cache {
+            Some((cache, hash)) => space.fire_sets_cached(cache, acl, hash).fires,
+            None => space.fire_sets(acl).0,
+        };
         let mut dead: BTreeSet<usize> = BTreeSet::new();
         for (i, entry) in acl.entries.iter().enumerate() {
             let rule = RuleId::acl_entry(acl_name, i);
@@ -394,39 +427,52 @@ fn lint_one_acl(
     }
 }
 
-/// Prefix-list checks over the standalone prefix space.
-fn lint_prefix_lists(cfg: &Config, out: &mut Vec<Diagnostic>) -> Result<(), AnalysisError> {
-    if cfg.prefix_lists.is_empty() {
-        return Ok(());
+/// Prefix-list checks over the standalone prefix space. `only` restricts
+/// to a dirty subset, as in [`lint_route_maps`].
+pub(crate) fn lint_prefix_lists(
+    cfg: &Config,
+    only: Option<&BTreeSet<String>>,
+) -> Result<Vec<(String, Vec<Diagnostic>)>, AnalysisError> {
+    let lists: Vec<(&String, &clarify_netconfig::PrefixList)> = cfg
+        .prefix_lists
+        .iter()
+        .filter(|(name, _)| only.is_none_or(|set| set.contains(*name)))
+        .collect();
+    if lists.is_empty() {
+        return Ok(Vec::new());
     }
-    let lists: Vec<(&String, &clarify_netconfig::PrefixList)> = cfg.prefix_lists.iter().collect();
     let per_list = clarify_par::par_map_init(
         &lists,
         PrefixSpace::new,
         |space, _, &(list_name, list)| -> Result<Vec<Diagnostic>, AnalysisError> {
             let mut diags = Vec::new();
-            lint_one_prefix_list(space, list_name, list, &mut diags)?;
+            lint_one_prefix_list(space, list_name, list, None, &mut diags)?;
             space.manager().clear_op_caches();
             Ok(diags)
         },
     );
-    for diags in per_list {
-        out.extend(diags?);
-    }
-    Ok(())
+    lists
+        .iter()
+        .zip(per_list)
+        .map(|(&(name, _), diags)| Ok((name.clone(), diags?)))
+        .collect()
 }
 
 /// The per-object body of [`lint_prefix_lists`]: all checks for one list.
-fn lint_one_prefix_list(
+pub(crate) fn lint_one_prefix_list(
     space: &mut PrefixSpace,
     list_name: &str,
     list: &clarify_netconfig::PrefixList,
+    fire_cache: Option<(&mut FireSetCache, u64)>,
     out: &mut Vec<Diagnostic>,
 ) -> Result<(), AnalysisError> {
     let valid = space.valid();
     {
         let match_sets = space.match_sets(list);
-        let (fires, _) = space.fire_sets(list);
+        let fires = match fire_cache {
+            Some((cache, hash)) => space.fire_sets_cached(cache, list, hash).fires,
+            None => space.fire_sets(list).0,
+        };
         let mut dead: BTreeSet<usize> = BTreeSet::new();
         for (i, entry) in list.entries.iter().enumerate() {
             let rule = RuleId::prefix_entry(list_name, entry.seq);

@@ -426,3 +426,162 @@ mod properties {
         }
     }
 }
+
+mod incremental {
+    use clarify_netconfig::Config;
+
+    use crate::cache::{CacheError, LintCache};
+    use crate::{lint_config, lint_config_incremental, IncrementalLinter};
+
+    const BASE: &str = "ip prefix-list COVER seq 10 permit 10.0.0.0/8 le 32
+ip prefix-list NARROW seq 10 permit 10.1.0.0/16 le 32
+ip as-path access-list PATHS permit _65000_
+route-map RM deny 10
+ match ip address prefix-list COVER
+route-map RM deny 20
+ match ip address prefix-list NARROW
+route-map RM permit 30
+route-map OTHER permit 10
+ match as-path PATHS
+ip access-list extended FW
+ permit ip 10.0.0.0 0.255.255.255 any
+ deny ip 10.1.0.0 0.0.255.255 any
+";
+
+    /// Same config with one extra stanza appended to RM (shifts the
+    /// lines of everything parsed after it stays put — stanzas append at
+    /// the end here, so only RM's hash changes).
+    const EDITED: &str = "ip prefix-list COVER seq 10 permit 10.0.0.0/8 le 32
+ip prefix-list NARROW seq 10 permit 10.1.0.0/16 le 32
+ip as-path access-list PATHS permit _65000_
+route-map RM deny 10
+ match ip address prefix-list COVER
+route-map RM deny 20
+ match ip address prefix-list NARROW
+route-map RM permit 30
+route-map RM permit 40
+ match local-preference 200
+route-map OTHER permit 10
+ match as-path PATHS
+ip access-list extended FW
+ permit ip 10.0.0.0 0.255.255.255 any
+ deny ip 10.1.0.0 0.0.255.255 any
+";
+
+    #[test]
+    fn cache_round_trips_through_json() {
+        let (cfg, spans) = Config::parse_with_spans(BASE).unwrap();
+        let report = lint_config(&cfg, Some(&spans)).unwrap();
+        let cache = LintCache::from_report(&cfg, &report);
+        let parsed = LintCache::from_json(&cache.to_json()).expect("round trip");
+        assert_eq!(parsed, cache);
+    }
+
+    #[test]
+    fn incremental_matches_full_after_one_stanza_edit() {
+        let (base, base_spans) = Config::parse_with_spans(BASE).unwrap();
+        let base_report = lint_config(&base, Some(&base_spans)).unwrap();
+        let cache = LintCache::from_report(&base, &base_report);
+
+        let (edited, edited_spans) = Config::parse_with_spans(EDITED).unwrap();
+        let full = lint_config(&edited, Some(&edited_spans)).unwrap();
+        let (incr, stats) = lint_config_incremental(&edited, Some(&edited_spans), &cache).unwrap();
+        assert_eq!(
+            incr.render_json("x"),
+            full.render_json("x"),
+            "incremental report must be byte-identical to full"
+        );
+        // 2 route-maps + 1 ACL + 2 prefix lists; only RM is dirty.
+        assert_eq!(stats.total_objects, 5);
+        assert_eq!(stats.dirty_objects, 1);
+        assert_eq!(stats.reused_objects, 4);
+    }
+
+    #[test]
+    fn editing_a_referenced_list_dirties_its_dependents() {
+        let (base, spans) = Config::parse_with_spans(BASE).unwrap();
+        let report = lint_config(&base, Some(&spans)).unwrap();
+        let cache = LintCache::from_report(&base, &report);
+
+        // Widen NARROW: RM references it, so RM and NARROW are dirty;
+        // OTHER and FW are not.
+        let edited_text = BASE.replace("10.1.0.0/16", "10.2.0.0/16");
+        let (edited, edited_spans) = Config::parse_with_spans(&edited_text).unwrap();
+        let full = lint_config(&edited, Some(&edited_spans)).unwrap();
+        let (incr, stats) = lint_config_incremental(&edited, Some(&edited_spans), &cache).unwrap();
+        assert_eq!(incr.render_json("x"), full.render_json("x"));
+        assert_eq!(stats.dirty_objects, 2, "NARROW and RM");
+    }
+
+    #[test]
+    fn session_relint_matches_full_and_reuses_spaces() {
+        let (base, base_spans) = Config::parse_with_spans(BASE).unwrap();
+        let (mut session, first) = IncrementalLinter::new(base, Some(&base_spans)).unwrap();
+        let (base2, base_spans2) = Config::parse_with_spans(BASE).unwrap();
+        assert_eq!(
+            first.render_json("x"),
+            lint_config(&base2, Some(&base_spans2))
+                .unwrap()
+                .render_json("x")
+        );
+
+        let (edited, edited_spans) = Config::parse_with_spans(EDITED).unwrap();
+        let full = lint_config(&edited, Some(&edited_spans)).unwrap();
+        let (incr, stats) = session.relint(edited, Some(&edited_spans)).unwrap();
+        assert_eq!(incr.render_json("x"), full.render_json("x"));
+        assert_eq!(stats.dirty_objects, 1);
+
+        // Revert the edit: dirty again (hash changed back), and the keyed
+        // fire-set cache serves the original generation.
+        let (reverted, reverted_spans) = Config::parse_with_spans(BASE).unwrap();
+        let full = lint_config(&reverted, Some(&reverted_spans)).unwrap();
+        let (incr, _) = session.relint(reverted, Some(&reverted_spans)).unwrap();
+        assert_eq!(incr.render_json("x"), full.render_json("x"));
+    }
+
+    #[test]
+    fn tampered_cache_is_stale_not_corrupt() {
+        let (cfg, spans) = Config::parse_with_spans(BASE).unwrap();
+        let report = lint_config(&cfg, Some(&spans)).unwrap();
+        let cache = LintCache::from_report(&cfg, &report);
+        let json = cache.to_json();
+        // Flip one object hash: the checksum no longer matches.
+        let entry = json
+            .lines()
+            .find(|l| l.contains("\"hash\""))
+            .expect("some object entry");
+        let start = entry.find("\"hash\": \"").unwrap() + "\"hash\": \"".len();
+        let old = &entry[start..start + 16];
+        let flipped: String = old
+            .chars()
+            .map(|c| if c == '0' { '1' } else { '0' })
+            .collect();
+        let tampered = json.replace(old, &flipped);
+        match LintCache::from_json(&tampered) {
+            Err(CacheError::Stale(_)) => {}
+            other => panic!("expected Stale, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn unparseable_cache_is_corrupt() {
+        match LintCache::from_json("{ not json") {
+            Err(CacheError::Corrupt(_)) => {}
+            other => panic!("expected Corrupt, got {other:?}"),
+        }
+        match LintCache::from_json("{\"format\": \"clarify-lint-cache/v1\"}") {
+            Err(CacheError::Corrupt(_)) => {}
+            other => panic!("expected Corrupt (missing fields), got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn unknown_format_version_is_stale() {
+        let json = "{\"format\": \"clarify-lint-cache/v999\", \
+\"config_hash\": \"0\", \"atom_env\": \"0\", \"checksum\": \"0\", \"objects\": []}";
+        match LintCache::from_json(json) {
+            Err(CacheError::Stale(_)) => {}
+            other => panic!("expected Stale, got {other:?}"),
+        }
+    }
+}

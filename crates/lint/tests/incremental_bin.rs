@@ -1,0 +1,135 @@
+//! Negative-path CLI coverage for `--incremental` (ISSUE satellite c):
+//! a tampered cache must warn and fall back to a full lint with identical
+//! stdout; an unparseable cache is a hard usage error (exit 2).
+
+use std::path::{Path, PathBuf};
+use std::process::{Command, Stdio};
+
+fn repo_root() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("../..")
+}
+
+fn unique_tmp(name: &str) -> PathBuf {
+    let mut p = std::env::temp_dir();
+    p.push(format!("clarify_lint_{}_{}", name, std::process::id()));
+    p
+}
+
+fn lint(args: &[&str]) -> std::process::Output {
+    Command::new(env!("CARGO_BIN_EXE_lint"))
+        .current_dir(repo_root())
+        .args(args)
+        .stdin(Stdio::null())
+        .output()
+        .expect("lint runs")
+}
+
+/// Writes a fresh cache for the E1 config and returns its JSON.
+fn saved_cache(path: &Path) -> String {
+    let out = lint(&[
+        "--save-cache",
+        path.to_str().unwrap(),
+        "testdata/isp_out.cfg",
+    ]);
+    assert!(out.status.success(), "save-cache run failed");
+    std::fs::read_to_string(path).expect("cache written")
+}
+
+#[test]
+fn tampered_cache_warns_and_falls_back_to_full_lint() {
+    let cache = unique_tmp("tampered.json");
+    let json = saved_cache(&cache);
+
+    // Flip one hex digit of the embedded config hash: the checksum no
+    // longer matches, so the cache is stale — never trusted, never fatal.
+    let needle = "\"config_hash\": \"";
+    let at = json.find(needle).expect("cache has a config hash") + needle.len();
+    let old = &json[at..at + 1];
+    let new = if old == "0" { "1" } else { "0" };
+    let tampered = format!("{}{}{}", &json[..at], new, &json[at + 1..]);
+    std::fs::write(&cache, tampered).expect("rewrite cache");
+
+    let incr = lint(&[
+        "--incremental",
+        cache.to_str().unwrap(),
+        "testdata/isp_out.cfg",
+    ]);
+    let full = lint(&["testdata/isp_out.cfg"]);
+    std::fs::remove_file(&cache).ok();
+
+    // Same bytes, same exit status as a plain full lint...
+    assert_eq!(incr.stdout, full.stdout, "fallback must be a full lint");
+    assert_eq!(incr.status.code(), full.status.code());
+    // ...plus the one-line warning on stderr.
+    let stderr = String::from_utf8_lossy(&incr.stderr);
+    assert!(
+        stderr.contains("stale lint cache"),
+        "expected stale-cache warning, got: {stderr}"
+    );
+}
+
+#[test]
+fn unknown_format_version_warns_and_falls_back() {
+    let cache = unique_tmp("version.json");
+    let json = saved_cache(&cache);
+    std::fs::write(
+        &cache,
+        json.replace("clarify-lint-cache/v1", "clarify-lint-cache/v999"),
+    )
+    .expect("rewrite cache");
+
+    let incr = lint(&[
+        "--incremental",
+        cache.to_str().unwrap(),
+        "testdata/isp_out.cfg",
+    ]);
+    let full = lint(&["testdata/isp_out.cfg"]);
+    std::fs::remove_file(&cache).ok();
+
+    assert_eq!(incr.stdout, full.stdout);
+    assert_eq!(incr.status.code(), full.status.code());
+    assert!(String::from_utf8_lossy(&incr.stderr).contains("stale lint cache"));
+}
+
+#[test]
+fn corrupt_cache_is_a_hard_error() {
+    let cache = unique_tmp("corrupt.json");
+    std::fs::write(&cache, "{ not json at all").expect("write corrupt cache");
+
+    let out = lint(&[
+        "--incremental",
+        cache.to_str().unwrap(),
+        "testdata/isp_out.cfg",
+    ]);
+    std::fs::remove_file(&cache).ok();
+
+    assert_eq!(out.status.code(), Some(2), "corrupt cache must exit 2");
+    assert!(out.stdout.is_empty(), "no report on a usage error");
+    assert!(String::from_utf8_lossy(&out.stderr).contains("corrupt lint cache"));
+}
+
+#[test]
+fn missing_cache_file_is_a_hard_error() {
+    let out = lint(&[
+        "--incremental",
+        "/nonexistent/clarify-cache.json",
+        "testdata/isp_out.cfg",
+    ]);
+    assert_eq!(out.status.code(), Some(2));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("cannot read"));
+}
+
+#[test]
+fn incremental_requires_exactly_one_config() {
+    let cache = unique_tmp("usage.json");
+    saved_cache(&cache);
+    let out = lint(&[
+        "--incremental",
+        cache.to_str().unwrap(),
+        "testdata/isp_out.cfg",
+        "testdata/isp_out_edit.cfg",
+    ]);
+    std::fs::remove_file(&cache).ok();
+    assert_eq!(out.status.code(), Some(2));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("exactly one config file"));
+}

@@ -31,6 +31,7 @@
 mod ast;
 mod error;
 mod eval;
+mod hash;
 mod insert;
 mod parser;
 mod print;
@@ -43,6 +44,7 @@ pub use ast::{
 };
 pub use error::ConfigError;
 pub use eval::{AclVerdict, RouteMapVerdict};
+pub use hash::{fnv1a64, fnv1a64_combine, ConfigDiff, ObjectHashes};
 pub use insert::{
     insert_acl_entry, insert_prefix_list_entry, insert_route_map_stanza, InsertReport,
 };

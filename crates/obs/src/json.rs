@@ -1,0 +1,251 @@
+//! A minimal recursive-descent JSON reader — just enough to read back the
+//! documents this workspace writes (objects, arrays, strings, integers,
+//! booleans, null). Shared by [`Snapshot::from_json`](crate::Snapshot) and
+//! the lint cache loader; the workspace is dependency-free by design, so
+//! this stands in for an external JSON crate. No floats: every numeric
+//! field we persist is an integer.
+
+/// A parsed JSON value. Object member order is preserved.
+pub enum Value {
+    /// `{...}` — members in source order.
+    Object(Vec<(String, Value)>),
+    /// `[...]`.
+    Array(Vec<Value>),
+    /// A string literal.
+    Str(String),
+    /// An integer (`i128` covers every `u64` and `i64` we persist).
+    Int(i128),
+    /// `true` / `false`.
+    Bool(bool),
+    /// `null`.
+    Null,
+}
+
+impl Value {
+    /// The members of an object, or an error naming `what` was expected.
+    pub fn as_object(&self, what: &str) -> Result<&Vec<(String, Value)>, String> {
+        match self {
+            Value::Object(m) => Ok(m),
+            _ => Err(format!("{what}: expected an object")),
+        }
+    }
+
+    /// The items of an array.
+    pub fn as_array(&self, what: &str) -> Result<&Vec<Value>, String> {
+        match self {
+            Value::Array(a) => Ok(a),
+            _ => Err(format!("{what}: expected an array")),
+        }
+    }
+
+    /// A string value.
+    pub fn as_str(&self, what: &str) -> Result<&str, String> {
+        match self {
+            Value::Str(s) => Ok(s),
+            _ => Err(format!("{what}: expected a string")),
+        }
+    }
+
+    /// A boolean value.
+    pub fn as_bool(&self, what: &str) -> Result<bool, String> {
+        match self {
+            Value::Bool(b) => Ok(*b),
+            _ => Err(format!("{what}: expected a boolean")),
+        }
+    }
+
+    /// An unsigned 64-bit integer.
+    pub fn as_u64(&self, what: &str) -> Result<u64, String> {
+        match self {
+            Value::Int(n) => u64::try_from(*n).map_err(|_| format!("{what}: {n} out of u64 range")),
+            _ => Err(format!("{what}: expected an integer")),
+        }
+    }
+
+    /// A signed 64-bit integer.
+    pub fn as_i64(&self, what: &str) -> Result<i64, String> {
+        match self {
+            Value::Int(n) => i64::try_from(*n).map_err(|_| format!("{what}: {n} out of i64 range")),
+            _ => Err(format!("{what}: expected an integer")),
+        }
+    }
+}
+
+/// Parses a complete JSON document (trailing data is an error).
+pub fn parse(text: &str) -> Result<Value, String> {
+    let bytes = text.as_bytes();
+    let mut pos = 0usize;
+    let v = value(bytes, &mut pos)?;
+    skip_ws(bytes, &mut pos);
+    if pos != bytes.len() {
+        return Err(format!("trailing data at byte {pos}"));
+    }
+    Ok(v)
+}
+
+/// Escapes a string into a JSON string literal (with quotes).
+pub fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+fn skip_ws(b: &[u8], pos: &mut usize) {
+    while *pos < b.len() && matches!(b[*pos], b' ' | b'\t' | b'\n' | b'\r') {
+        *pos += 1;
+    }
+}
+
+fn expect(b: &[u8], pos: &mut usize, c: u8) -> Result<(), String> {
+    skip_ws(b, pos);
+    if *pos < b.len() && b[*pos] == c {
+        *pos += 1;
+        Ok(())
+    } else {
+        Err(format!("expected '{}' at byte {pos}", c as char))
+    }
+}
+
+fn value(b: &[u8], pos: &mut usize) -> Result<Value, String> {
+    skip_ws(b, pos);
+    match b.get(*pos) {
+        Some(b'{') => object(b, pos),
+        Some(b'[') => array(b, pos),
+        Some(b'"') => Ok(Value::Str(string(b, pos)?)),
+        Some(b't') => keyword(b, pos, "true", Value::Bool(true)),
+        Some(b'f') => keyword(b, pos, "false", Value::Bool(false)),
+        Some(b'n') => keyword(b, pos, "null", Value::Null),
+        Some(c) if c.is_ascii_digit() || *c == b'-' => number(b, pos),
+        _ => Err(format!("unexpected input at byte {pos}")),
+    }
+}
+
+fn keyword(b: &[u8], pos: &mut usize, word: &str, v: Value) -> Result<Value, String> {
+    if b[*pos..].starts_with(word.as_bytes()) {
+        *pos += word.len();
+        Ok(v)
+    } else {
+        Err(format!("bad literal at byte {pos}"))
+    }
+}
+
+fn object(b: &[u8], pos: &mut usize) -> Result<Value, String> {
+    expect(b, pos, b'{')?;
+    let mut members = Vec::new();
+    skip_ws(b, pos);
+    if b.get(*pos) == Some(&b'}') {
+        *pos += 1;
+        return Ok(Value::Object(members));
+    }
+    loop {
+        skip_ws(b, pos);
+        let key = string(b, pos)?;
+        expect(b, pos, b':')?;
+        members.push((key, value(b, pos)?));
+        skip_ws(b, pos);
+        match b.get(*pos) {
+            Some(b',') => *pos += 1,
+            Some(b'}') => {
+                *pos += 1;
+                return Ok(Value::Object(members));
+            }
+            _ => return Err(format!("expected ',' or '}}' at byte {pos}")),
+        }
+    }
+}
+
+fn array(b: &[u8], pos: &mut usize) -> Result<Value, String> {
+    expect(b, pos, b'[')?;
+    let mut items = Vec::new();
+    skip_ws(b, pos);
+    if b.get(*pos) == Some(&b']') {
+        *pos += 1;
+        return Ok(Value::Array(items));
+    }
+    loop {
+        items.push(value(b, pos)?);
+        skip_ws(b, pos);
+        match b.get(*pos) {
+            Some(b',') => *pos += 1,
+            Some(b']') => {
+                *pos += 1;
+                return Ok(Value::Array(items));
+            }
+            _ => return Err(format!("expected ',' or ']' at byte {pos}")),
+        }
+    }
+}
+
+fn string(b: &[u8], pos: &mut usize) -> Result<String, String> {
+    expect(b, pos, b'"')?;
+    let mut out = String::new();
+    loop {
+        match b.get(*pos) {
+            None => return Err("unterminated string".to_string()),
+            Some(b'"') => {
+                *pos += 1;
+                return Ok(out);
+            }
+            Some(b'\\') => {
+                *pos += 1;
+                match b.get(*pos) {
+                    Some(b'"') => out.push('"'),
+                    Some(b'\\') => out.push('\\'),
+                    Some(b'/') => out.push('/'),
+                    Some(b'n') => out.push('\n'),
+                    Some(b'r') => out.push('\r'),
+                    Some(b't') => out.push('\t'),
+                    Some(b'u') => {
+                        let hex = b
+                            .get(*pos + 1..*pos + 5)
+                            .ok_or("truncated \\u escape".to_string())?;
+                        let hex = std::str::from_utf8(hex).map_err(|e| e.to_string())?;
+                        let code = u32::from_str_radix(hex, 16).map_err(|e| e.to_string())?;
+                        out.push(
+                            char::from_u32(code).ok_or_else(|| format!("bad \\u{hex} escape"))?,
+                        );
+                        *pos += 4;
+                    }
+                    _ => return Err(format!("bad escape at byte {pos}")),
+                }
+                *pos += 1;
+            }
+            Some(_) => {
+                // Consume one UTF-8 scalar (multi-byte safe: take the
+                // longest prefix str::from_utf8 accepts).
+                let rest = &b[*pos..];
+                let len = (1..=4.min(rest.len()))
+                    .find(|&n| std::str::from_utf8(&rest[..n]).is_ok())
+                    .ok_or("invalid utf-8 in string".to_string())?;
+                out.push_str(std::str::from_utf8(&rest[..len]).expect("checked"));
+                *pos += len;
+            }
+        }
+    }
+}
+
+fn number(b: &[u8], pos: &mut usize) -> Result<Value, String> {
+    let start = *pos;
+    if b.get(*pos) == Some(&b'-') {
+        *pos += 1;
+    }
+    while b.get(*pos).is_some_and(u8::is_ascii_digit) {
+        *pos += 1;
+    }
+    let text = std::str::from_utf8(&b[start..*pos]).expect("digits are utf-8");
+    text.parse::<i128>()
+        .map(Value::Int)
+        .map_err(|_| format!("bad number '{text}'"))
+}

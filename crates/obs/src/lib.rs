@@ -47,6 +47,7 @@
 
 #![warn(missing_docs)]
 
+pub mod json;
 mod registry;
 mod snapshot;
 

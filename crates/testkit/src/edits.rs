@@ -1,0 +1,406 @@
+//! Random structural edits over a [`Config`], for differential testing of
+//! the incremental linter.
+//!
+//! [`apply_random_edit`] mutates the config in place — inserting, deleting,
+//! or rewriting one stanza/entry, or adding/removing a whole object — and
+//! returns a one-line description of what it did (shown in shrunk failure
+//! reports). Every decision is drawn from the [`Source`] choice stream, so
+//! edit sequences replay and shrink exactly like any other generated input:
+//! the all-zeros stream maps to the first (simplest) operation, an
+//! action-flip on the first entry of the first object.
+//!
+//! The operation mix is chosen to exercise the incremental linter's
+//! invalidation paths specifically:
+//!
+//! - in-place mutation of one object (only that object should re-lint);
+//! - edits to ancillary lists that keep the regex-pattern text unchanged
+//!   (action flips), which must dirty dependent route-maps *without*
+//!   rebuilding the atom environment;
+//! - insertion/deletion of whole objects (added / removed cache keys);
+//! - deletion of a *referenced* prefix list (dangling refs: the dependent
+//!   map turns broken and must drop out of the symbolic pass identically
+//!   in both the full and incremental paths).
+
+use std::net::Ipv4Addr;
+
+use clarify_automata::Regex;
+use clarify_netconfig::{
+    Acl, AclEntry, Action, AddrMatch, AsPathList, AsPathListEntry, Config, PrefixList,
+    PrefixListEntry, RouteMapMatch, RouteMapStanza,
+};
+use clarify_nettypes::{PortRange, Prefix, PrefixRange, Protocol};
+use clarify_rng::Rng;
+
+use crate::Source;
+
+/// Applies one random structural edit to `cfg`, returning a description.
+///
+/// The config is always left in a state the linter accepts (objects may
+/// become empty or dangle references — both are valid inputs, and the
+/// incremental result must still match a cold full lint byte for byte).
+pub fn apply_random_edit(g: &mut Source, cfg: &mut Config) -> String {
+    // Draw an operation; not every operation applies to every config
+    // (can't delete from an empty map), so fall through a bounded number
+    // of times before taking the always-applicable fallback.
+    for _ in 0..8 {
+        let op = g.gen_range(0usize..13);
+        let done = match op {
+            0 => flip_acl_entry(g, cfg),
+            1 => flip_prefix_entry(g, cfg),
+            2 => flip_stanza_action(g, cfg),
+            3 => flip_list_entry(g, cfg),
+            4 => mutate_acl_entry(g, cfg),
+            5 => mutate_prefix_entry(g, cfg),
+            6 => insert_acl_entry(g, cfg),
+            7 => insert_prefix_entry(g, cfg),
+            8 => insert_stanza(g, cfg),
+            9 => delete_entry(g, cfg),
+            10 => delete_object(g, cfg),
+            11 => Some(add_prefix_list(g, cfg)),
+            12 => Some(grow_as_path_list(g, cfg)),
+            _ => unreachable!(),
+        };
+        if let Some(desc) = done {
+            return desc;
+        }
+    }
+    add_prefix_list(g, cfg)
+}
+
+fn pick_key<T>(g: &mut Source, map: &std::collections::BTreeMap<String, T>) -> Option<String> {
+    if map.is_empty() {
+        return None;
+    }
+    let i = g.gen_range(0..map.len());
+    map.keys().nth(i).cloned()
+}
+
+fn flip_acl_entry(g: &mut Source, cfg: &mut Config) -> Option<String> {
+    let name = pick_key(g, &cfg.acls)?;
+    let acl = cfg.acls.get_mut(&name).unwrap();
+    if acl.entries.is_empty() {
+        return None;
+    }
+    let i = g.gen_range(0..acl.entries.len());
+    let e = &mut acl.entries[i];
+    e.action = flip(e.action);
+    Some(format!("flip action of acl {name} entry {i}"))
+}
+
+fn flip_prefix_entry(g: &mut Source, cfg: &mut Config) -> Option<String> {
+    let name = pick_key(g, &cfg.prefix_lists)?;
+    let pl = cfg.prefix_lists.get_mut(&name).unwrap();
+    if pl.entries.is_empty() {
+        return None;
+    }
+    let i = g.gen_range(0..pl.entries.len());
+    let e = &mut pl.entries[i];
+    e.action = flip(e.action);
+    Some(format!("flip action of prefix-list {name} seq {}", e.seq))
+}
+
+fn flip_stanza_action(g: &mut Source, cfg: &mut Config) -> Option<String> {
+    let name = pick_key(g, &cfg.route_maps)?;
+    let map = cfg.route_maps.get_mut(&name).unwrap();
+    if map.stanzas.is_empty() {
+        return None;
+    }
+    let i = g.gen_range(0..map.stanzas.len());
+    let s = &mut map.stanzas[i];
+    s.action = flip(s.action);
+    Some(format!("flip action of route-map {name} seq {}", s.seq))
+}
+
+/// Flips one as-path / community list entry's action. The regex text is
+/// untouched, so the atom environment is stable — this must dirty exactly
+/// the route-maps that reference the list.
+fn flip_list_entry(g: &mut Source, cfg: &mut Config) -> Option<String> {
+    let as_paths = !cfg.as_path_lists.is_empty();
+    let comms = !cfg.community_lists.is_empty();
+    let use_as_path = match (as_paths, comms) {
+        (false, false) => return None,
+        (true, false) => true,
+        (false, true) => false,
+        (true, true) => g.gen_range(0usize..2) == 0,
+    };
+    if use_as_path {
+        let name = pick_key(g, &cfg.as_path_lists)?;
+        let list = cfg.as_path_lists.get_mut(&name).unwrap();
+        if list.entries.is_empty() {
+            return None;
+        }
+        let i = g.gen_range(0..list.entries.len());
+        let e = &mut list.entries[i];
+        e.action = flip(e.action);
+        Some(format!("flip action of as-path list {name} entry {i}"))
+    } else {
+        let name = pick_key(g, &cfg.community_lists)?;
+        let list = cfg.community_lists.get_mut(&name).unwrap();
+        if list.entries.is_empty() {
+            return None;
+        }
+        let i = g.gen_range(0..list.entries.len());
+        let e = &mut list.entries[i];
+        e.action = flip(e.action);
+        Some(format!("flip action of community list {name} entry {i}"))
+    }
+}
+
+fn mutate_acl_entry(g: &mut Source, cfg: &mut Config) -> Option<String> {
+    let name = pick_key(g, &cfg.acls)?;
+    let acl = cfg.acls.get_mut(&name).unwrap();
+    if acl.entries.is_empty() {
+        return None;
+    }
+    let i = g.gen_range(0..acl.entries.len());
+    let port = g.gen_range(0u16..1024);
+    acl.entries[i].dst_ports = PortRange::new(port, port.saturating_add(g.gen_range(0u16..400)));
+    Some(format!("retarget dst ports of acl {name} entry {i}"))
+}
+
+fn mutate_prefix_entry(g: &mut Source, cfg: &mut Config) -> Option<String> {
+    let name = pick_key(g, &cfg.prefix_lists)?;
+    let pl = cfg.prefix_lists.get_mut(&name).unwrap();
+    if pl.entries.is_empty() {
+        return None;
+    }
+    let i = g.gen_range(0..pl.entries.len());
+    let e = &mut pl.entries[i];
+    e.range = random_range(g);
+    Some(format!("rewrite range of prefix-list {name} seq {}", e.seq))
+}
+
+fn insert_acl_entry(g: &mut Source, cfg: &mut Config) -> Option<String> {
+    let name = pick_key(g, &cfg.acls)?;
+    let acl = cfg.acls.get_mut(&name).unwrap();
+    let pos = g.gen_range(0..=acl.entries.len());
+    acl.entries.insert(pos, random_acl_entry(g));
+    Some(format!("insert entry at {pos} of acl {name}"))
+}
+
+fn insert_prefix_entry(g: &mut Source, cfg: &mut Config) -> Option<String> {
+    let name = pick_key(g, &cfg.prefix_lists)?;
+    let pl = cfg.prefix_lists.get_mut(&name).unwrap();
+    let seq = pl.entries.iter().map(|e| e.seq).max().unwrap_or(0) + 5;
+    pl.entries.push(PrefixListEntry {
+        seq,
+        action: random_action(g),
+        range: random_range(g),
+    });
+    Some(format!("append seq {seq} to prefix-list {name}"))
+}
+
+/// Appends a stanza to a route-map: either match-all, or matching one of
+/// the config's prefix lists (possibly one "owned" by a different map —
+/// cross-object dependencies are the interesting case), or a dangling
+/// reference that turns the map broken.
+fn insert_stanza(g: &mut Source, cfg: &mut Config) -> Option<String> {
+    let name = pick_key(g, &cfg.route_maps)?;
+    let kind = g.gen_range(0usize..3);
+    let matches = match kind {
+        0 => Vec::new(),
+        1 => match pick_key(g, &cfg.prefix_lists) {
+            Some(pl) => vec![RouteMapMatch::PrefixList(vec![pl])],
+            None => Vec::new(),
+        },
+        _ => vec![RouteMapMatch::PrefixList(vec!["NO_SUCH_LIST".to_string()])],
+    };
+    let map = cfg.route_maps.get_mut(&name).unwrap();
+    let seq = map.stanzas.iter().map(|s| s.seq).max().unwrap_or(0) + 10;
+    let action = random_action(g);
+    map.stanzas.push(RouteMapStanza {
+        seq,
+        action,
+        matches,
+        sets: Vec::new(),
+    });
+    Some(format!("append seq {seq} to route-map {name}"))
+}
+
+/// Deletes one entry/stanza from some object (never the last one, so the
+/// object itself survives; whole-object removal is `delete_object`).
+fn delete_entry(g: &mut Source, cfg: &mut Config) -> Option<String> {
+    match g.gen_range(0usize..3) {
+        0 => {
+            let name = pick_key(g, &cfg.acls)?;
+            let acl = cfg.acls.get_mut(&name).unwrap();
+            if acl.entries.len() < 2 {
+                return None;
+            }
+            let i = g.gen_range(0..acl.entries.len());
+            acl.entries.remove(i);
+            Some(format!("delete entry {i} of acl {name}"))
+        }
+        1 => {
+            let name = pick_key(g, &cfg.prefix_lists)?;
+            let pl = cfg.prefix_lists.get_mut(&name).unwrap();
+            if pl.entries.len() < 2 {
+                return None;
+            }
+            let i = g.gen_range(0..pl.entries.len());
+            let seq = pl.entries.remove(i).seq;
+            Some(format!("delete seq {seq} of prefix-list {name}"))
+        }
+        _ => {
+            let name = pick_key(g, &cfg.route_maps)?;
+            let map = cfg.route_maps.get_mut(&name).unwrap();
+            if map.stanzas.len() < 2 {
+                return None;
+            }
+            let i = g.gen_range(0..map.stanzas.len());
+            let seq = map.stanzas.remove(i).seq;
+            Some(format!("delete seq {seq} of route-map {name}"))
+        }
+    }
+}
+
+/// Removes a whole object. Removing a prefix list that a route-map still
+/// references leaves dangling refs — a legal config the linter reports.
+fn delete_object(g: &mut Source, cfg: &mut Config) -> Option<String> {
+    match g.gen_range(0usize..3) {
+        0 => {
+            let name = pick_key(g, &cfg.acls)?;
+            cfg.acls.remove(&name);
+            Some(format!("delete acl {name}"))
+        }
+        1 => {
+            let name = pick_key(g, &cfg.prefix_lists)?;
+            cfg.prefix_lists.remove(&name);
+            Some(format!("delete prefix-list {name}"))
+        }
+        _ => {
+            let name = pick_key(g, &cfg.route_maps)?;
+            cfg.route_maps.remove(&name);
+            Some(format!("delete route-map {name}"))
+        }
+    }
+}
+
+/// Always applicable: adds (or replaces) a small generated object.
+fn add_prefix_list(g: &mut Source, cfg: &mut Config) -> String {
+    let id = g.gen_range(0u64..8);
+    let name = format!("GEN_PL_{id}");
+    let n = g.gen_range(1usize..4);
+    let entries = (0..n)
+        .map(|i| PrefixListEntry {
+            seq: (i as u32 + 1) * 5,
+            action: random_action(g),
+            range: random_range(g),
+        })
+        .collect();
+    let verb = if cfg.prefix_lists.contains_key(&name) {
+        "replace"
+    } else {
+        "add"
+    };
+    cfg.prefix_lists.insert(
+        name.clone(),
+        PrefixList {
+            name: name.clone(),
+            entries,
+        },
+    );
+    format!("{verb} prefix-list {name}")
+}
+
+/// Appends an entry with a (possibly new) regex pattern to an as-path
+/// list, creating the list if the config has none. A pattern the config
+/// has never seen changes the *atom environment* — the incremental linter
+/// must respond by rebuilding the route space and dirtying every
+/// route-map, and the result must still match a cold full lint.
+fn grow_as_path_list(g: &mut Source, cfg: &mut Config) -> String {
+    const POOL: [&str; 4] = ["_32$", "^100_", "_200_", "^65000_"];
+    let pattern = POOL[g.gen_range(0..POOL.len())];
+    let entry = AsPathListEntry {
+        action: random_action(g),
+        regex: Regex::parse(pattern).expect("pool pattern parses"),
+    };
+    let name = match pick_key(g, &cfg.as_path_lists) {
+        Some(n) => n,
+        None => {
+            let n = "GEN_PATHS".to_string();
+            cfg.as_path_lists.insert(
+                n.clone(),
+                AsPathList {
+                    name: n.clone(),
+                    entries: Vec::new(),
+                },
+            );
+            n
+        }
+    };
+    let list = cfg.as_path_lists.get_mut(&name).unwrap();
+    list.entries.push(entry);
+    format!("append {pattern} to as-path list {name}")
+}
+
+/// Adds (or replaces) a small generated ACL; used by callers that want a
+/// whole-object insertion on the packet side too.
+pub fn add_acl(g: &mut Source, cfg: &mut Config) -> String {
+    let id = g.gen_range(0u64..8);
+    let name = format!("GEN_ACL_{id}");
+    let n = g.gen_range(1usize..4);
+    let entries = (0..n).map(|_| random_acl_entry(g)).collect();
+    let verb = if cfg.acls.contains_key(&name) {
+        "replace"
+    } else {
+        "add"
+    };
+    cfg.acls.insert(
+        name.clone(),
+        Acl {
+            name: name.clone(),
+            entries,
+        },
+    );
+    format!("{verb} acl {name}")
+}
+
+fn flip(a: Action) -> Action {
+    match a {
+        Action::Permit => Action::Deny,
+        Action::Deny => Action::Permit,
+    }
+}
+
+fn random_action(g: &mut Source) -> Action {
+    if g.gen_range(0usize..2) == 0 {
+        Action::Permit
+    } else {
+        Action::Deny
+    }
+}
+
+fn random_range(g: &mut Source) -> PrefixRange {
+    let a = g.gen_range(10u8..30);
+    let b = g.gen_range(0u8..=255);
+    let len = g.gen_range(8u8..=24);
+    let prefix = Prefix::new(Ipv4Addr::new(a, b, 0, 0), len);
+    let max = g.gen_range(len..=32);
+    PrefixRange {
+        prefix,
+        min_len: len,
+        max_len: max,
+    }
+}
+
+fn random_acl_entry(g: &mut Source) -> AclEntry {
+    let proto = if g.gen_range(0usize..2) == 0 {
+        Protocol::Tcp
+    } else {
+        Protocol::Udp
+    };
+    let src = Prefix::new(
+        Ipv4Addr::new(10, g.gen_range(0u8..=255), 0, 0),
+        g.gen_range(8u8..=24),
+    );
+    let port = g.gen_range(0u16..1024);
+    AclEntry {
+        action: random_action(g),
+        protocol: proto,
+        src: AddrMatch::Net(src),
+        src_ports: PortRange::ANY,
+        dst: AddrMatch::Any,
+        dst_ports: PortRange::new(port, port.saturating_add(g.gen_range(0u16..400))),
+    }
+}

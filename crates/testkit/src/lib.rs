@@ -50,6 +50,7 @@ use std::panic::{self, AssertUnwindSafe};
 pub use clarify_rng::{Rng, RngCore, SplitMix64, StdRng};
 
 pub mod bench;
+pub mod edits;
 pub mod gens;
 
 /// Default number of cases per property (override per-property with

@@ -16,9 +16,11 @@
 //!     Print concrete routes on which the two versions of the route-map
 //!     behave differently (differential verification).
 //!
-//! clarify lint [--json] <config-file>...
+//! clarify lint [--json] [--incremental PREV] [--save-cache PATH] <config-file>...
 //!     Symbolic lint: shadowed, redundant, empty, and conflicting rules,
-//!     plus dangling/unused references, with concrete witnesses.
+//!     plus dangling/unused references, with concrete witnesses. With
+//!     `--incremental`, re-lints against a cache from an earlier
+//!     `--save-cache` run, recomputing only the objects the edit touched.
 //! ```
 
 #![warn(missing_docs)]
@@ -129,7 +131,7 @@ usage:
   clarify ask-acl <config-file> <acl> <english intent...>
   clarify compare <file-a> <file-b> <route-map> [limit]
   clarify chain <config-file> <route-map> <route-map>...
-  clarify lint [--json] <config-file>...
+  clarify lint [--json] [--incremental PREV] [--save-cache PATH] <config-file>...
 
 options:
   --threads <N>       worker threads for the symbolic analyses (default:
@@ -139,6 +141,15 @@ options:
                       JSON at exit
   --stats             record internal metrics and print a summary to
                       stderr at exit
+
+lint options:
+  --incremental <PREV> re-lint against the cache PREV (from --save-cache):
+                      only objects the edit touched are recomputed, cached
+                      findings are spliced for the rest; requires exactly
+                      one config file. A stale cache falls back to a full
+                      lint with a warning; a corrupt one is an error.
+  --save-cache <PATH> write this run's lint cache to PATH for a later
+                      --incremental
 ";
 
 fn load(path: &str) -> Result<Config, String> {
@@ -409,10 +420,27 @@ fn chain(args: &[String]) -> Result<(), String> {
 /// standalone `lint` binary: 0 clean, 1 findings, 2 usage/parse errors.
 fn lint(args: &[String]) -> ExitCode {
     let mut json = false;
+    let mut incremental: Option<String> = None;
+    let mut save_cache: Option<String> = None;
     let mut paths: Vec<&str> = Vec::new();
-    for a in args {
+    let mut args_iter = args.iter();
+    while let Some(a) = args_iter.next() {
         match a.as_str() {
             "--json" => json = true,
+            "--incremental" => {
+                let Some(path) = args_iter.next() else {
+                    eprintln!("error: --incremental takes a cache file path\n\n{USAGE}");
+                    return ExitCode::from(2);
+                };
+                incremental = Some(path.clone());
+            }
+            "--save-cache" => {
+                let Some(path) = args_iter.next() else {
+                    eprintln!("error: --save-cache takes a file path\n\n{USAGE}");
+                    return ExitCode::from(2);
+                };
+                save_cache = Some(path.clone());
+            }
             flag if flag.starts_with('-') => {
                 eprintln!("error: unknown lint option '{flag}'\n\n{USAGE}");
                 return ExitCode::from(2);
@@ -424,6 +452,37 @@ fn lint(args: &[String]) -> ExitCode {
         eprintln!("error: lint takes at least one config file\n\n{USAGE}");
         return ExitCode::from(2);
     }
+    if (incremental.is_some() || save_cache.is_some()) && paths.len() != 1 {
+        eprintln!("error: --incremental/--save-cache require exactly one config file\n\n{USAGE}");
+        return ExitCode::from(2);
+    }
+    // Load the previous cache up front: a stale one (checksum or format
+    // mismatch) downgrades to a full lint with a warning — never to
+    // splicing findings that no longer match any configuration — while a
+    // corrupt file is a usage error.
+    let prev = match incremental {
+        Some(path) => {
+            let text = match std::fs::read_to_string(&path) {
+                Ok(t) => t,
+                Err(e) => {
+                    eprintln!("error: cannot read {path}: {e}");
+                    return ExitCode::from(2);
+                }
+            };
+            match clarify::lint::LintCache::from_json(&text) {
+                Ok(cache) => Some(cache),
+                Err(clarify::lint::CacheError::Stale(m)) => {
+                    eprintln!("warning: {path}: stale lint cache ({m}); falling back to full lint");
+                    None
+                }
+                Err(clarify::lint::CacheError::Corrupt(m)) => {
+                    eprintln!("error: {path}: corrupt lint cache: {m}");
+                    return ExitCode::from(2);
+                }
+            }
+        }
+        None => None,
+    };
     let mut dirty = false;
     for path in paths {
         let text = match std::fs::read_to_string(path) {
@@ -441,13 +500,25 @@ fn lint(args: &[String]) -> ExitCode {
                 return ExitCode::from(2);
             }
         };
-        let report = match clarify::lint::lint_config(&cfg, Some(&spans)) {
+        let result = match &prev {
+            Some(cache) => clarify::lint::lint_config_incremental(&cfg, Some(&spans), cache)
+                .map(|(report, _)| report),
+            None => clarify::lint::lint_config(&cfg, Some(&spans)),
+        };
+        let report = match result {
             Ok(r) => r,
             Err(e) => {
                 eprintln!("error: {path}: {e}");
                 return ExitCode::from(2);
             }
         };
+        if let Some(out) = &save_cache {
+            let cache = clarify::lint::LintCache::from_report(&cfg, &report);
+            if let Err(e) = std::fs::write(out, cache.to_json()) {
+                eprintln!("error: cannot write {out}: {e}");
+                return ExitCode::from(2);
+            }
+        }
         if json {
             print!("{}", report.render_json(path));
         } else {

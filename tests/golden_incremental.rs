@@ -1,0 +1,137 @@
+//! Golden incremental re-lint transcript (ISSUE satellite b): `--save-cache`
+//! on the §2 worked example, edit one stanza, `--incremental` re-lint — the
+//! spliced report is pinned byte for byte and the `incr.*` counters are
+//! pinned against their known values, exactly as `trace_json.rs` pins the
+//! full-lint trace.
+//!
+//! The edit (`testdata/isp_out_edit.cfg`) appends stanza 40 to `ISP_OUT`:
+//! of E1's two symbolic objects (the route-map and prefix list `D1`), only
+//! the route-map is dirty, so the run recomputes exactly one object and
+//! splices the cached (empty) findings of the other.
+
+use std::path::{Path, PathBuf};
+use std::process::{Command, Stdio};
+
+use clarify::obs::Snapshot;
+
+fn manifest_dir() -> &'static Path {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+}
+
+fn unique_tmp(name: &str) -> PathBuf {
+    let mut p = std::env::temp_dir();
+    p.push(format!("clarify_{}_{}", name, std::process::id()));
+    p
+}
+
+#[test]
+fn incremental_relint_transcript_matches_golden() {
+    let cache = unique_tmp("incr_cache.json");
+    let trace = unique_tmp("incr_trace.json");
+
+    // Pass 1: full lint of the pre-edit config, caching the run. Stdout is
+    // the unchanged E1 lint golden — --save-cache must be observational.
+    let output = Command::new(env!("CARGO_BIN_EXE_clarify"))
+        .current_dir(manifest_dir())
+        .args([
+            "lint",
+            "--save-cache",
+            cache.to_str().unwrap(),
+            "testdata/isp_out.cfg",
+        ])
+        .stdin(Stdio::null())
+        .output()
+        .expect("clarify runs");
+    let golden = std::fs::read_to_string(manifest_dir().join("testdata/e1_lint_report.txt"))
+        .expect("golden exists");
+    assert_eq!(String::from_utf8_lossy(&output.stdout), golden);
+    assert!(output.status.success(), "notes-only report exits 0");
+
+    // Pass 2: incremental re-lint of the edited config against the cache.
+    let output = Command::new(env!("CARGO_BIN_EXE_clarify"))
+        .current_dir(manifest_dir())
+        .args([
+            "--trace-json",
+            trace.to_str().unwrap(),
+            "lint",
+            "--incremental",
+            cache.to_str().unwrap(),
+            "testdata/isp_out_edit.cfg",
+        ])
+        .stdin(Stdio::null())
+        .output()
+        .expect("clarify runs");
+    std::fs::remove_file(&cache).ok();
+    let golden = std::fs::read_to_string(manifest_dir().join("testdata/e1_incremental_report.txt"))
+        .expect("incremental golden exists");
+    assert_eq!(
+        String::from_utf8_lossy(&output.stdout),
+        golden,
+        "incremental transcript diverged from golden"
+    );
+    assert_eq!(String::from_utf8_lossy(&output.stderr), "", "no warnings");
+    assert!(output.status.success());
+
+    // The pinned invalidation profile: stanza 40 dirties ISP_OUT and
+    // nothing else; D1 splices from cache. One incremental span, one
+    // route-space build (the dirty map needs it), findings re-counted
+    // from the spliced report.
+    let json = std::fs::read_to_string(&trace).expect("trace file written");
+    std::fs::remove_file(&trace).ok();
+    let snap = Snapshot::from_json(&json).expect("trace is valid JSON");
+    assert_eq!(snap.counter("incr.objects_dirty"), 1);
+    assert_eq!(snap.counter("incr.objects_reused"), 1);
+    assert_eq!(snap.counter("lint.configs_linted"), 1);
+    assert_eq!(snap.counter("lint.findings.L003"), 4);
+    assert_eq!(snap.counter("analysis.route_space_builds"), 1);
+    assert_eq!(
+        snap.histogram("span.lint_incremental.ns").map(|h| h.count),
+        Some(1)
+    );
+}
+
+#[test]
+fn unchanged_config_reuses_every_object() {
+    let cache = unique_tmp("noop_cache.json");
+    let trace = unique_tmp("noop_trace.json");
+    let output = Command::new(env!("CARGO_BIN_EXE_clarify"))
+        .current_dir(manifest_dir())
+        .args([
+            "lint",
+            "--save-cache",
+            cache.to_str().unwrap(),
+            "testdata/isp_out.cfg",
+        ])
+        .stdin(Stdio::null())
+        .output()
+        .expect("clarify runs");
+    assert!(output.status.success());
+
+    // Re-lint the same file: zero dirty objects, byte-identical report,
+    // and no route space is ever built.
+    let output = Command::new(env!("CARGO_BIN_EXE_clarify"))
+        .current_dir(manifest_dir())
+        .args([
+            "--trace-json",
+            trace.to_str().unwrap(),
+            "lint",
+            "--incremental",
+            cache.to_str().unwrap(),
+            "testdata/isp_out.cfg",
+        ])
+        .stdin(Stdio::null())
+        .output()
+        .expect("clarify runs");
+    std::fs::remove_file(&cache).ok();
+    let golden = std::fs::read_to_string(manifest_dir().join("testdata/e1_lint_report.txt"))
+        .expect("golden exists");
+    assert_eq!(String::from_utf8_lossy(&output.stdout), golden);
+    assert!(output.status.success());
+
+    let json = std::fs::read_to_string(&trace).expect("trace file written");
+    std::fs::remove_file(&trace).ok();
+    let snap = Snapshot::from_json(&json).expect("trace is valid JSON");
+    assert_eq!(snap.counter("incr.objects_dirty"), 0);
+    assert_eq!(snap.counter("incr.objects_reused"), 2);
+    assert_eq!(snap.counter("analysis.route_space_builds"), 0);
+}
