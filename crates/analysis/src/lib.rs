@@ -28,6 +28,7 @@
 mod error;
 mod filter_compare;
 mod incr;
+mod network_space;
 mod overlap;
 mod packet_space;
 mod route_compare;
@@ -40,6 +41,7 @@ pub use filter_compare::{
     PrefixListDiff, PrefixSpace,
 };
 pub use incr::{atom_env_hash, FireSetCache, FireSets};
+pub use network_space::NetworkSpace;
 pub use overlap::{
     acl_overlaps, acl_overlaps_symbolic, route_map_chain_overlaps, route_map_overlaps,
     ChainOverlapPair, OverlapPair, OverlapReport,

@@ -33,18 +33,18 @@ const FIELD_BITS: u32 = 16;
 /// of atomic predicates; encoding a config whose regexes were not part of
 /// the construction fails with [`AnalysisError::UnknownPattern`].
 pub struct RouteSpace {
-    mgr: Manager,
-    comm_atoms: AtomSpace,
-    path_atoms: AtomSpace,
+    pub(crate) mgr: Manager,
+    pub(crate) comm_atoms: AtomSpace,
+    pub(crate) path_atoms: AtomSpace,
     comm_pattern_idx: HashMap<String, usize>,
     path_pattern_idx: HashMap<String, usize>,
     prefix_vars: Vec<u32>,
     plen_vars: Vec<u32>,
-    lp_vars: Vec<u32>,
-    metric_vars: Vec<u32>,
-    tag_vars: Vec<u32>,
-    comm_vars: Vec<u32>,
-    path_vars: Vec<u32>,
+    pub(crate) lp_vars: Vec<u32>,
+    pub(crate) metric_vars: Vec<u32>,
+    pub(crate) tag_vars: Vec<u32>,
+    pub(crate) comm_vars: Vec<u32>,
+    pub(crate) path_vars: Vec<u32>,
     valid: Ref,
 }
 
@@ -165,7 +165,11 @@ impl RouteSpace {
         self.path_atoms.len()
     }
 
-    fn field_value(&self, field: &'static str, value: u32) -> Result<u64, AnalysisError> {
+    pub(crate) fn field_value(
+        &self,
+        field: &'static str,
+        value: u32,
+    ) -> Result<u64, AnalysisError> {
         if value >= 1 << FIELD_BITS {
             Err(AnalysisError::ValueTooLarge { field, value })
         } else {

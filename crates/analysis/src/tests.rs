@@ -949,3 +949,80 @@ fn community_add_vs_replace_detected_without_community_lists() {
     let rb = d.b.route().unwrap();
     assert!(ra.communities.len() > rb.communities.len(), "{d:?}");
 }
+
+const TRANSFER_CFG: &str = "\
+ip prefix-list HIDE seq 5 permit 10.1.128.0/17 le 32
+ip prefix-list SVC seq 5 permit 10.1.0.0/16 le 24
+route-map XFER deny 10
+ match ip address prefix-list HIDE
+route-map XFER permit 20
+ match ip address prefix-list SVC
+ set local-preference 300
+ set community 100:1 additive
+route-map LASTWINS permit 10
+ set metric 5
+ set metric 7
+";
+
+#[test]
+fn transfer_applies_sets_and_respects_first_match() {
+    let cfg = Config::parse(TRANSFER_CFG).unwrap();
+    let mut ns = crate::NetworkSpace::new(&[&cfg]).unwrap();
+    let map = cfg.route_map("XFER").unwrap().clone();
+    let valid = ns.valid();
+    let out = ns.transfer(&cfg, &map, 1, valid).unwrap();
+    // Every emerging route has LOCAL_PREF 300 and carries 100:1.
+    let w = ns.space_mut().witness(out).unwrap().unwrap();
+    assert_eq!(w.local_pref, 300);
+    // No community list distinguishes 100:1, so it lands in the one
+    // catch-all atom: the decoded witness carries *some* community.
+    assert!(!w.communities.is_empty(), "{w}");
+    // Nothing from the denied HIDE region leaks through: the output
+    // region contains no /17-or-longer 10.1.128.0/17 route.
+    let hidden = ns
+        .space_mut()
+        .encode_prefix_range(&"10.1.128.0/17 ge 17".parse().unwrap());
+    let leak = ns.space_mut().manager().and(out, hidden);
+    assert_eq!(leak, clarify_bdd::Ref::FALSE);
+    // Transfer of an empty input is empty (monotone at the bottom).
+    let none = ns.transfer(&cfg, &map, 1, clarify_bdd::Ref::FALSE).unwrap();
+    assert_eq!(none, clarify_bdd::Ref::FALSE);
+}
+
+#[test]
+fn transfer_last_write_wins_and_cross_as_normalizes() {
+    let cfg = Config::parse(TRANSFER_CFG).unwrap();
+    let mut ns = crate::NetworkSpace::new(&[&cfg]).unwrap();
+    let map = cfg.route_map("LASTWINS").unwrap().clone();
+    let valid = ns.valid();
+    let out = ns.transfer(&cfg, &map, 2, valid).unwrap();
+    let w = ns.space_mut().witness(out).unwrap().unwrap();
+    assert_eq!(w.metric, 7);
+    // Agreement with the concrete evaluator on the same route-map.
+    let route = BgpRoute::with_defaults(pfx("10.9.0.0/16"));
+    let v = cfg.eval_route_map("LASTWINS", &route).unwrap();
+    assert_eq!(v.route().unwrap().metric, 7);
+    // Cross-AS normalization pins LOCAL_PREF back to 100.
+    let xfer = cfg.route_map("XFER").unwrap().clone();
+    let lp300 = ns.transfer(&cfg, &xfer, 1, valid).unwrap();
+    let normalized = ns.cross_as_normalize(lp300);
+    let w = ns.space_mut().witness(normalized).unwrap().unwrap();
+    assert_eq!(w.local_pref, 100);
+    assert!(!w.communities.is_empty(), "{w}");
+}
+
+#[test]
+fn origination_region_is_exact_points() {
+    let cfg = Config::parse(TRANSFER_CFG).unwrap();
+    let mut ns = crate::NetworkSpace::new(&[&cfg]).unwrap();
+    let origin = ns
+        .origination_region(&[pfx("10.1.0.0/16"), pfx("203.0.113.0/24")])
+        .unwrap();
+    let all = ns.space_mut().witnesses(origin, 8).unwrap();
+    assert_eq!(all.len(), 2);
+    for r in &all {
+        assert_eq!(r.local_pref, 100);
+        assert!(r.communities.is_empty());
+        assert!(r.as_path.is_empty());
+    }
+}

@@ -1,9 +1,11 @@
 //! The `lint` command-line tool: run the symbolic linter over one or more
-//! configuration files.
+//! configuration files, or over a whole topology.
 //!
 //! ```text
-//! lint [--json] [--strict] [--threads N] [--trace-json PATH] [--stats]
-//!      [--incremental PREV] [--save-cache PATH] <config-file>...
+//! lint [--format human|json|sarif] [--strict] [--threads N] [--no-suppress]
+//!      [--trace-json PATH] [--stats] [--incremental PREV] [--save-cache PATH]
+//!      <config-file>...
+//! lint --topology <topology-file> [--format ...] [--strict] [--no-suppress]
 //! ```
 //!
 //! Exit status: 0 when every file is clean (no warnings or errors; notes
@@ -12,18 +14,31 @@
 
 #![warn(missing_docs)]
 
+use std::path::Path;
 use std::process::ExitCode;
 
-use clarify_lint::{lint_config, lint_config_incremental, CacheError, LintCache};
+use clarify_lint::{
+    apply_suppressions, lint_config, lint_config_incremental, render_sarif, render_sarif_network,
+    CacheError, LintCache, NetworkLinter,
+};
 use clarify_netconfig::Config;
+use clarify_netsim::TopologySpec;
 
 const USAGE: &str = "\
 usage:
-  lint [--json] [--strict] [--threads N] [--trace-json PATH] [--stats]
-       [--incremental PREV] [--save-cache PATH] <config-file>...
+  lint [--format human|json|sarif] [--strict] [--threads N] [--no-suppress]
+       [--trace-json PATH] [--stats] [--incremental PREV] [--save-cache PATH]
+       <config-file>...
+  lint --topology <topology-file> [common options]
 
 options:
-  --json               emit one JSON report object per file instead of text
+  --format <F>         output format: human (default), json, or sarif
+                       (SARIF 2.1.0, one log for the whole run)
+  --json               shorthand for --format json
+  --topology <FILE>    lint a whole topology: per-config checks plus the
+                       cross-device checks L007-L011 (config paths resolve
+                       relative to FILE's directory)
+  --no-suppress        ignore inline '! lint-allow L0xx' suppressions
   --strict             treat notes as findings for the exit status
   --threads <N>        worker threads for the symbolic passes (default: the
                        CLARIFY_THREADS env var, else all available cores)
@@ -41,11 +56,20 @@ options:
                        later --incremental
 ";
 
+#[derive(Clone, Copy, PartialEq)]
+enum Format {
+    Human,
+    Json,
+    Sarif,
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let mut json = false;
+    let mut format = Format::Human;
     let mut strict = false;
     let mut stats = false;
+    let mut no_suppress = false;
+    let mut topology: Option<String> = None;
     let mut trace_json: Option<String> = None;
     let mut incremental: Option<String> = None;
     let mut save_cache: Option<String> = None;
@@ -53,7 +77,26 @@ fn main() -> ExitCode {
     let mut args_iter = args.iter();
     while let Some(a) = args_iter.next() {
         match a.as_str() {
-            "--json" => json = true,
+            "--json" => format = Format::Json,
+            "--format" => {
+                format = match args_iter.next().map(String::as_str) {
+                    Some("human") => Format::Human,
+                    Some("json") => Format::Json,
+                    Some("sarif") => Format::Sarif,
+                    _ => {
+                        eprintln!("error: --format takes human, json, or sarif\n\n{USAGE}");
+                        return ExitCode::from(2);
+                    }
+                };
+            }
+            "--topology" => {
+                let Some(path) = args_iter.next() else {
+                    eprintln!("error: --topology takes a file path\n\n{USAGE}");
+                    return ExitCode::from(2);
+                };
+                topology = Some(path.clone());
+            }
+            "--no-suppress" => no_suppress = true,
             "--strict" => strict = true,
             "--stats" => stats = true,
             "--trace-json" => {
@@ -99,7 +142,12 @@ fn main() -> ExitCode {
             path => paths.push(path),
         }
     }
-    if paths.is_empty() {
+    if topology.is_some() {
+        if !paths.is_empty() || incremental.is_some() || save_cache.is_some() {
+            eprintln!("error: --topology takes no config files and no cache options\n\n{USAGE}");
+            return ExitCode::from(2);
+        }
+    } else if paths.is_empty() {
         eprint!("{USAGE}");
         return ExitCode::from(2);
     }
@@ -115,13 +163,17 @@ fn main() -> ExitCode {
         clarify_obs::install(clarify_obs::Registry::new());
     }
 
-    let code = run(
-        json,
-        strict,
-        incremental.as_deref(),
-        save_cache.as_deref(),
-        &paths,
-    );
+    let code = match &topology {
+        Some(topo) => run_topology(topo, format, strict, no_suppress),
+        None => run(
+            format,
+            strict,
+            no_suppress,
+            incremental.as_deref(),
+            save_cache.as_deref(),
+            &paths,
+        ),
+    };
 
     // Dump metrics on every exit path so failing runs still leave a trace.
     if trace_json.is_some() || stats {
@@ -162,11 +214,70 @@ fn load_cache(path: &str) -> Result<Option<LintCache>, ExitCode> {
     }
 }
 
+/// Lints a whole topology file: parse, instantiate (config paths resolve
+/// relative to the topology file), run the network linter, render.
+fn run_topology(topo: &str, format: Format, strict: bool, no_suppress: bool) -> ExitCode {
+    let text = match std::fs::read_to_string(topo) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("error: cannot read {topo}: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let spec = match TopologySpec::parse(&text) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("error: {topo}: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let base = Path::new(topo).parent().unwrap_or_else(|| Path::new("."));
+    let loaded = match spec
+        .instantiate(&mut |p| std::fs::read_to_string(base.join(p)).map_err(|e| e.to_string()))
+    {
+        Ok(l) => l,
+        Err(e) => {
+            eprintln!("error: {topo}: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let mut linter = NetworkLinter::new(&loaded);
+    if no_suppress {
+        linter = linter.no_suppress();
+    }
+    let report = match linter.lint() {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("error: {topo}: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    match format {
+        Format::Human => print!("{}", report.render_human()),
+        Format::Json => print!("{}", report.render_json()),
+        Format::Sarif => print!("{}", render_sarif_network(&report)),
+    }
+    let clean = if strict {
+        report
+            .routers
+            .iter()
+            .all(|r| r.report.diagnostics.is_empty())
+    } else {
+        report.is_clean()
+    };
+    if clean {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
 /// Lints every file; split out of `main` so the metrics dump above runs
 /// on every return path.
 fn run(
-    json: bool,
+    format: Format,
     strict: bool,
+    no_suppress: bool,
     incremental: Option<&str>,
     save_cache: Option<&str>,
     paths: &[&str],
@@ -211,10 +322,15 @@ fn run(
                 return ExitCode::from(2);
             }
         }
-        if json {
-            print!("{}", report.render_json(path));
+        let report = if no_suppress {
+            report
         } else {
-            print!("{}", report.render_human(path));
+            apply_suppressions(report, &text)
+        };
+        match format {
+            Format::Human => print!("{}", report.render_human(path)),
+            Format::Json => print!("{}", report.render_json(path)),
+            Format::Sarif => print!("{}", render_sarif(&report, path)),
         }
         let clean = if strict {
             report.diagnostics.is_empty()

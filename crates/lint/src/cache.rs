@@ -25,7 +25,7 @@ use clarify_obs::json;
 use crate::diagnostic::{Diagnostic, LintCode, LintReport, Severity};
 
 /// The format tag written to and expected from cache files.
-pub const CACHE_FORMAT: &str = "clarify-lint-cache/v1";
+pub const CACHE_FORMAT: &str = "clarify-lint-cache/v2";
 
 /// One object's entry in the cache.
 #[derive(Clone, Debug, PartialEq, Eq)]

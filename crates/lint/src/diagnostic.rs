@@ -48,6 +48,21 @@ pub enum LintCode {
     DanglingReference,
     /// L006: a defined list no route-map references.
     UnusedList,
+    /// L007: a rule that can fire in isolation, but never on any route its
+    /// neighbors can actually deliver (dead by upstream filtering).
+    DeadByUpstream,
+    /// L008: provider-learned routes can re-export to another provider or
+    /// peer — a valley-free (Gao–Rexford) violation, i.e. a route leak.
+    RouteLeak,
+    /// L009: the two ends of a session disagree — one end exports routes
+    /// the other end's import rejects (or vice versa) on a nonempty region.
+    AsymmetricSession,
+    /// L010: a community set on some export path that no import policy
+    /// anywhere in the topology ever matches.
+    OrphanCommunity,
+    /// L011: an import policy that denies everything its peer can send — a
+    /// black-hole session.
+    BlackHoleFilter,
 }
 
 impl LintCode {
@@ -60,6 +75,11 @@ impl LintCode {
             LintCode::EmptyMatch => "L004",
             LintCode::DanglingReference => "L005",
             LintCode::UnusedList => "L006",
+            LintCode::DeadByUpstream => "L007",
+            LintCode::RouteLeak => "L008",
+            LintCode::AsymmetricSession => "L009",
+            LintCode::OrphanCommunity => "L010",
+            LintCode::BlackHoleFilter => "L011",
         }
     }
 
@@ -73,6 +93,11 @@ impl LintCode {
             "L004" => Some(LintCode::EmptyMatch),
             "L005" => Some(LintCode::DanglingReference),
             "L006" => Some(LintCode::UnusedList),
+            "L007" => Some(LintCode::DeadByUpstream),
+            "L008" => Some(LintCode::RouteLeak),
+            "L009" => Some(LintCode::AsymmetricSession),
+            "L010" => Some(LintCode::OrphanCommunity),
+            "L011" => Some(LintCode::BlackHoleFilter),
             _ => None,
         }
     }
@@ -86,17 +111,27 @@ impl LintCode {
             LintCode::EmptyMatch => "empty-match",
             LintCode::DanglingReference => "dangling-reference",
             LintCode::UnusedList => "unused-list",
+            LintCode::DeadByUpstream => "dead-by-upstream",
+            LintCode::RouteLeak => "route-leak",
+            LintCode::AsymmetricSession => "asymmetric-session",
+            LintCode::OrphanCommunity => "orphan-community",
+            LintCode::BlackHoleFilter => "black-hole-filter",
         }
     }
 
     /// The default severity of this check.
     pub fn severity(&self) -> Severity {
         match self {
-            LintCode::DanglingReference => Severity::Error,
-            LintCode::ShadowedRule | LintCode::RedundantRule | LintCode::EmptyMatch => {
-                Severity::Warning
-            }
-            LintCode::ConflictingOverlap | LintCode::UnusedList => Severity::Note,
+            LintCode::DanglingReference | LintCode::RouteLeak => Severity::Error,
+            LintCode::ShadowedRule
+            | LintCode::RedundantRule
+            | LintCode::EmptyMatch
+            | LintCode::DeadByUpstream
+            | LintCode::BlackHoleFilter => Severity::Warning,
+            LintCode::ConflictingOverlap
+            | LintCode::UnusedList
+            | LintCode::AsymmetricSession
+            | LintCode::OrphanCommunity => Severity::Note,
         }
     }
 }
@@ -185,6 +220,8 @@ impl std::fmt::Display for Diagnostic {
 pub struct LintReport {
     /// The diagnostics, sorted by (line, rule, code).
     pub diagnostics: Vec<Diagnostic>,
+    /// Diagnostics dropped by inline `! lint-allow` suppressions.
+    pub suppressed: usize,
 }
 
 impl LintReport {
@@ -247,8 +284,13 @@ impl LintReport {
             .filter(|d| d.severity == Severity::Warning)
             .count();
         let notes = self.notes().count();
+        let suppressed = if self.suppressed > 0 {
+            format!(", {} suppressed", self.suppressed)
+        } else {
+            String::new()
+        };
         out.push_str(&format!(
-            "{origin}: {errors} error(s), {warnings} warning(s), {notes} note(s)\n"
+            "{origin}: {errors} error(s), {warnings} warning(s), {notes} note(s){suppressed}\n"
         ));
         out
     }
@@ -260,6 +302,7 @@ impl LintReport {
         out.push_str("{\n");
         out.push_str(&format!("  \"config\": {},\n", json_str(origin)));
         out.push_str(&format!("  \"clean\": {},\n", self.is_clean()));
+        out.push_str(&format!("  \"suppressed\": {},\n", self.suppressed));
         out.push_str("  \"diagnostics\": [");
         for (i, d) in self.diagnostics.iter().enumerate() {
             if i > 0 {

@@ -16,6 +16,21 @@
 //! | L005 | dangling list reference | error |
 //! | L006 | defined list never referenced | note |
 //!
+//! Given a topology (`clarify-netsim`), [`NetworkLinter`] additionally
+//! composes per-neighbor policies along sessions and runs five
+//! cross-device checks:
+//!
+//! | code | check | severity |
+//! |------|-------|----------|
+//! | L007 | rule dead by upstream filtering | warning |
+//! | L008 | route leak (valley-free violation) | error |
+//! | L009 | asymmetric session policy | note |
+//! | L010 | community set that nothing ever matches | note |
+//! | L011 | black-hole import filter | warning |
+//!
+//! Inline `! lint-allow L0xx` comments suppress diagnostics on the next
+//! source line (see [`apply_suppressions`]).
+//!
 //! Every symbolic check decodes a concrete witness (route, packet, or
 //! prefix) where one exists, so a diagnostic is never just "the BDDs say
 //! so" — it names an input you can replay through the reference evaluator.
@@ -48,15 +63,21 @@ mod cache;
 mod diagnostic;
 mod incremental;
 mod linter;
+mod network;
 mod prune;
+mod sarif;
+mod suppress;
 
 pub use cache::{CacheError, CachedObject, LintCache, CACHE_FORMAT};
 pub use diagnostic::{Diagnostic, LintCode, LintReport, Severity};
 pub use incremental::{lint_config_incremental, IncrStats, IncrementalLinter};
 pub use linter::lint_config;
+pub use network::{NetworkLintReport, NetworkLinter, RouterLint};
 pub use prune::{
     prune_acl_candidates, prune_insertion_candidates, prune_prefix_candidates, PruneOutcome,
 };
+pub use sarif::{render_sarif, render_sarif_network};
+pub use suppress::{apply_suppressions, suppression_targets};
 
 #[cfg(test)]
 mod tests;

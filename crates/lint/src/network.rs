@@ -1,0 +1,784 @@
+//! Cross-device lint: symbolic composition of per-neighbor policies
+//! along topology edges.
+//!
+//! The per-config linter sees one namespace at a time; a policy can be
+//! locally flawless yet globally wrong — dead because an upstream filter
+//! starves it, a black hole for everything its peer sends, or the missing
+//! guard in a valley-free violation. [`NetworkLinter`] runs five such
+//! checks (L007–L011) over a [`LoadedTopology`], composing the
+//! `clarify-analysis` policy transfer functions along sessions.
+//!
+//! The composition is a *one-hop product*: what a neighbor `w` can send
+//! router `r` is `norm(export_w(reach_w))`, where `reach_w` is `w`'s exact
+//! originations plus, for each of `w`'s other neighbors `u`,
+//! `import_w(norm(export_u(⊤)))` — the far input cut off at the full
+//! valid space. Because every transfer is monotone and every route in the
+//! BGP fixed point crossed `export_u` and `import_w` on its last two
+//! hops, the cut-off yields an **over**-approximation of anything `r` can
+//! ever hear, so the emptiness verdicts behind L007 and L011 are sound
+//! over the fixed point (DESIGN.md §10 gives the argument). Routers with
+//! no config file stand for the outside world and may send anything.
+
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+
+use clarify_analysis::{AnalysisError, NetworkSpace};
+use clarify_bdd::Ref;
+use clarify_netconfig::{
+    fnv1a64, fnv1a64_combine, Config, ObjectKind, RouteMapMatch, RouteMapSet, RuleId,
+};
+use clarify_netsim::{LoadedTopology, Network, Router, SessionRole};
+
+use crate::diagnostic::{Diagnostic, LintCode, LintReport};
+use crate::linter::{lint_config, lint_references};
+use crate::suppress::apply_suppressions;
+
+/// One router's slice of a topology lint: its local report plus the
+/// network diagnostics anchored in its config.
+#[derive(Clone, Debug)]
+pub struct RouterLint {
+    /// Router name.
+    pub router: String,
+    /// Where its diagnostics point: the config path from the topology
+    /// file when the router has one, else the router name.
+    pub origin: String,
+    /// Local (per-config) and network diagnostics, merged and sorted.
+    pub report: LintReport,
+}
+
+/// The result of linting a whole topology.
+#[derive(Clone, Debug, Default)]
+pub struct NetworkLintReport {
+    /// Per-router results, in router-name order. Routers without a
+    /// config file produce no diagnostics and are omitted.
+    pub routers: Vec<RouterLint>,
+}
+
+impl NetworkLintReport {
+    /// Total findings (warnings + errors) across all routers.
+    pub fn finding_count(&self) -> usize {
+        self.routers.iter().map(|r| r.report.finding_count()).sum()
+    }
+
+    /// Whether the topology is clean: no warnings, no errors anywhere.
+    pub fn is_clean(&self) -> bool {
+        self.finding_count() == 0
+    }
+
+    /// Total diagnostics suppressed by inline `lint-allow` directives.
+    pub fn suppressed(&self) -> usize {
+        self.routers.iter().map(|r| r.report.suppressed).sum()
+    }
+
+    /// Every `(origin, diagnostic)` pair in report order.
+    pub fn diagnostics(&self) -> impl Iterator<Item = (&str, &Diagnostic)> {
+        self.routers
+            .iter()
+            .flat_map(|r| r.report.diagnostics.iter().map(|d| (r.origin.as_str(), d)))
+    }
+
+    /// Renders every router's report plus a topology-wide summary line.
+    pub fn render_human(&self) -> String {
+        let mut out = String::new();
+        let (mut errors, mut warnings, mut notes) = (0, 0, 0);
+        for r in &self.routers {
+            out.push_str(&r.report.render_human(&r.origin));
+            for d in &r.report.diagnostics {
+                match d.severity {
+                    crate::Severity::Error => errors += 1,
+                    crate::Severity::Warning => warnings += 1,
+                    crate::Severity::Note => notes += 1,
+                }
+            }
+        }
+        let suppressed = match self.suppressed() {
+            0 => String::new(),
+            n => format!(", {n} suppressed"),
+        };
+        out.push_str(&format!(
+            "topology: {errors} error(s), {warnings} warning(s), {notes} note(s){suppressed}\n"
+        ));
+        out
+    }
+
+    /// Renders the whole result as one JSON object with a per-router
+    /// report array (each element is a [`LintReport`] JSON object).
+    pub fn render_json(&self) -> String {
+        let mut out = String::new();
+        out.push_str("{\n");
+        out.push_str(&format!("  \"clean\": {},\n", self.is_clean()));
+        out.push_str(&format!("  \"suppressed\": {},\n", self.suppressed()));
+        out.push_str("  \"routers\": [");
+        for (i, r) in self.routers.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push('\n');
+            for line in r.report.render_json(&r.origin).trim_end().lines() {
+                out.push_str("    ");
+                out.push_str(line);
+                out.push('\n');
+            }
+            out.pop();
+        }
+        if !self.routers.is_empty() {
+            out.push_str("\n  ");
+        }
+        out.push_str("]\n}\n");
+        out
+    }
+}
+
+/// The cross-device linter. Borrow a [`LoadedTopology`], optionally turn
+/// suppressions off, then [`lint`](NetworkLinter::lint).
+pub struct NetworkLinter<'a> {
+    loaded: &'a LoadedTopology,
+    suppress: bool,
+}
+
+impl<'a> NetworkLinter<'a> {
+    /// A linter over `loaded` with inline suppressions honoured.
+    pub fn new(loaded: &'a LoadedTopology) -> NetworkLinter<'a> {
+        NetworkLinter {
+            loaded,
+            suppress: true,
+        }
+    }
+
+    /// Ignores inline `lint-allow` directives (`--no-suppress`).
+    pub fn no_suppress(mut self) -> NetworkLinter<'a> {
+        self.suppress = false;
+        self
+    }
+
+    /// Runs the local lint on every configured router, then the five
+    /// network checks, and assembles the per-router reports.
+    pub fn lint(&self) -> Result<NetworkLintReport, AnalysisError> {
+        let _span = clarify_obs::span!("lint_network");
+        let obs = clarify_obs::global();
+        obs.counter("lint.net.topologies_linted").incr();
+        let net = &self.loaded.network;
+        let ctx = TopoCtx::new(self.loaded);
+
+        // Phase 1: per-router local lint (each internally parallel over
+        // that router's objects), serial across routers to keep one
+        // worker pool at a time.
+        let mut per_router: BTreeMap<String, Vec<Diagnostic>> = BTreeMap::new();
+        {
+            let _p = clarify_obs::span!("lint_network_local");
+            let mut seen_paths: BTreeSet<&str> = BTreeSet::new();
+            for r in net.routers() {
+                let Some(path) = self.loaded.config_paths.get(&r.name) else {
+                    continue;
+                };
+                // Routers sharing one config file share its local
+                // diagnostics; report them once, on the first router.
+                if !seen_paths.insert(path) {
+                    continue;
+                }
+                let spans = self.loaded.spans.get(&r.name);
+                let local = lint_config(&r.config, spans)?;
+                per_router
+                    .entry(r.name.clone())
+                    .or_default()
+                    .extend(local.diagnostics);
+            }
+        }
+
+        // Phase 2: per-receiver edge checks (L007, L009, L011), parallel
+        // over routers with a worker-local space per worker.
+        let routers: Vec<&Router> = net.routers().collect();
+        let results = {
+            let _p = clarify_obs::span!("lint_network_edges");
+            clarify_par::par_map_init(
+                &routers,
+                || None::<NetworkSpace>,
+                |worker, _, r| -> Result<Vec<Diagnostic>, AnalysisError> {
+                    if !self.loaded.config_paths.contains_key(&r.name) {
+                        return Ok(Vec::new());
+                    }
+                    if worker.is_none() {
+                        *worker = Some(ctx.build_space()?);
+                    }
+                    let ns = worker.as_mut().expect("space just built");
+                    let diags = ctx.lint_receiver(ns, r)?;
+                    ns.clear_op_caches();
+                    Ok(diags)
+                },
+            )
+        };
+        for (r, res) in routers.iter().zip(results) {
+            let diags = res?;
+            if !diags.is_empty() {
+                per_router.entry(r.name.clone()).or_default().extend(diags);
+            }
+        }
+
+        // Phase 3: valley-free taint propagation (L008) — a global fixed
+        // point, serial in one space.
+        {
+            let _p = clarify_obs::span!("lint_network_taint");
+            let mut ns = ctx.build_space()?;
+            for (router, diag) in ctx.lint_route_leaks(&mut ns)? {
+                per_router.entry(router).or_default().push(diag);
+            }
+        }
+
+        // Phase 4: orphan communities (L010) — pure AST + regex, serial.
+        {
+            let _p = clarify_obs::span!("lint_network_communities");
+            for (router, diag) in ctx.lint_orphan_communities() {
+                per_router.entry(router).or_default().push(diag);
+            }
+        }
+
+        // Assemble: apply spans, sort, suppress, count.
+        let mut out = NetworkLintReport::default();
+        for (name, diags) in per_router {
+            let origin = self
+                .loaded
+                .config_paths
+                .get(&name)
+                .cloned()
+                .unwrap_or_else(|| name.clone());
+            let mut report = LintReport {
+                diagnostics: diags,
+                suppressed: 0,
+            };
+            if let Some(spans) = self.loaded.spans.get(&name) {
+                for d in &mut report.diagnostics {
+                    if d.line.is_none() {
+                        d.line = spans.line(&d.rule);
+                    }
+                }
+            }
+            let mut report = report.finish();
+            if self.suppress {
+                if let Some(source) = self.loaded.sources.get(&name) {
+                    report = apply_suppressions(report, source);
+                }
+            }
+            for d in &report.diagnostics {
+                obs.counter(&format!("lint.net.findings.{}", d.code.code()))
+                    .incr();
+            }
+            out.routers.push(RouterLint {
+                router: name,
+                origin,
+                report,
+            });
+        }
+        Ok(out)
+    }
+}
+
+/// Immutable per-topology context shared by all phases and workers.
+struct TopoCtx<'a> {
+    loaded: &'a LoadedTopology,
+    /// Per-router salted object hashes for the transfer cache: the salt
+    /// folds in the config source, so same-named maps on different
+    /// routers never collide in one space's cache.
+    map_hashes: BTreeMap<String, BTreeMap<String, u64>>,
+    /// Per-router names of route-maps with dangling references, which
+    /// cannot be encoded; sessions bound to them are skipped.
+    broken: BTreeMap<String, BTreeSet<String>>,
+}
+
+impl<'a> TopoCtx<'a> {
+    fn new(loaded: &'a LoadedTopology) -> TopoCtx<'a> {
+        let mut map_hashes = BTreeMap::new();
+        let mut broken = BTreeMap::new();
+        for r in loaded.network.routers() {
+            let salt = match loaded.sources.get(&r.name) {
+                Some(src) => fnv1a64(src.as_bytes()),
+                None => fnv1a64(r.name.as_bytes()),
+            };
+            let mut hashes = BTreeMap::new();
+            let object_hashes = r.config.object_hashes();
+            for name in r.config.route_maps.keys() {
+                if let Some(h) = object_hashes.get(ObjectKind::RouteMap, name) {
+                    hashes.insert(name.clone(), fnv1a64_combine(salt, h));
+                }
+            }
+            map_hashes.insert(r.name.clone(), hashes);
+            let mut scratch = Vec::new();
+            broken.insert(r.name.clone(), lint_references(&r.config, &mut scratch));
+        }
+        TopoCtx {
+            loaded,
+            map_hashes,
+            broken,
+        }
+    }
+
+    fn net(&self) -> &Network {
+        &self.loaded.network
+    }
+
+    /// Whether the router stands for the outside world (no config file):
+    /// its reach is the full valid space.
+    fn is_world(&self, name: &str) -> bool {
+        !self.loaded.config_paths.contains_key(name)
+    }
+
+    fn build_space(&self) -> Result<NetworkSpace, AnalysisError> {
+        let configs: Vec<&Config> = self.net().routers().map(|r| &r.config).collect();
+        NetworkSpace::new(&configs)
+    }
+
+    /// Applies a router's named route-map as a transfer, identity when
+    /// unbound. Returns `None` when the map cannot be encoded (dangling
+    /// references — already an L005 error locally).
+    fn transfer(
+        &self,
+        ns: &mut NetworkSpace,
+        router: &Router,
+        map: Option<&str>,
+        input: Ref,
+    ) -> Result<Option<Ref>, AnalysisError> {
+        let Some(name) = map else {
+            return Ok(Some(input));
+        };
+        if self.broken[&router.name].contains(name) {
+            return Ok(None);
+        }
+        let Some(m) = router.config.route_map(name) else {
+            // The builder validated bindings; an absent map here means an
+            // unconfigured router, which filters nothing.
+            return Ok(Some(input));
+        };
+        let m = m.clone();
+        let hash = self.map_hashes[&router.name][name];
+        Ok(Some(ns.transfer(&router.config, &m, hash, input)?))
+    }
+
+    /// The permit region of a bound map, `None` when unencodable.
+    fn permits(
+        &self,
+        ns: &mut NetworkSpace,
+        router: &Router,
+        name: &str,
+    ) -> Result<Option<Ref>, AnalysisError> {
+        if self.broken[&router.name].contains(name) {
+            return Ok(None);
+        }
+        let Some(m) = router.config.route_map(name) else {
+            return Ok(None);
+        };
+        let m = m.clone();
+        let hash = self.map_hashes[&router.name][name];
+        Ok(Some(ns.permit_region(&router.config, &m, hash)?))
+    }
+
+    /// Cross-AS normalization when the two routers are in different ASes.
+    fn norm(&self, ns: &mut NetworkSpace, region: Ref, a: &Router, b: &Router) -> Ref {
+        if a.asn == b.asn {
+            region
+        } else {
+            ns.cross_as_normalize(region)
+        }
+    }
+
+    /// Over-approximation of every route `w` can ever hold: its exact
+    /// originations plus one-hop arrivals with the far input cut off at
+    /// ⊤. `exclude` drops one neighbor's contribution (split horizon:
+    /// what `w` learned from `r` never flows back to `r`).
+    fn reach(
+        &self,
+        ns: &mut NetworkSpace,
+        w: &Router,
+        exclude: Option<&str>,
+    ) -> Result<Ref, AnalysisError> {
+        if self.is_world(&w.name) {
+            return Ok(ns.valid());
+        }
+        let mut acc = ns.origination_region(&w.originated)?;
+        for s in &w.sessions {
+            if exclude == Some(s.neighbor.as_str()) {
+                continue;
+            }
+            let Some(u) = self.net().router(&s.neighbor) else {
+                continue;
+            };
+            let Some(us) = u.session(&w.name) else {
+                continue;
+            };
+            let valid = ns.valid();
+            let Some(sent) = self.transfer(ns, u, us.export_policy.as_deref(), valid)? else {
+                continue;
+            };
+            let sent = self.norm(ns, sent, u, w);
+            let Some(arrived) = self.transfer(ns, w, s.import_policy.as_deref(), sent)? else {
+                continue;
+            };
+            acc = ns.space_mut().manager().or(acc, arrived);
+        }
+        Ok(acc)
+    }
+
+    /// What `w` can put on the wire towards `r`: its reach (minus what it
+    /// learned from `r`) through its export policy, normalized.
+    fn offer(
+        &self,
+        ns: &mut NetworkSpace,
+        w: &Router,
+        r: &Router,
+    ) -> Result<Option<Ref>, AnalysisError> {
+        let reach = self.reach(ns, w, Some(r.name.as_str()))?;
+        let export = w.session(&r.name).and_then(|s| s.export_policy.as_deref());
+        let Some(sent) = self.transfer(ns, w, export, reach)? else {
+            return Ok(None);
+        };
+        Ok(Some(self.norm(ns, sent, w, r)))
+    }
+
+    /// L007 + L009 + L011 for one receiving router.
+    fn lint_receiver(
+        &self,
+        ns: &mut NetworkSpace,
+        r: &Router,
+    ) -> Result<Vec<Diagnostic>, AnalysisError> {
+        let mut out = Vec::new();
+        // Offers per neighbor with an up adjacency, in session order.
+        let mut offers: Vec<(&str, Ref)> = Vec::new();
+        for s in &r.sessions {
+            let Some(w) = self.net().router(&s.neighbor) else {
+                continue;
+            };
+            if w.session(&r.name).is_none() {
+                continue;
+            }
+            clarify_obs::global().counter("lint.net.edges").incr();
+            if let Some(x) = self.offer(ns, w, r)? {
+                offers.push((s.neighbor.as_str(), x));
+            }
+        }
+
+        // L009 / L011: per import binding against the peer's offer.
+        for s in &r.sessions {
+            let Some(import) = s.import_policy.as_deref() else {
+                continue;
+            };
+            let Some(&(_, x)) = offers.iter().find(|(n, _)| *n == s.neighbor) else {
+                continue;
+            };
+            let Some(permits) = self.permits(ns, r, import)? else {
+                continue;
+            };
+            let taken = ns.space_mut().manager().and(x, permits);
+            if x != Ref::FALSE && taken == Ref::FALSE {
+                let mut d = Diagnostic::new(
+                    LintCode::BlackHoleFilter,
+                    RuleId::object(ObjectKind::RouteMap, import),
+                    format!(
+                        "import policy on {} denies every route {} can send (black-hole session)",
+                        r.name, s.neighbor
+                    ),
+                );
+                if let Some(w) = ns.space_mut().witness(x)? {
+                    d = d.with_witness(w.to_string());
+                }
+                out.push(d);
+                continue;
+            }
+            // L009 only when the far end actually shapes the offer.
+            let peer_exports = self
+                .net()
+                .router(&s.neighbor)
+                .and_then(|w| w.session(&r.name))
+                .and_then(|ws| ws.export_policy.clone());
+            if let Some(export) = peer_exports {
+                let np = ns.space_mut().manager().not(permits);
+                let rejected = ns.space_mut().manager().and(x, np);
+                if rejected != Ref::FALSE && taken != Ref::FALSE {
+                    let mut d = Diagnostic::new(
+                        LintCode::AsymmetricSession,
+                        RuleId::object(ObjectKind::RouteMap, import),
+                        format!(
+                            "{} exports routes over '{}' that this import policy on {} rejects",
+                            s.neighbor, export, r.name
+                        ),
+                    )
+                    .with_related(RuleId::object(ObjectKind::RouteMap, &export));
+                    if let Some(w) = ns.space_mut().witness(rejected)? {
+                        d = d.with_witness(w.to_string());
+                    }
+                    out.push(d);
+                }
+            }
+        }
+
+        // L007: per bound map, the union of everything that can reach it.
+        let mut contexts: BTreeMap<&str, Ref> = BTreeMap::new();
+        let mut reach_full: Option<Ref> = None;
+        for s in &r.sessions {
+            if let Some(import) = s.import_policy.as_deref() {
+                if let Some(&(_, x)) = offers.iter().find(|(n, _)| *n == s.neighbor) {
+                    let e = contexts.entry(import).or_insert(Ref::FALSE);
+                    *e = ns.space_mut().manager().or(*e, x);
+                }
+            }
+            if let Some(export) = s.export_policy.as_deref() {
+                if reach_full.is_none() {
+                    reach_full = Some(self.reach(ns, r, None)?);
+                }
+                let reach = reach_full.expect("just computed");
+                let e = contexts.entry(export).or_insert(Ref::FALSE);
+                *e = ns.space_mut().manager().or(*e, reach);
+            }
+        }
+        for (name, &context) in &contexts {
+            if self.broken[&r.name].contains(*name) {
+                continue;
+            }
+            let Some(map) = r.config.route_map(name) else {
+                continue;
+            };
+            let map = map.clone();
+            let hash = self.map_hashes[&r.name][*name];
+            let sets = ns.fire_sets(&r.config, &map, hash)?;
+            for (stanza, &fire) in map.stanzas.iter().zip(&sets.fires) {
+                if fire == Ref::FALSE {
+                    continue; // locally dead: L001/L004 territory
+                }
+                let live = ns.space_mut().manager().and(fire, context);
+                if live != Ref::FALSE {
+                    continue;
+                }
+                let mut d = Diagnostic::new(
+                    LintCode::DeadByUpstream,
+                    RuleId::route_map_stanza(&map.name, stanza.seq),
+                    format!(
+                        "rule matches routes, but none of them can ever reach {} \
+                         through its neighbors' filters",
+                        r.name
+                    ),
+                );
+                if let Some(w) = ns.space_mut().witness(fire)? {
+                    d = d.with_witness(w.to_string());
+                }
+                out.push(d);
+            }
+        }
+        Ok(out)
+    }
+
+    /// L008: Gao–Rexford valley-free violations. Taint enters wherever a
+    /// provider or peer session imports routes, spreads over internal
+    /// sessions to a fixed point, and leaks if it can exit through any
+    /// *other* provider/peer session.
+    fn lint_route_leaks(
+        &self,
+        ns: &mut NetworkSpace,
+    ) -> Result<Vec<(String, Diagnostic)>, AnalysisError> {
+        let mut out = Vec::new();
+        let net = self.net();
+        // Entry points in deterministic order.
+        // Only configured routers are ours to lint: a configless router
+        // stands for the outside world, and flagging "the world" for not
+        // filtering would drown every report in noise.
+        let entries: Vec<(&Router, &clarify_netsim::Session)> = net
+            .sessions()
+            .filter(|(r, s)| {
+                !self.is_world(&r.name) && s.role.taints() && net.adjacency_up(&r.name, &s.neighbor)
+            })
+            .collect();
+        for (r0, s0) in entries {
+            let w0 = net.router(&s0.neighbor).expect("validated neighbor");
+            // What the provider/peer can put on our doorstep: anything it
+            // likes (⊤) through its own export policy, normalized, then
+            // through our import.
+            let valid = ns.valid();
+            let export0 = w0
+                .session(&r0.name)
+                .and_then(|s| s.export_policy.as_deref());
+            let Some(sent) = self.transfer(ns, w0, export0, valid)? else {
+                continue;
+            };
+            let sent = self.norm(ns, sent, w0, r0);
+            let Some(taint0) = self.transfer(ns, r0, s0.import_policy.as_deref(), sent)? else {
+                continue;
+            };
+            if taint0 == Ref::FALSE {
+                continue;
+            }
+            // Propagate over internal sessions to a fixed point, keeping
+            // the first path that tainted each router.
+            let mut taint: BTreeMap<String, (Ref, Vec<String>)> = BTreeMap::new();
+            taint.insert(r0.name.clone(), (taint0, vec![r0.name.clone()]));
+            let mut queue: VecDeque<String> = VecDeque::new();
+            queue.push_back(r0.name.clone());
+            while let Some(name) = queue.pop_front() {
+                let (region, path) = taint[&name].clone();
+                let a = net.router(&name).expect("tainted router exists");
+                for s in &a.sessions {
+                    if s.role != SessionRole::Internal {
+                        continue;
+                    }
+                    let Some(b) = net.router(&s.neighbor) else {
+                        continue;
+                    };
+                    let Some(bs) = b.session(&a.name) else {
+                        continue;
+                    };
+                    let export = a.session(&b.name).and_then(|x| x.export_policy.as_deref());
+                    let Some(sent) = self.transfer(ns, a, export, region)? else {
+                        continue;
+                    };
+                    let sent = self.norm(ns, sent, a, b);
+                    let Some(arrived) = self.transfer(ns, b, bs.import_policy.as_deref(), sent)?
+                    else {
+                        continue;
+                    };
+                    if arrived == Ref::FALSE {
+                        continue;
+                    }
+                    let entry = taint.entry(b.name.clone()).or_insert_with(|| {
+                        let mut p = path.clone();
+                        p.push(b.name.clone());
+                        (Ref::FALSE, p)
+                    });
+                    let grown = ns.space_mut().manager().or(entry.0, arrived);
+                    if grown != entry.0 {
+                        entry.0 = grown;
+                        queue.push_back(b.name.clone());
+                    }
+                }
+            }
+            // Any other provider/peer session reachable by the taint?
+            for (name, (region, path)) in &taint {
+                if self.is_world(name) {
+                    continue;
+                }
+                let a = net.router(name).expect("tainted router exists");
+                for s in &a.sessions {
+                    if !s.role.taints() {
+                        continue;
+                    }
+                    if name == &r0.name && s.neighbor == s0.neighbor {
+                        continue; // the entry session itself
+                    }
+                    let Some(b) = net.router(&s.neighbor) else {
+                        continue;
+                    };
+                    if b.session(&a.name).is_none() {
+                        continue;
+                    }
+                    let export = s.export_policy.as_deref();
+                    let Some(sent) = self.transfer(ns, a, export, *region)? else {
+                        continue;
+                    };
+                    let leaked = self.norm(ns, sent, a, b);
+                    if leaked == Ref::FALSE {
+                        continue;
+                    }
+                    let (anchor_router, rule) = match export {
+                        Some(e) => (name.clone(), RuleId::object(ObjectKind::RouteMap, e)),
+                        None => match s0.import_policy.as_deref() {
+                            Some(i) => (r0.name.clone(), RuleId::object(ObjectKind::RouteMap, i)),
+                            None => (
+                                name.clone(),
+                                RuleId::object(
+                                    ObjectKind::RouteMap,
+                                    format!("<{name}→{}>", s.neighbor),
+                                ),
+                            ),
+                        },
+                    };
+                    let mut d = Diagnostic::new(
+                        LintCode::RouteLeak,
+                        rule,
+                        format!(
+                            "routes learned from {} {} at {} can re-export to {} {} \
+                             (valley-free violation via {})",
+                            s0.role.keyword(),
+                            s0.neighbor,
+                            r0.name,
+                            s.role.keyword(),
+                            s.neighbor,
+                            path.join(" → "),
+                        ),
+                    );
+                    if let Some(w) = ns.space_mut().witness(leaked)? {
+                        d = d.with_witness(w.to_string());
+                    }
+                    out.push((anchor_router, d));
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// L010: communities set by bound policies that no policy anywhere in
+    /// the topology ever matches. Pure AST walk — no BDDs.
+    fn lint_orphan_communities(&self) -> Vec<(String, Diagnostic)> {
+        let net = self.net();
+        // Names of route-maps actually bound to some session, per router.
+        let mut bound: BTreeMap<&str, BTreeSet<&str>> = BTreeMap::new();
+        for (r, s) in net.sessions() {
+            let e = bound.entry(r.name.as_str()).or_default();
+            e.extend(s.import_policy.as_deref());
+            e.extend(s.export_policy.as_deref());
+        }
+        // Every community-list pattern referenced by any bound map.
+        let mut matchers = Vec::new();
+        for r in net.routers() {
+            for name in bound.get(r.name.as_str()).into_iter().flatten() {
+                let Some(map) = r.config.route_map(name) else {
+                    continue;
+                };
+                for stanza in &map.stanzas {
+                    for m in &stanza.matches {
+                        let RouteMapMatch::Community(lists) = m else {
+                            continue;
+                        };
+                        for l in lists {
+                            if let Ok(cl) = r.config.community_list(l) {
+                                matchers.extend(cl.entries.iter().map(|e| &e.regex));
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        // Every community set by a bound map, anchored at its stanza.
+        let mut out = Vec::new();
+        for r in net.routers() {
+            for name in bound.get(r.name.as_str()).into_iter().flatten() {
+                let Some(map) = r.config.route_map(name) else {
+                    continue;
+                };
+                for stanza in &map.stanzas {
+                    let mut seen: BTreeSet<String> = BTreeSet::new();
+                    for set in &stanza.sets {
+                        let (RouteMapSet::CommunityAdd(cs) | RouteMapSet::CommunityReplace(cs)) =
+                            set
+                        else {
+                            continue;
+                        };
+                        for c in cs {
+                            let subject = c.subject();
+                            if !seen.insert(subject.clone()) {
+                                continue;
+                            }
+                            if matchers.iter().any(|m| m.matches(&subject)) {
+                                continue;
+                            }
+                            out.push((
+                                r.name.clone(),
+                                Diagnostic::new(
+                                    LintCode::OrphanCommunity,
+                                    RuleId::route_map_stanza(&map.name, stanza.seq),
+                                    format!(
+                                        "community {subject} is set here, but no policy \
+                                         in the topology ever matches it"
+                                    ),
+                                ),
+                            ));
+                        }
+                    }
+                }
+            }
+        }
+        out
+    }
+}

@@ -1,0 +1,76 @@
+//! Inline `! lint-allow` suppressions.
+//!
+//! A comment line of the form `! lint-allow L003 L010` (or `# lint-allow
+//! …`) suppresses those diagnostics on the **next** non-blank,
+//! non-comment source line — typically the header line of the stanza or
+//! list entry the diagnostics anchor to. Consecutive directive lines
+//! accumulate onto the same target. Directives ride in comments, which
+//! the config parser skips, so suppression scanning works on the raw
+//! source text and never affects parsing.
+
+use std::collections::BTreeMap;
+
+use crate::diagnostic::{LintCode, LintReport};
+
+/// Scans `source` for `lint-allow` directives and resolves each to the
+/// line it targets: the next non-blank, non-comment line. Returns
+/// `target line → suppressed codes`. Unknown codes are ignored (a
+/// directive for a check this build does not know cannot be honoured,
+/// but should not break older configs).
+pub fn suppression_targets(source: &str) -> BTreeMap<u32, Vec<LintCode>> {
+    let mut pending: Vec<LintCode> = Vec::new();
+    let mut out: BTreeMap<u32, Vec<LintCode>> = BTreeMap::new();
+    for (i, raw) in source.lines().enumerate() {
+        let line = (i + 1) as u32;
+        let t = raw.trim();
+        if let Some(rest) = t.strip_prefix('!').or_else(|| t.strip_prefix('#')) {
+            if let Some(codes) = rest.trim().strip_prefix("lint-allow") {
+                for tok in codes.split_whitespace() {
+                    if let Some(c) = LintCode::from_code(tok) {
+                        pending.push(c);
+                    }
+                }
+            }
+            // Comment lines (directives included) never consume a
+            // pending suppression; it carries to the next real line.
+            continue;
+        }
+        if t.is_empty() {
+            continue;
+        }
+        if !pending.is_empty() {
+            out.entry(line).or_default().append(&mut pending);
+        }
+    }
+    out
+}
+
+/// Drops every diagnostic covered by a `lint-allow` directive in
+/// `source`, counting the drops in the report's `suppressed` field and
+/// the `lint.suppressed` counter. A diagnostic is covered when its
+/// source line is a directive's target and its code is listed there;
+/// diagnostics without a line (no spans) are never suppressed.
+pub fn apply_suppressions(report: LintReport, source: &str) -> LintReport {
+    let targets = suppression_targets(source);
+    if targets.is_empty() {
+        return report;
+    }
+    let mut kept = Vec::with_capacity(report.diagnostics.len());
+    let mut suppressed = report.suppressed;
+    for d in report.diagnostics {
+        let hit = d
+            .line
+            .and_then(|l| targets.get(&l))
+            .is_some_and(|codes| codes.contains(&d.code));
+        if hit {
+            suppressed += 1;
+            clarify_obs::global().counter("lint.suppressed").incr();
+        } else {
+            kept.push(d);
+        }
+    }
+    LintReport {
+        diagnostics: kept,
+        suppressed,
+    }
+}

@@ -569,7 +569,7 @@ ip access-list extended FW
             Err(CacheError::Corrupt(_)) => {}
             other => panic!("expected Corrupt, got {other:?}"),
         }
-        match LintCache::from_json("{\"format\": \"clarify-lint-cache/v1\"}") {
+        match LintCache::from_json("{\"format\": \"clarify-lint-cache/v2\"}") {
             Err(CacheError::Corrupt(_)) => {}
             other => panic!("expected Corrupt (missing fields), got {other:?}"),
         }
@@ -583,5 +583,176 @@ ip access-list extended FW
             Err(CacheError::Stale(_)) => {}
             other => panic!("expected Stale, got {other:?}"),
         }
+    }
+}
+
+mod suppressions {
+    use super::lint_text;
+    use crate::{apply_suppressions, suppression_targets, LintCode};
+
+    /// A shadowed stanza (L001 at its header line) with assorted comment
+    /// and blank lines so the span arithmetic is exercised for real.
+    const SHADOWED: &str = "ip prefix-list COVER seq 10 permit 10.0.0.0/8 le 32
+ip prefix-list NARROW seq 10 permit 10.1.0.0/16 le 32
+route-map RM deny 10
+ match ip address prefix-list COVER
+! lint-allow L001
+route-map RM deny 20
+ match ip address prefix-list NARROW
+route-map RM permit 30
+";
+
+    #[test]
+    fn directive_targets_next_real_line_across_comments_and_blanks() {
+        let targets = suppression_targets(
+            "! lint-allow L001 L010\n\
+             ! an unrelated comment\n\
+             \n\
+             # lint-allow L003\n\
+             route-map RM deny 10\n\
+             ! lint-allow L002\n\
+             route-map RM deny 20\n",
+        );
+        // Both directives above line 5 accumulate onto it; the one above
+        // line 7 targets line 7 alone. Nothing else is targeted.
+        assert_eq!(
+            targets.get(&5).map(Vec::as_slice),
+            Some(
+                &[
+                    LintCode::ShadowedRule,
+                    LintCode::OrphanCommunity,
+                    LintCode::ConflictingOverlap
+                ][..]
+            )
+        );
+        assert_eq!(
+            targets.get(&7).map(Vec::as_slice),
+            Some(&[LintCode::RedundantRule][..])
+        );
+        assert_eq!(targets.len(), 2);
+    }
+
+    #[test]
+    fn unknown_codes_and_trailing_directives_are_ignored() {
+        // L999 is not a check; a directive with no following real line
+        // has no target at all.
+        let targets =
+            suppression_targets("! lint-allow L999\nroute-map A permit 10\n! lint-allow L001\n");
+        assert!(targets.is_empty(), "{targets:?}");
+    }
+
+    #[test]
+    fn matching_line_and_code_is_suppressed_and_counted() {
+        let report = lint_text(SHADOWED);
+        let before: Vec<_> = report.with_code(LintCode::ShadowedRule).collect();
+        assert_eq!(before.len(), 1);
+        // The directive sits on line 5; the shadowed stanza's header —
+        // where L001 anchors — is the next real line, 6.
+        assert_eq!(before[0].line, Some(6));
+
+        let total = report.diagnostics.len();
+        let report = apply_suppressions(report, SHADOWED);
+        assert_eq!(report.with_code(LintCode::ShadowedRule).count(), 0);
+        assert_eq!(report.suppressed, 1);
+        assert_eq!(report.diagnostics.len(), total - 1);
+        // Suppressing the only warning makes the report clean.
+        assert!(report.is_clean());
+    }
+
+    #[test]
+    fn wrong_code_on_the_right_line_does_not_suppress() {
+        let other = SHADOWED.replace("lint-allow L001", "lint-allow L002");
+        let report = apply_suppressions(lint_text(&other), &other);
+        assert_eq!(report.with_code(LintCode::ShadowedRule).count(), 1);
+        assert_eq!(report.suppressed, 0);
+    }
+
+    #[test]
+    fn human_and_json_renders_show_the_suppressed_count() {
+        let report = apply_suppressions(lint_text(SHADOWED), SHADOWED);
+        let human = report.render_human("x.cfg");
+        assert!(human.contains("1 suppressed"), "{human}");
+        let json = report.render_json("x.cfg");
+        assert!(json.contains("\"suppressed\": 1"), "{json}");
+    }
+}
+
+mod sarif {
+    use clarify_obs::json::{parse, Value};
+
+    use super::lint_text;
+    use crate::render_sarif;
+
+    fn field<'a>(v: &'a Value, key: &str) -> &'a Value {
+        let obj = v.as_object("object").unwrap();
+        &obj.iter()
+            .find(|(k, _)| k == key)
+            .unwrap_or_else(|| panic!("no key {key}"))
+            .1
+    }
+
+    #[test]
+    fn sarif_log_parses_and_carries_rules_results_and_locations() {
+        let report = lint_text(
+            "ip prefix-list COVER seq 10 permit 10.0.0.0/8 le 32
+ip prefix-list NARROW seq 10 permit 10.1.0.0/16 le 32
+route-map RM deny 10
+ match ip address prefix-list COVER
+route-map RM deny 20
+ match ip address prefix-list NARROW
+route-map RM permit 30
+",
+        );
+        let log = parse(&render_sarif(&report, "rm.cfg")).expect("valid JSON");
+        assert_eq!(field(&log, "version").as_str("version").unwrap(), "2.1.0");
+        let runs = field(&log, "runs").as_array("runs").unwrap();
+        assert_eq!(runs.len(), 1);
+        let driver = field(field(&runs[0], "tool"), "driver");
+        assert_eq!(
+            field(driver, "name").as_str("name").unwrap(),
+            "clarify-lint"
+        );
+        let rules = field(driver, "rules").as_array("rules").unwrap();
+        let ids: Vec<&str> = rules
+            .iter()
+            .map(|r| field(r, "id").as_str("id").unwrap())
+            .collect();
+        assert!(ids.contains(&"L001"), "{ids:?}");
+        let results = field(&runs[0], "results").as_array("results").unwrap();
+        assert_eq!(results.len(), report.diagnostics.len());
+        let shadowed = results
+            .iter()
+            .find(|r| field(r, "ruleId").as_str("ruleId").unwrap() == "L001")
+            .expect("an L001 result");
+        assert_eq!(field(shadowed, "level").as_str("level").unwrap(), "warning");
+        let loc = field(
+            &field(shadowed, "locations").as_array("locs").unwrap()[0],
+            "physicalLocation",
+        );
+        let uri = field(field(loc, "artifactLocation"), "uri");
+        assert_eq!(uri.as_str("uri").unwrap(), "rm.cfg");
+        assert_eq!(
+            field(field(loc, "region"), "startLine")
+                .as_u64("startLine")
+                .unwrap(),
+            5
+        );
+    }
+
+    #[test]
+    fn clean_report_is_an_empty_but_valid_log() {
+        let report = lint_text("route-map OK permit 10\n match metric 5\n");
+        let clean: crate::LintReport = crate::LintReport {
+            diagnostics: report.diagnostics.into_iter().filter(|_| false).collect(),
+            suppressed: 0,
+        };
+        let log = parse(&render_sarif(&clean, "ok.cfg")).expect("valid JSON");
+        let runs = field(&log, "runs").as_array("runs").unwrap();
+        assert!(field(&runs[0], "results")
+            .as_array("results")
+            .unwrap()
+            .is_empty());
+        let rules = field(field(field(&runs[0], "tool"), "driver"), "rules");
+        assert!(rules.as_array("rules").unwrap().is_empty());
     }
 }

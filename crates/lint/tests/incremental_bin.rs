@@ -74,7 +74,7 @@ fn unknown_format_version_warns_and_falls_back() {
     let json = saved_cache(&cache);
     std::fs::write(
         &cache,
-        json.replace("clarify-lint-cache/v1", "clarify-lint-cache/v999"),
+        json.replace("clarify-lint-cache/v2", "clarify-lint-cache/v999"),
     )
     .expect("rewrite cache");
 
@@ -132,4 +132,31 @@ fn incremental_requires_exactly_one_config() {
     std::fs::remove_file(&cache).ok();
     assert_eq!(out.status.code(), Some(2));
     assert!(String::from_utf8_lossy(&out.stderr).contains("exactly one config file"));
+}
+
+#[test]
+fn v1_cache_warns_and_falls_back_to_full_lint() {
+    // A cache persisted by the previous release (format v1) is stale —
+    // the v2 bump changed what a cache records, so v1 files must never
+    // be trusted, only warned about.
+    let cache = unique_tmp("v1_format.json");
+    let json = saved_cache(&cache);
+    assert!(json.contains("clarify-lint-cache/v2"), "format is v2 now");
+    std::fs::write(
+        &cache,
+        json.replace("clarify-lint-cache/v2", "clarify-lint-cache/v1"),
+    )
+    .expect("rewrite cache");
+
+    let incr = lint(&[
+        "--incremental",
+        cache.to_str().unwrap(),
+        "testdata/isp_out.cfg",
+    ]);
+    let full = lint(&["testdata/isp_out.cfg"]);
+    std::fs::remove_file(&cache).ok();
+
+    assert_eq!(incr.stdout, full.stdout, "fallback must be a full lint");
+    assert_eq!(incr.status.code(), full.status.code());
+    assert!(String::from_utf8_lossy(&incr.stderr).contains("stale lint cache"));
 }

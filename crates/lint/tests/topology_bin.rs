@@ -1,0 +1,138 @@
+//! CLI coverage for `lint --topology`: the pinned E1 golden report,
+//! serial-vs-parallel byte determinism, SARIF output validation, and
+//! the flag-combination usage errors.
+
+use std::path::{Path, PathBuf};
+use std::process::{Command, Stdio};
+
+use clarify_obs::json::{parse, Value};
+
+fn repo_root() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("../..")
+}
+
+fn lint(args: &[&str]) -> std::process::Output {
+    Command::new(env!("CARGO_BIN_EXE_lint"))
+        .current_dir(repo_root())
+        .args(args)
+        .stdin(Stdio::null())
+        .output()
+        .expect("lint runs")
+}
+
+fn field<'a>(v: &'a Value, key: &str) -> &'a Value {
+    let obj = v.as_object("object").unwrap();
+    &obj.iter()
+        .find(|(k, _)| k == key)
+        .unwrap_or_else(|| panic!("no key {key}"))
+        .1
+}
+
+#[test]
+fn e1_topology_matches_the_pinned_golden_report() {
+    let out = lint(&["--topology", "testdata/e1_topology.txt"]);
+    // Notes only — informational, so the run is clean (exit 0).
+    assert_eq!(
+        out.status.code(),
+        Some(0),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let golden = std::fs::read_to_string(repo_root().join("testdata/e1_topology_report.txt"))
+        .expect("pinned golden exists");
+    assert_eq!(
+        String::from_utf8_lossy(&out.stdout),
+        golden,
+        "topology report drifted from testdata/e1_topology_report.txt; \
+         inspect the diff and re-pin only if the change is intended"
+    );
+}
+
+#[test]
+fn serial_and_parallel_topology_lints_are_byte_identical() {
+    let one = lint(&["--threads", "1", "--topology", "testdata/e1_topology.txt"]);
+    let eight = lint(&["--threads", "8", "--topology", "testdata/e1_topology.txt"]);
+    assert_eq!(one.status.code(), Some(0));
+    assert_eq!(one.stdout, eight.stdout, "thread count changed the report");
+    assert_eq!(one.status.code(), eight.status.code());
+}
+
+#[test]
+fn sarif_output_is_valid_json_with_the_expected_rules() {
+    let out = lint(&[
+        "--topology",
+        "testdata/e1_topology.txt",
+        "--format",
+        "sarif",
+    ]);
+    assert_eq!(out.status.code(), Some(0));
+    let log = parse(&String::from_utf8_lossy(&out.stdout)).expect("SARIF parses as JSON");
+    assert_eq!(field(&log, "version").as_str("version").unwrap(), "2.1.0");
+    let runs = field(&log, "runs").as_array("runs").unwrap();
+    assert_eq!(runs.len(), 1);
+    let driver = field(field(&runs[0], "tool"), "driver");
+    assert_eq!(
+        field(driver, "name").as_str("name").unwrap(),
+        "clarify-lint"
+    );
+    // The clean E1 fabric fires exactly the overlap, asymmetric-session,
+    // and orphan-community notes.
+    let ids: Vec<&str> = field(driver, "rules")
+        .as_array("rules")
+        .unwrap()
+        .iter()
+        .map(|r| field(r, "id").as_str("id").unwrap())
+        .collect();
+    assert_eq!(ids, ["L003", "L009", "L010"], "rule table drifted");
+    let results = field(&runs[0], "results").as_array("results").unwrap();
+    assert_eq!(results.len(), 12);
+    for r in results {
+        assert_eq!(field(r, "level").as_str("level").unwrap(), "note");
+        let loc = field(
+            &field(r, "locations").as_array("locations").unwrap()[0],
+            "physicalLocation",
+        );
+        let uri = field(field(loc, "artifactLocation"), "uri")
+            .as_str("uri")
+            .unwrap();
+        assert!(uri.starts_with("e1_"), "unexpected artifact {uri}");
+        field(field(loc, "region"), "startLine")
+            .as_u64("startLine")
+            .unwrap();
+    }
+}
+
+#[test]
+fn json_format_topology_report_parses() {
+    let out = lint(&["--topology", "testdata/e1_topology.txt", "--format", "json"]);
+    assert_eq!(out.status.code(), Some(0));
+    let log = parse(&String::from_utf8_lossy(&out.stdout)).expect("JSON report parses");
+    let routers = field(&log, "routers").as_array("routers").unwrap();
+    assert_eq!(routers.len(), 3, "three configured routers report");
+}
+
+#[test]
+fn topology_is_exclusive_with_config_files_and_cache_flags() {
+    let mixed = lint(&[
+        "--topology",
+        "testdata/e1_topology.txt",
+        "testdata/isp_out.cfg",
+    ]);
+    assert_eq!(mixed.status.code(), Some(2));
+    assert!(String::from_utf8_lossy(&mixed.stderr).contains("--topology"));
+
+    let cached = lint(&[
+        "--topology",
+        "testdata/e1_topology.txt",
+        "--save-cache",
+        "/tmp/never-written.json",
+    ]);
+    assert_eq!(cached.status.code(), Some(2));
+}
+
+#[test]
+fn missing_topology_file_is_a_usage_error() {
+    let out = lint(&["--topology", "/nonexistent/topo.txt"]);
+    assert_eq!(out.status.code(), Some(2));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("cannot read"));
+}

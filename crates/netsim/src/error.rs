@@ -22,6 +22,14 @@ pub enum SimError {
         /// The budget that was exhausted.
         rounds: usize,
     },
+    /// A topology file failed to parse, validate, or load.
+    Topology {
+        /// One-based topology-file line (0 when the error is not tied to
+        /// a specific line, e.g. a config file that failed to load).
+        line: u32,
+        /// What went wrong.
+        message: String,
+    },
 }
 
 impl std::fmt::Display for SimError {
@@ -34,6 +42,10 @@ impl std::fmt::Display for SimError {
             }
             SimError::NoConvergence { rounds } => {
                 write!(f, "propagation did not converge within {rounds} rounds")
+            }
+            SimError::Topology { line: 0, message } => write!(f, "topology: {message}"),
+            SimError::Topology { line, message } => {
+                write!(f, "topology line {line}: {message}")
             }
         }
     }

@@ -40,9 +40,11 @@
 mod error;
 mod network;
 mod propagate;
+mod topology;
 
 pub use error::SimError;
-pub use network::{Network, NetworkBuilder, RibEntry, Router, RouterBuilder, Session};
+pub use network::{Network, NetworkBuilder, RibEntry, Router, RouterBuilder, Session, SessionRole};
+pub use topology::{LoadedTopology, NeighborSpec, RouterSpec, TopologySpec};
 
 #[cfg(test)]
 mod tests;

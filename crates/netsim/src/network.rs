@@ -7,6 +7,71 @@ use clarify_nettypes::{BgpRoute, Prefix};
 
 use crate::error::SimError;
 
+/// The business relationship a session's *neighbor* has to this router,
+/// in Gao–Rexford terms. Valley-free analysis (`clarify-lint`'s L008
+/// transit-leak check) derives its policy obligations from these roles:
+/// routes learned from a [`SessionRole::Provider`] or [`SessionRole::Peer`]
+/// must never be re-exported towards another provider or peer.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum SessionRole {
+    /// Same organization (iBGP or a trusted confederation edge); routes
+    /// flow freely and taint propagates across it.
+    #[default]
+    Internal,
+    /// The neighbor is our customer: we sell it transit.
+    Customer,
+    /// The neighbor is a settlement-free peer.
+    Peer,
+    /// The neighbor is our provider: it sells us transit.
+    Provider,
+}
+
+impl SessionRole {
+    /// The keyword used in topology files (`role <keyword>`).
+    pub fn keyword(&self) -> &'static str {
+        match self {
+            SessionRole::Internal => "internal",
+            SessionRole::Customer => "customer",
+            SessionRole::Peer => "peer",
+            SessionRole::Provider => "provider",
+        }
+    }
+
+    /// Parses a topology-file role keyword.
+    pub fn parse(word: &str) -> Option<SessionRole> {
+        match word {
+            "internal" => Some(SessionRole::Internal),
+            "customer" => Some(SessionRole::Customer),
+            "peer" => Some(SessionRole::Peer),
+            "provider" => Some(SessionRole::Provider),
+            _ => None,
+        }
+    }
+
+    /// The role the other end must declare for the pair to be consistent
+    /// (provider ↔ customer; peer and internal are symmetric).
+    pub fn converse(&self) -> SessionRole {
+        match self {
+            SessionRole::Internal => SessionRole::Internal,
+            SessionRole::Customer => SessionRole::Provider,
+            SessionRole::Peer => SessionRole::Peer,
+            SessionRole::Provider => SessionRole::Customer,
+        }
+    }
+
+    /// Whether routes learned over a session with this role are
+    /// restricted by valley-free export (provider- or peer-learned).
+    pub fn taints(&self) -> bool {
+        matches!(self, SessionRole::Provider | SessionRole::Peer)
+    }
+}
+
+impl std::fmt::Display for SessionRole {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.keyword())
+    }
+}
+
 /// One BGP session from a router's point of view.
 #[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct Session {
@@ -16,6 +81,8 @@ pub struct Session {
     pub import_policy: Option<String>,
     /// Route-map applied to routes advertised to the neighbor.
     pub export_policy: Option<String>,
+    /// What the neighbor is to us (defaults to [`SessionRole::Internal`]).
+    pub role: SessionRole,
 }
 
 /// A router: name, AS number, configuration, originations, sessions.
@@ -66,6 +133,24 @@ impl Network {
     /// One router by name.
     pub fn router(&self, name: &str) -> Option<&Router> {
         self.routers.get(name)
+    }
+
+    /// Every `(router, session)` pair, in router-name order then session
+    /// declaration order — the per-neighbor policy bindings the
+    /// cross-device analyses iterate over.
+    pub fn sessions(&self) -> impl Iterator<Item = (&Router, &Session)> {
+        self.routers
+            .values()
+            .flat_map(|r| r.sessions.iter().map(move |s| (r, s)))
+    }
+
+    /// Whether the adjacency between `a` and `b` is up: both ends declare
+    /// a session towards the other (one-sided declarations are ignored by
+    /// propagation and by the network linter alike).
+    pub fn adjacency_up(&self, a: &str, b: &str) -> bool {
+        let declared =
+            |x: &str, y: &str| self.routers.get(x).is_some_and(|r| r.session(y).is_some());
+        declared(a, b) && declared(b, a)
     }
 
     /// Mutable access to a router's configuration (invalidates any prior
@@ -129,10 +214,27 @@ impl RouterBuilder<'_> {
         import_policy: Option<&str>,
         export_policy: Option<&str>,
     ) -> &mut Self {
+        self.session_with_role(
+            neighbor,
+            import_policy,
+            export_policy,
+            SessionRole::Internal,
+        )
+    }
+
+    /// Like [`RouterBuilder::session`] but with an explicit neighbor role.
+    pub fn session_with_role(
+        &mut self,
+        neighbor: &str,
+        import_policy: Option<&str>,
+        export_policy: Option<&str>,
+        role: SessionRole,
+    ) -> &mut Self {
         self.router.sessions.push(Session {
             neighbor: neighbor.to_string(),
             import_policy: import_policy.map(str::to_string),
             export_policy: export_policy.map(str::to_string),
+            role,
         });
         self
     }
@@ -187,6 +289,30 @@ impl NetworkBuilder {
         b_import: Option<&str>,
         b_export: Option<&str>,
     ) -> Result<&mut Self, SimError> {
+        self.session_pair_with_roles(
+            a,
+            b,
+            a_import,
+            a_export,
+            b_import,
+            b_export,
+            SessionRole::Internal,
+        )
+    }
+
+    /// Like [`NetworkBuilder::session_pair`] but declaring what `b` is to
+    /// `a` (`b_role_to_a`); `a`'s role on `b`'s side is its converse.
+    #[allow(clippy::too_many_arguments)]
+    pub fn session_pair_with_roles(
+        &mut self,
+        a: &str,
+        b: &str,
+        a_import: Option<&str>,
+        a_export: Option<&str>,
+        b_import: Option<&str>,
+        b_export: Option<&str>,
+        b_role_to_a: SessionRole,
+    ) -> Result<&mut Self, SimError> {
         let ra = self
             .routers
             .iter()
@@ -201,11 +327,13 @@ impl NetworkBuilder {
             neighbor: b.to_string(),
             import_policy: a_import.map(str::to_string),
             export_policy: a_export.map(str::to_string),
+            role: b_role_to_a,
         });
         self.routers[rb].sessions.push(Session {
             neighbor: a.to_string(),
             import_policy: b_import.map(str::to_string),
             export_policy: b_export.map(str::to_string),
+            role: b_role_to_a.converse(),
         });
         Ok(self)
     }

@@ -313,3 +313,112 @@ fn session_pair_rejects_undeclared_router() {
     let net = b.build().unwrap();
     assert!(net.router("A").is_none_or(|r| r.sessions.is_empty()));
 }
+
+#[test]
+fn session_pair_roles_are_converses() {
+    let mut b = NetworkBuilder::new();
+    b.router("A", 1);
+    b.router("B", 2);
+    b.session_pair_with_roles(
+        "A",
+        "B",
+        None,
+        None,
+        None,
+        None,
+        crate::SessionRole::Provider,
+    )
+    .unwrap();
+    let net = b.build().unwrap();
+    assert_eq!(
+        net.router("A").unwrap().session("B").unwrap().role,
+        crate::SessionRole::Provider
+    );
+    assert_eq!(
+        net.router("B").unwrap().session("A").unwrap().role,
+        crate::SessionRole::Customer
+    );
+    assert!(net.adjacency_up("A", "B"));
+    assert!(!net.adjacency_up("A", "C"));
+    assert_eq!(net.sessions().count(), 2);
+}
+
+const TOPO: &str = "\
+! two-router topology
+router A asn 1 config a.cfg
+  originate 10.0.0.0/8
+  neighbor B import IN role provider
+router B asn 2
+  neighbor A role customer
+";
+
+#[test]
+fn topology_parses_and_instantiates() {
+    let spec = crate::TopologySpec::parse(TOPO).unwrap();
+    assert_eq!(spec.routers.len(), 2);
+    assert_eq!(spec.config_paths(), vec!["a.cfg"]);
+    let loaded = spec
+        .instantiate(&mut |path| {
+            assert_eq!(path, "a.cfg");
+            Ok("route-map IN permit 10\n".to_string())
+        })
+        .unwrap();
+    let a = loaded.network.router("A").unwrap();
+    assert_eq!(a.asn, 1);
+    assert_eq!(a.originated, vec![pfx("10.0.0.0/8")]);
+    let s = a.session("B").unwrap();
+    assert_eq!(s.import_policy.as_deref(), Some("IN"));
+    assert_eq!(s.role, crate::SessionRole::Provider);
+    assert_eq!(
+        loaded.config_paths.get("A").map(String::as_str),
+        Some("a.cfg")
+    );
+    assert!(loaded.sources.get("A").unwrap().contains("route-map IN"));
+    assert!(!loaded.spans.get("A").unwrap().is_empty());
+    assert!(loaded
+        .network
+        .router("B")
+        .unwrap()
+        .config
+        .route_maps
+        .is_empty());
+}
+
+#[test]
+fn topology_rejects_structural_errors() {
+    // One-sided session.
+    let err =
+        crate::TopologySpec::parse("router A asn 1\n  neighbor B\nrouter B asn 2\n").unwrap_err();
+    assert!(matches!(err, SimError::Topology { line: 2, .. }), "{err}");
+    // Role mismatch (provider requires customer on the far end).
+    let err = crate::TopologySpec::parse(
+        "router A asn 1\n  neighbor B role provider\nrouter B asn 2\n  neighbor A role peer\n",
+    )
+    .unwrap_err();
+    assert!(err.to_string().contains("role mismatch"), "{err}");
+    // Unknown neighbor.
+    let err = crate::TopologySpec::parse("router A asn 1\n  neighbor GHOST\n").unwrap_err();
+    assert!(err.to_string().contains("unknown neighbor"), "{err}");
+    // A bound policy missing from the config fails at build time.
+    let spec = crate::TopologySpec::parse(TOPO).unwrap();
+    let err = spec.instantiate(&mut |_| Ok(String::new())).unwrap_err();
+    assert!(matches!(err, SimError::Config { .. }), "{err}");
+}
+
+#[test]
+fn topology_instantiates_e1_testdata() {
+    let dir = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../testdata");
+    let text = std::fs::read_to_string(dir.join("e1_topology.txt")).unwrap();
+    let spec = crate::TopologySpec::parse(&text).unwrap();
+    assert_eq!(spec.routers.len(), 7);
+    let loaded = spec
+        .instantiate(&mut |p| std::fs::read_to_string(dir.join(p)).map_err(|e| e.to_string()))
+        .unwrap();
+    // The clean topology converges, and the service prefix reaches M.
+    let net = loaded.network.converge().unwrap();
+    assert!(net.can_reach("M", &pfx("10.1.0.0/16")));
+    // Valley-free holds concretely: the ISPs never hear each other's
+    // prefixes through our network.
+    assert!(!net.can_reach("ISP2", &pfx("8.8.0.0/16")));
+    assert!(!net.can_reach("ISP1", &pfx("9.9.0.0/16")));
+}

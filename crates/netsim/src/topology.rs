@@ -1,0 +1,313 @@
+//! The topology file format: a plain-text description of routers,
+//! originations, and per-neighbor sessions that instantiates into a
+//! [`Network`] plus the per-router source maps the network linter needs.
+//!
+//! The format is line-oriented, like the IOS subset `clarify-netconfig`
+//! parses; `!` and `#` start comments and blank lines are skipped:
+//!
+//! ```text
+//! router R1 asn 65001 config r1.cfg
+//!   originate 203.0.113.0/24
+//!   neighbor ISP1 import ISP_IN export ISP_OUT role provider
+//!   neighbor DC1 import FROM_DC role customer
+//! router ISP1 asn 100
+//!   originate 8.8.0.0/16
+//!   neighbor R1 role customer
+//! ```
+//!
+//! * `router NAME asn N [config PATH]` opens a router block; `originate`
+//!   and `neighbor` lines attach to the most recent one. `PATH` names the
+//!   router's configuration file, resolved by the loader callback (the
+//!   CLIs resolve it relative to the topology file).
+//! * `neighbor NAME [import MAP] [export MAP] [role ROLE]` declares one
+//!   session; `ROLE` is what the *neighbor* is to this router
+//!   (`provider`, `customer`, `peer`, or the default `internal`).
+//! * Sessions must be declared from **both** ends, and declared roles
+//!   must be converses (`provider` on one end ⇔ `customer` on the other);
+//!   anything else is almost certainly a typo and is rejected.
+
+use std::collections::BTreeMap;
+
+use clarify_netconfig::{Config, SourceMap};
+use clarify_nettypes::Prefix;
+
+use crate::error::SimError;
+use crate::network::{Network, NetworkBuilder, SessionRole};
+
+/// One `neighbor` line of a router block.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct NeighborSpec {
+    /// The neighbor router's name.
+    pub name: String,
+    /// Import route-map (in this router's configuration).
+    pub import: Option<String>,
+    /// Export route-map (in this router's configuration).
+    pub export: Option<String>,
+    /// What the neighbor is to this router.
+    pub role: SessionRole,
+    /// One-based topology-file line of the declaration.
+    pub line: u32,
+}
+
+/// One `router` block of a topology file.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct RouterSpec {
+    /// Router name (unique in the file).
+    pub name: String,
+    /// Autonomous system number.
+    pub asn: u32,
+    /// Configuration file path, as written in the file.
+    pub config: Option<String>,
+    /// Locally originated prefixes.
+    pub originate: Vec<Prefix>,
+    /// Declared sessions.
+    pub neighbors: Vec<NeighborSpec>,
+    /// One-based topology-file line of the `router` header.
+    pub line: u32,
+}
+
+/// A parsed (but not yet loaded) topology file.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct TopologySpec {
+    /// The router blocks, in file order.
+    pub routers: Vec<RouterSpec>,
+}
+
+/// A topology with every referenced configuration loaded and parsed:
+/// the buildable [`Network`] plus the per-router side tables
+/// (`clarify-lint`'s network pass needs source lines and raw text for
+/// suppression directives).
+#[derive(Clone, Debug, Default)]
+pub struct LoadedTopology {
+    /// The network, ready to lint or converge.
+    pub network: Network,
+    /// Per-router source maps for the routers that had a `config` file.
+    pub spans: BTreeMap<String, SourceMap>,
+    /// Per-router raw configuration text.
+    pub sources: BTreeMap<String, String>,
+    /// Per-router configuration path, as written in the topology file.
+    pub config_paths: BTreeMap<String, String>,
+}
+
+fn err(line: u32, message: impl Into<String>) -> SimError {
+    SimError::Topology {
+        line,
+        message: message.into(),
+    }
+}
+
+impl TopologySpec {
+    /// Parses a topology file.
+    pub fn parse(text: &str) -> Result<TopologySpec, SimError> {
+        let mut spec = TopologySpec::default();
+        for (idx, raw) in text.lines().enumerate() {
+            let line = (idx + 1) as u32;
+            let words: Vec<&str> = raw.split_whitespace().collect();
+            let Some(&first) = words.first() else {
+                continue;
+            };
+            if first.starts_with('!') || first.starts_with('#') {
+                continue;
+            }
+            match first {
+                "router" => {
+                    // router NAME asn N [config PATH]
+                    let (name, rest) = match &words[1..] {
+                        [name, "asn", asn, rest @ ..] => {
+                            let asn: u32 = asn
+                                .parse()
+                                .map_err(|_| err(line, format!("bad asn '{asn}'")))?;
+                            (
+                                RouterSpec {
+                                    name: name.to_string(),
+                                    asn,
+                                    config: None,
+                                    originate: Vec::new(),
+                                    neighbors: Vec::new(),
+                                    line,
+                                },
+                                rest,
+                            )
+                        }
+                        _ => return Err(err(line, "expected 'router NAME asn N [config PATH]'")),
+                    };
+                    let mut router = name;
+                    match rest {
+                        [] => {}
+                        ["config", path] => router.config = Some(path.to_string()),
+                        _ => return Err(err(line, "trailing words after router header")),
+                    }
+                    if spec.routers.iter().any(|r| r.name == router.name) {
+                        return Err(err(line, format!("duplicate router '{}'", router.name)));
+                    }
+                    spec.routers.push(router);
+                }
+                "originate" => {
+                    let current = spec
+                        .routers
+                        .last_mut()
+                        .ok_or_else(|| err(line, "'originate' before any 'router'"))?;
+                    let [prefix] = &words[1..] else {
+                        return Err(err(line, "expected 'originate PREFIX'"));
+                    };
+                    let prefix: Prefix = prefix
+                        .parse()
+                        .map_err(|_| err(line, format!("bad prefix '{prefix}'")))?;
+                    current.originate.push(prefix);
+                }
+                "neighbor" => {
+                    let current = spec
+                        .routers
+                        .last_mut()
+                        .ok_or_else(|| err(line, "'neighbor' before any 'router'"))?;
+                    let [name, options @ ..] = &words[1..] else {
+                        return Err(err(
+                            line,
+                            "expected 'neighbor NAME [import MAP] [export MAP] [role ROLE]'",
+                        ));
+                    };
+                    let mut n = NeighborSpec {
+                        name: name.to_string(),
+                        import: None,
+                        export: None,
+                        role: SessionRole::Internal,
+                        line,
+                    };
+                    let mut opts = options.iter();
+                    while let Some(&key) = opts.next() {
+                        let Some(&value) = opts.next() else {
+                            return Err(err(line, format!("'{key}' needs a value")));
+                        };
+                        match key {
+                            "import" => n.import = Some(value.to_string()),
+                            "export" => n.export = Some(value.to_string()),
+                            "role" => {
+                                n.role = SessionRole::parse(value)
+                                    .ok_or_else(|| err(line, format!("unknown role '{value}'")))?
+                            }
+                            _ => return Err(err(line, format!("unknown neighbor option '{key}'"))),
+                        }
+                    }
+                    if current.neighbors.iter().any(|o| o.name == n.name) {
+                        return Err(err(
+                            line,
+                            format!(
+                                "duplicate neighbor '{}' on router '{}'",
+                                n.name, current.name
+                            ),
+                        ));
+                    }
+                    if n.name == current.name {
+                        return Err(err(
+                            line,
+                            format!("router '{}' cannot neighbor itself", current.name),
+                        ));
+                    }
+                    current.neighbors.push(n);
+                }
+                other => return Err(err(line, format!("unknown directive '{other}'"))),
+            }
+        }
+        if spec.routers.is_empty() {
+            return Err(err(0, "topology declares no routers"));
+        }
+        spec.validate()?;
+        Ok(spec)
+    }
+
+    /// Structural checks beyond per-line syntax: every neighbor exists,
+    /// every session is declared from both ends, and declared roles are
+    /// converses of each other.
+    fn validate(&self) -> Result<(), SimError> {
+        let by_name: BTreeMap<&str, &RouterSpec> =
+            self.routers.iter().map(|r| (r.name.as_str(), r)).collect();
+        for r in &self.routers {
+            for n in &r.neighbors {
+                let Some(other) = by_name.get(n.name.as_str()) else {
+                    return Err(err(n.line, format!("unknown neighbor '{}'", n.name)));
+                };
+                let Some(back) = other.neighbors.iter().find(|o| o.name == r.name) else {
+                    return Err(err(
+                        n.line,
+                        format!(
+                            "router '{}' does not declare neighbor '{}' back",
+                            n.name, r.name
+                        ),
+                    ));
+                };
+                if back.role != n.role.converse() {
+                    return Err(err(
+                        n.line,
+                        format!(
+                            "role mismatch on session {}–{}: '{}' here requires '{}' on \
+                             router '{}', found '{}'",
+                            r.name,
+                            n.name,
+                            n.role,
+                            n.role.converse(),
+                            n.name,
+                            back.role
+                        ),
+                    ));
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// The distinct configuration paths referenced, in file order.
+    pub fn config_paths(&self) -> Vec<&str> {
+        let mut out: Vec<&str> = Vec::new();
+        for r in &self.routers {
+            if let Some(p) = r.config.as_deref() {
+                if !out.contains(&p) {
+                    out.push(p);
+                }
+            }
+        }
+        out
+    }
+
+    /// Loads every referenced configuration through `load` (path ↦ file
+    /// contents), parses them with spans, and builds the network. Routers
+    /// without a `config` line get an empty configuration.
+    pub fn instantiate(
+        &self,
+        load: &mut dyn FnMut(&str) -> Result<String, String>,
+    ) -> Result<LoadedTopology, SimError> {
+        // Load and parse each distinct path once; routers may share one.
+        let mut parsed: BTreeMap<&str, (Config, SourceMap, String)> = BTreeMap::new();
+        for path in self.config_paths() {
+            let text = load(path).map_err(|e| SimError::Topology {
+                line: 0,
+                message: format!("cannot load config '{path}': {e}"),
+            })?;
+            let (cfg, spans) = Config::parse_with_spans(&text).map_err(|e| SimError::Topology {
+                line: 0,
+                message: format!("config '{path}': {e}"),
+            })?;
+            parsed.insert(path, (cfg, spans, text));
+        }
+
+        let mut b = NetworkBuilder::new();
+        let mut loaded = LoadedTopology::default();
+        for r in &self.routers {
+            let mut rb = b.router(&r.name, r.asn);
+            for p in &r.originate {
+                rb.originate(*p);
+            }
+            if let Some(path) = r.config.as_deref() {
+                let (cfg, spans, text) = &parsed[path];
+                rb.config(cfg.clone());
+                loaded.spans.insert(r.name.clone(), spans.clone());
+                loaded.sources.insert(r.name.clone(), text.clone());
+                loaded.config_paths.insert(r.name.clone(), path.to_string());
+            }
+            for n in &r.neighbors {
+                rb.session_with_role(&n.name, n.import.as_deref(), n.export.as_deref(), n.role);
+            }
+        }
+        loaded.network = b.build()?;
+        Ok(loaded)
+    }
+}

@@ -16,11 +16,17 @@
 //!     Print concrete routes on which the two versions of the route-map
 //!     behave differently (differential verification).
 //!
-//! clarify lint [--json] [--incremental PREV] [--save-cache PATH] <config-file>...
+//! clarify lint [--format human|json|sarif] [--no-suppress]
+//!              [--incremental PREV] [--save-cache PATH] <config-file>...
 //!     Symbolic lint: shadowed, redundant, empty, and conflicting rules,
 //!     plus dangling/unused references, with concrete witnesses. With
 //!     `--incremental`, re-lints against a cache from an earlier
 //!     `--save-cache` run, recomputing only the objects the edit touched.
+//!
+//! clarify lint --topology <topology-file> [--format ...] [--no-suppress]
+//!     Cross-device lint: per-config checks on every router plus the
+//!     session-composition checks L007-L011 (dead-by-upstream, route
+//!     leaks, asymmetric sessions, orphan communities, black holes).
 //! ```
 
 #![warn(missing_docs)]
@@ -131,7 +137,9 @@ usage:
   clarify ask-acl <config-file> <acl> <english intent...>
   clarify compare <file-a> <file-b> <route-map> [limit]
   clarify chain <config-file> <route-map> <route-map>...
-  clarify lint [--json] [--incremental PREV] [--save-cache PATH] <config-file>...
+  clarify lint [--format human|json|sarif] [--no-suppress]
+               [--incremental PREV] [--save-cache PATH] <config-file>...
+  clarify lint --topology <topology-file> [--format F] [--no-suppress]
 
 options:
   --threads <N>       worker threads for the symbolic analyses (default:
@@ -143,6 +151,12 @@ options:
                       stderr at exit
 
 lint options:
+  --format <F>        output format: human (default), json, or sarif
+                      (SARIF 2.1.0); --json is shorthand for --format json
+  --topology <FILE>   lint a whole topology: per-config checks plus the
+                      cross-device checks L007-L011 (config paths resolve
+                      relative to FILE's directory)
+  --no-suppress       ignore inline '! lint-allow L0xx' suppressions
   --incremental <PREV> re-lint against the cache PREV (from --save-cache):
                       only objects the edit touched are recomputed, cached
                       findings are spliced for the rest; requires exactly
@@ -416,17 +430,46 @@ fn chain(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
+/// Output formats shared by the single-file and topology lint paths.
+#[derive(Clone, Copy, PartialEq)]
+enum LintFormat {
+    Human,
+    Json,
+    Sarif,
+}
+
 /// The symbolic linter, sharing exit-status conventions with the
 /// standalone `lint` binary: 0 clean, 1 findings, 2 usage/parse errors.
 fn lint(args: &[String]) -> ExitCode {
-    let mut json = false;
+    let mut format = LintFormat::Human;
+    let mut no_suppress = false;
+    let mut topology: Option<String> = None;
     let mut incremental: Option<String> = None;
     let mut save_cache: Option<String> = None;
     let mut paths: Vec<&str> = Vec::new();
     let mut args_iter = args.iter();
     while let Some(a) = args_iter.next() {
         match a.as_str() {
-            "--json" => json = true,
+            "--json" => format = LintFormat::Json,
+            "--format" => {
+                format = match args_iter.next().map(String::as_str) {
+                    Some("human") => LintFormat::Human,
+                    Some("json") => LintFormat::Json,
+                    Some("sarif") => LintFormat::Sarif,
+                    _ => {
+                        eprintln!("error: --format takes human, json, or sarif\n\n{USAGE}");
+                        return ExitCode::from(2);
+                    }
+                };
+            }
+            "--topology" => {
+                let Some(path) = args_iter.next() else {
+                    eprintln!("error: --topology takes a file path\n\n{USAGE}");
+                    return ExitCode::from(2);
+                };
+                topology = Some(path.clone());
+            }
+            "--no-suppress" => no_suppress = true,
             "--incremental" => {
                 let Some(path) = args_iter.next() else {
                     eprintln!("error: --incremental takes a cache file path\n\n{USAGE}");
@@ -447,6 +490,13 @@ fn lint(args: &[String]) -> ExitCode {
             }
             path => paths.push(path),
         }
+    }
+    if let Some(topo) = &topology {
+        if !paths.is_empty() || incremental.is_some() || save_cache.is_some() {
+            eprintln!("error: --topology takes no config files and no cache options\n\n{USAGE}");
+            return ExitCode::from(2);
+        }
+        return lint_topology(topo, format, no_suppress);
     }
     if paths.is_empty() {
         eprintln!("error: lint takes at least one config file\n\n{USAGE}");
@@ -519,10 +569,17 @@ fn lint(args: &[String]) -> ExitCode {
                 return ExitCode::from(2);
             }
         }
-        if json {
-            print!("{}", report.render_json(path));
+        // The cache above stores the unsuppressed report; suppressions
+        // only shape what this run prints.
+        let report = if no_suppress {
+            report
         } else {
-            print!("{}", report.render_human(path));
+            clarify::lint::apply_suppressions(report, &text)
+        };
+        match format {
+            LintFormat::Human => print!("{}", report.render_human(path)),
+            LintFormat::Json => print!("{}", report.render_json(path)),
+            LintFormat::Sarif => print!("{}", clarify::lint::render_sarif(&report, path)),
         }
         dirty |= !report.is_clean();
     }
@@ -530,5 +587,58 @@ fn lint(args: &[String]) -> ExitCode {
         ExitCode::FAILURE
     } else {
         ExitCode::SUCCESS
+    }
+}
+
+/// `clarify lint --topology`: parse and instantiate the topology (config
+/// paths resolve relative to the topology file), then run the
+/// cross-device linter.
+fn lint_topology(topo: &str, format: LintFormat, no_suppress: bool) -> ExitCode {
+    let text = match std::fs::read_to_string(topo) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("error: cannot read {topo}: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let spec = match clarify::netsim::TopologySpec::parse(&text) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("error: {topo}: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let base = std::path::Path::new(topo)
+        .parent()
+        .unwrap_or_else(|| std::path::Path::new("."));
+    let loaded = match spec
+        .instantiate(&mut |p| std::fs::read_to_string(base.join(p)).map_err(|e| e.to_string()))
+    {
+        Ok(l) => l,
+        Err(e) => {
+            eprintln!("error: {topo}: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let mut linter = clarify::lint::NetworkLinter::new(&loaded);
+    if no_suppress {
+        linter = linter.no_suppress();
+    }
+    let report = match linter.lint() {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("error: {topo}: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    match format {
+        LintFormat::Human => print!("{}", report.render_human()),
+        LintFormat::Json => print!("{}", report.render_json()),
+        LintFormat::Sarif => print!("{}", clarify::lint::render_sarif_network(&report)),
+    }
+    if report.is_clean() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
     }
 }
