@@ -27,6 +27,10 @@ pub enum AnalysisError {
     },
     /// The regex set produced too many atomic predicates.
     AtomLimitExceeded,
+    /// An internal consistency condition failed. Never expected on any
+    /// input; returned instead of panicking so a long-running service
+    /// survives a broken invariant in one request.
+    InvariantViolated(&'static str),
 }
 
 impl From<ConfigError> for AnalysisError {
@@ -50,6 +54,9 @@ impl std::fmt::Display for AnalysisError {
             }
             AnalysisError::AtomLimitExceeded => {
                 write!(f, "too many atomic predicates; split the analysis")
+            }
+            AnalysisError::InvariantViolated(msg) => {
+                write!(f, "internal invariant violated: {msg}")
             }
         }
     }

@@ -641,9 +641,15 @@ impl RouteSpace {
             return Ok(None);
         };
         let verdict = cfg.eval_route_map(name, &input)?;
+        // `region` is an OR of permit-stanza fire regions, so any witness
+        // drawn from it must evaluate to a permit; a deny here means the
+        // symbolic encoding diverged from concrete evaluation, which we
+        // surface as an error rather than panicking the caller.
         let output = verdict
             .route()
-            .expect("region only covers permit stanzas")
+            .ok_or(AnalysisError::InvariantViolated(
+                "witness from a permit-only region evaluated to deny",
+            ))?
             .clone();
         debug_assert!(out.metric.is_none_or(|w| output.metric == w));
         debug_assert!(out.local_pref.is_none_or(|w| output.local_pref == w));

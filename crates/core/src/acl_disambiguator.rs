@@ -122,6 +122,25 @@ pub fn insert_acl_with_oracle(
     oracle: &mut dyn AclOracle,
 ) -> Result<AclDisambiguationResult, ClarifyError> {
     let _insert_span = clarify_obs::span!("disambiguator_insert");
+    let mut space = PacketSpace::new();
+    plan_acl_in_space(&mut space, base, acl_name, entry, strategy)?.drive(oracle)
+}
+
+/// Builds an [`AclInsertionPlan`] in a caller-owned [`PacketSpace`]: the
+/// packet-space counterpart of [`crate::Disambiguator::plan_in_space`].
+/// All symbolic work (overlap set, lint prune, per-pivot comparisons)
+/// happens here, once; the plan then answers every
+/// [`step`](AclInsertionPlan::step) by pure replay. Long-lived services
+/// keep one warm space per session — the packet atom universe is fixed, so
+/// any `PacketSpace` is layout-compatible and canonicity makes the reuse
+/// invisible (byte-identical questions either way).
+pub fn plan_acl_in_space(
+    space: &mut PacketSpace,
+    base: &Config,
+    acl_name: &str,
+    entry: &AclEntry,
+    strategy: PlacementStrategy,
+) -> Result<AclInsertionPlan, ClarifyError> {
     let acl = base
         .acl(acl_name)
         .ok_or(clarify_netconfig::ConfigError::NotFound {
@@ -130,7 +149,6 @@ pub fn insert_acl_with_oracle(
         })?
         .clone();
 
-    let mut space = PacketSpace::new();
     let valid = space.valid();
     let new_set = {
         let raw = space.encode_entry(entry);
@@ -144,13 +162,12 @@ pub fn insert_acl_with_oracle(
         }
     }
     let n = overlaps.len();
-    let mut transcript: Vec<(AclQuestion, Choice)> = Vec::new();
 
     // Lint-based pre-filter: entries whose firing region the new entry
     // never reaches (`s* ∧ fire_i = ⊥`) cannot be decisive boundaries, so
     // their placement comparisons are skipped (provably sound — see
     // `clarify_lint::prune_acl_candidates`).
-    let candidates = prune_acl_candidates(&mut space, &acl, new_set, &overlaps).kept;
+    let candidates = prune_acl_candidates(space, &acl, new_set, &overlaps).kept;
     let pruned_candidates = n - candidates.len();
 
     // Keep only decisive pivots (above/below placements that actually
@@ -166,10 +183,18 @@ pub fn insert_acl_with_oracle(
         |space: &mut PacketSpace, pivot: usize| -> Result<Option<AclQuestion>, ClarifyError> {
             let above = insert_acl_entry(base, acl_name, entry.clone(), pivot)?;
             let below = insert_acl_entry(base, acl_name, entry.clone(), pivot + 1)?;
+            // Invariant: `insert_acl_entry` only succeeds when `acl_name`
+            // exists in `base` (checked at the top of this function), and
+            // it returns a config containing that same ACL — these lookups
+            // are on configs this function just built, not on user input.
             let diffs = compare_filters(
                 space,
-                above.acl(acl_name).expect("exists"),
-                below.acl(acl_name).expect("exists"),
+                above
+                    .acl(acl_name)
+                    .expect("insert_acl_entry preserves the ACL it inserted into"),
+                below
+                    .acl(acl_name)
+                    .expect("insert_acl_entry preserves the ACL it inserted into"),
                 1,
             );
             Ok(diffs.into_iter().next().map(|d| AclQuestion {
@@ -184,7 +209,7 @@ pub fn insert_acl_with_oracle(
         if clarify_par::current_threads() == 1 {
             candidates
                 .iter()
-                .map(|&pivot| question_at_pivot(&mut space, pivot))
+                .map(|&pivot| question_at_pivot(&mut *space, pivot))
                 .collect()
         } else {
             clarify_par::par_map_init(&candidates, PacketSpace::new, |space, _, &pivot| {
@@ -204,98 +229,236 @@ pub fn insert_acl_with_oracle(
     let mut comparisons = candidates.len();
     let m = pivots.len();
 
-    let slot_to_position = |slot: usize| -> usize {
-        if m == 0 {
-            acl.entries.len()
-        } else if slot < m {
-            pivots[slot].0
-        } else {
-            pivots[m - 1].0 + 1
-        }
+    // TopBottomOnly's single question is the differential between the two
+    // extreme placements; precompute it so replay needs no symbolic work.
+    let top_bottom = if strategy == PlacementStrategy::TopBottomOnly && m > 0 {
+        let above = insert_acl_entry(base, acl_name, entry.clone(), 0)?;
+        let below = insert_acl_entry(base, acl_name, entry.clone(), acl.entries.len())?;
+        // Invariant: same as the pivot scan above — `insert_acl_entry`
+        // returns a config still containing `acl_name`.
+        let diffs = compare_filters(
+            space,
+            above
+                .acl(acl_name)
+                .expect("insert_acl_entry preserves the ACL it inserted into"),
+            below
+                .acl(acl_name)
+                .expect("insert_acl_entry preserves the ACL it inserted into"),
+            1,
+        );
+        comparisons += 1;
+        diffs.into_iter().next().map(|d| AclQuestion {
+            packet: d.packet,
+            option_first: d.a,
+            option_second: d.b,
+            pivot_index: 0,
+        })
+    } else {
+        None
     };
 
-    let ask = |k: usize,
-               transcript: &mut Vec<(AclQuestion, Choice)>,
-               oracle: &mut dyn AclOracle|
-     -> Result<Choice, ClarifyError> {
-        let _round_span = clarify_obs::span!("disambiguation_round");
-        let q = pivots[k].1.clone();
-        let c = oracle.choose(&q)?;
-        transcript.push((q, c));
-        Ok(c)
-    };
-
-    let position = match strategy {
-        _ if m == 0 => acl.entries.len(),
-        PlacementStrategy::BinarySearch => {
-            let mut lo = 0usize;
-            let mut hi = m;
-            while lo < hi {
-                let mid = (lo + hi) / 2;
-                match ask(mid, &mut transcript, oracle)? {
-                    Choice::First => hi = mid,
-                    Choice::Second => lo = mid + 1,
-                }
-            }
-            slot_to_position(lo)
-        }
-        PlacementStrategy::LinearScan => {
-            let mut slot = m;
-            for k in 0..m {
-                if ask(k, &mut transcript, oracle)? == Choice::First {
-                    slot = k;
-                    break;
-                }
-            }
-            slot_to_position(slot)
-        }
-        PlacementStrategy::TopBottomOnly => {
-            let above = insert_acl_entry(base, acl_name, entry.clone(), 0)?;
-            let below = insert_acl_entry(base, acl_name, entry.clone(), acl.entries.len())?;
-            let diffs = compare_filters(
-                &mut space,
-                above.acl(acl_name).expect("exists"),
-                below.acl(acl_name).expect("exists"),
-                1,
-            );
-            comparisons += 1;
-            match diffs.into_iter().next() {
-                None => acl.entries.len(),
-                Some(d) => {
-                    let _round_span = clarify_obs::span!("disambiguation_round");
-                    let q = AclQuestion {
-                        packet: d.packet,
-                        option_first: d.a,
-                        option_second: d.b,
-                        pivot_index: 0,
-                    };
-                    let c = oracle.choose(&q)?;
-                    transcript.push((q, c));
-                    match c {
-                        Choice::First => 0,
-                        Choice::Second => acl.entries.len(),
-                    }
-                }
-            }
-        }
-    };
-
-    let config = insert_acl_entry(base, acl_name, entry.clone(), position)?;
-    crate::disambiguator::record_insert_metrics(
-        n,
-        pruned_candidates,
-        transcript.len(),
-        comparisons,
-    );
-    Ok(AclDisambiguationResult {
-        config,
-        position,
-        questions: transcript.len(),
+    Ok(AclInsertionPlan {
+        base: base.clone(),
+        acl_name: acl_name.to_string(),
+        entry: entry.clone(),
+        base_len: acl.entries.len(),
+        strategy,
+        pivots,
+        top_bottom,
         overlap_candidates: n,
         pruned_candidates,
         comparisons,
-        transcript,
     })
+}
+
+/// A fully-precomputed ACL insertion search — the packet-space counterpart
+/// of [`crate::InsertionPlan`]. Produced by [`plan_acl_in_space`]; replay
+/// via [`step`](Self::step)/[`finish`](Self::finish) is pure in-memory
+/// work, and [`drive`](Self::drive) runs the classic synchronous loop.
+#[derive(Clone, Debug)]
+pub struct AclInsertionPlan {
+    base: Config,
+    acl_name: String,
+    entry: AclEntry,
+    /// Entry count of the base ACL: the append slot.
+    base_len: usize,
+    strategy: PlacementStrategy,
+    /// Decisive pivots in original entry order, with their questions.
+    pivots: Vec<(usize, AclQuestion)>,
+    /// TopBottomOnly's single question, when that strategy is active and
+    /// the extremes differ.
+    top_bottom: Option<AclQuestion>,
+    overlap_candidates: usize,
+    pruned_candidates: usize,
+    comparisons: usize,
+}
+
+/// What an [`AclInsertionPlan`] needs next, given an answer prefix.
+#[derive(Clone, Debug)]
+pub enum AclPlanStep<'a> {
+    /// The search needs one more answer, to this question.
+    Ask {
+        /// 1-based ordinal of the question within the session.
+        number: usize,
+        /// The differential question to put to the user.
+        question: &'a AclQuestion,
+    },
+    /// The answers fully determine the insertion point.
+    Done {
+        /// Zero-based position of the new entry.
+        position: usize,
+    },
+}
+
+enum AclReplay<'a> {
+    Need(&'a AclQuestion, usize),
+    Done {
+        position: usize,
+        transcript: Vec<(AclQuestion, Choice)>,
+    },
+}
+
+impl AclInsertionPlan {
+    fn slot_to_position(&self, slot: usize) -> usize {
+        let m = self.pivots.len();
+        if m == 0 {
+            self.base_len
+        } else if slot < m {
+            self.pivots[slot].0
+        } else {
+            self.pivots[m - 1].0 + 1
+        }
+    }
+
+    /// Pure, deterministic replay of the placement search against an
+    /// answer prefix (same structure as `InsertionPlan::replay`).
+    fn replay<'a>(&'a self, answers: &[Choice]) -> AclReplay<'a> {
+        fn take<'a>(
+            answers: &[Choice],
+            used: &mut usize,
+            asked: &mut Vec<&'a AclQuestion>,
+            q: &'a AclQuestion,
+        ) -> Option<Choice> {
+            let c = answers.get(*used).copied()?;
+            *used += 1;
+            asked.push(q);
+            Some(c)
+        }
+
+        let m = self.pivots.len();
+        let mut asked: Vec<&AclQuestion> = Vec::new();
+        let mut used = 0usize;
+        let position = if m == 0 {
+            self.base_len
+        } else {
+            match self.strategy {
+                PlacementStrategy::BinarySearch => {
+                    let mut lo = 0usize;
+                    let mut hi = m;
+                    loop {
+                        if lo >= hi {
+                            break self.slot_to_position(lo);
+                        }
+                        let mid = (lo + hi) / 2;
+                        let q = &self.pivots[mid].1;
+                        match take(answers, &mut used, &mut asked, q) {
+                            Some(Choice::First) => hi = mid,
+                            Some(Choice::Second) => lo = mid + 1,
+                            None => return AclReplay::Need(q, used),
+                        }
+                    }
+                }
+                PlacementStrategy::LinearScan => {
+                    let mut slot = m;
+                    for (k, (_, q)) in self.pivots.iter().enumerate() {
+                        match take(answers, &mut used, &mut asked, q) {
+                            Some(Choice::First) => {
+                                slot = k;
+                                break;
+                            }
+                            Some(Choice::Second) => {}
+                            None => return AclReplay::Need(q, used),
+                        }
+                    }
+                    self.slot_to_position(slot)
+                }
+                PlacementStrategy::TopBottomOnly => match &self.top_bottom {
+                    None => self.base_len,
+                    Some(q) => match take(answers, &mut used, &mut asked, q) {
+                        Some(Choice::First) => 0,
+                        Some(Choice::Second) => self.base_len,
+                        None => return AclReplay::Need(q, used),
+                    },
+                },
+            }
+        };
+        let transcript = asked
+            .into_iter()
+            .zip(answers.iter().copied())
+            .map(|(q, c)| (q.clone(), c))
+            .collect();
+        AclReplay::Done {
+            position,
+            transcript,
+        }
+    }
+
+    /// Given the answers so far, returns either the next question or the
+    /// determined insertion position.
+    pub fn step(&self, answers: &[Choice]) -> AclPlanStep<'_> {
+        match self.replay(answers) {
+            AclReplay::Need(question, used) => AclPlanStep::Ask {
+                number: used + 1,
+                question,
+            },
+            AclReplay::Done { position, .. } => AclPlanStep::Done { position },
+        }
+    }
+
+    /// Materialises the final configuration from a complete answer
+    /// sequence, recording metrics exactly once.
+    pub fn finish(&self, answers: &[Choice]) -> Result<AclDisambiguationResult, ClarifyError> {
+        match self.replay(answers) {
+            AclReplay::Need(..) => Err(ClarifyError::OracleExhausted),
+            AclReplay::Done {
+                position,
+                transcript,
+            } => {
+                let config =
+                    insert_acl_entry(&self.base, &self.acl_name, self.entry.clone(), position)?;
+                crate::disambiguator::record_insert_metrics(
+                    self.overlap_candidates,
+                    self.pruned_candidates,
+                    transcript.len(),
+                    self.comparisons,
+                );
+                Ok(AclDisambiguationResult {
+                    config,
+                    position,
+                    questions: transcript.len(),
+                    overlap_candidates: self.overlap_candidates,
+                    pruned_candidates: self.pruned_candidates,
+                    comparisons: self.comparisons,
+                    transcript,
+                })
+            }
+        }
+    }
+
+    /// Runs the plan to completion against an oracle, byte-identical to
+    /// the pre-plan behaviour.
+    pub fn drive(
+        self,
+        oracle: &mut dyn AclOracle,
+    ) -> Result<AclDisambiguationResult, ClarifyError> {
+        let mut answers: Vec<Choice> = Vec::new();
+        while let AclReplay::Need(q, _) = self.replay(&answers) {
+            let _round_span = clarify_obs::span!("disambiguation_round");
+            let q = q.clone();
+            answers.push(oracle.choose(&q)?);
+        }
+        self.finish(&answers)
+    }
 }
 
 /// Checks the final ACL equals the intended one on every packet.

@@ -131,6 +131,32 @@ impl Disambiguator {
         oracle: &mut dyn UserOracle,
     ) -> Result<DisambiguationResult, ClarifyError> {
         let _insert_span = clarify_obs::span!("disambiguator_insert");
+        let mut space = RouteSpace::new(&[base, snippet])?;
+        self.plan_in_space(&mut space, base, map, snippet, snippet_map)?
+            .drive(oracle)
+    }
+
+    /// Builds an [`InsertionPlan`] in a caller-owned [`RouteSpace`]: the
+    /// expensive symbolic work (overlap set, lint prune, per-pivot
+    /// placement comparisons) runs here, once; the returned plan answers
+    /// every subsequent [`InsertionPlan::step`] with pure in-memory
+    /// replay. Long-lived services keep one warm space per session and
+    /// pass it in — ROBDD canonicity makes the reuse invisible: a fresh
+    /// space built from the same configurations yields byte-identical
+    /// questions (same witnesses, same order).
+    ///
+    /// The space must have been built over an atom environment covering
+    /// both `base` and `snippet` (e.g. `RouteSpace::new(&[base,
+    /// snippet])`, or any config set with an equal
+    /// [`atom_env_hash`](clarify_analysis::atom_env_hash)).
+    pub fn plan_in_space(
+        &self,
+        space: &mut RouteSpace,
+        base: &Config,
+        map: &str,
+        snippet: &Config,
+        snippet_map: &str,
+    ) -> Result<InsertionPlan, ClarifyError> {
         let base_map = base
             .route_map(map)
             .ok_or(clarify_netconfig::ConfigError::NotFound {
@@ -152,7 +178,6 @@ impl Disambiguator {
             .into());
         }
 
-        let mut space = RouteSpace::new(&[base, snippet])?;
         let valid = space.valid();
         let s_star_raw = space.encode_stanza_match(snippet, &src_map.stanzas[0])?;
         let s_star = space.manager().and(s_star_raw, valid);
@@ -168,14 +193,13 @@ impl Disambiguator {
         }
 
         let n = overlaps.len();
-        let mut transcript: Vec<(DisambiguationQuestion, Choice)> = Vec::new();
 
         // Lint-based pre-filter: a pivot where the snippet never reaches
         // the pivot stanza's firing region (`s* ∧ fire_i = ⊥`) cannot be
         // decisive — above/below placements there are provably equivalent
         // — so skip its placement comparison outright.
         let candidates = if self.lint_prune {
-            prune_insertion_candidates(&mut space, base, &base_map, s_star, &overlaps)?.kept
+            prune_insertion_candidates(space, base, &base_map, s_star, &overlaps)?.kept
         } else {
             overlaps.clone()
         };
@@ -210,7 +234,7 @@ impl Disambiguator {
                     .iter()
                     .map(|&pivot| {
                         self.question_at_pivot(
-                            &mut space,
+                            &mut *space,
                             base,
                             map,
                             snippet,
@@ -258,97 +282,39 @@ impl Disambiguator {
         let mut comparisons = candidates.len();
         let m = pivots.len();
 
-        let slot_to_position = |slot: usize| -> usize {
-            if m == 0 {
-                base_map.stanzas.len()
-            } else if slot < m {
-                pivots[slot].0
-            } else {
-                pivots[m - 1].0 + 1
-            }
+        // TopBottomOnly's single question is the differential between the
+        // two extreme placements; precompute it here so the plan's replay
+        // needs no symbolic work. When every boundary is non-decisive
+        // (m == 0) the strategy never compares — same as the other
+        // strategies, everything is equivalent and the plan appends.
+        let top_bottom = if self.strategy == PlacementStrategy::TopBottomOnly && m > 0 {
+            let (top_cfg, _) = insert_route_map_stanza(base, map, snippet, snippet_map, 0)?;
+            let (bot_cfg, _) =
+                insert_route_map_stanza(base, map, snippet, snippet_map, base_map.stanzas.len())?;
+            let diffs = compare_route_policies(space, &top_cfg, map, &bot_cfg, map, 1)?;
+            comparisons += 1;
+            diffs.into_iter().next().map(|d| DisambiguationQuestion {
+                route: d.route,
+                option_first: d.a,
+                option_second: d.b,
+                pivot_seq: base_map.stanzas.first().map(|s| s.seq).unwrap_or(0),
+            })
+        } else {
+            None
         };
 
-        let ask = |k: usize,
-                   transcript: &mut Vec<(DisambiguationQuestion, Choice)>,
-                   oracle: &mut dyn UserOracle|
-         -> Result<Choice, ClarifyError> {
-            let _round_span = clarify_obs::span!("disambiguation_round");
-            let q = pivots[k].1.clone();
-            let c = oracle.choose(&q)?;
-            transcript.push((q, c));
-            Ok(c)
-        };
-
-        let position = match self.strategy {
-            // No decisive boundary anywhere: all positions are equivalent
-            // (or there was no overlap at all); append.
-            _ if m == 0 => base_map.stanzas.len(),
-            PlacementStrategy::BinarySearch => {
-                let mut lo = 0usize;
-                let mut hi = m;
-                while lo < hi {
-                    let mid = (lo + hi) / 2;
-                    match ask(mid, &mut transcript, oracle)? {
-                        Choice::First => hi = mid,
-                        Choice::Second => lo = mid + 1,
-                    }
-                }
-                slot_to_position(lo)
-            }
-            PlacementStrategy::LinearScan => {
-                let mut slot = m;
-                for k in 0..m {
-                    if ask(k, &mut transcript, oracle)? == Choice::First {
-                        slot = k;
-                        break;
-                    }
-                }
-                slot_to_position(slot)
-            }
-            PlacementStrategy::TopBottomOnly => {
-                // Compare the two extreme placements directly.
-                let (top_cfg, _) = insert_route_map_stanza(base, map, snippet, snippet_map, 0)?;
-                let (bot_cfg, _) = insert_route_map_stanza(
-                    base,
-                    map,
-                    snippet,
-                    snippet_map,
-                    base_map.stanzas.len(),
-                )?;
-                let diffs = compare_route_policies(&mut space, &top_cfg, map, &bot_cfg, map, 1)?;
-                comparisons += 1;
-                match diffs.into_iter().next() {
-                    None => base_map.stanzas.len(), // equivalent; bottom by convention
-                    Some(d) => {
-                        let _round_span = clarify_obs::span!("disambiguation_round");
-                        let q = DisambiguationQuestion {
-                            route: d.route,
-                            option_first: d.a,
-                            option_second: d.b,
-                            pivot_seq: base_map.stanzas.first().map(|s| s.seq).unwrap_or(0),
-                        };
-                        let c = oracle.choose(&q)?;
-                        transcript.push((q, c));
-                        match c {
-                            Choice::First => 0,
-                            Choice::Second => base_map.stanzas.len(),
-                        }
-                    }
-                }
-            }
-        };
-
-        let (config, report) = insert_route_map_stanza(base, map, snippet, snippet_map, position)?;
-        record_insert_metrics(n, pruned_candidates, transcript.len(), comparisons);
-        Ok(DisambiguationResult {
-            config,
-            position,
-            report,
-            questions: transcript.len(),
+        Ok(InsertionPlan {
+            base: base.clone(),
+            map: map.to_string(),
+            snippet: snippet.clone(),
+            snippet_map: snippet_map.to_string(),
+            base_len: base_map.stanzas.len(),
+            strategy: self.strategy,
+            pivots,
+            top_bottom,
             overlap_candidates: n,
             pruned_candidates,
             comparisons,
-            transcript,
         })
     }
 
@@ -378,6 +344,221 @@ impl Disambiguator {
             option_second: d.b,
             pivot_seq: base_map.stanzas[pivot].seq,
         }))
+    }
+}
+
+/// A fully-precomputed insertion search: the decisive pivots with their
+/// differential questions, plus everything needed to materialise the final
+/// configuration. Produced by [`Disambiguator::plan_in_space`]; consumed
+/// either by [`drive`](InsertionPlan::drive) against a [`UserOracle`] (the
+/// one-shot path) or turn-by-turn via [`step`](InsertionPlan::step) /
+/// [`finish`](InsertionPlan::finish) (the session-daemon path). Replay is
+/// pure in-memory work — no symbolic recompute per answer — and both paths
+/// walk the identical pivot table, so they produce byte-identical question
+/// sequences.
+#[derive(Clone, Debug)]
+pub struct InsertionPlan {
+    base: Config,
+    map: String,
+    snippet: Config,
+    snippet_map: String,
+    /// Stanza count of the base route-map: the append slot when no
+    /// boundary is decisive.
+    base_len: usize,
+    strategy: PlacementStrategy,
+    /// Decisive pivots in original stanza order, each with its
+    /// precomputed differential question.
+    pivots: Vec<(usize, DisambiguationQuestion)>,
+    /// TopBottomOnly's single question (`None` unless that strategy is
+    /// active, at least one pivot is decisive, and the two extreme
+    /// placements actually differ).
+    top_bottom: Option<DisambiguationQuestion>,
+    overlap_candidates: usize,
+    pruned_candidates: usize,
+    comparisons: usize,
+}
+
+/// What an [`InsertionPlan`] needs next, given an answer prefix.
+#[derive(Clone, Debug)]
+pub enum PlanStep<'a> {
+    /// The search needs one more answer, to this question (`number` is
+    /// 1-based, for display).
+    Ask {
+        /// 1-based ordinal of the question within the session.
+        number: usize,
+        /// The differential question to put to the user.
+        question: &'a DisambiguationQuestion,
+    },
+    /// The answers fully determine the insertion point.
+    Done {
+        /// Zero-based position of the new stanza.
+        position: usize,
+    },
+}
+
+/// Internal replay outcome: either the next unanswered question (with how
+/// many answers were consumed reaching it) or the final position plus the
+/// reconstructed transcript.
+enum Replay<'a> {
+    Need(&'a DisambiguationQuestion, usize),
+    Done {
+        position: usize,
+        transcript: Vec<(DisambiguationQuestion, Choice)>,
+    },
+}
+
+impl InsertionPlan {
+    /// Maps a slot index in the decisive-pivot order to a stanza position.
+    fn slot_to_position(&self, slot: usize) -> usize {
+        let m = self.pivots.len();
+        if m == 0 {
+            self.base_len
+        } else if slot < m {
+            self.pivots[slot].0
+        } else {
+            self.pivots[m - 1].0 + 1
+        }
+    }
+
+    /// Replays the placement search against an answer prefix. Pure and
+    /// deterministic: the same prefix always reaches the same point, so a
+    /// session can re-derive its current question from stored answers
+    /// alone.
+    fn replay<'a>(&'a self, answers: &[Choice]) -> Replay<'a> {
+        fn take<'a>(
+            answers: &[Choice],
+            used: &mut usize,
+            asked: &mut Vec<&'a DisambiguationQuestion>,
+            q: &'a DisambiguationQuestion,
+        ) -> Option<Choice> {
+            let c = answers.get(*used).copied()?;
+            *used += 1;
+            asked.push(q);
+            Some(c)
+        }
+
+        let m = self.pivots.len();
+        let mut asked: Vec<&DisambiguationQuestion> = Vec::new();
+        let mut used = 0usize;
+        // No decisive boundary anywhere: all positions are equivalent (or
+        // there was no overlap at all); append — for every strategy.
+        let position = if m == 0 {
+            self.base_len
+        } else {
+            match self.strategy {
+                PlacementStrategy::BinarySearch => {
+                    let mut lo = 0usize;
+                    let mut hi = m;
+                    loop {
+                        if lo >= hi {
+                            break self.slot_to_position(lo);
+                        }
+                        let mid = (lo + hi) / 2;
+                        let q = &self.pivots[mid].1;
+                        match take(answers, &mut used, &mut asked, q) {
+                            Some(Choice::First) => hi = mid,
+                            Some(Choice::Second) => lo = mid + 1,
+                            None => return Replay::Need(q, used),
+                        }
+                    }
+                }
+                PlacementStrategy::LinearScan => {
+                    let mut slot = m;
+                    for (k, (_, q)) in self.pivots.iter().enumerate() {
+                        match take(answers, &mut used, &mut asked, q) {
+                            Some(Choice::First) => {
+                                slot = k;
+                                break;
+                            }
+                            Some(Choice::Second) => {}
+                            None => return Replay::Need(q, used),
+                        }
+                    }
+                    self.slot_to_position(slot)
+                }
+                PlacementStrategy::TopBottomOnly => match &self.top_bottom {
+                    // Extreme placements equivalent; bottom by convention.
+                    None => self.base_len,
+                    Some(q) => match take(answers, &mut used, &mut asked, q) {
+                        Some(Choice::First) => 0,
+                        Some(Choice::Second) => self.base_len,
+                        None => return Replay::Need(q, used),
+                    },
+                },
+            }
+        };
+        let transcript = asked
+            .into_iter()
+            .zip(answers.iter().copied())
+            .map(|(q, c)| (q.clone(), c))
+            .collect();
+        Replay::Done {
+            position,
+            transcript,
+        }
+    }
+
+    /// Given the answers so far, returns either the next question to ask
+    /// or the determined insertion position. Surplus answers beyond what
+    /// the search consumes are ignored.
+    pub fn step(&self, answers: &[Choice]) -> PlanStep<'_> {
+        match self.replay(answers) {
+            Replay::Need(question, used) => PlanStep::Ask {
+                number: used + 1,
+                question,
+            },
+            Replay::Done { position, .. } => PlanStep::Done { position },
+        }
+    }
+
+    /// Materialises the final configuration from a complete answer
+    /// sequence, recording the insertion metrics exactly once. Returns
+    /// [`ClarifyError::OracleExhausted`] if the answers don't reach a
+    /// determined position (callers should [`step`](Self::step) first).
+    pub fn finish(&self, answers: &[Choice]) -> Result<DisambiguationResult, ClarifyError> {
+        match self.replay(answers) {
+            Replay::Need(..) => Err(ClarifyError::OracleExhausted),
+            Replay::Done {
+                position,
+                transcript,
+            } => {
+                let (config, report) = insert_route_map_stanza(
+                    &self.base,
+                    &self.map,
+                    &self.snippet,
+                    &self.snippet_map,
+                    position,
+                )?;
+                record_insert_metrics(
+                    self.overlap_candidates,
+                    self.pruned_candidates,
+                    transcript.len(),
+                    self.comparisons,
+                );
+                Ok(DisambiguationResult {
+                    config,
+                    position,
+                    report,
+                    questions: transcript.len(),
+                    overlap_candidates: self.overlap_candidates,
+                    pruned_candidates: self.pruned_candidates,
+                    comparisons: self.comparisons,
+                    transcript,
+                })
+            }
+        }
+    }
+
+    /// Runs the plan to completion against an oracle: the classic
+    /// synchronous loop, byte-identical to the pre-plan behaviour.
+    pub fn drive(self, oracle: &mut dyn UserOracle) -> Result<DisambiguationResult, ClarifyError> {
+        let mut answers: Vec<Choice> = Vec::new();
+        while let Replay::Need(q, _) = self.replay(&answers) {
+            let _round_span = clarify_obs::span!("disambiguation_round");
+            let q = q.clone();
+            answers.push(oracle.choose(&q)?);
+        }
+        self.finish(&answers)
     }
 }
 

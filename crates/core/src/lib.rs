@@ -41,12 +41,12 @@ mod prefix_disambiguator;
 mod session;
 
 pub use acl_disambiguator::{
-    insert_acl_with_oracle, verify_acl_against_intent, AclDisambiguationResult, AclIntentOracle,
-    AclOracle, AclQuestion, FnAclOracle,
+    insert_acl_with_oracle, plan_acl_in_space, verify_acl_against_intent, AclDisambiguationResult,
+    AclInsertionPlan, AclIntentOracle, AclOracle, AclPlanStep, AclQuestion, FnAclOracle,
 };
 pub use disambiguator::{
     verify_against_intent, DisambiguationQuestion, DisambiguationResult, Disambiguator,
-    PlacementStrategy,
+    InsertionPlan, PlacementStrategy, PlanStep,
 };
 pub use error::ClarifyError;
 pub use network_session::{Invariant, NetworkSession, NetworkUpdateOutcome};

@@ -196,11 +196,18 @@ impl<B: LlmBackend> NetworkSession<B> {
                 result,
                 llm_calls,
             } => {
-                // What-if: apply on a clone and reconverge.
+                // What-if: apply on a clone and reconverge. Single
+                // fallible lookup — no second `expect` on a name that was
+                // only checked against a different accessor above.
                 let mut candidate = self.network.clone();
-                *candidate
-                    .router_config_mut(router)
-                    .expect("router existed above") = config;
+                match candidate.router_config_mut(router) {
+                    Some(slot) => *slot = config,
+                    None => {
+                        return Err(ClarifyError::Simulation(format!(
+                            "router '{router}' disappeared while preparing the update"
+                        )))
+                    }
+                }
                 let candidate = candidate
                     .converge()
                     .map_err(|e| ClarifyError::Simulation(e.to_string()))?;

@@ -318,16 +318,19 @@ fn parse_route_spec(text: &str) -> Result<StanzaSpec, LlmError> {
 }
 
 /// Parses IOS text containing exactly one ACL with exactly one entry.
+/// Returns `None` otherwise — including the zero-ACL case, which feeds
+/// the normal retry/punt path instead of panicking on backend output.
 fn parse_single_acl_entry(text: &str) -> Option<AclEntry> {
     let cfg = Config::parse(text).ok()?;
-    if cfg.acls.len() != 1 {
+    let mut acls = cfg.acls.values();
+    let acl = acls.next()?;
+    if acls.next().is_some() {
         return None;
     }
-    let acl = cfg.acls.values().next().expect("one ACL");
-    if acl.entries.len() != 1 {
-        return None;
+    match acl.entries.as_slice() {
+        [entry] => Some(entry.clone()),
+        _ => None,
     }
-    Some(acl.entries[0].clone())
 }
 
 /// Whether two ACL entries are semantically identical (same action and

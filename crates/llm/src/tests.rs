@@ -356,6 +356,59 @@ fn faulty_backend_passes_through_at_zero_rate() {
 }
 
 #[test]
+fn zero_acl_synthesis_punts_instead_of_panicking() {
+    // Regression for the former `.expect("one ACL")` in
+    // `parse_single_acl_entry`: a backend whose "synthesis" contains no
+    // ACL at all (here: a route-map) must flow through the normal
+    // feedback/retry loop and punt, never panic.
+    struct ZeroAclBackend;
+    impl LlmBackend for ZeroAclBackend {
+        fn complete(&mut self, request: &LlmRequest) -> crate::LlmResponse {
+            let text = match request.task {
+                TaskKind::Classify => "acl".to_string(),
+                TaskKind::ExtractSpec => {
+                    "ip access-list extended SPEC\n permit tcp host 1.1.1.1 host 2.2.2.2 eq 443\n"
+                        .to_string()
+                }
+                // The bug path: synthesized "config" with zero ACLs.
+                TaskKind::SynthesizeAcl | TaskKind::SynthesizeRouteMap => {
+                    "route-map NOT_AN_ACL permit 10\n set metric 5\n".to_string()
+                }
+            };
+            crate::LlmResponse { text }
+        }
+    }
+
+    let mut p = Pipeline::new(ZeroAclBackend, 3);
+    match p.synthesize("irrelevant").unwrap() {
+        PipelineOutcome::Punt { llm_calls, reason } => {
+            assert_eq!(llm_calls, 2 + 3, "classify + spec + 3 failed attempts");
+            assert!(
+                reason.contains("not a single valid ACL entry"),
+                "feedback names the failure: {reason}"
+            );
+        }
+        other => panic!("expected punt, got {other:?}"),
+    }
+
+    // Zero-ACL *spec* text is caller error, surfaced as MalformedSpec —
+    // also without panicking.
+    struct ZeroAclSpecBackend;
+    impl LlmBackend for ZeroAclSpecBackend {
+        fn complete(&mut self, request: &LlmRequest) -> crate::LlmResponse {
+            let text = match request.task {
+                TaskKind::Classify => "acl".to_string(),
+                _ => "route-map NOT_AN_ACL permit 10\n set metric 5\n".to_string(),
+            };
+            crate::LlmResponse { text }
+        }
+    }
+    let mut p = Pipeline::new(ZeroAclSpecBackend, 3);
+    let err = p.synthesize("irrelevant").unwrap_err();
+    assert!(matches!(err, crate::LlmError::MalformedSpec(_)));
+}
+
+#[test]
 fn pipeline_rejects_gibberish_with_intent_error() {
     let mut p = Pipeline::new(SemanticBackend::new(), 2);
     let err = p.synthesize("make my routes nice").unwrap_err();

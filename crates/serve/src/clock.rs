@@ -1,0 +1,66 @@
+//! Injectable time source for the session daemon.
+//!
+//! All daemon timekeeping (idle eviction, turn timestamps) goes through
+//! the [`Clock`] trait so tests can drive eviction deterministically with
+//! a [`ManualClock`] instead of sleeping.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+/// A monotonic millisecond clock.
+pub trait Clock: Send + Sync {
+    /// Milliseconds since an arbitrary (but fixed) epoch.
+    fn now_ms(&self) -> u64;
+}
+
+/// The production clock: milliseconds since the clock was created,
+/// backed by [`Instant`] (monotonic, immune to wall-clock steps).
+pub struct SystemClock {
+    start: Instant,
+}
+
+impl SystemClock {
+    /// A clock starting at zero now.
+    pub fn new() -> SystemClock {
+        SystemClock {
+            start: Instant::now(),
+        }
+    }
+}
+
+impl Default for SystemClock {
+    fn default() -> SystemClock {
+        SystemClock::new()
+    }
+}
+
+impl Clock for SystemClock {
+    fn now_ms(&self) -> u64 {
+        self.start.elapsed().as_millis() as u64
+    }
+}
+
+/// A hand-cranked clock for tests: time only moves when the test says so.
+pub struct ManualClock {
+    now: AtomicU64,
+}
+
+impl ManualClock {
+    /// A manual clock starting at `start_ms`.
+    pub fn new(start_ms: u64) -> ManualClock {
+        ManualClock {
+            now: AtomicU64::new(start_ms),
+        }
+    }
+
+    /// Advances time by `ms`.
+    pub fn advance(&self, ms: u64) {
+        self.now.fetch_add(ms, Ordering::SeqCst);
+    }
+}
+
+impl Clock for ManualClock {
+    fn now_ms(&self) -> u64 {
+        self.now.load(Ordering::SeqCst)
+    }
+}

@@ -1,0 +1,36 @@
+//! `clarify-serve` — clarify-as-a-service: a session daemon for the
+//! interactive disambiguation loop.
+//!
+//! The one-shot CLI pays the full cost of parsing, symbolic space
+//! construction, and pipeline setup on every invocation. This crate keeps
+//! that state *warm* across a conversation: a daemon holds a table of
+//! live sessions, each owning a configuration (or a whole simulated
+//! network), a route/packet BDD space reused across turns, and an
+//! incremental linter. The protocol is deliberately primitive — newline-
+//! delimited JSON over a plain [`std::net::TcpListener`], no HTTP, no
+//! external crates — so the workspace stays hermetic and a session can be
+//! driven from `nc`.
+//!
+//! The turn structure mirrors the paper's interaction loop: `ask` runs
+//! classify → synthesize → verify once and precomputes the full
+//! disambiguation plan; each `answer` replays the plan in memory and
+//! returns either the next question or the final placement. See
+//! [`proto`] for the wire format and [`server`] for the concurrency and
+//! eviction model.
+
+#![warn(missing_docs)]
+
+pub mod clock;
+pub mod proto;
+pub mod server;
+pub mod session;
+mod wheel;
+
+pub use clock::{Clock, ManualClock, SystemClock};
+pub use proto::{parse_request, Frame, ProtoError, Request};
+pub use server::{Server, ServerConfig, Shared};
+pub use session::{ConfigSession, NetSession, SessionKind};
+pub use wheel::DeadlineWheel;
+
+#[cfg(test)]
+mod tests;

@@ -1,0 +1,72 @@
+//! Lazy deadline wheel for idle-session eviction.
+//!
+//! Every turn on a session schedules a fresh deadline; stale entries from
+//! earlier turns are *not* removed eagerly. Instead, when an entry pops
+//! due, the wheel consults the session's actual `last_activity`: a session
+//! that was touched since the entry was scheduled gets one new entry at
+//! its true expiry and survives; only sessions genuinely idle past the
+//! timeout are reported for eviction. This keeps scheduling O(log n) with
+//! no cancellation bookkeeping — the classic lazy-deletion timer heap.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// A min-heap of `(deadline_ms, session_id)` pairs with lazy deletion.
+#[derive(Default)]
+pub struct DeadlineWheel {
+    heap: BinaryHeap<Reverse<(u64, u64)>>,
+}
+
+impl DeadlineWheel {
+    /// An empty wheel.
+    pub fn new() -> DeadlineWheel {
+        DeadlineWheel::default()
+    }
+
+    /// Schedules `session` for an expiry check at `deadline_ms`.
+    pub fn schedule(&mut self, deadline_ms: u64, session: u64) {
+        self.heap.push(Reverse((deadline_ms, session)));
+    }
+
+    /// Entries currently queued (including stale duplicates).
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Whether no entries are queued.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Pops every entry due at `now` and returns the sessions that are
+    /// genuinely idle: `last_activity(id)` yields a session's last-touch
+    /// time (`None` when it no longer exists — the entry is simply
+    /// dropped). A session touched after the entry was scheduled is
+    /// re-queued at `last_activity + idle_ms` instead of being evicted.
+    pub fn expired(
+        &mut self,
+        now: u64,
+        idle_ms: u64,
+        mut last_activity: impl FnMut(u64) -> Option<u64>,
+    ) -> Vec<u64> {
+        let mut evict = Vec::new();
+        while let Some(&Reverse((deadline, session))) = self.heap.peek() {
+            if deadline > now {
+                break;
+            }
+            self.heap.pop();
+            let Some(touched) = last_activity(session) else {
+                continue; // session already closed or evicted
+            };
+            let true_deadline = touched.saturating_add(idle_ms);
+            if true_deadline > now {
+                // Stale entry: the session was active since. One fresh
+                // entry at its true expiry replaces every stale one.
+                self.heap.push(Reverse((true_deadline, session)));
+            } else if !evict.contains(&session) {
+                evict.push(session);
+            }
+        }
+        evict
+    }
+}

@@ -1,0 +1,146 @@
+//! Byte-level protocol fuzz (ISSUE satellite): malformed input must never
+//! kill the daemon.
+//!
+//! One daemon serves the whole run. Each case opens a connection and
+//! throws garbage at it — raw bytes, truncated JSON, wrong-shaped ops,
+//! stale session ids, oversized lines, mid-write disconnects — then a
+//! health probe on a *fresh* connection asserts the daemon still answers
+//! and can run a complete open → lint → close conversation. The probe is
+//! the property; whatever the garbage provoked (error frames, closed
+//! connections) is allowed, a dead or wedged daemon is not.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::time::Duration;
+
+use clarify_obs::json;
+use clarify_serve::{Server, ServerConfig};
+use clarify_testkit::{Rng, Runner, Source};
+
+const SMALL_CFG: &str = "route-map DEMO permit 10\n match ip address prefix-list P1\n set metric 5\n!\nip prefix-list P1 seq 5 permit 10.0.0.0/8\n";
+
+fn garbage_line(g: &mut Source) -> Vec<u8> {
+    match g.gen_range(0..8u32) {
+        // Raw bytes, including NUL and high bits (may embed newlines —
+        // the framing layer must cope with whatever splits result).
+        0 => {
+            let n = g.gen_range(0..200usize);
+            (0..n).map(|_| g.gen_range(0..=255u32) as u8).collect()
+        }
+        // Printable noise.
+        1 => g.ascii(120, &['"', '{', '}', '\\']).into_bytes(),
+        // Truncated JSON.
+        2 => {
+            let full = format!(
+                "{{\"op\":\"ask\",\"session\":{},\"target\":\"X\"",
+                g.gen_range(0..5u32)
+            );
+            let cut = g.gen_range(0..=full.len());
+            full.as_bytes()[..cut].to_vec()
+        }
+        // Well-formed JSON, wrong shape.
+        3 => g
+            .pick(&[
+                "{}",
+                "[]",
+                "42",
+                "{\"op\":17}",
+                "{\"op\":\"ask\"}",
+                "{\"op\":\"answer\",\"session\":1}",
+                "{\"op\":\"answer\",\"session\":1,\"choice\":0}",
+                "{\"op\":\"open\",\"config\":42}",
+                "{\"op\":\"open\",\"topology\":\"garbage topology\"}",
+            ])
+            .as_bytes()
+            .to_vec(),
+        // Valid op against a session that (almost certainly) is not open.
+        4 => format!(
+            "{{\"op\":\"{}\",\"session\":{}}}",
+            g.pick(&["lint", "close"]),
+            g.gen_range(0..1000u64)
+        )
+        .into_bytes(),
+        // A config that does not parse.
+        5 => "{\"op\":\"open\",\"config\":\"route-map BROKEN\"}"
+            .as_bytes()
+            .to_vec(),
+        // Oversized line (the daemon's cap here is 16 KiB).
+        6 => vec![b'a'; 32 * 1024],
+        // Empty / whitespace.
+        _ => g.pick(&["", " ", "\t", "\r"]).as_bytes().to_vec(),
+    }
+}
+
+fn health_probe(addr: std::net::SocketAddr) {
+    let mut stream = TcpStream::connect(addr).expect("daemon still accepts");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(30)))
+        .expect("timeout");
+    let mut reader = BufReader::new(stream.try_clone().expect("clone"));
+    let mut turn = |line: String| -> String {
+        stream.write_all(line.as_bytes()).expect("write");
+        stream.write_all(b"\n").expect("write");
+        let mut resp = String::new();
+        reader.read_line(&mut resp).expect("daemon still answers");
+        assert!(!resp.is_empty(), "daemon closed the healthy connection");
+        resp
+    };
+    assert!(turn("{\"op\":\"ping\"}".into()).contains("pong"));
+    let resp = turn(format!(
+        "{{\"op\":\"open\",\"config\":{}}}",
+        json::escape(SMALL_CFG)
+    ));
+    assert!(
+        resp.contains("\"session\""),
+        "open failed after fuzz: {resp}"
+    );
+    let id: u64 = resp
+        .split("\"session\":")
+        .nth(1)
+        .and_then(|s| s.trim_end_matches(['}', '\n']).parse().ok())
+        .expect("session id");
+    assert!(turn(format!("{{\"op\":\"lint\",\"session\":{id}}}")).contains("\"ok\":true"));
+    assert!(turn(format!("{{\"op\":\"close\",\"session\":{id}}}")).contains("closed"));
+}
+
+#[test]
+fn daemon_survives_arbitrary_byte_storms() {
+    let server = Server::bind(ServerConfig {
+        max_frame_bytes: 16 * 1024,
+        max_sessions: 64,
+        ..ServerConfig::default()
+    })
+    .expect("bind");
+    let addr = server.local_addr().expect("addr");
+    let handle = std::thread::spawn(move || server.run().expect("run"));
+
+    Runner::new("serve::byte_storm").cases(30).run(|g| {
+        let mut stream = TcpStream::connect(addr).expect("connect");
+        let lines = g.vec(1, 12, garbage_line);
+        let drop_mid_write = g.gen_range(0..4u32) == 0;
+        for (i, line) in lines.iter().enumerate() {
+            if stream.write_all(line).is_err() {
+                break; // daemon closed on us (oversized etc.) — allowed
+            }
+            if drop_mid_write && i == lines.len() / 2 {
+                break; // vanish without a newline, mid-frame
+            }
+            if stream.write_all(b"\n").is_err() {
+                break;
+            }
+        }
+        drop(stream); // possibly with responses unread: exercises write errors
+        health_probe(addr);
+    });
+
+    // Clean shutdown still works after the storm.
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(30)))
+        .expect("timeout");
+    stream.write_all(b"{\"op\":\"shutdown\"}\n").expect("write");
+    let mut resp = String::new();
+    BufReader::new(stream).read_line(&mut resp).expect("read");
+    assert!(resp.contains("shutting-down"), "{resp}");
+    handle.join().expect("accept loops exit");
+}

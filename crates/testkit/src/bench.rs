@@ -182,6 +182,40 @@ fn run_bench<F: FnMut(&mut Bencher)>(name: &str, samples: usize, mut f: F) {
     }
 }
 
+/// Emits one benchmark record outside the calibrate-then-sample loop —
+/// for harnesses that measure their own distribution (latency
+/// percentiles, throughput under concurrent load) but want the standard
+/// reporting: the human `bench ...` line plus a `CLARIFY_BENCH_JSON`
+/// record in the exact shape the sampling runner's records use, so the
+/// `BENCH_*.json` trajectory tooling ingests both alike.
+///
+/// `median_ns` is whatever statistic the harness chose to headline (a
+/// percentile, a mean); `min_ns`/`max_ns` bound the observed
+/// distribution; `samples` is the number of observations behind it and
+/// `iters` how many operations each observation covered.
+pub fn emit_record(
+    name: &str,
+    median_ns: f64,
+    min_ns: f64,
+    max_ns: f64,
+    samples: usize,
+    iters: u64,
+) {
+    println!(
+        "bench {name:<48} {:>12}/iter  (min {}, max {}, {} samples x {} iters)",
+        fmt_ns(median_ns),
+        fmt_ns(min_ns),
+        fmt_ns(max_ns),
+        samples,
+        iters,
+    );
+    if let Ok(path) = std::env::var("CLARIFY_BENCH_JSON") {
+        if !path.is_empty() {
+            append_json(&path, name, median_ns, min_ns, max_ns, samples, iters);
+        }
+    }
+}
+
 /// Appends one JSON object (own line) describing a finished benchmark to
 /// `path`. Failures are reported but never fail the bench run.
 fn append_json(

@@ -79,4 +79,5 @@ pub use clarify_netsim as netsim;
 pub use clarify_nettypes as nettypes;
 pub use clarify_obs as obs;
 pub use clarify_par as par;
+pub use clarify_serve as serve;
 pub use clarify_workload as workload;

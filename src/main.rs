@@ -115,6 +115,7 @@ fn run(args: &[String]) -> ExitCode {
         Some("compare") => compare(&args[1..]),
         Some("chain") => chain(&args[1..]),
         Some("lint") => return lint(&args[1..]),
+        Some("serve") => serve(&args[1..]),
         Some("--help") | Some("-h") | None => {
             eprint!("{}", USAGE);
             return ExitCode::SUCCESS;
@@ -140,6 +141,7 @@ usage:
   clarify lint [--format human|json|sarif] [--no-suppress]
                [--incremental PREV] [--save-cache PATH] <config-file>...
   clarify lint --topology <topology-file> [--format F] [--no-suppress]
+  clarify serve [--addr HOST:PORT] [--max-sessions N] [--idle-timeout SECS]
 
 options:
   --threads <N>       worker threads for the symbolic analyses (default:
@@ -164,7 +166,49 @@ lint options:
                       lint with a warning; a corrupt one is an error.
   --save-cache <PATH> write this run's lint cache to PATH for a later
                       --incremental
+
+serve options:
+  --addr <HOST:PORT>  bind address (default 127.0.0.1:4545; port 0 picks
+                      an ephemeral port, printed on startup)
+  --max-sessions <N>  live-session cap; opens beyond it get a 'busy'
+                      error frame (default 1024)
+  --idle-timeout <S>  evict sessions idle longer than S seconds
+                      (default 300)
 ";
+
+fn serve(args: &[String]) -> Result<(), String> {
+    let mut cfg = clarify::serve::ServerConfig {
+        addr: "127.0.0.1:4545".to_string(),
+        ..clarify::serve::ServerConfig::default()
+    };
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let mut value = |what: &str| {
+            it.next()
+                .cloned()
+                .ok_or_else(|| format!("{arg} takes {what}\n\n{USAGE}"))
+        };
+        match arg.as_str() {
+            "--addr" => cfg.addr = value("an address")?,
+            "--max-sessions" => {
+                cfg.max_sessions = value("a count")?
+                    .parse()
+                    .map_err(|_| format!("--max-sessions takes a positive integer\n\n{USAGE}"))?;
+            }
+            "--idle-timeout" => {
+                let secs: u64 = value("seconds")?
+                    .parse()
+                    .map_err(|_| format!("--idle-timeout takes seconds\n\n{USAGE}"))?;
+                cfg.idle_timeout_ms = secs.saturating_mul(1000);
+            }
+            other => return Err(format!("unknown serve option '{other}'\n\n{USAGE}")),
+        }
+    }
+    let server = clarify::serve::Server::bind(cfg).map_err(|e| format!("cannot bind: {e}"))?;
+    let addr = server.local_addr().map_err(|e| e.to_string())?;
+    println!("listening on {addr}");
+    server.run().map_err(|e| e.to_string())
+}
 
 fn load(path: &str) -> Result<Config, String> {
     let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
