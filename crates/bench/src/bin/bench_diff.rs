@@ -1,7 +1,13 @@
 //! Warn-only bench comparator: diffs fresh `CLARIFY_BENCH_JSON` records
 //! against a committed trajectory baseline (e.g. `BENCH_bdd.json`).
 //!
-//! Usage: `bench_diff <baseline.json> <fresh.json> [name-prefix]`
+//! Usage:
+//!   `bench_diff <baseline.json> <fresh.json> [name-prefix]`
+//!   `bench_diff --all <fresh.json> <baseline.json>...`
+//!
+//! In `--all` mode every baseline is compared in turn, each under the
+//! name prefix derived from its top-level `"bench"` field, and a summary
+//! table follows the per-record lines.
 //!
 //! Both inputs are scanned for `"name"` / `"median_ns"` pairs with a
 //! tolerant hand-rolled tokenizer, so the pretty-printed trajectory file
@@ -115,47 +121,60 @@ fn human(ns: f64) -> String {
     }
 }
 
-fn main() -> ExitCode {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    let (baseline_path, fresh_path) = match (args.first(), args.get(1)) {
-        (Some(b), Some(f)) => (b.clone(), f.clone()),
-        _ => {
-            eprintln!("usage: bench_diff <baseline.json> <fresh.json> [name-prefix]");
-            // Still warn-only: a misinvocation should not fail the job.
-            return ExitCode::SUCCESS;
+/// Extracts a baseline's top-level `"bench"` field, which names the
+/// bench target whose records it holds (record names start `<bench>/`).
+fn bench_field(text: &str) -> Option<String> {
+    let idx = text.find("\"bench\"")?;
+    read_string_value(text.as_bytes(), idx + "\"bench\"".len()).map(|(v, _)| v)
+}
+
+fn read(path: &str) -> Option<String> {
+    match std::fs::read_to_string(path) {
+        Ok(s) => Some(s),
+        Err(e) => {
+            println!("bench_diff: cannot read {path}: {e} (skipping, warn-only)");
+            None
         }
-    };
-    let prefix = args.get(2).cloned().unwrap_or_else(|| "bdd_kernel/".into());
+    }
+}
 
-    let read = |path: &str| -> Option<String> {
-        match std::fs::read_to_string(path) {
-            Ok(s) => Some(s),
-            Err(e) => {
-                println!("bench_diff: cannot read {path}: {e} (skipping, warn-only)");
-                None
-            }
-        }
-    };
-    let (Some(baseline_text), Some(fresh_text)) = (read(&baseline_path), read(&fresh_path)) else {
-        return ExitCode::SUCCESS;
-    };
+/// Per-baseline comparison tallies for the `--all` summary table.
+#[derive(Default)]
+struct Tally {
+    compared: usize,
+    ok: usize,
+    improved: usize,
+    regressed: usize,
+    missing: usize,
+}
 
-    let baseline = scan_records(&baseline_text);
-    let fresh = scan_records(&fresh_text);
-
-    let mut compared = 0;
-    for (name, &base_ns) in baseline.iter().filter(|(n, _)| n.starts_with(&prefix)) {
+/// Compares every `prefix`-named baseline record against `fresh`,
+/// printing one line per record and a `::warning::` annotation per
+/// regression. Returns the tallies.
+fn compare(
+    baseline: &BTreeMap<String, f64>,
+    baseline_path: &str,
+    fresh: &BTreeMap<String, f64>,
+    fresh_path: &str,
+    prefix: &str,
+) -> Tally {
+    let mut tally = Tally::default();
+    for (name, &base_ns) in baseline.iter().filter(|(n, _)| n.starts_with(prefix)) {
         let Some(&fresh_ns) = fresh.get(name) else {
             println!("::warning::bench_diff: {name} present in {baseline_path} but missing from {fresh_path}");
+            tally.missing += 1;
             continue;
         };
-        compared += 1;
+        tally.compared += 1;
         let ratio = fresh_ns / base_ns;
         let verdict = if ratio > WARN_RATIO {
+            tally.regressed += 1;
             "REGRESSED"
         } else if ratio < 1.0 / WARN_RATIO {
+            tally.improved += 1;
             "improved"
         } else {
+            tally.ok += 1;
             "ok"
         };
         println!(
@@ -166,14 +185,81 @@ fn main() -> ExitCode {
         if ratio > WARN_RATIO {
             println!(
                 "::warning::bench_diff: {name} median {} vs committed {} ({ratio:.2}x, threshold {WARN_RATIO}x) — \
-                 noise or a real regression; re-run locally with `cargo bench -p clarify-bench --bench bdd_kernel`",
+                 noise or a real regression; re-run locally with `cargo bench -p clarify-bench`",
                 human(fresh_ns),
                 human(base_ns),
             );
         }
     }
-    if compared == 0 {
+    if tally.compared == 0 && tally.missing == 0 {
         println!("::warning::bench_diff: no overlapping '{prefix}*' records between {baseline_path} and {fresh_path}");
     }
+    tally
+}
+
+/// `--all` mode: one fresh record set against every committed baseline,
+/// with a summary table. Exit status stays 0 — shared runners are too
+/// noisy to gate on.
+fn run_all(fresh_path: &str, baseline_paths: &[String]) -> ExitCode {
+    let Some(fresh_text) = read(fresh_path) else {
+        return ExitCode::SUCCESS;
+    };
+    let fresh = scan_records(&fresh_text);
+    let mut rows = Vec::new();
+    for path in baseline_paths {
+        let Some(text) = read(path) else {
+            continue;
+        };
+        let Some(bench) = bench_field(&text) else {
+            println!("::warning::bench_diff: {path} has no top-level \"bench\" field; skipping");
+            continue;
+        };
+        let baseline = scan_records(&text);
+        let prefix = format!("{bench}/");
+        let tally = compare(&baseline, path, &fresh, fresh_path, &prefix);
+        rows.push((path.clone(), tally));
+    }
+    println!(
+        "\nbench_diff summary ({fresh_path} vs {} baselines):",
+        rows.len()
+    );
+    println!(
+        "{:<22} {:>8} {:>6} {:>9} {:>10} {:>8}",
+        "baseline", "records", "ok", "improved", "regressed", "missing"
+    );
+    for (path, t) in &rows {
+        println!(
+            "{:<22} {:>8} {:>6} {:>9} {:>10} {:>8}",
+            path, t.compared, t.ok, t.improved, t.regressed, t.missing
+        );
+    }
+    ExitCode::SUCCESS
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.first().map(String::as_str) == Some("--all") {
+        let Some(fresh_path) = args.get(1) else {
+            eprintln!("usage: bench_diff --all <fresh.json> <baseline.json>...");
+            return ExitCode::SUCCESS;
+        };
+        return run_all(fresh_path, &args[2..]);
+    }
+    let (baseline_path, fresh_path) = match (args.first(), args.get(1)) {
+        (Some(b), Some(f)) => (b.clone(), f.clone()),
+        _ => {
+            eprintln!("usage: bench_diff <baseline.json> <fresh.json> [name-prefix]");
+            eprintln!("       bench_diff --all <fresh.json> <baseline.json>...");
+            // Still warn-only: a misinvocation should not fail the job.
+            return ExitCode::SUCCESS;
+        }
+    };
+    let prefix = args.get(2).cloned().unwrap_or_else(|| "bdd_kernel/".into());
+    let (Some(baseline_text), Some(fresh_text)) = (read(&baseline_path), read(&fresh_path)) else {
+        return ExitCode::SUCCESS;
+    };
+    let baseline = scan_records(&baseline_text);
+    let fresh = scan_records(&fresh_text);
+    compare(&baseline, &baseline_path, &fresh, &fresh_path, &prefix);
     ExitCode::SUCCESS
 }

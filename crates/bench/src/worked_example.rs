@@ -5,7 +5,7 @@ use std::fmt::Write;
 
 use clarify_analysis::{compare_route_policies, RouteSpace};
 use clarify_core::{Disambiguator, IntentOracle, PlacementStrategy};
-use clarify_llm::{LlmBackend, Pipeline, PipelineOutcome, SemanticBackend};
+use clarify_llm::{Backend, Pipeline, PipelineOutcome, SemanticBackend};
 use clarify_netconfig::{insert_route_map_stanza, Config};
 
 /// The ISP_OUT policy of §2 (paper Figure 1).

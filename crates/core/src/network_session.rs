@@ -10,7 +10,7 @@
 //! before the update is committed — a violated invariant rolls the whole
 //! update back and reports exactly which policies would have broken.
 
-use clarify_llm::LlmBackend;
+use clarify_llm::Backend;
 use clarify_netsim::Network;
 use clarify_nettypes::Prefix;
 
@@ -133,7 +133,7 @@ pub struct NetworkSession<B> {
     invariants: Vec<Invariant>,
 }
 
-impl<B: LlmBackend> NetworkSession<B> {
+impl<B: Backend> NetworkSession<B> {
     /// Creates a session over a network (converges it first) and a set of
     /// invariants, which must hold initially.
     pub fn new(

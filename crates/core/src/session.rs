@@ -1,7 +1,7 @@
 //! The end-to-end Clarify session: English intents in, verified and
 //! correctly placed configuration out, with the paper's Figure 4 counters.
 
-use clarify_llm::{LlmBackend, Pipeline, PipelineOutcome};
+use clarify_llm::{Backend, Pipeline, PipelineOutcome};
 use clarify_netconfig::{Acl, Config, RouteMap};
 
 use crate::acl_disambiguator::{insert_acl_with_oracle, AclDisambiguationResult, AclOracle};
@@ -64,7 +64,7 @@ fn record_session_metric(field: &str, delta: usize) {
         .add(delta as u64);
 }
 
-impl<B: LlmBackend> ClarifySession<B> {
+impl<B: Backend> ClarifySession<B> {
     /// Creates a session over the given backend. `max_attempts` bounds the
     /// synthesis retry loop.
     pub fn new(backend: B, max_attempts: usize, disambiguator: Disambiguator) -> Self {
@@ -179,7 +179,7 @@ pub enum AddAclOutcome {
     },
 }
 
-impl<B: LlmBackend> ClarifySession<B> {
+impl<B: Backend> ClarifySession<B> {
     /// Adds one ACL entry described by `prompt` to `acl_name` in `base`,
     /// creating the ACL when it does not exist yet.
     pub fn add_acl_entry(

@@ -1,11 +1,13 @@
-//! LLM backends: the trait, the deterministic semantic backend, and the
-//! fault-injecting wrapper.
+//! LLM backends: the [`Backend`] trait (the envelope contract), the
+//! deterministic semantic backend, and the fault-injecting wrapper.
 
 use clarify_rng::{Rng, StdRng};
 
 use clarify_analysis::StanzaSpec;
 use clarify_netconfig::RouteMapSet;
 
+use crate::envelope::IntentEnvelope;
+use crate::error::BackendError;
 use crate::intent::{is_acl_prompt, AclIntent, RouteMapIntent};
 
 /// Which of the pipeline's prompts a request carries.
@@ -19,6 +21,29 @@ pub enum TaskKind {
     SynthesizeAcl,
     /// Extract the machine-readable spec from the user prompt.
     ExtractSpec,
+}
+
+impl TaskKind {
+    /// The stable keyword used in envelopes and transcripts.
+    pub fn keyword(&self) -> &'static str {
+        match self {
+            TaskKind::Classify => "classify",
+            TaskKind::SynthesizeRouteMap => "synthesize-route-map",
+            TaskKind::SynthesizeAcl => "synthesize-acl",
+            TaskKind::ExtractSpec => "extract-spec",
+        }
+    }
+
+    /// Parses a [`keyword`](TaskKind::keyword) back into the kind.
+    pub fn from_keyword(s: &str) -> Option<TaskKind> {
+        match s {
+            "classify" => Some(TaskKind::Classify),
+            "synthesize-route-map" => Some(TaskKind::SynthesizeRouteMap),
+            "synthesize-acl" => Some(TaskKind::SynthesizeAcl),
+            "extract-spec" => Some(TaskKind::ExtractSpec),
+            _ => None,
+        }
+    }
 }
 
 /// One request to the LLM: system prompt, few-shot examples, user text.
@@ -36,23 +61,41 @@ pub struct LlmRequest {
     pub feedback: Option<String>,
 }
 
-/// The LLM's reply.
-#[derive(Clone, Debug, PartialEq, Eq)]
-pub struct LlmResponse {
-    /// The raw completion text.
-    pub text: String,
-}
-
 /// Anything that can play the LLM's role in the pipeline.
-pub trait LlmBackend {
+///
+/// A backend answers every request with a schema-constrained
+/// [`IntentEnvelope`] or a typed [`BackendError`]; free text never crosses
+/// this boundary. The deterministic [`SemanticBackend`], the
+/// [`FaultyBackend`] wrapper, and the transcript
+/// [`ReplayBackend`](crate::ReplayBackend) all implement this
+/// one trait, as does every middleware layer in
+/// the middleware module — so a stack of layers is itself a backend, and
+/// swapping stacks never touches the pipeline, the verifier, or the
+/// disambiguators.
+pub trait Backend {
     /// Completes one request.
-    fn complete(&mut self, request: &LlmRequest) -> LlmResponse;
+    fn complete(&mut self, request: &LlmRequest) -> Result<IntentEnvelope, BackendError>;
 
-    /// A short name for logs and experiment output.
+    /// A short name for logs and experiment output. Middleware layers
+    /// delegate to the innermost backend.
     fn name(&self) -> &'static str {
         "backend"
     }
 }
+
+impl<B: Backend + ?Sized> Backend for Box<B> {
+    fn complete(&mut self, request: &LlmRequest) -> Result<IntentEnvelope, BackendError> {
+        (**self).complete(request)
+    }
+
+    fn name(&self) -> &'static str {
+        (**self).name()
+    }
+}
+
+/// A boxed backend stack, as built by [`BackendStack`](crate::BackendStack).
+/// `Send` so `clarify serve` sessions can migrate across worker threads.
+pub type DynBackend = Box<dyn Backend + Send>;
 
 /// A deterministic grammar-directed "LLM": parses the constrained English
 /// intent and emits exactly correct IOS configuration / spec text. Plays
@@ -125,46 +168,64 @@ fn render_set(s: &RouteMapSet) -> String {
     }
 }
 
-impl LlmBackend for SemanticBackend {
-    fn complete(&mut self, request: &LlmRequest) -> LlmResponse {
-        let text = match request.task {
+/// Ancillary object names defined by a synthesized snippet, in
+/// definition order — the free-form references the resolution layer
+/// checks against the parsed configuration.
+fn snippet_references(cfg: &clarify_netconfig::Config) -> Vec<String> {
+    let mut refs: Vec<String> = Vec::new();
+    refs.extend(cfg.prefix_lists.keys().cloned());
+    refs.extend(cfg.as_path_lists.keys().cloned());
+    refs.extend(cfg.community_lists.keys().cloned());
+    refs
+}
+
+impl Backend for SemanticBackend {
+    fn complete(&mut self, request: &LlmRequest) -> Result<IntentEnvelope, BackendError> {
+        let envelope = match request.task {
             TaskKind::Classify => {
                 if is_acl_prompt(&request.user) {
-                    "acl".to_string()
+                    IntentEnvelope::classification("acl")
                 } else {
-                    "route-map".to_string()
+                    IntentEnvelope::classification("route-map")
                 }
             }
             TaskKind::SynthesizeRouteMap => match RouteMapIntent::parse(&request.user) {
                 Ok(intent) => match intent.to_snippet() {
-                    Ok((cfg, _)) => cfg.to_string(),
-                    Err(e) => format!("ERROR: {e}"),
+                    Ok((cfg, _)) => IntentEnvelope::config(
+                        request.task,
+                        cfg.to_string(),
+                        snippet_references(&cfg),
+                    ),
+                    Err(e) => IntentEnvelope::refusal(request.task, e.to_string()),
                 },
-                Err(e) => format!("ERROR: {e}"),
+                Err(e) => IntentEnvelope::refusal(request.task, e.to_string()),
             },
             TaskKind::SynthesizeAcl => match AclIntent::parse(&request.user) {
-                Ok(intent) => {
-                    format!("ip access-list extended NEW_RULE\n{}\n", intent.to_entry())
-                }
-                Err(e) => format!("ERROR: {e}"),
+                Ok(intent) => IntentEnvelope::config(
+                    request.task,
+                    format!("ip access-list extended NEW_RULE\n{}\n", intent.to_entry()),
+                    Vec::new(),
+                ),
+                Err(e) => IntentEnvelope::refusal(request.task, e.to_string()),
             },
             TaskKind::ExtractSpec => {
                 if is_acl_prompt(&request.user) {
                     match AclIntent::parse(&request.user) {
-                        Ok(intent) => {
-                            format!("ip access-list extended SPEC\n{}\n", intent.to_entry())
-                        }
-                        Err(e) => format!("ERROR: {e}"),
+                        Ok(intent) => IntentEnvelope::spec(format!(
+                            "ip access-list extended SPEC\n{}\n",
+                            intent.to_entry()
+                        )),
+                        Err(e) => IntentEnvelope::refusal(request.task, e.to_string()),
                     }
                 } else {
                     match RouteMapIntent::parse(&request.user).and_then(|i| i.to_spec()) {
-                        Ok(spec) => render_route_spec(&spec),
-                        Err(e) => format!("ERROR: {e}"),
+                        Ok(spec) => IntentEnvelope::spec(render_route_spec(&spec)),
+                        Err(e) => IntentEnvelope::refusal(request.task, e.to_string()),
                     }
                 }
             }
         };
-        LlmResponse { text }
+        Ok(envelope)
     }
 
     fn name(&self) -> &'static str {
@@ -193,10 +254,14 @@ const ALL_FAULTS: [FaultKind; 4] = [
     FaultKind::SyntaxError,
 ];
 
-/// Wraps a backend and corrupts synthesis outputs with probability
-/// `error_rate` per call, using a seeded RNG for reproducibility.
-/// Classification and spec extraction are left intact (the paper's user
-/// checks the spec by hand, so the verification loop assumes it).
+/// Wraps a backend and corrupts synthesized configuration payloads with
+/// probability `error_rate` per call, using a seeded RNG for
+/// reproducibility. Classification, spec extraction, and refusals are
+/// left intact (the paper's user checks the spec by hand, so the
+/// verification loop assumes it).
+///
+/// `FaultyBackend` is itself just a [`Backend`] — the standard middleware
+/// stack wraps it like any other, which is what `--backend faulty` does.
 pub struct FaultyBackend<B> {
     inner: B,
     error_rate: f64,
@@ -205,7 +270,7 @@ pub struct FaultyBackend<B> {
     heeds_feedback: bool,
 }
 
-impl<B: LlmBackend> FaultyBackend<B> {
+impl<B: Backend> FaultyBackend<B> {
     /// Creates a faulty wrapper with the given error rate in `[0, 1]`.
     pub fn new(inner: B, error_rate: f64, seed: u64) -> FaultyBackend<B> {
         assert!((0.0..=1.0).contains(&error_rate), "rate out of range");
@@ -290,21 +355,25 @@ pub(crate) fn apply_fault(kind: FaultKind, text: &str) -> Option<String> {
     }
 }
 
-impl<B: LlmBackend> LlmBackend for FaultyBackend<B> {
-    fn complete(&mut self, request: &LlmRequest) -> LlmResponse {
-        let resp = self.inner.complete(request);
+impl<B: Backend> Backend for FaultyBackend<B> {
+    fn complete(&mut self, request: &LlmRequest) -> Result<IntentEnvelope, BackendError> {
+        let envelope = self.inner.complete(request)?;
         if self.heeds_feedback && request.feedback.is_some() {
-            return resp;
+            return Ok(envelope);
         }
-        match request.task {
-            TaskKind::SynthesizeRouteMap | TaskKind::SynthesizeAcl
-                if !resp.text.starts_with("ERROR:") && self.rng.gen::<f64>() < self.error_rate =>
-            {
-                LlmResponse {
-                    text: self.corrupt(&resp.text),
-                }
+        match (&request.task, &envelope.payload) {
+            (
+                TaskKind::SynthesizeRouteMap | TaskKind::SynthesizeAcl,
+                crate::envelope::EnvelopePayload::Config { text },
+            ) if self.rng.gen::<f64>() < self.error_rate => {
+                let corrupted = self.corrupt(text);
+                Ok(IntentEnvelope::config(
+                    request.task,
+                    corrupted,
+                    envelope.references.clone(),
+                ))
             }
-            _ => resp,
+            _ => Ok(envelope),
         }
     }
 

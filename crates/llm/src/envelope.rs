@@ -1,0 +1,321 @@
+//! The schema-constrained backend contract.
+//!
+//! Every backend — deterministic parser, fault injector, transcript
+//! replay, or a future live LLM — answers a request with an
+//! [`IntentEnvelope`]: a versioned, task-tagged document whose payload is
+//! constrained by a fixed schema. The envelope is validated *before* it
+//! reaches the pipeline ([`IntentEnvelope::validate`], enforced by the
+//! guardrail middleware and defensively re-checked in the pipeline), so
+//! out-of-schema output is rejected at the boundary instead of surfacing
+//! as a parse error three layers deeper.
+//!
+//! The JSON form ([`IntentEnvelope::to_json`] / [`from_json`]) doubles as
+//! the transcript wire format: a recorded envelope deserializes to a
+//! byte-identical document, which is what makes offline replay exact.
+//!
+//! [`from_json`]: IntentEnvelope::from_json
+
+use clarify_obs::json;
+
+use crate::backend::TaskKind;
+
+/// The envelope schema version this build writes and accepts.
+pub const ENVELOPE_VERSION: u32 = 1;
+
+/// Longest accepted payload text; anything bigger is out of schema.
+const MAX_TEXT_BYTES: usize = 1 << 20;
+
+/// Most free-form object references one envelope may carry.
+const MAX_REFERENCES: usize = 64;
+
+/// An envelope that does not conform to the backend contract.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SchemaError {
+    /// What was out of schema.
+    pub message: String,
+}
+
+impl std::fmt::Display for SchemaError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "envelope schema violation: {}", self.message)
+    }
+}
+
+impl std::error::Error for SchemaError {}
+
+fn schema(message: impl Into<String>) -> SchemaError {
+    SchemaError {
+        message: message.into(),
+    }
+}
+
+/// The task-dependent body of an [`IntentEnvelope`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum EnvelopePayload {
+    /// A [`TaskKind::Classify`] verdict: `"route-map"` or `"acl"`.
+    Classification {
+        /// The query kind keyword.
+        kind: String,
+    },
+    /// Synthesized IOS configuration text (route-map or ACL synthesis).
+    Config {
+        /// The configuration snippet.
+        text: String,
+    },
+    /// The machine-readable spec in the line-based exchange format.
+    Spec {
+        /// The spec text.
+        text: String,
+    },
+    /// The backend declined: the prompt was outside the constrained
+    /// grammar (or a policy refusal from a live backend).
+    Refusal {
+        /// Why the request was refused.
+        reason: String,
+    },
+}
+
+impl EnvelopePayload {
+    fn keyword(&self) -> &'static str {
+        match self {
+            EnvelopePayload::Classification { .. } => "classification",
+            EnvelopePayload::Config { .. } => "config",
+            EnvelopePayload::Spec { .. } => "spec",
+            EnvelopePayload::Refusal { .. } => "refusal",
+        }
+    }
+}
+
+/// One backend reply: version, task echo, payload, and the free-form
+/// object names the backend claims the payload relies on (resolved onto
+/// canonical identities by [`Resolver`](crate::Resolver) downstream).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct IntentEnvelope {
+    /// Schema version ([`ENVELOPE_VERSION`] for documents this build
+    /// produces).
+    pub version: u32,
+    /// The task this envelope answers.
+    pub task: TaskKind,
+    /// The task-dependent body.
+    pub payload: EnvelopePayload,
+    /// Free-form names of configuration objects the payload references.
+    pub references: Vec<String>,
+}
+
+impl IntentEnvelope {
+    /// A classification envelope.
+    pub fn classification(kind: impl Into<String>) -> IntentEnvelope {
+        IntentEnvelope {
+            version: ENVELOPE_VERSION,
+            task: TaskKind::Classify,
+            payload: EnvelopePayload::Classification { kind: kind.into() },
+            references: Vec::new(),
+        }
+    }
+
+    /// A synthesized-configuration envelope carrying `references`.
+    pub fn config(
+        task: TaskKind,
+        text: impl Into<String>,
+        references: Vec<String>,
+    ) -> IntentEnvelope {
+        IntentEnvelope {
+            version: ENVELOPE_VERSION,
+            task,
+            payload: EnvelopePayload::Config { text: text.into() },
+            references,
+        }
+    }
+
+    /// A spec envelope.
+    pub fn spec(text: impl Into<String>) -> IntentEnvelope {
+        IntentEnvelope {
+            version: ENVELOPE_VERSION,
+            task: TaskKind::ExtractSpec,
+            payload: EnvelopePayload::Spec { text: text.into() },
+            references: Vec::new(),
+        }
+    }
+
+    /// A refusal envelope.
+    pub fn refusal(task: TaskKind, reason: impl Into<String>) -> IntentEnvelope {
+        IntentEnvelope {
+            version: ENVELOPE_VERSION,
+            task,
+            payload: EnvelopePayload::Refusal {
+                reason: reason.into(),
+            },
+            references: Vec::new(),
+        }
+    }
+
+    /// Checks the envelope against the schema: known version, payload
+    /// kind legal for the task, classification keyword in its closed set,
+    /// size caps on text and references.
+    pub fn validate(&self) -> Result<(), SchemaError> {
+        if self.version != ENVELOPE_VERSION {
+            return Err(schema(format!(
+                "version {} is not the supported version {ENVELOPE_VERSION}",
+                self.version
+            )));
+        }
+        match (&self.task, &self.payload) {
+            (TaskKind::Classify, EnvelopePayload::Classification { kind }) => {
+                if kind != "route-map" && kind != "acl" {
+                    return Err(schema(format!(
+                        "classification '{kind}' is not in the closed set {{route-map, acl}}"
+                    )));
+                }
+            }
+            (
+                TaskKind::SynthesizeRouteMap | TaskKind::SynthesizeAcl,
+                EnvelopePayload::Config { text },
+            ) => {
+                if text.trim().is_empty() {
+                    return Err(schema("synthesized configuration is empty"));
+                }
+                if text.len() > MAX_TEXT_BYTES {
+                    return Err(schema(format!(
+                        "synthesized configuration exceeds {MAX_TEXT_BYTES} bytes"
+                    )));
+                }
+            }
+            (TaskKind::ExtractSpec, EnvelopePayload::Spec { text }) => {
+                if text.trim().is_empty() {
+                    return Err(schema("extracted spec is empty"));
+                }
+                if text.len() > MAX_TEXT_BYTES {
+                    return Err(schema(format!(
+                        "extracted spec exceeds {MAX_TEXT_BYTES} bytes"
+                    )));
+                }
+            }
+            (_, EnvelopePayload::Refusal { reason }) => {
+                if reason.trim().is_empty() {
+                    return Err(schema("refusal carries no reason"));
+                }
+            }
+            (task, payload) => {
+                return Err(schema(format!(
+                    "payload '{}' is not legal for task '{}'",
+                    payload.keyword(),
+                    task.keyword()
+                )));
+            }
+        }
+        if self.references.len() > MAX_REFERENCES {
+            return Err(schema(format!(
+                "{} references exceed the cap of {MAX_REFERENCES}",
+                self.references.len()
+            )));
+        }
+        for r in &self.references {
+            if r.trim().is_empty() || r.len() > 256 {
+                return Err(schema("reference names must be non-empty and short"));
+            }
+        }
+        Ok(())
+    }
+
+    /// Renders the envelope as one deterministic JSON object (no
+    /// trailing newline; field order is fixed).
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{");
+        out.push_str(&format!("\"version\": {}, ", self.version));
+        out.push_str(&format!(
+            "\"task\": {}, ",
+            json::escape(self.task.keyword())
+        ));
+        out.push_str(&format!(
+            "\"payload\": {}, ",
+            json::escape(self.payload.keyword())
+        ));
+        match &self.payload {
+            EnvelopePayload::Classification { kind } => {
+                out.push_str(&format!("\"kind\": {}, ", json::escape(kind)));
+            }
+            EnvelopePayload::Config { text } | EnvelopePayload::Spec { text } => {
+                out.push_str(&format!("\"text\": {}, ", json::escape(text)));
+            }
+            EnvelopePayload::Refusal { reason } => {
+                out.push_str(&format!("\"reason\": {}, ", json::escape(reason)));
+            }
+        }
+        out.push_str("\"references\": [");
+        for (i, r) in self.references.iter().enumerate() {
+            if i > 0 {
+                out.push_str(", ");
+            }
+            out.push_str(&json::escape(r));
+        }
+        out.push_str("]}");
+        out
+    }
+
+    /// Parses and validates an envelope document.
+    pub fn from_json(text: &str) -> Result<IntentEnvelope, SchemaError> {
+        let value = json::parse(text).map_err(schema)?;
+        IntentEnvelope::from_value(&value)
+    }
+
+    /// Parses and validates an envelope from an already-parsed JSON value
+    /// (transcripts embed envelopes inside a larger document).
+    pub fn from_value(value: &json::Value) -> Result<IntentEnvelope, SchemaError> {
+        let fields = value.as_object("envelope").map_err(schema)?;
+        let mut version = None;
+        let mut task = None;
+        let mut payload_kind = None;
+        let mut kind = None;
+        let mut text = None;
+        let mut reason = None;
+        let mut references = Vec::new();
+        for (k, v) in fields {
+            match k.as_str() {
+                "version" => version = Some(v.as_u64(k).map_err(schema)?),
+                "task" => {
+                    let s = v.as_str(k).map_err(schema)?;
+                    task = Some(
+                        TaskKind::from_keyword(s)
+                            .ok_or_else(|| schema(format!("unknown task keyword '{s}'")))?,
+                    );
+                }
+                "payload" => payload_kind = Some(v.as_str(k).map_err(schema)?.to_string()),
+                "kind" => kind = Some(v.as_str(k).map_err(schema)?.to_string()),
+                "text" => text = Some(v.as_str(k).map_err(schema)?.to_string()),
+                "reason" => reason = Some(v.as_str(k).map_err(schema)?.to_string()),
+                "references" => {
+                    for r in v.as_array(k).map_err(schema)? {
+                        references.push(r.as_str("reference").map_err(schema)?.to_string());
+                    }
+                }
+                other => return Err(schema(format!("unknown envelope key '{other}'"))),
+            }
+        }
+        let version = version.ok_or_else(|| schema("missing 'version'"))? as u32;
+        let task = task.ok_or_else(|| schema("missing 'task'"))?;
+        let payload_kind = payload_kind.ok_or_else(|| schema("missing 'payload'"))?;
+        let payload = match payload_kind.as_str() {
+            "classification" => EnvelopePayload::Classification {
+                kind: kind.ok_or_else(|| schema("classification missing 'kind'"))?,
+            },
+            "config" => EnvelopePayload::Config {
+                text: text.ok_or_else(|| schema("config payload missing 'text'"))?,
+            },
+            "spec" => EnvelopePayload::Spec {
+                text: text.ok_or_else(|| schema("spec payload missing 'text'"))?,
+            },
+            "refusal" => EnvelopePayload::Refusal {
+                reason: reason.ok_or_else(|| schema("refusal missing 'reason'"))?,
+            },
+            other => return Err(schema(format!("unknown payload kind '{other}'"))),
+        };
+        let envelope = IntentEnvelope {
+            version,
+            task,
+            payload,
+            references,
+        };
+        envelope.validate()?;
+        Ok(envelope)
+    }
+}

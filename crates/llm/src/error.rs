@@ -1,6 +1,103 @@
 //! LLM-pipeline errors.
 
+use crate::envelope::SchemaError;
 use crate::intent::IntentError;
+
+/// A typed error from a backend or a middleware layer.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum BackendError {
+    /// A transient failure (timeout, rate limit); the retry middleware
+    /// re-issues these up to its cap.
+    Transient(String),
+    /// The guardrail middleware rejected the request or the response;
+    /// never retried — the pipeline punts.
+    Guardrail(String),
+    /// The backend produced an out-of-schema envelope.
+    Schema(SchemaError),
+    /// Transcript replay could not serve the request.
+    Replay(ReplayError),
+    /// A non-recoverable backend failure; never retried.
+    Fatal(String),
+}
+
+impl BackendError {
+    /// Whether the retry middleware may re-issue the request.
+    pub fn is_transient(&self) -> bool {
+        matches!(self, BackendError::Transient(_))
+    }
+}
+
+impl std::fmt::Display for BackendError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            BackendError::Transient(m) => write!(f, "transient backend failure: {m}"),
+            BackendError::Guardrail(m) => write!(f, "guardrail rejection: {m}"),
+            BackendError::Schema(e) => write!(f, "{e}"),
+            BackendError::Replay(e) => write!(f, "{e}"),
+            BackendError::Fatal(m) => write!(f, "backend failure: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for BackendError {}
+
+impl From<SchemaError> for BackendError {
+    fn from(e: SchemaError) -> Self {
+        BackendError::Schema(e)
+    }
+}
+
+impl From<ReplayError> for BackendError {
+    fn from(e: ReplayError) -> Self {
+        BackendError::Replay(e)
+    }
+}
+
+/// Why a transcript replay failed. Replay failures abort the session
+/// *before* any configuration commit — a replayed run either reproduces
+/// the recording exactly or stops.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ReplayError {
+    /// The transcript ran out of entries.
+    Exhausted {
+        /// Number of entries consumed before exhaustion.
+        at: usize,
+    },
+    /// The live request did not match the recorded one at this position.
+    Mismatch {
+        /// Zero-based transcript position of the mismatch.
+        at: usize,
+        /// The recorded request digest.
+        expected: u64,
+        /// The live request digest.
+        got: u64,
+    },
+}
+
+impl std::fmt::Display for ReplayError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ReplayError::Exhausted { at } => {
+                write!(f, "transcript exhausted after {at} entr{}", plural_y(*at))
+            }
+            ReplayError::Mismatch { at, expected, got } => write!(
+                f,
+                "transcript mismatch at entry {at}: recorded request digest \
+                 {expected:016x}, live request digest {got:016x}"
+            ),
+        }
+    }
+}
+
+fn plural_y(n: usize) -> &'static str {
+    if n == 1 {
+        "y"
+    } else {
+        "ies"
+    }
+}
+
+impl std::error::Error for ReplayError {}
 
 /// Errors surfaced by the synthesis pipeline.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -16,11 +113,20 @@ pub enum LlmError {
     /// Symbolic verification failed internally (not a mismatch — a real
     /// error such as an oversized field value).
     Analysis(String),
+    /// The backend stack failed in a way the pipeline cannot absorb
+    /// (replay abort, schema violation, fatal transport error).
+    Backend(BackendError),
 }
 
 impl From<IntentError> for LlmError {
     fn from(e: IntentError) -> Self {
         LlmError::Intent(e)
+    }
+}
+
+impl From<BackendError> for LlmError {
+    fn from(e: BackendError) -> Self {
+        LlmError::Backend(e)
     }
 }
 
@@ -31,6 +137,7 @@ impl std::fmt::Display for LlmError {
             LlmError::UnsupportedQuery(k) => write!(f, "unsupported query kind '{k}'"),
             LlmError::MalformedSpec(s) => write!(f, "malformed specification: {s}"),
             LlmError::Analysis(s) => write!(f, "verification error: {s}"),
+            LlmError::Backend(e) => write!(f, "backend error: {e}"),
         }
     }
 }

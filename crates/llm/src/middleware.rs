@@ -1,0 +1,264 @@
+//! Composable backend middleware: retry, guardrail, recording, replay.
+//!
+//! Every layer implements [`Backend`] and wraps another backend, so a
+//! stack of layers is itself a backend the pipeline uses unchanged. The
+//! standard stack built by [`BackendStack`](crate::BackendStack) is
+//!
+//! ```text
+//! Guardrail( Retry( Recording( base ) ) )
+//! ```
+//!
+//! **Recording sits innermost** so every exchange that actually reaches
+//! the base backend — including each retry attempt — lands in the
+//! transcript; replaying the transcript then reproduces the base
+//! backend's behaviour exactly, retries and all, with the same outer
+//! layers re-applied live. [`ReplayBackend`] substitutes for the base at
+//! that innermost position.
+//!
+//! Layers are instrumented with `llm.mw.*` counters and a
+//! `span.llm_backend.ns` timing span at the stack boundary.
+
+use std::sync::{Arc, Mutex};
+
+use crate::backend::{Backend, LlmRequest};
+use crate::envelope::IntentEnvelope;
+use crate::error::{BackendError, ReplayError};
+use crate::transcript::{request_digest, Transcript, TranscriptEntry};
+
+/// Longest accepted user prompt, in bytes; anything bigger is rejected by
+/// the guardrail before it reaches a backend.
+const MAX_PROMPT_BYTES: usize = 1 << 16;
+
+/// Prompt substrings the guardrail treats as injection attempts.
+const ABUSE_MARKERS: [&str; 3] = [
+    "ignore previous instructions",
+    "ignore all previous instructions",
+    "disregard your system prompt",
+];
+
+/// Retries transient backend failures with capped exponential backoff.
+/// Non-transient errors and envelope replies pass through untouched; on
+/// exhaustion the *last* backend error is surfaced.
+pub struct Retry<B> {
+    inner: B,
+    max_attempts: usize,
+    base_delay_ms: u64,
+}
+
+impl<B: Backend> Retry<B> {
+    /// Wraps `inner`, allowing up to `max_attempts` total attempts per
+    /// request with a 10 ms base backoff (doubled per retry, capped at
+    /// one second).
+    pub fn new(inner: B, max_attempts: usize) -> Retry<B> {
+        assert!(max_attempts >= 1, "at least one attempt required");
+        let obs = clarify_obs::global();
+        let _ = obs.counter("llm.mw.retry.attempts");
+        let _ = obs.counter("llm.mw.retry.exhausted");
+        Retry {
+            inner,
+            max_attempts,
+            base_delay_ms: 10,
+        }
+    }
+
+    /// Overrides the base backoff delay (tests use zero).
+    pub fn with_base_delay_ms(mut self, ms: u64) -> Retry<B> {
+        self.base_delay_ms = ms;
+        self
+    }
+
+    fn backoff_ms(&self, retry_index: u32) -> u64 {
+        const CAP_MS: u64 = 1000;
+        self.base_delay_ms
+            .saturating_mul(1u64 << retry_index.min(10))
+            .min(CAP_MS)
+    }
+}
+
+impl<B: Backend> Backend for Retry<B> {
+    fn complete(&mut self, request: &LlmRequest) -> Result<IntentEnvelope, BackendError> {
+        let obs = clarify_obs::global();
+        let mut last = None;
+        for attempt in 0..self.max_attempts {
+            if attempt > 0 {
+                obs.counter("llm.mw.retry.attempts").incr();
+                let ms = self.backoff_ms(attempt as u32 - 1);
+                if ms > 0 {
+                    std::thread::sleep(std::time::Duration::from_millis(ms));
+                }
+            }
+            match self.inner.complete(request) {
+                Ok(envelope) => return Ok(envelope),
+                Err(e) if e.is_transient() => last = Some(e),
+                Err(e) => return Err(e),
+            }
+        }
+        obs.counter("llm.mw.retry.exhausted").incr();
+        Err(last.expect("at least one attempt ran"))
+    }
+
+    fn name(&self) -> &'static str {
+        self.inner.name()
+    }
+}
+
+/// Schema and abuse checks on both sides of the backend boundary:
+/// rejects empty, oversized, or injection-marked prompts before they
+/// reach the backend, and rejects out-of-schema envelopes before they
+/// reach the pipeline. A [`BackendError::Guardrail`] is never retried —
+/// the pipeline punts without invoking the verifier.
+pub struct Guardrail<B> {
+    inner: B,
+}
+
+impl<B: Backend> Guardrail<B> {
+    /// Wraps `inner`.
+    pub fn new(inner: B) -> Guardrail<B> {
+        let _ = clarify_obs::global().counter("llm.mw.guardrail.rejected");
+        Guardrail { inner }
+    }
+
+    fn check_request(request: &LlmRequest) -> Result<(), BackendError> {
+        if request.user.trim().is_empty() {
+            return Err(BackendError::Guardrail("the prompt is empty".into()));
+        }
+        if request.user.len() > MAX_PROMPT_BYTES {
+            return Err(BackendError::Guardrail(format!(
+                "the prompt exceeds {MAX_PROMPT_BYTES} bytes"
+            )));
+        }
+        let lowered = request.user.to_ascii_lowercase();
+        for marker in ABUSE_MARKERS {
+            if lowered.contains(marker) {
+                return Err(BackendError::Guardrail(format!(
+                    "the prompt contains the injection marker '{marker}'"
+                )));
+            }
+        }
+        Ok(())
+    }
+}
+
+impl<B: Backend> Backend for Guardrail<B> {
+    fn complete(&mut self, request: &LlmRequest) -> Result<IntentEnvelope, BackendError> {
+        let _span = clarify_obs::span!("llm_backend");
+        let obs = clarify_obs::global();
+        if let Err(e) = Guardrail::<B>::check_request(request) {
+            obs.counter("llm.mw.guardrail.rejected").incr();
+            return Err(e);
+        }
+        let envelope = self.inner.complete(request)?;
+        if let Err(e) = envelope.validate() {
+            obs.counter("llm.mw.guardrail.rejected").incr();
+            return Err(BackendError::Guardrail(e.to_string()));
+        }
+        if envelope.task != request.task {
+            obs.counter("llm.mw.guardrail.rejected").incr();
+            return Err(BackendError::Guardrail(format!(
+                "envelope answers task '{}' but the request was '{}'",
+                envelope.task.keyword(),
+                request.task.keyword()
+            )));
+        }
+        Ok(envelope)
+    }
+
+    fn name(&self) -> &'static str {
+        self.inner.name()
+    }
+}
+
+/// Appends every successful exchange to a shared [`Transcript`] sink.
+/// Failed requests are not recorded: a transcript holds only what the
+/// base backend actually answered, so replaying it cannot re-introduce
+/// transport failures.
+pub struct Recording<B> {
+    inner: B,
+    sink: Arc<Mutex<Transcript>>,
+}
+
+impl<B: Backend> Recording<B> {
+    /// Wraps `inner`, appending exchanges to `sink`.
+    pub fn new(inner: B, sink: Arc<Mutex<Transcript>>) -> Recording<B> {
+        let _ = clarify_obs::global().counter("llm.mw.record.entries");
+        Recording { inner, sink }
+    }
+}
+
+impl<B: Backend> Backend for Recording<B> {
+    fn complete(&mut self, request: &LlmRequest) -> Result<IntentEnvelope, BackendError> {
+        let envelope = self.inner.complete(request)?;
+        self.sink
+            .lock()
+            .expect("transcript sink poisoned")
+            .entries
+            .push(TranscriptEntry::from_exchange(request, &envelope));
+        clarify_obs::global()
+            .counter("llm.mw.record.entries")
+            .incr();
+        Ok(envelope)
+    }
+
+    fn name(&self) -> &'static str {
+        self.inner.name()
+    }
+}
+
+/// A terminal backend that answers requests from a recorded transcript.
+///
+/// Each request is matched against the next entry by
+/// [`request_digest`]; a digest mismatch or an exhausted transcript is a
+/// [`BackendError::Replay`], which aborts the session before any
+/// configuration commit — a replayed run either reproduces the recording
+/// exactly or stops. The transcript is shared (`Arc`) so every `clarify
+/// serve` session replays from its own cursor over one loaded file.
+pub struct ReplayBackend {
+    transcript: Arc<Transcript>,
+    cursor: usize,
+}
+
+impl ReplayBackend {
+    /// Creates a replay backend over `transcript`, starting at entry 0.
+    pub fn new(transcript: Arc<Transcript>) -> ReplayBackend {
+        let obs = clarify_obs::global();
+        let _ = obs.counter("llm.mw.replay.hits");
+        let _ = obs.counter("llm.mw.replay.misses");
+        ReplayBackend {
+            transcript,
+            cursor: 0,
+        }
+    }
+
+    /// Entries served so far.
+    pub fn position(&self) -> usize {
+        self.cursor
+    }
+}
+
+impl Backend for ReplayBackend {
+    fn complete(&mut self, request: &LlmRequest) -> Result<IntentEnvelope, BackendError> {
+        let obs = clarify_obs::global();
+        let Some(entry) = self.transcript.entries.get(self.cursor) else {
+            obs.counter("llm.mw.replay.misses").incr();
+            return Err(BackendError::Replay(ReplayError::Exhausted {
+                at: self.cursor,
+            }));
+        };
+        let live = request_digest(request.task, &request.user, request.feedback.as_deref());
+        if live != entry.request_digest {
+            obs.counter("llm.mw.replay.misses").incr();
+            return Err(BackendError::Replay(ReplayError::Mismatch {
+                at: self.cursor,
+                expected: entry.request_digest,
+                got: live,
+            }));
+        }
+        self.cursor += 1;
+        obs.counter("llm.mw.replay.hits").incr();
+        Ok(entry.envelope.clone())
+    }
+
+    fn name(&self) -> &'static str {
+        "replay"
+    }
+}

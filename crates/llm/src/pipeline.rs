@@ -2,12 +2,14 @@
 //! extract spec → verify, with retries and a punt threshold.
 
 use clarify_analysis::{verify_stanza_against_spec, PacketSpace, SpecVerdict, StanzaSpec};
-use clarify_netconfig::{AclEntry, Config, RouteMapSet};
+use clarify_netconfig::{AclEntry, Config, ObjectKind, RouteMapSet};
 use clarify_nettypes::PrefixRange;
 
-use crate::backend::{LlmBackend, LlmRequest, TaskKind};
-use crate::error::LlmError;
+use crate::backend::{Backend, LlmRequest, TaskKind};
+use crate::envelope::{EnvelopePayload, IntentEnvelope, SchemaError};
+use crate::error::{BackendError, LlmError};
 use crate::promptdb::PromptDb;
+use crate::resolve::Resolver;
 
 /// The classifier's verdict on a user query.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -45,8 +47,8 @@ pub enum PipelineOutcome {
         /// Synthesis attempts.
         attempts: usize,
     },
-    /// The retry threshold was exhausted; the user must start over (step 5
-    /// of Figure 1).
+    /// The retry threshold was exhausted (or the guardrail rejected the
+    /// exchange); the user must start over (step 5 of Figure 1).
     Punt {
         /// Total LLM calls made before punting.
         llm_calls: usize,
@@ -71,6 +73,15 @@ impl PipelineOutcome {
     }
 }
 
+/// What one backend exchange yielded, after guardrail/error mapping.
+enum Exchange {
+    /// A validated envelope.
+    Envelope(IntentEnvelope),
+    /// The guardrail rejected the exchange; the pipeline punts without
+    /// invoking the verifier.
+    GuardrailPunt(String),
+}
+
 /// The verified synthesis pipeline.
 pub struct Pipeline<B> {
     backend: B,
@@ -78,7 +89,7 @@ pub struct Pipeline<B> {
     max_attempts: usize,
 }
 
-impl<B: LlmBackend> Pipeline<B> {
+impl<B: Backend> Pipeline<B> {
     /// Creates a pipeline with the default prompt database and a retry
     /// threshold of `max_attempts` synthesis calls per intent.
     pub fn new(backend: B, max_attempts: usize) -> Pipeline<B> {
@@ -106,7 +117,17 @@ impl<B: LlmBackend> Pipeline<B> {
         &self.backend
     }
 
-    fn call(&mut self, task: TaskKind, user: &str, feedback: Option<&str>) -> String {
+    /// One backend exchange. Guardrail rejections become punts at the
+    /// call site; every other backend error is surfaced. The envelope is
+    /// defensively re-validated here so a pipeline built on a bare
+    /// backend (tests, benches) enforces the same contract the guardrail
+    /// middleware does.
+    fn call(
+        &mut self,
+        task: TaskKind,
+        user: &str,
+        feedback: Option<&str>,
+    ) -> Result<Exchange, LlmError> {
         let entry = self.db.retrieve(task);
         let req = LlmRequest {
             task,
@@ -116,7 +137,25 @@ impl<B: LlmBackend> Pipeline<B> {
             feedback: feedback.map(str::to_string),
         };
         clarify_obs::global().counter("pipeline.llm_calls").incr();
-        self.backend.complete(&req).text
+        match self.backend.complete(&req) {
+            Ok(envelope) => {
+                envelope
+                    .validate()
+                    .map_err(|e| LlmError::Backend(BackendError::Schema(e)))?;
+                if envelope.task != task {
+                    return Err(LlmError::Backend(BackendError::Schema(SchemaError {
+                        message: format!(
+                            "envelope answers task '{}' but the request was '{}'",
+                            envelope.task.keyword(),
+                            task.keyword()
+                        ),
+                    })));
+                }
+                Ok(Exchange::Envelope(envelope))
+            }
+            Err(e @ BackendError::Guardrail(_)) => Ok(Exchange::GuardrailPunt(e.to_string())),
+            Err(e) => Err(LlmError::Backend(e)),
+        }
     }
 
     /// Runs the full pipeline on one user prompt.
@@ -125,22 +164,49 @@ impl<B: LlmBackend> Pipeline<B> {
         let obs = clarify_obs::global();
         let mut llm_calls = 0usize;
 
+        let punt = |llm_calls: usize, reason: String| {
+            clarify_obs::global().counter("pipeline.punts").incr();
+            Ok(PipelineOutcome::Punt { llm_calls, reason })
+        };
+
         // (1) classify, (2) retrieve happens inside call().
-        let class = self.call(TaskKind::Classify, prompt, None);
         llm_calls += 1;
-        let kind = match class.trim() {
-            "route-map" => QueryKind::RouteMap,
-            "acl" => QueryKind::Acl,
-            other => return Err(LlmError::UnsupportedQuery(other.to_string())),
+        let envelope = match self.call(TaskKind::Classify, prompt, None)? {
+            Exchange::Envelope(e) => e,
+            Exchange::GuardrailPunt(reason) => return punt(llm_calls, reason),
+        };
+        let kind = match envelope.payload {
+            EnvelopePayload::Classification { ref kind } => match kind.as_str() {
+                "route-map" => QueryKind::RouteMap,
+                "acl" => QueryKind::Acl,
+                other => return Err(LlmError::UnsupportedQuery(other.to_string())),
+            },
+            EnvelopePayload::Refusal { reason } => {
+                return Err(LlmError::UnsupportedQuery(reason));
+            }
+            // validate() pins payload shape to task; unreachable in practice.
+            _ => return Err(LlmError::UnsupportedQuery("unclassified".to_string())),
         };
 
         // (3) extract the machine-readable spec. The paper has the user
         // eyeball this; it is stable across synthesis retries.
-        let spec_text = self.call(TaskKind::ExtractSpec, prompt, None);
         llm_calls += 1;
-        if let Some(err) = spec_text.strip_prefix("ERROR:") {
-            return Err(LlmError::MalformedSpec(err.trim().to_string()));
-        }
+        let envelope = match self.call(TaskKind::ExtractSpec, prompt, None)? {
+            Exchange::Envelope(e) => e,
+            Exchange::GuardrailPunt(reason) => return punt(llm_calls, reason),
+        };
+        let spec_text = match envelope.payload {
+            EnvelopePayload::Spec { text } => text,
+            EnvelopePayload::Refusal { reason } => {
+                return Err(LlmError::MalformedSpec(reason.trim().to_string()));
+            }
+            _ => return Err(LlmError::MalformedSpec("not a spec payload".to_string())),
+        };
+
+        let synth_task = match kind {
+            QueryKind::RouteMap => TaskKind::SynthesizeRouteMap,
+            QueryKind::Acl => TaskKind::SynthesizeAcl,
+        };
 
         match kind {
             QueryKind::RouteMap => {
@@ -155,13 +221,24 @@ impl<B: LlmBackend> Pipeline<B> {
                     if attempt > 1 {
                         obs.counter("pipeline.retries").incr();
                     }
-                    let text = self.call(TaskKind::SynthesizeRouteMap, prompt, fb);
                     llm_calls += 1;
-                    if let Some(err) = text.strip_prefix("ERROR:") {
-                        return Err(LlmError::Intent(crate::intent::IntentError {
-                            message: err.trim().to_string(),
-                        }));
-                    }
+                    let envelope = match self.call(synth_task, prompt, fb)? {
+                        Exchange::Envelope(e) => e,
+                        Exchange::GuardrailPunt(reason) => return punt(llm_calls, reason),
+                    };
+                    let references = envelope.references;
+                    let text = match envelope.payload {
+                        EnvelopePayload::Config { text } => text,
+                        EnvelopePayload::Refusal { reason } => {
+                            return Err(LlmError::Intent(crate::intent::IntentError {
+                                message: reason.trim().to_string(),
+                            }));
+                        }
+                        _ => {
+                            feedback = "it was not a configuration".to_string();
+                            continue;
+                        }
+                    };
                     let snippet = match Config::parse(&text) {
                         Ok(c) => c,
                         Err(e) => {
@@ -173,6 +250,14 @@ impl<B: LlmBackend> Pipeline<B> {
                         feedback = "it contained no route-map".to_string();
                         continue;
                     };
+                    // Resolution layer: every list the stanza matches on
+                    // and every name the envelope claims must resolve to
+                    // a canonical identity within the snippet, or the
+                    // attempt is rejected before verification.
+                    if let Err(e) = check_references(&snippet, &map_name, &references) {
+                        feedback = format!("it references an unresolvable object: {e}");
+                        continue;
+                    }
                     obs.counter("pipeline.verifications").incr();
                     match verify_stanza_against_spec(&snippet, &map_name, &spec) {
                         Ok(SpecVerdict::Verified) => {
@@ -209,11 +294,7 @@ impl<B: LlmBackend> Pipeline<B> {
                         Err(e) => return Err(LlmError::Analysis(e.to_string())),
                     }
                 }
-                obs.counter("pipeline.punts").incr();
-                Ok(PipelineOutcome::Punt {
-                    llm_calls,
-                    reason: feedback,
-                })
+                punt(llm_calls, feedback)
             }
             QueryKind::Acl => {
                 let spec_entry = parse_single_acl_entry(&spec_text)
@@ -228,13 +309,23 @@ impl<B: LlmBackend> Pipeline<B> {
                     if attempt > 1 {
                         obs.counter("pipeline.retries").incr();
                     }
-                    let text = self.call(TaskKind::SynthesizeAcl, prompt, fb);
                     llm_calls += 1;
-                    if let Some(err) = text.strip_prefix("ERROR:") {
-                        return Err(LlmError::Intent(crate::intent::IntentError {
-                            message: err.trim().to_string(),
-                        }));
-                    }
+                    let envelope = match self.call(synth_task, prompt, fb)? {
+                        Exchange::Envelope(e) => e,
+                        Exchange::GuardrailPunt(reason) => return punt(llm_calls, reason),
+                    };
+                    let text = match envelope.payload {
+                        EnvelopePayload::Config { text } => text,
+                        EnvelopePayload::Refusal { reason } => {
+                            return Err(LlmError::Intent(crate::intent::IntentError {
+                                message: reason.trim().to_string(),
+                            }));
+                        }
+                        _ => {
+                            feedback = "it was not a configuration".to_string();
+                            continue;
+                        }
+                    };
                     let Some(entry) = parse_single_acl_entry(&text) else {
                         feedback = "it was not a single valid ACL entry".to_string();
                         continue;
@@ -249,14 +340,38 @@ impl<B: LlmBackend> Pipeline<B> {
                     }
                     feedback = "the entry does not implement the specification".to_string();
                 }
-                obs.counter("pipeline.punts").incr();
-                Ok(PipelineOutcome::Punt {
-                    llm_calls,
-                    reason: feedback,
-                })
+                punt(llm_calls, feedback)
             }
         }
     }
+}
+
+/// Resolves the stanza's referenced lists and the envelope's free-form
+/// references against the snippet's own tables.
+fn check_references(
+    snippet: &Config,
+    map_name: &str,
+    references: &[String],
+) -> Result<(), crate::resolve::ResolutionError> {
+    let resolver = Resolver::new(snippet);
+    if let Some(map) = snippet.route_maps.get(map_name) {
+        for stanza in &map.stanzas {
+            let refs = stanza.referenced_lists();
+            for (kind, names) in [
+                (ObjectKind::PrefixList, &refs.prefix),
+                (ObjectKind::AsPathList, &refs.as_path),
+                (ObjectKind::CommunityList, &refs.community),
+            ] {
+                for name in names {
+                    resolver.resolve(kind, name)?;
+                }
+            }
+        }
+    }
+    for name in references {
+        resolver.resolve_reference(name)?;
+    }
+    Ok(())
 }
 
 /// Parses the line-based route-map spec exchange format.

@@ -1,0 +1,184 @@
+//! The post-LLM resolution layer: maps free-form object names from an
+//! [`IntentEnvelope`](crate::IntentEnvelope) onto canonical
+//! configuration identities ([`RuleId`]s).
+//!
+//! Backends name objects the way users do — `"Customer-Routes"`,
+//! `"customer_routes"` — while the configuration's tables are keyed by
+//! the exact spelling. The [`Resolver`] bridges the two with a tiered
+//! match (exact, then case-insensitive, then separator-insensitive) and
+//! punts anything it cannot pin down as a typed [`ResolutionError`], so
+//! the pipeline retries or punts instead of committing a snippet whose
+//! references dangle.
+
+use clarify_netconfig::{Config, ObjectKind, RuleId};
+
+/// Why a free-form name could not be resolved.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ResolutionError {
+    /// No object of the kind matches the name, even loosely.
+    NotFound {
+        /// The kind searched.
+        kind: ObjectKind,
+        /// The free-form name.
+        name: String,
+        /// Canonical names of the kind, as suggestions (capped).
+        suggestions: Vec<String>,
+    },
+    /// More than one canonical name matches the name loosely.
+    Ambiguous {
+        /// The kind searched.
+        kind: ObjectKind,
+        /// The free-form name.
+        name: String,
+        /// All canonical names that matched.
+        candidates: Vec<String>,
+    },
+}
+
+impl std::fmt::Display for ResolutionError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ResolutionError::NotFound {
+                kind,
+                name,
+                suggestions,
+            } => {
+                write!(f, "no {} named '{name}'", kind.keyword())?;
+                if !suggestions.is_empty() {
+                    write!(f, " (defined: {})", suggestions.join(", "))?;
+                }
+                Ok(())
+            }
+            ResolutionError::Ambiguous {
+                kind,
+                name,
+                candidates,
+            } => write!(
+                f,
+                "'{name}' matches more than one {}: {}",
+                kind.keyword(),
+                candidates.join(", ")
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ResolutionError {}
+
+/// How a name resolved onto its canonical identity.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Resolution {
+    /// The canonical identity.
+    pub id: RuleId,
+    /// Whether the match was exact (`false` means a case- or
+    /// separator-insensitive match fixed the spelling).
+    pub exact: bool,
+}
+
+/// Resolves free-form object names against one configuration's tables.
+pub struct Resolver<'a> {
+    config: &'a Config,
+}
+
+/// Separator-insensitive normal form: lowercase with `-`/`_`/`.` removed.
+fn normalize(name: &str) -> String {
+    name.chars()
+        .filter(|c| !matches!(c, '-' | '_' | '.'))
+        .flat_map(|c| c.to_lowercase())
+        .collect()
+}
+
+/// Most suggestions a [`ResolutionError::NotFound`] carries.
+const MAX_SUGGESTIONS: usize = 8;
+
+impl<'a> Resolver<'a> {
+    /// Creates a resolver over `config`.
+    pub fn new(config: &'a Config) -> Resolver<'a> {
+        Resolver { config }
+    }
+
+    fn names(&self, kind: ObjectKind) -> Vec<&'a String> {
+        match kind {
+            ObjectKind::RouteMap => self.config.route_maps.keys().collect(),
+            ObjectKind::Acl => self.config.acls.keys().collect(),
+            ObjectKind::PrefixList => self.config.prefix_lists.keys().collect(),
+            ObjectKind::AsPathList => self.config.as_path_lists.keys().collect(),
+            ObjectKind::CommunityList => self.config.community_lists.keys().collect(),
+        }
+    }
+
+    /// Resolves `name` as an object of `kind`: exact spelling first, then
+    /// case-insensitive, then separator-insensitive.
+    pub fn resolve(&self, kind: ObjectKind, name: &str) -> Result<Resolution, ResolutionError> {
+        let names = self.names(kind);
+        if names.iter().any(|n| n.as_str() == name) {
+            return Ok(Resolution {
+                id: RuleId::object(kind, name),
+                exact: true,
+            });
+        }
+        for tier in [
+            |a: &str, b: &str| a.eq_ignore_ascii_case(b),
+            |a: &str, b: &str| normalize(a) == normalize(b),
+        ] {
+            let hits: Vec<&&String> = names.iter().filter(|n| tier(n, name)).collect();
+            match hits.as_slice() {
+                [] => continue,
+                [only] => {
+                    return Ok(Resolution {
+                        id: RuleId::object(kind, only.as_str()),
+                        exact: false,
+                    })
+                }
+                many => {
+                    return Err(ResolutionError::Ambiguous {
+                        kind,
+                        name: name.to_string(),
+                        candidates: many.iter().map(|n| n.to_string()).collect(),
+                    })
+                }
+            }
+        }
+        Err(ResolutionError::NotFound {
+            kind,
+            name: name.to_string(),
+            suggestions: names
+                .iter()
+                .take(MAX_SUGGESTIONS)
+                .map(|n| n.to_string())
+                .collect(),
+        })
+    }
+
+    /// Resolves `name` against the ancillary-list tables (prefix,
+    /// as-path, community), for envelope references whose kind the
+    /// backend does not declare. A name matching lists of two different
+    /// kinds exactly is fine — the snippet genuinely defines both — so
+    /// the first exact hit wins; loose matches are only consulted when no
+    /// table has an exact one.
+    pub fn resolve_reference(&self, name: &str) -> Result<Resolution, ResolutionError> {
+        const LIST_KINDS: [ObjectKind; 3] = [
+            ObjectKind::PrefixList,
+            ObjectKind::AsPathList,
+            ObjectKind::CommunityList,
+        ];
+        let mut first_loose = None;
+        let mut last_not_found = None;
+        for kind in LIST_KINDS {
+            match self.resolve(kind, name) {
+                Ok(r) if r.exact => return Ok(r),
+                Ok(r) => first_loose = first_loose.or(Some(r)),
+                Err(e @ ResolutionError::Ambiguous { .. }) => return Err(e),
+                Err(e) => last_not_found = Some(e),
+            }
+        }
+        if let Some(r) = first_loose {
+            return Ok(r);
+        }
+        Err(last_not_found.unwrap_or(ResolutionError::NotFound {
+            kind: ObjectKind::PrefixList,
+            name: name.to_string(),
+            suggestions: Vec::new(),
+        }))
+    }
+}

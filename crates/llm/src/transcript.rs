@@ -1,0 +1,337 @@
+//! Recorded LLM transcripts: versioned JSON, FNV-digested like the lint
+//! cache, so a recorded session replays byte-identically offline.
+//!
+//! A transcript is an ordered list of request/envelope exchanges captured
+//! by the recording middleware, plus optional session metadata (command,
+//! configuration, prompt, oracle answers) so a bare
+//! `clarify --replay-transcript FILE` can re-run the whole session with
+//! zero network and zero user input.
+//!
+//! The trust model mirrors `clarify lint --incremental`'s cache: the file
+//! carries a format tag and a checksum over everything semantic. A
+//! document that is not transcript-shaped at all is
+//! [`TranscriptError::Corrupt`] (a usage error — exit 2 in the CLI); one
+//! that parses but has an unknown format version or a tampered checksum is
+//! [`TranscriptError::Stale`] — the CLI warns and falls back to the live
+//! semantic backend rather than replaying exchanges it cannot trust.
+
+use clarify_netconfig::{fnv1a64, fnv1a64_combine};
+use clarify_obs::json;
+
+use crate::backend::{LlmRequest, TaskKind};
+use crate::envelope::IntentEnvelope;
+
+/// The format tag written to and expected from transcript files.
+pub const TRANSCRIPT_FORMAT: &str = "clarify-llm-transcript/v1";
+
+/// Digest of the semantic content of one request: the task keyword, the
+/// user text, and the feedback (if any). System prompts and few-shot
+/// examples are deliberately excluded — they come from the prompt
+/// database, which may be re-tuned without invalidating transcripts.
+pub fn request_digest(task: TaskKind, user: &str, feedback: Option<&str>) -> u64 {
+    let mut h = fnv1a64(task.keyword().as_bytes());
+    h = fnv1a64_combine(h, fnv1a64(user.as_bytes()));
+    match feedback {
+        Some(f) => {
+            h = fnv1a64_combine(h, 1);
+            h = fnv1a64_combine(h, fnv1a64(f.as_bytes()));
+        }
+        None => h = fnv1a64_combine(h, 0),
+    }
+    h
+}
+
+/// One recorded exchange: the request's semantic content and digest, and
+/// the envelope the backend answered with.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct TranscriptEntry {
+    /// The request's task.
+    pub task: TaskKind,
+    /// The user text of the request.
+    pub user: String,
+    /// Verifier feedback carried by the request, if any.
+    pub feedback: Option<String>,
+    /// [`request_digest`] of the request, checked at replay time.
+    pub request_digest: u64,
+    /// The backend's reply.
+    pub envelope: IntentEnvelope,
+}
+
+impl TranscriptEntry {
+    /// Builds an entry from a live exchange.
+    pub fn from_exchange(request: &LlmRequest, envelope: &IntentEnvelope) -> TranscriptEntry {
+        TranscriptEntry {
+            task: request.task,
+            user: request.user.clone(),
+            feedback: request.feedback.clone(),
+            request_digest: request_digest(
+                request.task,
+                &request.user,
+                request.feedback.as_deref(),
+            ),
+            envelope: envelope.clone(),
+        }
+    }
+}
+
+/// Session metadata recorded alongside the exchanges, enough for the CLI
+/// to re-run the whole session from the transcript alone.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct SessionMeta {
+    /// The CLI command (`ask` or `ask-acl`).
+    pub command: String,
+    /// The configuration text the session ran against, inline.
+    pub config: String,
+    /// The target object name (route-map or ACL).
+    pub target: String,
+    /// The user's synthesis prompt.
+    pub prompt: String,
+    /// The oracle answers given, in order (`"1"` or `"2"`).
+    pub answers: Vec<String>,
+}
+
+/// A recorded session: optional metadata plus the exchange log.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Transcript {
+    /// Session metadata, when recorded by the CLI (middleware-level
+    /// recordings inside tests may omit it).
+    pub session: Option<SessionMeta>,
+    /// The exchanges, in request order.
+    pub entries: Vec<TranscriptEntry>,
+}
+
+/// Why a transcript file could not be used.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum TranscriptError {
+    /// The file is not a well-formed transcript document at all (bad
+    /// JSON, missing or mistyped fields). The CLI treats this as a usage
+    /// error (exit 2): the user pointed `--replay-transcript` at the
+    /// wrong file.
+    Corrupt(String),
+    /// The document parses but cannot be trusted: unknown format version
+    /// or checksum mismatch. The CLI warns and falls back to the live
+    /// semantic backend.
+    Stale(String),
+}
+
+impl std::fmt::Display for TranscriptError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TranscriptError::Corrupt(m) => write!(f, "corrupt transcript: {m}"),
+            TranscriptError::Stale(m) => write!(f, "stale transcript: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for TranscriptError {}
+
+impl Transcript {
+    /// The checksum over everything semantic: session metadata and every
+    /// exchange.
+    pub fn digest(&self) -> u64 {
+        let mut h = fnv1a64(TRANSCRIPT_FORMAT.as_bytes());
+        match &self.session {
+            Some(s) => {
+                h = fnv1a64_combine(h, 1);
+                for text in [&s.command, &s.config, &s.target, &s.prompt] {
+                    h = fnv1a64_combine(h, fnv1a64(text.as_bytes()));
+                }
+                for a in &s.answers {
+                    h = fnv1a64_combine(h, fnv1a64(a.as_bytes()));
+                }
+            }
+            None => h = fnv1a64_combine(h, 0),
+        }
+        for e in &self.entries {
+            h = fnv1a64_combine(h, e.request_digest);
+            h = fnv1a64_combine(h, fnv1a64(e.envelope.to_json().as_bytes()));
+        }
+        h
+    }
+
+    /// Renders the transcript as a deterministic JSON document.
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        out.push_str("{\n");
+        out.push_str(&format!(
+            "  \"format\": {},\n",
+            json::escape(TRANSCRIPT_FORMAT)
+        ));
+        out.push_str(&format!("  \"checksum\": \"{:016x}\",\n", self.digest()));
+        match &self.session {
+            Some(s) => {
+                out.push_str("  \"session\": {\n");
+                out.push_str(&format!("    \"command\": {},\n", json::escape(&s.command)));
+                out.push_str(&format!("    \"config\": {},\n", json::escape(&s.config)));
+                out.push_str(&format!("    \"target\": {},\n", json::escape(&s.target)));
+                out.push_str(&format!("    \"prompt\": {},\n", json::escape(&s.prompt)));
+                out.push_str("    \"answers\": [");
+                for (i, a) in s.answers.iter().enumerate() {
+                    if i > 0 {
+                        out.push_str(", ");
+                    }
+                    out.push_str(&json::escape(a));
+                }
+                out.push_str("]\n  },\n");
+            }
+            None => out.push_str("  \"session\": null,\n"),
+        }
+        out.push_str("  \"entries\": [");
+        for (i, e) in self.entries.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str("\n    {");
+            out.push_str(&format!("\"task\": {}, ", json::escape(e.task.keyword())));
+            out.push_str(&format!("\"user\": {}, ", json::escape(&e.user)));
+            match &e.feedback {
+                Some(f) => out.push_str(&format!("\"feedback\": {}, ", json::escape(f))),
+                None => out.push_str("\"feedback\": null, "),
+            }
+            out.push_str(&format!(
+                "\"request_digest\": \"{:016x}\", ",
+                e.request_digest
+            ));
+            out.push_str(&format!("\"envelope\": {}}}", e.envelope.to_json()));
+        }
+        out.push_str(if self.entries.is_empty() {
+            "]\n"
+        } else {
+            "\n  ]\n"
+        });
+        out.push_str("}\n");
+        out
+    }
+
+    /// Parses a transcript document and verifies its format tag and
+    /// checksum.
+    pub fn from_json(text: &str) -> Result<Transcript, TranscriptError> {
+        let (transcript, format, stored) = Transcript::parse(text)?;
+        if format != TRANSCRIPT_FORMAT {
+            return Err(TranscriptError::Stale(format!(
+                "transcript format '{format}' is not '{TRANSCRIPT_FORMAT}'"
+            )));
+        }
+        let stored = stored.ok_or_else(|| TranscriptError::Corrupt("missing 'checksum'".into()))?;
+        let actual = transcript.digest();
+        if stored != actual {
+            return Err(TranscriptError::Stale(format!(
+                "checksum mismatch (stored {stored:016x}, computed {actual:016x})"
+            )));
+        }
+        Ok(transcript)
+    }
+
+    /// Parses a transcript document *without* trusting it: format and
+    /// checksum are ignored. Used after a [`TranscriptError::Stale`]
+    /// verdict to recover the session metadata (command, config, prompt)
+    /// so the CLI can fall back to a live run of the same session.
+    pub fn from_json_unchecked(text: &str) -> Result<Transcript, TranscriptError> {
+        let (transcript, _, _) = Transcript::parse(text)?;
+        Ok(transcript)
+    }
+
+    fn parse(text: &str) -> Result<(Transcript, String, Option<u64>), TranscriptError> {
+        let corrupt = TranscriptError::Corrupt;
+        let value = json::parse(text).map_err(corrupt)?;
+        let top = value.as_object("top level").map_err(corrupt)?;
+        let mut format = None;
+        let mut checksum = None;
+        let mut session = None;
+        let mut entries = Vec::new();
+        for (key, v) in top {
+            match key.as_str() {
+                "format" => format = Some(v.as_str(key).map_err(corrupt)?.to_string()),
+                "checksum" => {
+                    let s = v.as_str(key).map_err(corrupt)?;
+                    let n = u64::from_str_radix(s, 16)
+                        .map_err(|_| corrupt(format!("bad checksum '{s}'")))?;
+                    checksum = Some(n);
+                }
+                "session" => {
+                    if !matches!(v, json::Value::Null) {
+                        session = Some(parse_session(v)?);
+                    }
+                }
+                "entries" => {
+                    for e in v.as_array(key).map_err(corrupt)? {
+                        entries.push(parse_entry(e)?);
+                    }
+                }
+                other => {
+                    return Err(corrupt(format!("unknown top-level key '{other}'")));
+                }
+            }
+        }
+        let format = format.ok_or_else(|| corrupt("missing 'format'".into()))?;
+        Ok((Transcript { session, entries }, format, checksum))
+    }
+}
+
+fn parse_session(v: &json::Value) -> Result<SessionMeta, TranscriptError> {
+    let corrupt = TranscriptError::Corrupt;
+    let fields = v.as_object("session").map_err(corrupt)?;
+    let mut meta = SessionMeta::default();
+    for (k, fv) in fields {
+        match k.as_str() {
+            "command" => meta.command = fv.as_str(k).map_err(corrupt)?.to_string(),
+            "config" => meta.config = fv.as_str(k).map_err(corrupt)?.to_string(),
+            "target" => meta.target = fv.as_str(k).map_err(corrupt)?.to_string(),
+            "prompt" => meta.prompt = fv.as_str(k).map_err(corrupt)?.to_string(),
+            "answers" => {
+                for a in fv.as_array(k).map_err(corrupt)? {
+                    meta.answers
+                        .push(a.as_str("answer").map_err(corrupt)?.to_string());
+                }
+            }
+            other => return Err(corrupt(format!("unknown session key '{other}'"))),
+        }
+    }
+    Ok(meta)
+}
+
+fn parse_entry(v: &json::Value) -> Result<TranscriptEntry, TranscriptError> {
+    let corrupt = TranscriptError::Corrupt;
+    let fields = v.as_object("entry").map_err(corrupt)?;
+    let mut task = None;
+    let mut user = None;
+    let mut feedback = None;
+    let mut request_digest = None;
+    let mut envelope = None;
+    for (k, fv) in fields {
+        match k.as_str() {
+            "task" => {
+                let s = fv.as_str(k).map_err(corrupt)?;
+                task = Some(
+                    TaskKind::from_keyword(s)
+                        .ok_or_else(|| corrupt(format!("unknown task keyword '{s}'")))?,
+                );
+            }
+            "user" => user = Some(fv.as_str(k).map_err(corrupt)?.to_string()),
+            "feedback" => {
+                if !matches!(fv, json::Value::Null) {
+                    feedback = Some(fv.as_str(k).map_err(corrupt)?.to_string());
+                }
+            }
+            "request_digest" => {
+                let s = fv.as_str(k).map_err(corrupt)?;
+                let n = u64::from_str_radix(s, 16)
+                    .map_err(|_| corrupt(format!("bad request digest '{s}'")))?;
+                request_digest = Some(n);
+            }
+            "envelope" => {
+                envelope =
+                    Some(IntentEnvelope::from_value(fv).map_err(|e| corrupt(e.to_string()))?);
+            }
+            other => return Err(corrupt(format!("unknown entry key '{other}'"))),
+        }
+    }
+    Ok(TranscriptEntry {
+        task: task.ok_or_else(|| corrupt("entry missing 'task'".into()))?,
+        user: user.ok_or_else(|| corrupt("entry missing 'user'".into()))?,
+        feedback,
+        request_digest: request_digest
+            .ok_or_else(|| corrupt("entry missing 'request_digest'".into()))?,
+        envelope: envelope.ok_or_else(|| corrupt("entry missing 'envelope'".into()))?,
+    })
+}

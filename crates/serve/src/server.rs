@@ -21,6 +21,7 @@ use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::Duration;
 
+use clarify_llm::BackendStack;
 use clarify_netconfig::Config;
 use clarify_netsim::TopologySpec;
 
@@ -41,6 +42,11 @@ pub struct ServerConfig {
     pub max_frame_bytes: usize,
     /// Accept-loop workers (0 = the `clarify-par` thread count).
     pub workers: usize,
+    /// The backend stack every session builds its pipeline from. Each
+    /// open builds a fresh stack instance, so replay cursors and fault
+    /// RNGs are per-session while daemon and one-shot CLI runs share the
+    /// identical middleware composition.
+    pub backend: BackendStack,
 }
 
 impl Default for ServerConfig {
@@ -51,6 +57,7 @@ impl Default for ServerConfig {
             idle_timeout_ms: 300_000,
             max_frame_bytes: 1 << 20,
             workers: 0,
+            backend: BackendStack::semantic(),
         }
     }
 }
@@ -203,7 +210,10 @@ impl Shared {
     fn open_config(&self, text: &str) -> Result<String, ProtoError> {
         let config = Config::parse(text)
             .map_err(|e| ProtoError::bad(format!("config did not parse: {e}")))?;
-        let id = self.insert(SessionKind::Config(Box::new(ConfigSession::new(config))))?;
+        let id = self.insert(SessionKind::Config(Box::new(ConfigSession::new(
+            config,
+            &self.cfg.backend,
+        ))))?;
         Ok(Frame::ok(true).u64("session", id).finish())
     }
 
@@ -224,7 +234,7 @@ impl Shared {
                     .ok_or_else(|| format!("no config supplied for '{path}'"))
             })
             .map_err(|e| ProtoError::bad(format!("topology did not instantiate: {e}")))?;
-        let session = NetSession::new(loaded.network, invariants)
+        let session = NetSession::new(loaded.network, invariants, &self.cfg.backend)
             .map_err(|e| ProtoError::bad(format!("network session rejected: {e}")))?;
         let id = self.insert(SessionKind::Network(Box::new(session)))?;
         Ok(Frame::ok(true).u64("session", id).finish())

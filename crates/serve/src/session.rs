@@ -21,7 +21,7 @@ use clarify_core::{
     InsertionPlan, Invariant, NetworkSession, NetworkUpdateOutcome, PlanStep, UserOracle,
 };
 use clarify_lint::IncrementalLinter;
-use clarify_llm::{Pipeline, PipelineOutcome, SemanticBackend};
+use clarify_llm::{BackendStack, DynBackend, LlmError, Pipeline, PipelineOutcome};
 use clarify_netconfig::{Acl, Config, RouteMap};
 
 use crate::proto::{string_array, Frame, ProtoError};
@@ -43,6 +43,20 @@ fn intent_error(e: impl std::fmt::Display) -> ProtoError {
     ProtoError {
         code: "intent-error",
         message: e.to_string(),
+    }
+}
+
+/// Maps a pipeline error onto the protocol: backend-layer failures
+/// (replay mismatch or exhaustion, retry exhaustion) get their own code
+/// so clients can tell "the transcript ran out" from "the intent was
+/// malformed". Either way the session's configuration is untouched.
+fn pipeline_error(e: LlmError) -> ProtoError {
+    match e {
+        LlmError::Backend(e) => ProtoError {
+            code: "backend-error",
+            message: e.to_string(),
+        },
+        other => intent_error(other),
     }
 }
 
@@ -131,7 +145,7 @@ enum Pending {
 /// A single-config session.
 pub struct ConfigSession {
     config: Config,
-    pipeline: Pipeline<SemanticBackend>,
+    pipeline: Pipeline<DynBackend>,
     disambiguator: Disambiguator,
     /// Warm route space, keyed by the atom-environment hash it was built
     /// over. Reused across turns whenever the hash matches (ROBDD
@@ -147,11 +161,13 @@ pub struct ConfigSession {
 }
 
 impl ConfigSession {
-    /// Opens a session over `config`.
-    pub fn new(config: Config) -> ConfigSession {
+    /// Opens a session over `config`, building a fresh backend (with its
+    /// own replay cursor, when the stack replays a transcript) from the
+    /// server's configured stack.
+    pub fn new(config: Config, stack: &BackendStack) -> ConfigSession {
         ConfigSession {
             config,
-            pipeline: Pipeline::new(SemanticBackend::new(), MAX_ATTEMPTS),
+            pipeline: Pipeline::new(stack.build(), MAX_ATTEMPTS),
             disambiguator: Disambiguator::default(),
             route_space: None,
             packet_space: PacketSpace::new(),
@@ -172,7 +188,7 @@ impl ConfigSession {
                 message: "a question is pending; send 'answer' (or 'close') first".to_string(),
             });
         }
-        let outcome = self.pipeline.synthesize(intent).map_err(intent_error)?;
+        let outcome = self.pipeline.synthesize(intent).map_err(pipeline_error)?;
         match outcome {
             PipelineOutcome::RouteMap {
                 snippet,
@@ -389,7 +405,7 @@ impl UserOracle for ReplayOracle {
 
 /// A network (multi-router what-if) session.
 pub struct NetSession {
-    session: NetworkSession<SemanticBackend>,
+    session: NetworkSession<DynBackend>,
     pending: Option<NetPending>,
 }
 
@@ -406,11 +422,12 @@ impl NetSession {
     pub fn new(
         network: clarify_netsim::Network,
         invariants: Vec<Invariant>,
+        stack: &BackendStack,
     ) -> Result<NetSession, ClarifyError> {
         Ok(NetSession {
             session: NetworkSession::new(
                 network,
-                SemanticBackend::new(),
+                stack.build(),
                 MAX_ATTEMPTS,
                 Disambiguator::default(),
                 invariants,

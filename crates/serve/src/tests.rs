@@ -217,6 +217,81 @@ fn session_cap_returns_busy_and_close_frees_a_slot() {
     open(&shared); // fits again
 }
 
+const E1_INTENT: &str = "Write a route-map stanza that permits routes containing the prefix \
+100.0.0.0/16 with mask length less than or equal to 23 and tagged with the community 300:3. \
+Their MED value should be set to 55.";
+
+/// Daemon sessions route turns through the same middleware stack as the
+/// one-shot CLI: a recording stack captures the exchanges, a replay stack
+/// over that transcript reproduces the turn frame byte-identically, and
+/// an exhausted transcript aborts the turn with `backend-error` before
+/// anything commits — the session survives and replays cleanly after.
+#[test]
+fn replayed_sessions_reproduce_recorded_turns_and_exhaustion_aborts() {
+    use clarify_llm::{BackendStack, Transcript};
+    use std::sync::Mutex;
+
+    // Live pass, with a recording layer in the daemon's stack.
+    let sink = Arc::new(Mutex::new(Transcript::default()));
+    let cfg = ServerConfig {
+        backend: BackendStack::semantic().with_record(sink.clone()),
+        ..ServerConfig::default()
+    };
+    let shared = Shared::new(cfg, Arc::new(ManualClock::new(0)));
+    let id = open(&shared);
+    let ask = format!(
+        "{{\"op\":\"ask\",\"session\":{id},\"target\":\"DEMO\",\"intent\":{}}}",
+        clarify_obs::json::escape(E1_INTENT)
+    );
+    let (live_frame, _) = shared.handle_line(&ask);
+    assert!(
+        live_frame.contains("\"ok\":true"),
+        "live ask failed: {live_frame}"
+    );
+    let recorded = sink.lock().unwrap().clone();
+    assert!(
+        recorded.entries.len() >= 3,
+        "expected classify/synthesize/extract exchanges, got {}",
+        recorded.entries.len()
+    );
+
+    // Replay pass: offline stack, byte-identical turn frame.
+    let cfg = ServerConfig {
+        backend: BackendStack::semantic().with_replay(Arc::new(recorded.clone())),
+        ..ServerConfig::default()
+    };
+    let shared = Shared::new(cfg, Arc::new(ManualClock::new(0)));
+    let replay_id = open(&shared);
+    assert_eq!(
+        replay_id, id,
+        "fresh daemons allocate ids deterministically"
+    );
+    let (replay_frame, _) = shared.handle_line(&ask);
+    assert_eq!(replay_frame, live_frame, "replay diverged from recording");
+
+    // Truncated transcript: the turn aborts before any commit and the
+    // session stays open.
+    let mut truncated = recorded;
+    truncated.entries.truncate(1);
+    let cfg = ServerConfig {
+        backend: BackendStack::semantic().with_replay(Arc::new(truncated)),
+        ..ServerConfig::default()
+    };
+    let shared = Shared::new(cfg, Arc::new(ManualClock::new(0)));
+    let id = open(&shared);
+    let ask = format!(
+        "{{\"op\":\"ask\",\"session\":{id},\"target\":\"DEMO\",\"intent\":{}}}",
+        clarify_obs::json::escape(E1_INTENT)
+    );
+    let (frame, _) = shared.handle_line(&ask);
+    assert!(
+        frame.contains("backend-error") && frame.contains("transcript exhausted"),
+        "expected replay-exhaustion abort: {frame}"
+    );
+    let (frame, _) = shared.handle_line(&format!("{{\"op\":\"lint\",\"session\":{id}}}"));
+    assert!(frame.contains("\"ok\":true"), "session died: {frame}");
+}
+
 #[test]
 fn turn_state_machine_rejects_out_of_order_ops() {
     let (_clock, shared) = shared_with_manual_clock(10_000);

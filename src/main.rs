@@ -41,8 +41,20 @@ use clarify::analysis::{
 use clarify::core::{
     insert_acl_with_oracle, Choice, Disambiguator, FnAclOracle, FnOracle, PlacementStrategy,
 };
-use clarify::llm::{Pipeline, PipelineOutcome, SemanticBackend};
+use clarify::llm::{
+    BackendKind, BackendStack, Pipeline, PipelineOutcome, SessionMeta, Transcript, TranscriptError,
+};
 use clarify::netconfig::Config;
+
+/// Backend selection and transcript layers, drained from the global
+/// argument list like `--threads`. One value drives `ask`, `ask-acl`,
+/// and `serve`, so every entry point assembles the identical stack.
+#[derive(Default)]
+struct BackendOpts {
+    kind: BackendKind,
+    record: Option<String>,
+    replay: Option<String>,
+}
 
 fn main() -> ExitCode {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
@@ -82,11 +94,43 @@ fn main() -> ExitCode {
         }
         None => false,
     };
+    // Global backend flags: `--backend` picks the base backend,
+    // `--record-transcript`/`--replay-transcript` attach transcript
+    // layers. They apply to `ask`, `ask-acl`, and `serve`; a bare
+    // `clarify --replay-transcript FILE` re-runs the recorded session.
+    let mut backend = BackendOpts::default();
+    if let Some(i) = args.iter().position(|a| a == "--backend") {
+        let Some(spec) = args.get(i + 1) else {
+            eprintln!("error: --backend takes a backend spec\n\n{USAGE}");
+            return ExitCode::from(2);
+        };
+        backend.kind = match BackendKind::parse(spec) {
+            Ok(k) => k,
+            Err(e) => {
+                eprintln!("error: {e}\n\n{USAGE}");
+                return ExitCode::from(2);
+            }
+        };
+        args.drain(i..=i + 1);
+    }
+    for (flag, slot) in [
+        ("--record-transcript", &mut backend.record),
+        ("--replay-transcript", &mut backend.replay),
+    ] {
+        if let Some(i) = args.iter().position(|a| a == flag) {
+            let Some(path) = args.get(i + 1).cloned() else {
+                eprintln!("error: {flag} takes a file path\n\n{USAGE}");
+                return ExitCode::from(2);
+            };
+            *slot = Some(path);
+            args.drain(i..=i + 1);
+        }
+    }
     if trace_json.is_some() || stats {
         clarify::obs::install(clarify::obs::Registry::new());
     }
 
-    let code = run(&args);
+    let code = run(&args, &backend);
 
     // Metrics are dumped on every exit path (including failures) so a
     // failing run still leaves a trace to debug from.
@@ -107,15 +151,18 @@ fn main() -> ExitCode {
 
 /// Dispatches one subcommand; split out of `main` so the observability
 /// dump above runs on every return path.
-fn run(args: &[String]) -> ExitCode {
+fn run(args: &[String], backend: &BackendOpts) -> ExitCode {
     let result = match args.first().map(String::as_str) {
         Some("audit") => audit(&args[1..]),
-        Some("ask") => ask(&args[1..], false),
-        Some("ask-acl") => ask(&args[1..], true),
+        Some("ask") => ask(&args[1..], false, backend),
+        Some("ask-acl") => ask(&args[1..], true, backend),
         Some("compare") => compare(&args[1..]),
         Some("chain") => chain(&args[1..]),
         Some("lint") => return lint(&args[1..]),
-        Some("serve") => serve(&args[1..]),
+        Some("serve") => serve(&args[1..], backend),
+        None if backend.replay.is_some() => {
+            return replay_session(backend.replay.as_deref().expect("checked"), backend)
+        }
         Some("--help") | Some("-h") | None => {
             eprint!("{}", USAGE);
             return ExitCode::SUCCESS;
@@ -142,6 +189,10 @@ usage:
                [--incremental PREV] [--save-cache PATH] <config-file>...
   clarify lint --topology <topology-file> [--format F] [--no-suppress]
   clarify serve [--addr HOST:PORT] [--max-sessions N] [--idle-timeout SECS]
+  clarify --replay-transcript <FILE>
+      re-run the session recorded in FILE offline: the LLM exchanges, the
+      target, the prompt, and the oracle answers all come from the
+      transcript, so the output reproduces the recorded run byte for byte
 
 options:
   --threads <N>       worker threads for the symbolic analyses (default:
@@ -151,6 +202,17 @@ options:
                       JSON at exit
   --stats             record internal metrics and print a summary to
                       stderr at exit
+  --backend <SPEC>    LLM backend for ask/ask-acl/serve: 'semantic' (the
+                      deterministic parser, default) or
+                      'faulty[:rate[:seed]]' (fault injection around it)
+  --record-transcript <PATH>
+                      write every LLM exchange (and, for ask/ask-acl, the
+                      session itself) to PATH as a replayable transcript
+  --replay-transcript <PATH>
+                      answer LLM calls from the transcript at PATH instead
+                      of running a backend; a stale transcript (checksum
+                      or format mismatch) falls back to the live backend
+                      with a warning, a corrupt file is an error
 
 lint options:
   --format <F>        output format: human (default), json, or sarif
@@ -176,9 +238,11 @@ serve options:
                       (default 300)
 ";
 
-fn serve(args: &[String]) -> Result<(), String> {
+fn serve(args: &[String], backend: &BackendOpts) -> Result<(), String> {
+    let (stack, record_sink) = build_stack(backend)?;
     let mut cfg = clarify::serve::ServerConfig {
         addr: "127.0.0.1:4545".to_string(),
+        backend: stack,
         ..clarify::serve::ServerConfig::default()
     };
     let mut it = args.iter();
@@ -207,7 +271,72 @@ fn serve(args: &[String]) -> Result<(), String> {
     let server = clarify::serve::Server::bind(cfg).map_err(|e| format!("cannot bind: {e}"))?;
     let addr = server.local_addr().map_err(|e| e.to_string())?;
     println!("listening on {addr}");
-    server.run().map_err(|e| e.to_string())
+    server.run().map_err(|e| e.to_string())?;
+    // The daemon records exchanges from every session into one transcript,
+    // written at shutdown. No session metadata: daemon transcripts replay
+    // through `serve --replay-transcript`, not the bare replay mode.
+    if let (Some(sink), Some(path)) = (record_sink, &backend.record) {
+        let transcript = sink.lock().map_err(|_| "transcript sink poisoned")?;
+        std::fs::write(path, transcript.to_json())
+            .map_err(|e| format!("cannot write {path}: {e}"))?;
+    }
+    Ok(())
+}
+
+/// Assembles the backend stack the CLI was asked for: base backend from
+/// `--backend`, a recording sink for `--record-transcript`, and a replay
+/// transcript for `--replay-transcript`. Returns the sink so the caller
+/// can attach session metadata and write the file once the run finishes.
+#[allow(clippy::type_complexity)]
+fn build_stack(
+    backend: &BackendOpts,
+) -> Result<
+    (
+        BackendStack,
+        Option<std::sync::Arc<std::sync::Mutex<Transcript>>>,
+    ),
+    String,
+> {
+    let mut stack = BackendStack::semantic().with_kind(backend.kind);
+    let sink = match &backend.record {
+        Some(_) => {
+            let sink = std::sync::Arc::new(std::sync::Mutex::new(Transcript::default()));
+            stack = stack.with_record(sink.clone());
+            Some(sink)
+        }
+        None => None,
+    };
+    if let Some(path) = &backend.replay {
+        if let (Some(transcript), _) = load_transcript(path)? {
+            stack = stack.with_replay(transcript);
+        }
+    }
+    Ok((stack, sink))
+}
+
+/// Loads a transcript for replay. A stale one (unknown format version or
+/// checksum mismatch) warns and returns no transcript — the caller falls
+/// back to the live backend — but still recovers the session metadata; a
+/// corrupt file is an error.
+#[allow(clippy::type_complexity)]
+fn load_transcript(
+    path: &str,
+) -> Result<(Option<std::sync::Arc<Transcript>>, Option<SessionMeta>), String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    match Transcript::from_json(&text) {
+        Ok(t) => {
+            let meta = t.session.clone();
+            Ok((Some(std::sync::Arc::new(t)), meta))
+        }
+        Err(TranscriptError::Stale(m)) => {
+            eprintln!("warning: {path}: stale transcript ({m}); falling back to the live backend");
+            let meta = Transcript::from_json_unchecked(&text)
+                .ok()
+                .and_then(|t| t.session);
+            Ok((None, meta))
+        }
+        Err(TranscriptError::Corrupt(m)) => Err(format!("{path}: corrupt transcript: {m}")),
+    }
 }
 
 fn load(path: &str) -> Result<Config, String> {
@@ -300,7 +429,7 @@ fn read_choice() -> Choice {
     }
 }
 
-fn ask(args: &[String], acl_mode: bool) -> Result<(), String> {
+fn ask(args: &[String], acl_mode: bool, backend: &BackendOpts) -> Result<(), String> {
     let [path, target, intent @ ..] = args else {
         return Err(format!(
             "ask takes a config file, a target name, and an intent\n\n{USAGE}"
@@ -309,19 +438,138 @@ fn ask(args: &[String], acl_mode: bool) -> Result<(), String> {
     if intent.is_empty() {
         return Err("missing the English intent".to_string());
     }
-    let base = load(path)?;
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    let base = Config::parse(&text).map_err(|e| format!("{path}: {e}"))?;
+    let prompt = intent.join(" ");
+    let (stack, record_sink) = build_stack(backend)?;
+    // Interactive oracle; the answers are kept so a recorded transcript
+    // can replay the whole session, questions and all.
+    let answers = std::cell::RefCell::new(Vec::new());
+    let mut choose = || {
+        let c = read_choice();
+        answers.borrow_mut().push(
+            if matches!(c, Choice::Second) {
+                "2"
+            } else {
+                "1"
+            }
+            .to_string(),
+        );
+        c
+    };
+    run_ask(&base, target, &prompt, acl_mode, path, &stack, &mut choose)?;
+    if let (Some(sink), Some(out)) = (record_sink, &backend.record) {
+        let mut transcript = sink.lock().map_err(|_| "transcript sink poisoned")?.clone();
+        transcript.session = Some(SessionMeta {
+            command: if acl_mode { "ask-acl" } else { "ask" }.to_string(),
+            config: text,
+            target: target.clone(),
+            prompt,
+            answers: answers.into_inner(),
+        });
+        std::fs::write(out, transcript.to_json())
+            .map_err(|e| format!("cannot write {out}: {e}"))?;
+    }
+    Ok(())
+}
+
+/// Re-runs the session recorded in a transcript: configuration, target,
+/// prompt, LLM exchanges, and oracle answers all come from the file, so
+/// the run is fully offline and reproduces the recorded output byte for
+/// byte. Exit codes mirror the transcript contract: a corrupt file (or
+/// one without session metadata) is a usage error (2); a stale one warns
+/// and re-runs against the live backend.
+fn replay_session(path: &str, backend: &BackendOpts) -> ExitCode {
+    let (replay, meta) = match load_transcript(path) {
+        Ok(l) => l,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let Some(meta) = meta else {
+        eprintln!(
+            "error: {path}: the transcript records no session metadata \
+             (daemon or middleware-level recording); replay it behind \
+             `ask --replay-transcript` or `serve --replay-transcript` instead"
+        );
+        return ExitCode::from(2);
+    };
+    let acl_mode = match meta.command.as_str() {
+        "ask" => false,
+        "ask-acl" => true,
+        other => {
+            eprintln!("error: {path}: unknown recorded command '{other}'");
+            return ExitCode::from(2);
+        }
+    };
+    let base = match Config::parse(&meta.config) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("error: {path}: the recorded configuration did not parse: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let mut stack = BackendStack::semantic().with_kind(backend.kind);
+    if let Some(transcript) = replay {
+        stack = stack.with_replay(transcript);
+    }
+    // Scripted oracle: prints the same prompt the interactive run did, so
+    // stdout matches the recording, and answers from the stored list.
+    let mut answers = meta.answers.iter();
+    let mut choose = || {
+        print!("your choice [1/2]: ");
+        std::io::stdout().flush().ok();
+        match answers.next().map(String::as_str) {
+            Some("2") => Choice::Second,
+            Some(_) => Choice::First,
+            None => {
+                println!("(end of input: choosing OPTION 1)");
+                Choice::First
+            }
+        }
+    };
+    match run_ask(
+        &base,
+        &meta.target,
+        &meta.prompt,
+        acl_mode,
+        path,
+        &stack,
+        &mut choose,
+    ) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+/// The synthesis-and-placement session shared by the interactive `ask`
+/// and the transcript replay mode: run the pipeline over the configured
+/// backend stack, then disambiguate placement, asking `choose` for every
+/// question.
+fn run_ask(
+    base: &Config,
+    target: &str,
+    prompt: &str,
+    acl_mode: bool,
+    source: &str,
+    stack: &BackendStack,
+    choose: &mut dyn FnMut() -> Choice,
+) -> Result<(), String> {
     // Validate the target up front so a typo'd name fails fast instead of
     // after a full synthesis round.
     if acl_mode {
         if base.acl(target).is_none() {
-            return Err(format!("no access-list '{target}' in {path}"));
+            return Err(format!("no access-list '{target}' in {source}"));
         }
     } else if base.route_map(target).is_none() {
-        return Err(format!("no route-map '{target}' in {path}"));
+        return Err(format!("no route-map '{target}' in {source}"));
     }
-    let prompt = intent.join(" ");
-    let mut pipeline = Pipeline::new(SemanticBackend::new(), 3);
-    let outcome = pipeline.synthesize(&prompt).map_err(|e| e.to_string())?;
+    let mut pipeline = Pipeline::new(stack.build(), 3);
+    let outcome = pipeline.synthesize(prompt).map_err(|e| e.to_string())?;
 
     match (outcome, acl_mode) {
         (
@@ -341,10 +589,10 @@ fn ask(args: &[String], acl_mode: bool) -> Result<(), String> {
                     "The new stanza interacts with existing stanza {}. For this route:\n\n{q}\n",
                     q.pivot_seq
                 );
-                read_choice()
+                choose()
             });
             let result = Disambiguator::new(PlacementStrategy::BinarySearch)
-                .insert(&base, target, &snippet, &map_name, &mut oracle)
+                .insert(base, target, &snippet, &map_name, &mut oracle)
                 .map_err(|e| e.to_string())?;
             println!(
                 "\nplaced at position {} after {} question(s); updated configuration:\n",
@@ -365,10 +613,10 @@ fn ask(args: &[String], acl_mode: bool) -> Result<(), String> {
                     "The new entry interacts with existing entry {}. For this packet:\n\n{q}\n",
                     q.pivot_index
                 );
-                read_choice()
+                choose()
             });
             let result = insert_acl_with_oracle(
-                &base,
+                base,
                 target,
                 &entry,
                 PlacementStrategy::BinarySearch,

@@ -29,7 +29,11 @@ fn field<'a>(doc: &'a Value, key: &str) -> Option<&'a Value> {
 
 /// Drives E1 against a fresh daemon; returns (question texts, position).
 fn daemon_transcript(config_text: &str) -> (Vec<String>, u64) {
-    let server = Server::bind(ServerConfig::default()).expect("bind");
+    daemon_transcript_with(config_text, ServerConfig::default())
+}
+
+fn daemon_transcript_with(config_text: &str, cfg: ServerConfig) -> (Vec<String>, u64) {
+    let server = Server::bind(cfg).expect("bind");
     let addr = server.local_addr().expect("addr");
     let handle = std::thread::spawn(move || server.run().expect("run"));
 
@@ -167,5 +171,26 @@ fn daemon_and_cli_replay_identical_transcripts_at_1_and_8_threads() {
     assert_eq!(
         reference, cli_1,
         "daemon and CLI disagree on the E1 transcript"
+    );
+
+    // Recorded-replay pass: daemon sessions route turns through the same
+    // middleware stack as the CLI, so a daemon whose stack replays the
+    // committed E1 transcript (recorded by the one-shot CLI) walks the
+    // identical question sequence with zero live backend calls.
+    let transcript_text = std::fs::read_to_string(
+        std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("testdata/transcripts/e1.json"),
+    )
+    .expect("committed transcript");
+    let transcript =
+        clarify::llm::Transcript::from_json(&transcript_text).expect("transcript loads");
+    let cfg = ServerConfig {
+        backend: clarify::llm::BackendStack::semantic()
+            .with_replay(std::sync::Arc::new(transcript)),
+        ..ServerConfig::default()
+    };
+    let replayed = daemon_transcript_with(&config_text, cfg);
+    assert_eq!(
+        reference, replayed,
+        "daemon replaying the recorded transcript diverged from the live run"
     );
 }
