@@ -84,6 +84,8 @@ pub struct PrefixSpace {
     addr_vars: Vec<u32>,
     len_vars: Vec<u32>,
     valid: Ref,
+    /// Pins `valid` across the manager's collections (never unprotected).
+    _valid_root: clarify_bdd::Root,
 }
 
 impl Default for PrefixSpace {
@@ -102,11 +104,15 @@ impl PrefixSpace {
         // without over-allocating per comparison.
         let mut mgr = Manager::with_capacity(38, 1 << 12);
         let valid = mgr.le_const(&len_vars, 32);
+        // Pin it; unrooted garbage is collected between comparisons.
+        let valid_root = mgr.protect(valid);
+        mgr.set_auto_gc(true);
         PrefixSpace {
             mgr,
             addr_vars,
             len_vars,
             valid,
+            _valid_root: valid_root,
         }
     }
 

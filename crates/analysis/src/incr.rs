@@ -7,17 +7,18 @@
 //! and a reverted edit (the A/B toggling a dialogue produces) hits the
 //! cache from an earlier generation outright.
 //!
-//! Refs stored here point into one specific space's BDD manager, whose
-//! unique table never frees nodes: a cached `Ref` stays valid across
-//! [`Manager::clear_op_caches`](clarify_bdd::Manager::clear_op_caches),
-//! which drops only the memoization tables. A [`FireSetCache`] is
-//! therefore sound exactly as long as its space lives; callers that
-//! rebuild a space (e.g. because the atom environment changed) must
-//! [`FireSetCache::clear`] the cache with it.
+//! Refs stored here point into one specific space's BDD manager, which
+//! garbage-collects unrooted nodes at the
+//! [`Manager::clear_op_caches`](clarify_bdd::Manager::clear_op_caches)
+//! seam — so every cached entry pins its refs with [`clarify_bdd::Root`]
+//! handles at insertion time, and they survive collection and reordering
+//! alike. A [`FireSetCache`] is sound exactly as long as its space lives;
+//! callers that rebuild a space (e.g. because the atom environment
+//! changed) must [`FireSetCache::clear`] the cache with it.
 
 use std::collections::HashMap;
 
-use clarify_bdd::Ref;
+use clarify_bdd::{Manager, Ref, Root};
 use clarify_netconfig::{fnv1a64_combine, Acl, Config, ObjectKind, PrefixList, RouteMap, RuleId};
 
 use crate::error::AnalysisError;
@@ -74,18 +75,27 @@ pub struct FireSets {
     pub remainder: Ref,
 }
 
+/// One cached generation: the fire-sets plus the [`Root`] handles pinning
+/// every ref in them against garbage collection.
+#[derive(Debug)]
+struct CachedSets {
+    sets: FireSets,
+    roots: Vec<Root>,
+}
+
 /// A fire-set cache keyed by `(object identity, content hash)`.
 ///
 /// Keying by hash — not just identity — means a dirty object simply
 /// misses (its hash changed) while older generations stay retrievable:
 /// reverting an edit restores the old hash and hits again. Entries are
 /// never evicted except by [`invalidate`](FireSetCache::invalidate) or
-/// [`clear`](FireSetCache::clear); the BDD nodes they point at are
-/// retained by the manager anyway, so the marginal cost of a stale entry
-/// is one map slot.
+/// [`clear`](FireSetCache::clear); each entry roots its refs in the
+/// owning space's manager, so the cost of a stale generation is its
+/// pinned BDD nodes — bounded, in practice, by the handful of hashes an
+/// edit dialogue toggles between.
 #[derive(Debug, Default)]
 pub struct FireSetCache {
-    entries: HashMap<(RuleId, u64), FireSets>,
+    entries: HashMap<(RuleId, u64), CachedSets>,
 }
 
 impl FireSetCache {
@@ -113,21 +123,48 @@ impl FireSetCache {
         } else {
             clarify_obs::global().counter("incr.cache_misses").incr();
         }
-        hit
+        hit.map(|c| &c.sets)
     }
 
-    /// Stores the fire-sets of `id` at content hash `hash`.
-    pub fn insert(&mut self, id: RuleId, hash: u64, sets: FireSets) {
-        self.entries.insert((id, hash), sets);
+    /// Stores the fire-sets of `id` at content hash `hash`, protecting
+    /// every ref in `mgr` — which must be the manager of the space that
+    /// built `sets` — so the entry survives collection and reordering.
+    pub fn insert(&mut self, mgr: &mut Manager, id: RuleId, hash: u64, sets: FireSets) {
+        let roots = sets
+            .fires
+            .iter()
+            .chain(std::iter::once(&sets.remainder))
+            .map(|&r| mgr.protect(r))
+            .collect();
+        if let Some(old) = self.entries.insert((id, hash), CachedSets { sets, roots }) {
+            for root in old.roots {
+                mgr.unprotect(root);
+            }
+        }
     }
 
-    /// Drops every cached generation of one object.
-    pub fn invalidate(&mut self, id: &RuleId) {
-        self.entries.retain(|(k, _), _| k != id);
+    /// Drops every cached generation of one object, releasing its roots
+    /// in `mgr` (the same manager the entries were inserted with).
+    pub fn invalidate(&mut self, mgr: &mut Manager, id: &RuleId) {
+        let gone: Vec<(RuleId, u64)> = self
+            .entries
+            .keys()
+            .filter(|(k, _)| k == id)
+            .cloned()
+            .collect();
+        for key in gone {
+            let cached = self.entries.remove(&key).expect("key just enumerated");
+            for root in cached.roots {
+                mgr.unprotect(root);
+            }
+        }
     }
 
     /// Drops everything — required whenever the owning space is rebuilt,
-    /// because cached Refs point into the old manager.
+    /// because cached Refs point into the old manager. The roots are
+    /// dropped without unprotecting: the old manager is going away with
+    /// its space, and a leaked root slot merely pins nodes for the
+    /// remainder of that manager's life (the safe failure mode).
     pub fn clear(&mut self) {
         self.entries.clear();
     }
@@ -151,7 +188,7 @@ impl RouteSpace {
         }
         let (fires, remainder) = self.fire_sets(cfg, map)?;
         let sets = FireSets { fires, remainder };
-        cache.insert(id, hash, sets.clone());
+        cache.insert(self.manager(), id, hash, sets.clone());
         Ok(sets)
     }
 }
@@ -165,7 +202,7 @@ impl PacketSpace {
         }
         let (fires, remainder) = self.fire_sets(acl);
         let sets = FireSets { fires, remainder };
-        cache.insert(id, hash, sets.clone());
+        cache.insert(self.manager(), id, hash, sets.clone());
         sets
     }
 }
@@ -184,7 +221,7 @@ impl PrefixSpace {
         }
         let (fires, remainder) = self.fire_sets(list);
         let sets = FireSets { fires, remainder };
-        cache.insert(id, hash, sets.clone());
+        cache.insert(self.manager(), id, hash, sets.clone());
         sets
     }
 }

@@ -222,9 +222,11 @@ impl NetworkSpace {
         Ok(acc)
     }
 
-    /// Drops the manager's memoization tables between work items. Cached
-    /// fire-set `Ref`s stay valid — the unique table never frees nodes —
-    /// so the fire-set cache is deliberately kept.
+    /// Drops the manager's memoization tables between work items — and,
+    /// since the route space arms auto-GC, lets the kernel collect
+    /// unrooted nodes (or re-sift a degraded order) here. Cached fire-set
+    /// `Ref`s stay valid because the internal [`FireSetCache`] roots every
+    /// entry; any other ref held across this call does not survive.
     pub fn clear_op_caches(&mut self) {
         self.space.manager().clear_op_caches();
     }

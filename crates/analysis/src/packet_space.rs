@@ -16,6 +16,8 @@ pub struct PacketSpace {
     sport_vars: Vec<u32>,
     dport_vars: Vec<u32>,
     valid: Ref,
+    /// Pins `valid` across the manager's collections (never unprotected).
+    _valid_root: clarify_bdd::Root,
 }
 
 impl Default for PacketSpace {
@@ -48,6 +50,11 @@ impl PacketSpace {
         let mut mgr = Manager::with_capacity(next, 1 << 14);
         // Protocol code 0 is the `ip` wildcard, never a concrete packet.
         let valid = mgr.ge_const(&proto_vars, 1);
+        // Pin it and let the kernel collect unrooted garbage between work
+        // items. The handcrafted variable order is already interleaved, so
+        // auto-reorder stays off for packets.
+        let valid_root = mgr.protect(valid);
+        mgr.set_auto_gc(true);
         PacketSpace {
             mgr,
             src_vars,
@@ -56,6 +63,7 @@ impl PacketSpace {
             sport_vars,
             dport_vars,
             valid,
+            _valid_root: valid_root,
         }
     }
 

@@ -46,6 +46,9 @@ pub struct RouteSpace {
     pub(crate) comm_vars: Vec<u32>,
     pub(crate) path_vars: Vec<u32>,
     valid: Ref,
+    /// Pins `valid` across the manager's collections for the lifetime of
+    /// the space (never unprotected — the safe failure mode).
+    _valid_root: clarify_bdd::Root,
 }
 
 impl RouteSpace {
@@ -127,6 +130,13 @@ impl RouteSpace {
             let in_range = mgr.le_const(&path_vars, (path_atoms.len().max(1) - 1) as u64);
             valid = mgr.and(valid, in_range);
         }
+        // Pin the validity predicate and let the kernel collect everything
+        // unrooted (and re-sift a degraded order) at the clear_op_caches
+        // seams between work items. Witnesses are order-invariant, so
+        // neither touches decoded output.
+        let valid_root = mgr.protect(valid);
+        mgr.set_auto_gc(true);
+        mgr.set_auto_reorder(true);
 
         Ok(RouteSpace {
             mgr,
@@ -142,6 +152,7 @@ impl RouteSpace {
             comm_vars,
             path_vars,
             valid,
+            _valid_root: valid_root,
         })
     }
 

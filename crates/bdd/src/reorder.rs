@@ -1,0 +1,327 @@
+//! Sifting-based dynamic variable reordering (Rudell's algorithm).
+//!
+//! The primitive is an **adjacent-level swap** performed in place: when
+//! levels `l` (variable `x`) and `l+1` (variable `y`) swap, every x-node
+//! that depends on y is rewritten *in its own arena slot* as a y-node
+//! over freshly consed x-children, and every other node is untouched.
+//! Because a slot keeps denoting the same Boolean function, external
+//! [`crate::Ref`]s — including every [`crate::Root`] — survive any
+//! sequence of swaps unchanged. Orphaned y-nodes are reclaimed by
+//! transient reference counts with cascading deaths, so the live-node
+//! count tracked during sifting is exactly the canonical ROBDD size of
+//! the rooted function set under the current order.
+//!
+//! A sifting pass moves each variable (most-populated first) down to the
+//! bottom and up to the top of the order, records the best position seen,
+//! aborts a direction once the diagram grows past 6/5 of the best size,
+//! and finally parks the variable at its best level. The pass is
+//! deterministic: no randomness, stable tie-breaks, and the node count at
+//! any order is canonical (path-independent), so serial and parallel
+//! builds that reorder at the same point see identical diagrams.
+
+use std::collections::HashMap;
+use std::time::Instant;
+
+use crate::manager::{Manager, Node, DEAD_VAR};
+use crate::Ref;
+
+/// Direction abort threshold: stop sifting a direction once the diagram
+/// exceeds `best * GROWTH_NUM / GROWTH_DEN` (= 1.2x).
+const GROWTH_NUM: usize = 6;
+const GROWTH_DEN: usize = 5;
+
+/// What one sifting pass did.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ReorderStats {
+    /// Live nodes before the pass (after its initial collection).
+    pub before_nodes: usize,
+    /// Live nodes after the pass.
+    pub after_nodes: usize,
+    /// Adjacent-level swaps performed.
+    pub swaps: u64,
+    /// Wall-clock nanoseconds spent in the pass.
+    pub duration_ns: u64,
+}
+
+/// Transient sifting state: per-node reference counts and per-variable
+/// node lists, both maintained across every swap of one pass. Lists are
+/// pruned lazily — entries whose slot died or moved to another variable
+/// are skipped on the next scan.
+struct SiftState {
+    rc: Vec<u32>,
+    var_nodes: Vec<Vec<u32>>,
+}
+
+impl Manager {
+    /// Runs one sifting pass over every variable, searching for a
+    /// variable order that shrinks the diagram.
+    ///
+    /// Only functions reachable from [`crate::Root`] handles survive: the
+    /// pass opens with a mark-and-sweep (reference counts must describe
+    /// the live graph exactly), so unrooted refs are invalidated just
+    /// like [`Manager::gc`] invalidates them. Rooted refs stay valid and
+    /// keep denoting the same functions. Decoded witnesses are unaffected
+    /// because witness extraction is order-invariant (see
+    /// [`Manager::any_sat`]).
+    pub fn reorder(&mut self) -> ReorderStats {
+        let t0 = Instant::now();
+        self.gc();
+        let before_nodes = self.live_nodes;
+        let num_vars = self.num_vars() as usize;
+        let mut swaps = 0u64;
+        if num_vars >= 2 && self.live_nodes > 0 {
+            let mut st = self.build_sift_state();
+            // Most-populated variables first: they have the most to gain,
+            // and later sifts run against an already-shrunk diagram.
+            // Stable sort => deterministic tie-break by variable id.
+            let mut order: Vec<u32> = (0..self.num_vars()).collect();
+            order.sort_by_key(|&v| std::cmp::Reverse(self.live_var_count(&st, v)));
+            for &v in &order {
+                if self.live_var_count(&st, v) == 0 {
+                    continue;
+                }
+                self.sift_var(v, &mut st, &mut swaps);
+            }
+            self.unique.rebuild(&self.nodes, self.live_nodes);
+        }
+        self.order_identity = self
+            .var2level
+            .iter()
+            .enumerate()
+            .all(|(v, &l)| l == v as u32);
+        let duration_ns = t0.elapsed().as_nanos() as u64;
+        self.reorder_runs += 1;
+        self.reorder_swaps += swaps;
+        self.reorder_ns += duration_ns;
+        self.obs.reorder_runs.incr();
+        self.obs.reorder_swaps.add(swaps);
+        self.obs.reorder_ns.add(duration_ns);
+        ReorderStats {
+            before_nodes,
+            after_nodes: self.live_nodes,
+            swaps,
+            duration_ns,
+        }
+    }
+
+    /// Reference counts from the live graph plus the root set, and the
+    /// per-variable node lists. Runs right after the opening collection,
+    /// so every non-dead node is root-reachable and gets rc >= 1.
+    fn build_sift_state(&self) -> SiftState {
+        let mut rc = vec![0u32; self.nodes.len()];
+        let mut var_nodes: Vec<Vec<u32>> = vec![Vec::new(); self.num_vars() as usize];
+        for idx in 1..self.nodes.len() {
+            let n = self.nodes[idx];
+            if n.var >= DEAD_VAR {
+                continue;
+            }
+            var_nodes[n.var as usize].push(idx as u32);
+            rc[n.lo.index() as usize] += 1;
+            rc[n.hi.index() as usize] += 1;
+        }
+        for r in self.roots.iter().flatten() {
+            rc[r.index() as usize] += 1;
+        }
+        SiftState { rc, var_nodes }
+    }
+
+    /// Live nodes currently labelled with `var` (prunes stale entries).
+    fn live_var_count(&self, st: &SiftState, var: u32) -> usize {
+        st.var_nodes[var as usize]
+            .iter()
+            .filter(|&&i| self.nodes[i as usize].var == var)
+            .count()
+    }
+
+    /// Sifts one variable: down to the bottom, up to the top (each
+    /// direction abandoned past the growth bound), then back to the best
+    /// level seen. The first minimum along the trajectory wins ties.
+    fn sift_var(&mut self, v: u32, st: &mut SiftState, swaps: &mut u64) {
+        let bottom = self.num_vars() as usize - 1;
+        let start = self.var2level[v as usize] as usize;
+        let mut l = start;
+        let mut best_size = self.live_nodes;
+        let mut best_level = start;
+        while l < bottom {
+            self.swap_levels(l, st);
+            *swaps += 1;
+            l += 1;
+            if self.live_nodes < best_size {
+                best_size = self.live_nodes;
+                best_level = l;
+            }
+            if self.live_nodes * GROWTH_DEN > best_size * GROWTH_NUM {
+                break;
+            }
+        }
+        while l > 0 {
+            self.swap_levels(l - 1, st);
+            *swaps += 1;
+            l -= 1;
+            if self.live_nodes < best_size {
+                best_size = self.live_nodes;
+                best_level = l;
+            }
+            if self.live_nodes * GROWTH_DEN > best_size * GROWTH_NUM {
+                break;
+            }
+        }
+        while l < best_level {
+            self.swap_levels(l, st);
+            *swaps += 1;
+            l += 1;
+        }
+        while l > best_level {
+            self.swap_levels(l - 1, st);
+            *swaps += 1;
+            l -= 1;
+        }
+        debug_assert_eq!(self.live_nodes, best_size, "size not canonical per order");
+    }
+
+    /// Swaps order levels `l` and `l+1` in place.
+    ///
+    /// With `x` at level `l` and `y` at `l+1`: x-nodes not depending on y
+    /// keep their slot and label (their level moves with the map swap);
+    /// x-nodes depending on y are rewritten in place as y-nodes over
+    /// consed x-children. The rewritten slot denotes the same function,
+    /// so no edge pointing at it needs patching. New x-children are
+    /// consed against a local table of the surviving x-stayers — the
+    /// global unique table is stale during sifting and rebuilt once at
+    /// the end of the pass.
+    ///
+    /// Canonical-form note: a rewritten node's then-edge is always
+    /// regular. Its then-child is `mk(x, f01, f11)` whose own then-child
+    /// `f11` is the then-cofactor of a regular then-edge — regular by the
+    /// node invariant — so neither the complement-out rule nor the
+    /// `lo == hi` reduction can ever hand back a complemented then-edge.
+    fn swap_levels(&mut self, l: usize, st: &mut SiftState) {
+        let x = self.level2var[l];
+        let y = self.level2var[l + 1];
+        let mut xs = std::mem::take(&mut st.var_nodes[x as usize]);
+        // A slot freed mid-pass and re-allocated for the same variable is
+        // pushed again while its stale entry lingers; processing a mover
+        // slot twice would re-read it *after* the rewrite. Dedup first.
+        xs.sort_unstable();
+        xs.dedup();
+        let mut stayers: Vec<u32> = Vec::with_capacity(xs.len());
+        let mut movers: Vec<u32> = Vec::new();
+        for idx in xs {
+            let n = self.nodes[idx as usize];
+            if n.var != x {
+                continue; // stale: slot died or was rewritten earlier
+            }
+            if self.var_of(n.lo) == y || self.var_of(n.hi) == y {
+                movers.push(idx);
+            } else {
+                stayers.push(idx);
+            }
+        }
+        let mut local: HashMap<(u32, u32), u32> = stayers
+            .iter()
+            .map(|&i| {
+                let n = self.nodes[i as usize];
+                ((n.lo.0, n.hi.0), i)
+            })
+            .collect();
+        st.var_nodes[x as usize] = stayers;
+        for idx in movers {
+            let n = self.nodes[idx as usize];
+            let (f0, f1) = (n.lo, n.hi);
+            let (f00, f01) = if self.var_of(f0) == y {
+                self.children(f0)
+            } else {
+                (f0, f0)
+            };
+            let (f10, f11) = if self.var_of(f1) == y {
+                self.children(f1)
+            } else {
+                (f1, f1)
+            };
+            let a = self.mk_sift(x, f00, f10, st, &mut local);
+            let b = self.mk_sift(x, f01, f11, st, &mut local);
+            debug_assert!(!b.is_complement(), "then-edge must stay regular");
+            debug_assert_ne!(a, b, "mover did not actually depend on y");
+            self.nodes[idx as usize] = Node {
+                var: y,
+                lo: a,
+                hi: b,
+            };
+            st.var_nodes[y as usize].push(idx);
+            self.deref_cascade(f0, st);
+            self.deref_cascade(f1, st);
+        }
+        self.level2var.swap(l, l + 1);
+        self.var2level.swap(x as usize, y as usize);
+    }
+
+    /// The variable labelling `r`'s slot, or `u32::MAX` for terminals.
+    fn var_of(&self, r: Ref) -> u32 {
+        if r.is_const() {
+            u32::MAX
+        } else {
+            self.nodes[(r.0 >> 1) as usize].var
+        }
+    }
+
+    /// `mk` against the swap-local consing table, maintaining reference
+    /// counts: the returned ref carries one fresh reference for its
+    /// caller (the rewritten mover).
+    fn mk_sift(
+        &mut self,
+        var: u32,
+        lo: Ref,
+        hi: Ref,
+        st: &mut SiftState,
+        local: &mut HashMap<(u32, u32), u32>,
+    ) -> Ref {
+        if lo == hi {
+            st.rc[lo.index() as usize] += 1;
+            return lo;
+        }
+        let (lo, hi, complement_out) = if hi.is_complement() {
+            (lo.complement(), hi.complement(), 1u32)
+        } else {
+            (lo, hi, 0u32)
+        };
+        if let Some(&i) = local.get(&(lo.0, hi.0)) {
+            st.rc[i as usize] += 1;
+            return Ref(i << 1 | complement_out);
+        }
+        let idx = self.alloc_node(Node { var, lo, hi });
+        if st.rc.len() <= idx as usize {
+            st.rc.resize(idx as usize + 1, 0);
+        }
+        st.rc[idx as usize] = 1;
+        st.rc[lo.index() as usize] += 1;
+        st.rc[hi.index() as usize] += 1;
+        local.insert((lo.0, hi.0), idx);
+        st.var_nodes[var as usize].push(idx);
+        self.obs.unique_nodes.add(1);
+        Ref(idx << 1 | complement_out)
+    }
+
+    /// Drops one reference to `r`, freeing its slot and cascading into
+    /// its children when the count reaches zero.
+    fn deref_cascade(&mut self, r: Ref, st: &mut SiftState) {
+        let mut stack = vec![r.index()];
+        while let Some(idx) = stack.pop() {
+            if idx == 0 {
+                continue; // the terminal is never freed
+            }
+            let i = idx as usize;
+            debug_assert!(st.rc[i] > 0, "refcount underflow");
+            st.rc[i] -= 1;
+            if st.rc[i] == 0 {
+                let n = self.nodes[i];
+                debug_assert!(n.var < DEAD_VAR, "double free");
+                self.nodes[i].var = DEAD_VAR;
+                self.free.push(idx);
+                self.live_nodes -= 1;
+                self.obs.unique_nodes.sub(1);
+                stack.push(n.lo.index());
+                stack.push(n.hi.index());
+            }
+        }
+    }
+}

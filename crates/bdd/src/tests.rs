@@ -766,6 +766,49 @@ mod kernel_differential {
             prop_assert_eq!(f, again, "rebuild after clear_op_caches");
         }
     }
+
+    property! {
+        /// The kernel still agrees with the oracle after a forced sifting
+        /// pass and a collection mid-property: rooted functions keep their
+        /// semantics, witnesses stay byte-identical across the reorder
+        /// (order-invariant extraction), and rebuilding the expression
+        /// after a sweep lands on the identical canonical Ref.
+        fn kernel_matches_oracle_across_reorder_and_gc(
+            e in arb_expr,
+            samples in |g: &mut Source| -> Vec<usize> {
+                (0..32).map(|_| g.gen_range(0usize..1 << 16)).collect()
+            },
+        ) cases 32 {
+            let want = oracle(&e);
+            let models = popcount(&want);
+
+            let mut m = Manager::new(NVARS);
+            let f = build(&mut m, &e);
+            let root = m.protect(f);
+            let lo_before = m.any_sat(f);
+            let hi_before = m.any_sat_high(f);
+
+            // Reorder invalidates every unrooted ref; the root survives.
+            m.reorder();
+            let f = root.as_ref();
+            prop_assert_eq!(m.sat_count_exact(f), models, "model count after reorder");
+            prop_assert_eq!(m.any_sat(f), lo_before, "lex-min witness after reorder");
+            prop_assert_eq!(m.any_sat_high(f), hi_before, "lex-max witness after reorder");
+            for &i in &samples {
+                let got = m.eval(f, &|v| (i >> v) & 1 == 1);
+                prop_assert_eq!(got, table_bit(&want, i), "eval after reorder at {:016b}", i);
+            }
+
+            // A sweep with the root pinned, then a rebuild: canonicity
+            // under the (possibly sifted) order means the rebuild must
+            // return the very same tagged Ref.
+            m.gc();
+            prop_assert_eq!(m.sat_count_exact(root.as_ref()), models, "model count after gc");
+            let again = build(&mut m, &e);
+            prop_assert_eq!(again, root.as_ref(), "rebuild after reorder+gc");
+            m.unprotect(root);
+        }
+    }
 }
 
 #[test]
@@ -854,4 +897,270 @@ fn obs_counters_survive_clear_op_caches_but_gauge_drops() {
     drop(m);
     assert_eq!(reg.snapshot().gauge("bdd.unique_nodes"), 0);
     assert_eq!(reg.snapshot().gauge("bdd.ite_cache_entries"), 0);
+}
+
+mod gc_and_reorder {
+    //! Complement-edge sharing, the root/collect lifecycle, and sifting.
+
+    use super::*;
+
+    #[test]
+    fn negation_allocates_nothing_and_shares_every_node() {
+        let (mut m, a, b, c) = three();
+        let ab = m.and(a, b);
+        let f = m.or(ab, c);
+        let nodes_before = m.live_node_count();
+        let nf = m.not(f);
+        assert_eq!(
+            m.live_node_count(),
+            nodes_before,
+            "complement negation must not touch the arena"
+        );
+        assert_eq!(nf.index(), f.index(), "f and !f share their top node");
+        assert_eq!(m.size(f), m.size(nf), "f and !f share the whole diagram");
+        assert_ne!(f, nf);
+    }
+
+    #[test]
+    fn complement_edges_appear_in_stats() {
+        let (mut m, a, b, c) = three();
+        // iff forces mixed-polarity else edges somewhere in the diagram.
+        let ab = m.iff(a, b);
+        let f = m.iff(ab, c);
+        assert!(!f.is_const());
+        assert!(
+            m.stats().complement_edges > 0,
+            "a chain of iffs must store at least one complemented else edge"
+        );
+    }
+
+    #[test]
+    fn gc_frees_unrooted_nodes_and_keeps_rooted_semantics() {
+        let mut m = Manager::new(16);
+        let vars: Vec<u32> = (0..16).collect();
+        let keep = m.range_const(&vars, 100, 20_000);
+        let root = m.protect(keep);
+        // Garbage: never rooted, dropped by the next sweep.
+        for i in 0..32u64 {
+            let _ = m.range_const(&vars, i * 7, i * 7 + 1_000);
+        }
+        let before = m.live_node_count();
+        let stats = m.gc();
+        assert!(stats.freed > 0, "the unrooted ranges must be swept");
+        assert_eq!(stats.live, m.live_node_count());
+        assert!(m.live_node_count() < before);
+        // The rooted function is untouched, down to its witnesses.
+        let f = root.as_ref();
+        assert_eq!(m.sat_count_exact(f), 20_000 - 100 + 1);
+        assert_eq!(m.any_sat(f).expect("sat").decode(&vars), 100);
+        assert_eq!(m.any_sat_high(f).expect("sat").decode(&vars), 20_000);
+        m.unprotect(root);
+    }
+
+    #[test]
+    fn swept_slots_are_reused_without_growing_the_arena() {
+        let mut m = Manager::new(16);
+        let vars: Vec<u32> = (0..16).collect();
+        let f = m.eq_const(&vars, 12_345);
+        let root = m.protect(f);
+        // Plenty of garbage, so the sweep leaves a deep free list.
+        for i in 0..64u64 {
+            let _ = m.range_const(&vars, i * 13, i * 13 + 4_000);
+        }
+        let stats = m.gc();
+        assert!(
+            stats.freed > 100,
+            "expected a deep free list, freed {}",
+            stats.freed
+        );
+        let capacity = m.stats().capacity_nodes;
+        // New allocations must draw from the free list, not grow the arena.
+        for i in 0..16u64 {
+            let g = m.eq_const(&vars, 20_000 + i);
+            assert!(!g.is_const());
+        }
+        assert_eq!(
+            m.stats().capacity_nodes,
+            capacity,
+            "allocation after gc must draw from the free list"
+        );
+        m.unprotect(root);
+    }
+
+    #[test]
+    fn stats_distinguish_live_nodes_from_arena_capacity() {
+        let mut m = Manager::new(16);
+        let vars: Vec<u32> = (0..16).collect();
+        let keep = m.eq_const(&vars, 99);
+        let root = m.protect(keep);
+        for i in 0..16u64 {
+            let _ = m.range_const(&vars, i * 11, i * 11 + 2_000);
+        }
+        let before = m.stats();
+        assert_eq!(before.nodes, before.capacity_nodes, "no dead slots yet");
+        m.gc();
+        let after = m.stats();
+        assert_eq!(after.nodes, m.live_node_count());
+        assert!(
+            after.nodes < after.capacity_nodes,
+            "post-gc stats must not report dead slots as resident nodes"
+        );
+        assert_eq!(
+            after.capacity_nodes, before.capacity_nodes,
+            "sweep never shrinks the arena"
+        );
+        assert_eq!(after.gc_runs, 1);
+        assert!(after.gc_freed_nodes > 0);
+        m.unprotect(root);
+    }
+
+    #[test]
+    fn reprotect_repoints_a_root_in_place() {
+        let mut m = Manager::new(8);
+        let a = m.var(0);
+        let b = m.var(1);
+        let f = m.and(a, b);
+        let mut root = m.protect(f);
+        let g = m.or(a, b);
+        m.reprotect(&mut root, g);
+        assert_eq!(root.as_ref(), g);
+        assert_eq!(m.root_count(), 1, "reprotect must not grow the slab");
+        m.gc();
+        // f was abandoned by the reprotect; g survives.
+        assert_eq!(m.sat_count_exact(root.as_ref()), 3 << 6);
+        m.unprotect(root);
+        assert_eq!(m.root_count(), 0);
+    }
+
+    /// The sifting target from the bench suite: `AND_i (a_i <-> b_i)` with
+    /// all the `a_i` ordered before all the `b_i` is exponential; the
+    /// interleaved order is linear. One pass must recover at least 1.5x.
+    #[test]
+    fn reorder_recovers_from_a_bad_static_order() {
+        let n = 9u32;
+        let mut m = Manager::new(2 * n);
+        let mut f = Ref::TRUE;
+        for i in 0..n {
+            let a = m.var(i);
+            let b = m.var(n + i);
+            let e = m.iff(a, b);
+            f = m.and(f, e);
+        }
+        let root = m.protect(f);
+        let lo_before = m.any_sat(f);
+        let hi_before = m.any_sat_high(f);
+
+        let stats = m.reorder();
+        assert!(stats.swaps > 0);
+        assert!(
+            stats.after_nodes * 3 <= stats.before_nodes * 2,
+            "sifting must shrink the bad order by >=1.5x, got {} -> {}",
+            stats.before_nodes,
+            stats.after_nodes
+        );
+        assert_eq!(m.live_node_count(), stats.after_nodes);
+        assert_eq!(m.stats().reorder_runs, 1);
+
+        // Semantics and witnesses are pinned across the reorder.
+        let f = root.as_ref();
+        assert_eq!(m.sat_count_exact(f), 1 << n);
+        assert_eq!(m.any_sat(f), lo_before, "lex-min witness changed");
+        assert_eq!(m.any_sat_high(f), hi_before, "lex-max witness changed");
+        m.unprotect(root);
+    }
+
+    #[test]
+    fn reorder_on_an_already_good_order_is_harmless() {
+        let mut m = Manager::new(8);
+        let vars: Vec<u32> = (0..8).collect();
+        let f = m.le_const(&vars, 100);
+        let root = m.protect(f);
+        let before = m.live_node_count();
+        let stats = m.reorder();
+        assert!(stats.after_nodes <= before);
+        assert_eq!(m.sat_count_exact(root.as_ref()), 101);
+        m.unprotect(root);
+    }
+
+    /// The GC-stress soak: hundreds of build/drop rounds with automatic
+    /// collection armed must hold the live-node high-water flat instead of
+    /// accumulating every round's garbage (the daemon-session regression
+    /// this kernel exists to fix).
+    #[test]
+    fn auto_gc_keeps_session_live_nodes_bounded() {
+        const ROUNDS: u64 = 220;
+        let mut m = Manager::new(32);
+        let vars: Vec<u32> = (0..32).collect();
+        let valid = m.range_const(&vars, 0, u64::from(u32::MAX) / 2);
+        let root = m.protect(valid);
+        m.set_auto_gc(true);
+
+        let mut high_water = 0usize;
+        let mut allocated_total = 0usize;
+        for round in 0..ROUNDS {
+            // One "session turn": a handful of per-turn predicates that
+            // nothing roots, then the turn-boundary cache clear.
+            let mut acc = root.as_ref();
+            for i in 0..8u64 {
+                let lo = (round * 131 + i * 977) % 60_000;
+                let r = m.range_const(&vars, lo, lo + 35_000);
+                acc = m.xor(acc, r);
+            }
+            assert!(!acc.is_const());
+            high_water = high_water.max(m.live_node_count());
+            let capacity_before = m.stats().capacity_nodes;
+            m.clear_op_caches(); // the auto-gc hook lives here
+            allocated_total += capacity_before;
+        }
+
+        let stats = m.stats();
+        assert!(stats.gc_runs >= 5, "auto-gc never fired: {stats:?}");
+        assert!(
+            high_water < 32_768,
+            "live-node high-water {high_water} is not bounded"
+        );
+        assert!(
+            stats.capacity_nodes < 32_768,
+            "arena capacity {} keeps growing despite the free list",
+            stats.capacity_nodes
+        );
+        assert!(
+            allocated_total > 10 * high_water,
+            "workload too small to prove anything"
+        );
+        // The rooted validity predicate is intact after every sweep.
+        assert_eq!(
+            m.sat_count_exact(root.as_ref()),
+            u128::from(u32::MAX / 2) + 1
+        );
+        m.unprotect(root);
+    }
+
+    #[test]
+    fn auto_reorder_fires_at_the_trigger_and_shrinks() {
+        // Interleaving-hostile iff pairs, sized past the reorder floor
+        // (n = 11 keeps ~6k live nodes rooted, above the 4096 trigger).
+        let n = 11u32;
+        let mut m = Manager::new(2 * n);
+        let mut f = Ref::TRUE;
+        for i in 0..n {
+            let a = m.var(i);
+            let b = m.var(n + i);
+            let e = m.iff(a, b);
+            f = m.and(f, e);
+        }
+        let root = m.protect(f);
+        m.set_auto_gc(true);
+        m.set_auto_reorder(true);
+        let before = m.live_node_count();
+        assert!(
+            before >= 1 << 12,
+            "workload must sit above the reorder floor"
+        );
+        m.clear_op_caches();
+        assert_eq!(m.stats().reorder_runs, 1, "auto-reorder should have fired");
+        assert!(m.live_node_count() < before);
+        assert_eq!(m.sat_count_exact(root.as_ref()), 1 << n);
+        m.unprotect(root);
+    }
 }

@@ -4,12 +4,15 @@
 //! the keys: slots hold bare `u32` node indices and key comparison reads
 //! the node arena directly, so each slot costs four bytes and a lookup
 //! that stays in one cache line usually touches the arena exactly once.
-//! Capacity is a power of two (masked indexing, no division), collisions
-//! resolve by linear probing, and the table never deletes — the set of
-//! keys *is* the set of internal nodes, which is what makes the rehash
-//! below possible without storing keys at all.
+//! Capacity is a power of two (masked indexing, no division) and
+//! collisions resolve by linear probing. The table never deletes
+//! *incrementally* — between collections the set of keys is exactly the
+//! set of live internal nodes — but the garbage collector and the sifting
+//! pass retire nodes wholesale, after which [`UniqueTable::rebuild`]
+//! reconstitutes the table from the surviving arena slots (dead slots are
+//! tagged with a `var` sentinel and skipped).
 
-use crate::manager::Node;
+use crate::manager::{Node, DEAD_VAR};
 
 /// Slot sentinel for "no node here". Arena indices are capped far below
 /// this by [`crate::manager::Manager`], so the sentinel can never collide
@@ -21,6 +24,8 @@ const EMPTY_SLOT: u32 = u32::MAX;
 const MIN_CAPACITY: usize = 1 << 10;
 
 /// FxHash-style multiplicative mixing over the `(var, lo, hi)` triple.
+/// `lo` and `hi` are *tagged* refs (`index << 1 | complement`), so the
+/// complement bit participates in the hash for free.
 ///
 /// Each word is folded in with a multiply by the 64-bit golden-ratio
 /// constant (the splitmix64 increment); the final xor-shift folds the
@@ -38,7 +43,7 @@ pub(crate) fn mix_triple(var: u32, lo: u32, hi: u32) -> u64 {
 pub(crate) struct UniqueTable {
     /// Power-of-two slot array of arena indices (`EMPTY_SLOT` = vacant).
     slots: Vec<u32>,
-    /// Occupied slots; grows monotonically (no deletion).
+    /// Occupied slots; grows on insert, resets on [`UniqueTable::rebuild`].
     len: usize,
     /// Cumulative slot inspections across all lookups (the `bdd.unique_probes`
     /// counter). A value close to `len` means the hash is doing its job.
@@ -49,14 +54,17 @@ impl UniqueTable {
     /// A table sized so that `node_hint` nodes fit below the 3/4 load
     /// ceiling without rehashing.
     pub(crate) fn with_node_capacity(node_hint: usize) -> UniqueTable {
-        let cap = (node_hint.saturating_mul(4) / 3 + 1)
-            .next_power_of_two()
-            .max(MIN_CAPACITY);
         UniqueTable {
-            slots: vec![EMPTY_SLOT; cap],
+            slots: vec![EMPTY_SLOT; Self::capacity_for(node_hint)],
             len: 0,
             probes: 0,
         }
+    }
+
+    fn capacity_for(nodes: usize) -> usize {
+        (nodes.saturating_mul(4) / 3 + 1)
+            .next_power_of_two()
+            .max(MIN_CAPACITY)
     }
 
     /// Cumulative probe count (monotone; survives rehashes).
@@ -69,27 +77,41 @@ impl UniqueTable {
     /// the returned insertion slot stays valid.
     pub(crate) fn reserve_one(&mut self, nodes: &[Node]) {
         if (self.len + 1) * 4 > self.slots.len() * 3 {
-            self.grow(nodes);
+            let cap = self.slots.len() * 2;
+            self.rehash(nodes, cap);
         }
     }
 
-    /// Rebuilds the table at double capacity straight from the node
-    /// arena. Every internal node is a key and all keys are distinct
-    /// (hash-consing invariant), so reinsertion needs no comparisons —
-    /// just a probe for the first empty slot.
-    fn grow(&mut self, nodes: &[Node]) {
-        let cap = self.slots.len() * 2;
+    /// Rebuilds the table from the arena after a collection or a sifting
+    /// pass, sized for `live` nodes (the table may shrink back — daemon
+    /// sessions rely on that for memory flatness). Dead slots carry the
+    /// `DEAD_VAR` sentinel and are skipped.
+    pub(crate) fn rebuild(&mut self, nodes: &[Node], live: usize) {
+        self.rehash(nodes, Self::capacity_for(live));
+    }
+
+    /// Rebuilds at `cap` slots straight from the node arena. Every live
+    /// internal node is a key and all keys are distinct (hash-consing
+    /// invariant), so reinsertion needs no comparisons — just a probe for
+    /// the first empty slot.
+    fn rehash(&mut self, nodes: &[Node], cap: usize) {
         let mask = cap - 1;
         let mut slots = vec![EMPTY_SLOT; cap];
-        // Arena slots 0 and 1 are the terminal sentinels, never hashed.
-        for (idx, n) in nodes.iter().enumerate().skip(2) {
+        let mut len = 0;
+        // Arena slot 0 is the terminal, never hashed; dead slots skipped.
+        for (idx, n) in nodes.iter().enumerate().skip(1) {
+            if n.var >= DEAD_VAR {
+                continue;
+            }
             let mut s = mix_triple(n.var, n.lo.0, n.hi.0) as usize & mask;
             while slots[s] != EMPTY_SLOT {
                 s = (s + 1) & mask;
             }
             slots[s] = idx as u32;
+            len += 1;
         }
         self.slots = slots;
+        self.len = len;
     }
 
     /// Linear-probes for `(var, lo, hi)`: `Ok(index)` when the node is

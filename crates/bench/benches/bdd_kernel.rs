@@ -78,10 +78,107 @@ fn bench_e1_overlap(c: &mut Criterion) {
     });
 }
 
+/// Negation-heavy churn: alternating `not`/`xor` over wide interval
+/// constraints. Without complement edges every negation materialises a
+/// mirrored copy of its operand's DAG; with them it is a bit flip, so
+/// both the node count and the time collapse. The peak live-node count is
+/// printed once so the trajectory can pin the structural claim, not just
+/// the timing.
+fn bench_negation_heavy(c: &mut Criterion) {
+    let vars: Vec<u32> = (0..32).collect();
+    let run = |m: &mut Manager| {
+        let mut acc = clarify_bdd::Ref::TRUE;
+        for i in 0..24u64 {
+            let r = m.range_const(&vars, i * 500, i * 500 + 40_000);
+            let nr = m.not(r);
+            let x = m.xor(acc, nr);
+            acc = m.not(x);
+        }
+        acc
+    };
+    {
+        // Node-count evidence (no GC runs here, so live == peak == total
+        // allocated): the complement-edge kernel shares every negation.
+        let mut m = Manager::new(32);
+        run(&mut m);
+        eprintln!(
+            "bdd_kernel/negation_heavy: peak live nodes = {}",
+            m.live_node_count()
+        );
+    }
+    c.bench_function("bdd_kernel/negation_heavy", |b| {
+        b.iter(|| {
+            let mut m = Manager::new(32);
+            black_box(run(&mut m))
+        });
+    });
+}
+
+/// Order-sensitivity: the textbook worst case, `AND_i (x_i <-> y_i)` with
+/// every `x` above every `y` (exponential in n), queried by repeated
+/// rounds of cofactor model counts — the `and` products memoize but every
+/// count is a fresh O(nodes) sweep, the shape of a lint pass re-asking
+/// emptiness/witness questions of one fire set. The `static` variant pays
+/// the bad order on every sweep; `sifted` calls [`Manager::reorder`]
+/// first — per iteration, so the measured win is net of the sifting pass
+/// itself.
+fn bench_reorder_sensitive(c: &mut Criterion) {
+    let n = 11u32;
+    let build = |m: &mut Manager| {
+        let mut f = clarify_bdd::Ref::TRUE;
+        for i in 0..n {
+            let a = m.var(i);
+            let b = m.var(n + i);
+            let e = m.iff(a, b);
+            f = m.and(f, e);
+        }
+        f
+    };
+    {
+        let mut m = Manager::new(2 * n);
+        let f = build(&mut m);
+        let root = m.protect(f);
+        let stats = m.reorder();
+        eprintln!(
+            "bdd_kernel/reorder_sensitive: nodes {} -> {} ({} swaps)",
+            stats.before_nodes, stats.after_nodes, stats.swaps
+        );
+        m.unprotect(root);
+    }
+    let mut g = c.benchmark_group("bdd_kernel/reorder_sensitive");
+    for sift in [false, true] {
+        let id = if sift { "sifted" } else { "static" };
+        g.bench_with_input(BenchmarkId::from_parameter(id), &sift, |b, &sift| {
+            b.iter(|| {
+                let mut m = Manager::new(2 * n);
+                let f = build(&mut m);
+                let root = m.protect(f);
+                if sift {
+                    m.reorder();
+                }
+                let f = root.as_ref();
+                let mut acc = 0u128;
+                for _round in 0..16 {
+                    for i in 0..n {
+                        let lit = m.var(i);
+                        let cof = m.and(f, lit);
+                        acc ^= m.sat_count_exact(cof);
+                    }
+                }
+                m.unprotect(root);
+                black_box(acc)
+            });
+        });
+    }
+    g.finish();
+}
+
 criterion_group!(
     benches,
     bench_unique_churn,
     bench_computed_hit_rate,
-    bench_e1_overlap
+    bench_e1_overlap,
+    bench_negation_heavy,
+    bench_reorder_sensitive
 );
 criterion_main!(benches);

@@ -13,7 +13,13 @@
 //!   percentiles across every client (includes the daemon's ≤1ms poll
 //!   sleep, the honest socket-to-socket number);
 //! - `serve/e1_storm/session` — mean wall-clock per complete session,
-//!   whose reciprocal is sessions/sec (also printed).
+//!   whose reciprocal is sessions/sec (also printed);
+//! - `serve/e1_storm/bdd_gc_runs`, `bdd_gc_freed_nodes`,
+//!   `bdd_live_nodes` — kernel collection telemetry snapshotted after the
+//!   storm (the daemon runs in-process, so its managers report to the
+//!   global registry). `live_nodes` of 0 after every session closes is
+//!   the no-leak statement; `gc_runs` of 0 says sessions stayed below
+//!   the collection floor and never paid a GC pause.
 //!
 //! `CLARIFY_BENCH_QUICK=1` shrinks the storm for the CI smoke pass.
 
@@ -175,6 +181,39 @@ fn main() {
         session_ns,
         1,
         clients * sessions_per_client,
+    );
+
+    // The daemon ran in-process, so the kernel's collection telemetry is
+    // on the global registry: how often warm sessions collected, how much
+    // they reclaimed, and the live-node gauge left after the whole storm
+    // (the memory-flatness number — dead garbage does not count).
+    let snap = clarify_obs::global().snapshot();
+    let gc_runs = snap.counter("bdd.gc.runs") as f64;
+    let gc_freed = snap.counter("bdd.gc.freed_nodes") as f64;
+    let live_nodes = snap.gauge("bdd.unique_nodes") as f64;
+    emit_record(
+        "serve/e1_storm/bdd_gc_runs",
+        gc_runs,
+        gc_runs,
+        gc_runs,
+        1,
+        1,
+    );
+    emit_record(
+        "serve/e1_storm/bdd_gc_freed_nodes",
+        gc_freed,
+        gc_freed,
+        gc_freed,
+        1,
+        1,
+    );
+    emit_record(
+        "serve/e1_storm/bdd_live_nodes",
+        live_nodes,
+        live_nodes,
+        live_nodes,
+        1,
+        1,
     );
     println!(
         "bench serve/e1_storm: {clients} clients x {sessions_per_client} sessions, \

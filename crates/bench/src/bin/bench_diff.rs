@@ -1,9 +1,9 @@
-//! Warn-only bench comparator: diffs fresh `CLARIFY_BENCH_JSON` records
-//! against a committed trajectory baseline (e.g. `BENCH_bdd.json`).
+//! Bench comparator: diffs fresh `CLARIFY_BENCH_JSON` records against a
+//! committed trajectory baseline (e.g. `BENCH_bdd.json`).
 //!
 //! Usage:
-//!   `bench_diff <baseline.json> <fresh.json> [name-prefix]`
-//!   `bench_diff --all <fresh.json> <baseline.json>...`
+//!   `bench_diff [--fail-over <pct>] <baseline.json> <fresh.json> [name-prefix]`
+//!   `bench_diff [--fail-over <pct>] --all <fresh.json> <baseline.json>...`
 //!
 //! In `--all` mode every baseline is compared in turn, each under the
 //! name prefix derived from its top-level `"bench"` field, and a summary
@@ -15,8 +15,15 @@
 //! the workspace dependency-free). When a name repeats — a trajectory
 //! holds one record set per point — the *last* occurrence wins, i.e. the
 //! newest committed medians. Regressions beyond the threshold print
-//! GitHub `::warning::` annotations; the exit status is always 0, because
-//! shared CI runners make medians too noisy to gate merges on.
+//! GitHub `::warning::` annotations; by default the exit status is always
+//! 0, because shared CI runners make medians too noisy to gate merges on.
+//!
+//! `--fail-over <pct>` arms a *hard* gate on top of the warnings: any
+//! record whose fresh median exceeds baseline by more than `<pct>` percent
+//! prints a `::error::` annotation and the process exits 1. The gate is
+//! meant for catastrophic structural regressions (a lost fast path shows
+//! up as 3-10x, runner noise as 1.2-1.5x), so CI arms it with a generous
+//! percentage and only for the kernel baseline it trusts most.
 
 use std::collections::BTreeMap;
 use std::process::ExitCode;
@@ -146,17 +153,21 @@ struct Tally {
     improved: usize,
     regressed: usize,
     missing: usize,
+    /// Records past the `--fail-over` gate (0 when the gate is unarmed).
+    failed: usize,
 }
 
 /// Compares every `prefix`-named baseline record against `fresh`,
 /// printing one line per record and a `::warning::` annotation per
-/// regression. Returns the tallies.
+/// regression (a `::error::` when the `fail_over` ratio gate trips).
+/// Returns the tallies.
 fn compare(
     baseline: &BTreeMap<String, f64>,
     baseline_path: &str,
     fresh: &BTreeMap<String, f64>,
     fresh_path: &str,
     prefix: &str,
+    fail_over: Option<f64>,
 ) -> Tally {
     let mut tally = Tally::default();
     for (name, &base_ns) in baseline.iter().filter(|(n, _)| n.starts_with(prefix)) {
@@ -167,7 +178,11 @@ fn compare(
         };
         tally.compared += 1;
         let ratio = fresh_ns / base_ns;
-        let verdict = if ratio > WARN_RATIO {
+        let over_gate = fail_over.is_some_and(|g| ratio > g);
+        let verdict = if over_gate {
+            tally.failed += 1;
+            "FAILED"
+        } else if ratio > WARN_RATIO {
             tally.regressed += 1;
             "REGRESSED"
         } else if ratio < 1.0 / WARN_RATIO {
@@ -182,7 +197,15 @@ fn compare(
             human(base_ns),
             human(fresh_ns),
         );
-        if ratio > WARN_RATIO {
+        if over_gate {
+            println!(
+                "::error::bench_diff: {name} median {} vs committed {} ({ratio:.2}x, hard gate {:.2}x) — \
+                 beyond runner noise; a structural regression must be fixed or the baseline consciously re-recorded",
+                human(fresh_ns),
+                human(base_ns),
+                fail_over.unwrap_or(f64::INFINITY),
+            );
+        } else if ratio > WARN_RATIO {
             println!(
                 "::warning::bench_diff: {name} median {} vs committed {} ({ratio:.2}x, threshold {WARN_RATIO}x) — \
                  noise or a real regression; re-run locally with `cargo bench -p clarify-bench`",
@@ -198,9 +221,9 @@ fn compare(
 }
 
 /// `--all` mode: one fresh record set against every committed baseline,
-/// with a summary table. Exit status stays 0 — shared runners are too
-/// noisy to gate on.
-fn run_all(fresh_path: &str, baseline_paths: &[String]) -> ExitCode {
+/// with a summary table. Exit status stays 0 unless the `fail_over` gate
+/// is armed and a record trips it.
+fn run_all(fresh_path: &str, baseline_paths: &[String], fail_over: Option<f64>) -> ExitCode {
     let Some(fresh_text) = read(fresh_path) else {
         return ExitCode::SUCCESS;
     };
@@ -216,7 +239,7 @@ fn run_all(fresh_path: &str, baseline_paths: &[String]) -> ExitCode {
         };
         let baseline = scan_records(&text);
         let prefix = format!("{bench}/");
-        let tally = compare(&baseline, path, &fresh, fresh_path, &prefix);
+        let tally = compare(&baseline, path, &fresh, fresh_path, &prefix, fail_over);
         rows.push((path.clone(), tally));
     }
     println!(
@@ -224,32 +247,65 @@ fn run_all(fresh_path: &str, baseline_paths: &[String]) -> ExitCode {
         rows.len()
     );
     println!(
-        "{:<22} {:>8} {:>6} {:>9} {:>10} {:>8}",
-        "baseline", "records", "ok", "improved", "regressed", "missing"
+        "{:<22} {:>8} {:>6} {:>9} {:>10} {:>8} {:>7}",
+        "baseline", "records", "ok", "improved", "regressed", "missing", "failed"
     );
     for (path, t) in &rows {
         println!(
-            "{:<22} {:>8} {:>6} {:>9} {:>10} {:>8}",
-            path, t.compared, t.ok, t.improved, t.regressed, t.missing
+            "{:<22} {:>8} {:>6} {:>9} {:>10} {:>8} {:>7}",
+            path, t.compared, t.ok, t.improved, t.regressed, t.missing, t.failed
         );
     }
-    ExitCode::SUCCESS
+    if rows.iter().any(|(_, t)| t.failed > 0) {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}
+
+/// Pulls `--fail-over <pct>` out of the argument list (any position),
+/// returning the remaining args and the gate as a fresh/baseline *ratio*
+/// (`--fail-over 200` = fail beyond 3.0x).
+fn parse_fail_over(args: Vec<String>) -> (Vec<String>, Option<f64>) {
+    let mut rest = Vec::with_capacity(args.len());
+    let mut gate = None;
+    let mut it = args.into_iter();
+    while let Some(a) = it.next() {
+        if a == "--fail-over" {
+            match it.next().and_then(|p| p.parse::<f64>().ok()) {
+                Some(pct) if pct > 0.0 => gate = Some(1.0 + pct / 100.0),
+                _ => {
+                    eprintln!("bench_diff: --fail-over needs a positive percentage");
+                    rest.push(a); // let the usage error surface downstream
+                }
+            }
+        } else {
+            rest.push(a);
+        }
+    }
+    (rest, gate)
 }
 
 fn main() -> ExitCode {
-    let args: Vec<String> = std::env::args().skip(1).collect();
+    let (args, fail_over) = parse_fail_over(std::env::args().skip(1).collect());
     if args.first().map(String::as_str) == Some("--all") {
         let Some(fresh_path) = args.get(1) else {
-            eprintln!("usage: bench_diff --all <fresh.json> <baseline.json>...");
+            eprintln!(
+                "usage: bench_diff [--fail-over <pct>] --all <fresh.json> <baseline.json>..."
+            );
             return ExitCode::SUCCESS;
         };
-        return run_all(fresh_path, &args[2..]);
+        return run_all(fresh_path, &args[2..], fail_over);
     }
     let (baseline_path, fresh_path) = match (args.first(), args.get(1)) {
         (Some(b), Some(f)) => (b.clone(), f.clone()),
         _ => {
-            eprintln!("usage: bench_diff <baseline.json> <fresh.json> [name-prefix]");
-            eprintln!("       bench_diff --all <fresh.json> <baseline.json>...");
+            eprintln!(
+                "usage: bench_diff [--fail-over <pct>] <baseline.json> <fresh.json> [name-prefix]"
+            );
+            eprintln!(
+                "       bench_diff [--fail-over <pct>] --all <fresh.json> <baseline.json>..."
+            );
             // Still warn-only: a misinvocation should not fail the job.
             return ExitCode::SUCCESS;
         }
@@ -260,6 +316,17 @@ fn main() -> ExitCode {
     };
     let baseline = scan_records(&baseline_text);
     let fresh = scan_records(&fresh_text);
-    compare(&baseline, &baseline_path, &fresh, &fresh_path, &prefix);
-    ExitCode::SUCCESS
+    let tally = compare(
+        &baseline,
+        &baseline_path,
+        &fresh,
+        &fresh_path,
+        &prefix,
+        fail_over,
+    );
+    if tally.failed > 0 {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
 }

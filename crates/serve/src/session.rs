@@ -215,6 +215,10 @@ impl ConfigSession {
                     .disambiguator
                     .plan_in_space(&mut space, &working, target, &snippet, &map_name)
                     .map_err(internal)?;
+                // Turn boundary: the plan is fully decoded (no Refs), so
+                // drop the memo tables and let the kernel collect this
+                // turn's garbage — warm sessions keep a flat arena.
+                space.manager().clear_op_caches();
                 self.route_space = Some((hash, space));
                 self.pending = Some(Pending::RouteMap {
                     plan: Box::new(plan),
@@ -244,6 +248,8 @@ impl ConfigSession {
                     self.disambiguator.strategy,
                 )
                 .map_err(internal)?;
+                // Same turn-boundary collection as the route-map path.
+                self.packet_space.manager().clear_op_caches();
                 self.pending = Some(Pending::Acl {
                     plan: Box::new(plan),
                     answers: Vec::new(),
